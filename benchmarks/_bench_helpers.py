@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures.  The
+rendered artifact is printed (visible with ``pytest -s``) and written to
+``benchmarks/out/<name>.txt`` so results survive output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table/figure and persist it under out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")
+
+
+def publish_chart(name: str, title: str, xs, series, **kwargs) -> None:
+    """Persist an SVG line chart of a figure's series under out/."""
+    from repro.experiments.svg import save_line_chart
+
+    OUT_DIR.mkdir(exist_ok=True)
+    save_line_chart(str(OUT_DIR / f"{name}.svg"), title, xs, series,
+                    **kwargs)

@@ -1,0 +1,64 @@
+"""Ablation bench: interchangeable contention models (paper sections 2, 4).
+
+The paper's framework "allow[s] analytical models to be interchanged for
+each individual shared resource".  This bench runs the same bursty
+4-processor workload through the hybrid kernel under every registered
+queueing model (plus the whole-run baseline of each) and reports the
+error against cycle-accurate ground truth — quantifying how much of the
+hybrid's accuracy comes from piecewise evaluation versus the specific
+model.  Timing target: the hybrid under the default Chen-Lin model.
+"""
+
+from repro.analytical import estimate_queueing
+from repro.cycle import EventEngine
+from repro.experiments.report import format_table
+from repro.experiments.runner import percent_error
+from repro.contention import make_model
+from repro.workloads.synthetic import bursty_workload
+from repro.workloads.to_mesh import run_hybrid
+
+from _bench_helpers import publish
+
+_MODELS = ("chenlin", "md1", "mm1", "roundrobin", "priority")
+_WORKLOAD = bursty_workload(threads=4, bursts=10, heavy_accesses=350,
+                            light_accesses=10)
+
+
+def test_ablation_models(benchmark):
+    truth = EventEngine(_WORKLOAD).run().queueing_cycles
+    rows = []
+    hybrid_errors = {}
+    runs = {}
+
+    def sweep():
+        for name in _MODELS:
+            runs[name] = (
+                run_hybrid(_WORKLOAD, model=make_model(name)),
+                estimate_queueing(_WORKLOAD, model=make_model(name)),
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name in _MODELS:
+        hybrid, whole = runs[name]
+        hybrid_err = percent_error(hybrid.queueing_cycles, truth)
+        whole_err = percent_error(whole.queueing_cycles, truth)
+        hybrid_errors[name] = hybrid_err
+        rows.append([name, f"{hybrid.queueing_cycles:,.0f}",
+                     f"{hybrid_err:.1f}%",
+                     f"{whole.queueing_cycles:,.0f}",
+                     f"{whole_err:.1f}%"])
+    publish("ablation_models", format_table(
+        ["model", "hybrid q", "hybrid err", "whole-run q",
+         "whole-run err"],
+        rows,
+        title=("Ablation - interchangeable contention models "
+               f"(bursty 4-proc workload; ISS queueing = {truth:,.0f})"),
+    ))
+    # Every hybrid model lands within a factor-2 band on this workload;
+    # piecewise evaluation does the heavy lifting.
+    for name, error in hybrid_errors.items():
+        assert error < 100.0, name
+
+
+def test_ablation_models_runtime(benchmark):
+    benchmark(lambda: run_hybrid(_WORKLOAD, model=make_model("chenlin")))

@@ -1,0 +1,75 @@
+"""Ablation bench: sensitivity of the reconstructed model's two knobs.
+
+The Chen-Lin reconstruction carries two calibrated constants — the
+stability clip ``rho_max`` and the flow-balance onset ``knee`` (see
+docs/models.md).  This bench sweeps both on the workload that stresses
+them hardest (the saturating 16-processor 8KB FFT) and on a moderate
+one, showing how much of the reproduction's accuracy is robust versus
+owed to calibration.
+"""
+
+from repro.contention import ChenLinModel
+from repro.cycle import EventEngine
+from repro.experiments.report import format_table
+from repro.experiments.runner import percent_error
+from repro.workloads.fft import fft_workload
+from repro.workloads.to_mesh import run_hybrid
+
+from _bench_helpers import publish
+
+_MODERATE = fft_workload(points=4096, processors=4, cache_kb=8)
+_SATURATED = fft_workload(points=4096, processors=16, cache_kb=8)
+
+
+def test_knob_sensitivity(benchmark):
+    truths = {
+        "moderate": EventEngine(_MODERATE).run().queueing_cycles,
+        "saturated": EventEngine(_SATURATED).run().queueing_cycles,
+    }
+    cases = []
+    for rho_max in (0.90, 0.98):
+        for knee in (0.80, 0.95, 1.0):
+            cases.append((rho_max, knee))
+    results = {}
+
+    def sweep():
+        for rho_max, knee in cases:
+            model = ChenLinModel(rho_max=rho_max, knee=knee)
+            results[(rho_max, knee)] = {
+                "moderate": run_hybrid(_MODERATE,
+                                       model=model).queueing_cycles,
+                "saturated": run_hybrid(_SATURATED,
+                                        model=model).queueing_cycles,
+            }
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for (rho_max, knee), values in results.items():
+        rows.append([
+            rho_max, knee,
+            f"{percent_error(values['moderate'], truths['moderate']):.1f}%",
+            f"{percent_error(values['saturated'], truths['saturated']):.1f}%",
+        ])
+    publish("ablation_sensitivity", format_table(
+        ["rho_max", "knee", "err (moderate, 4p)", "err (saturated, 16p)"],
+        rows,
+        title=("Ablation - model knob sensitivity (FFT 8KB; ISS "
+               f"queueing: moderate {truths['moderate']:,}, "
+               f"saturated {truths['saturated']:,})"),
+    ))
+    # Moderate contention barely notices the knobs (robust regime)...
+    moderate_errors = [
+        percent_error(values["moderate"], truths["moderate"])
+        for values in results.values()
+    ]
+    assert max(moderate_errors) - min(moderate_errors) < 15.0
+    # ...while saturation is where the knee calibration earns its keep.
+    saturated_spread = [
+        percent_error(values["saturated"], truths["saturated"])
+        for values in results.values()
+    ]
+    assert max(saturated_spread) > min(saturated_spread) + 5.0
+    # The shipped defaults sit near the best of the sweep.
+    default_err = percent_error(results[(0.98, 0.95)]["saturated"],
+                                truths["saturated"])
+    assert default_err <= min(saturated_spread) + 10.0

@@ -1,0 +1,67 @@
+"""Ablation bench: the minimum-timeslice knob (paper section 4.3).
+
+The paper: "the designer can choose to trade off small amounts of
+accuracy to keep the number of timeslices down".  This bench sweeps
+``min_timeslice`` on the 8KB FFT workload and reports, per setting, the
+number of analytical evaluations, the queueing estimate, its error
+against ground truth, and the hybrid runtime — making the trade-off
+concrete.  Timing targets: the hybrid at min_timeslice 0 vs a large
+setting.
+"""
+
+import pytest
+
+from repro.cycle import EventEngine
+from repro.experiments.report import format_table
+from repro.experiments.runner import percent_error
+from repro.workloads.fft import fft_workload
+from repro.workloads.to_mesh import run_hybrid
+
+from _bench_helpers import publish
+
+_WORKLOAD = fft_workload(points=4096, processors=8, cache_kb=8)
+_SWEEP = (0.0, 100.0, 500.0, 2_000.0, 10_000.0)
+
+
+def test_ablation_min_timeslice(benchmark):
+    truth = EventEngine(_WORKLOAD).run().queueing_cycles
+    rows = []
+    results = {}
+
+    def sweep():
+        for min_timeslice in _SWEEP:
+            results[min_timeslice] = run_hybrid(
+                _WORKLOAD, min_timeslice=min_timeslice)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for min_timeslice in _SWEEP:
+        result = results[min_timeslice]
+        rows.append([
+            min_timeslice,
+            result.slices_analyzed,
+            result.slices_merged,
+            f"{result.queueing_cycles:,.0f}",
+            f"{percent_error(result.queueing_cycles, truth):.1f}%",
+        ])
+    publish("ablation_timeslice", format_table(
+        ["min_slice", "analyzed", "merged", "queueing", "err vs ISS"],
+        rows,
+        title=("Ablation - min timeslice knob (FFT 8KB, 8 procs; "
+               f"ISS queueing = {truth:,.0f})"),
+    ))
+    # Monotone mechanics: larger minimum => fewer analyses.
+    analyzed = [results[m].slices_analyzed for m in _SWEEP]
+    assert all(a >= b for a, b in zip(analyzed, analyzed[1:]))
+    # Access conservation at every setting.
+    base_accesses = results[0.0].resources["bus"].accesses
+    for min_timeslice in _SWEEP:
+        assert results[min_timeslice].resources["bus"].accesses == \
+            pytest.approx(base_accesses)
+
+
+def test_ablation_timeslice_fine_runtime(benchmark):
+    benchmark(lambda: run_hybrid(_WORKLOAD, min_timeslice=0.0))
+
+
+def test_ablation_timeslice_coarse_runtime(benchmark):
+    benchmark(lambda: run_hybrid(_WORKLOAD, min_timeslice=2_000.0))

@@ -1,0 +1,45 @@
+"""Bench: calibration tables for every shipped queueing model.
+
+Publishes the model-vs-cycle-engine fit across the utilization range —
+the quantitative basis for the accuracy claims everywhere else — and
+asserts each model's fit band (the optimistic round-robin model is
+allowed a wider one).
+"""
+
+from repro.contention import make_model
+from repro.contention.calibrate import (calibrate_model,
+                                        max_relative_error,
+                                        render_calibration)
+
+from _bench_helpers import publish
+
+#: (model, threads, error band on contended points)
+_CASES = (
+    ("chenlin", 2, 0.35),
+    ("chenlin", 4, 0.45),
+    ("md1", 4, 0.45),
+    ("mm1", 4, 1.2),        # intentionally pessimistic model
+    ("roundrobin", 4, 1.2),  # intentionally optimistic model
+)
+
+
+def test_calibration_tables(benchmark):
+    reports = {}
+
+    def sweep():
+        for name, threads, _ in _CASES:
+            model = make_model(name)
+            reports[(name, threads)] = (
+                model, calibrate_model(model, threads=threads))
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    blocks = []
+    for (name, threads), (model, points) in reports.items():
+        blocks.append(f"-- {name}, {threads} threads --")
+        blocks.append(render_calibration(model, points))
+    publish("calibration", "\n".join(blocks))
+
+    for name, threads, band in _CASES:
+        _, points = reports[(name, threads)]
+        worst = max_relative_error(points)
+        assert worst < band, (name, threads, worst)

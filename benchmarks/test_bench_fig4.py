@@ -1,0 +1,40 @@
+"""Figure 4 bench: FFT queueing cycles vs processors, 512KB and 8KB.
+
+Regenerates both panels of the paper's Figure 4 (queueing cycles
+predicted by Analytical / MESH / ISS over processor counts) and reports
+the average error of each contestant.  The benchmark timing target is
+the MESH hybrid simulation itself — the artifact whose speed the paper
+is selling — on the 4-processor configuration.
+"""
+
+import pytest
+
+from repro.experiments.fig4 import average_errors, render_fig4, run_fig4
+from repro.workloads.fft import fft_workload
+from repro.workloads.to_mesh import run_hybrid
+
+from _bench_helpers import publish, publish_chart
+
+
+@pytest.mark.parametrize("cache_kb", [512, 8])
+def test_fig4(benchmark, cache_kb):
+    rows = run_fig4(cache_kb=cache_kb, proc_counts=(2, 4, 8, 16),
+                    points=4096)
+    publish(f"fig4_{cache_kb}kb", render_fig4(rows))
+    publish_chart(
+        f"fig4_{cache_kb}kb",
+        f"Figure 4 - FFT {cache_kb}KB: queueing cycles vs processors",
+        [r.processors for r in rows],
+        [("ISS", [r.iss for r in rows]),
+         ("MESH", [r.mesh for r in rows]),
+         ("Analytical", [r.analytical for r in rows])],
+        x_label="processors", y_label="queueing cycles")
+
+    averages = average_errors(rows)
+    # The paper's qualitative result: piecewise evaluation beats the
+    # one-step analytical application decisively.
+    assert averages["mesh"] < averages["analytical"]
+    assert averages["mesh"] < 40.0
+
+    workload = fft_workload(points=4096, processors=4, cache_kb=cache_kb)
+    benchmark(lambda: run_hybrid(workload))

@@ -1,0 +1,39 @@
+"""Figure 5 bench: queueing vs bus delay on the 90%-idle PHM SoC.
+
+Regenerates the paper's Figure 5 — percent queueing cycles from ISS,
+MESH, and the whole-run analytical model as bus access latency grows,
+with the second (M32R-class) processor idle 90% of the time — and
+asserts the claim: the analytical model greatly overestimates while
+MESH tracks the ISS.  Timing target: the hybrid on the mid-sweep
+configuration.
+"""
+
+from repro.experiments.fig5 import render_fig5, run_fig5
+from repro.workloads.phm import phm_workload
+from repro.workloads.to_mesh import run_hybrid
+
+from _bench_helpers import publish, publish_chart
+
+
+def test_fig5(benchmark):
+    rows = run_fig5(bus_delays=(2, 4, 6, 8, 10, 12, 16, 20))
+    publish("fig5", render_fig5(rows))
+    publish_chart(
+        "fig5", "Figure 5 - % queueing vs bus delay (90%-idle core)",
+        [r.bus_delay for r in rows],
+        [("ISS", [r.iss_pct for r in rows]),
+         ("MESH", [r.mesh_pct for r in rows]),
+         ("Analytical", [r.analytical_pct for r in rows])],
+        x_label="bus delay (cycles)", y_label="% queueing")
+
+    mesh_avg = sum(r.mesh_error for r in rows) / len(rows)
+    analytical_avg = sum(r.analytical_error for r in rows) / len(rows)
+    assert mesh_avg < analytical_avg / 2
+    # The analytical model overestimates on every point of the sweep
+    # with meaningful contention.
+    for row in rows:
+        if row.iss_pct > 0.1:
+            assert row.analytical_pct > row.iss_pct
+
+    workload = phm_workload(bus_service=12, seed=1)
+    benchmark(lambda: run_hybrid(workload))

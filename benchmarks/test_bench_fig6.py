@@ -1,0 +1,39 @@
+"""Figure 6 bench: estimator degradation vs workload unbalance.
+
+Regenerates the paper's Figure 6 — average percent error of MESH and of
+the whole-run analytical model as the second processor's idle fraction
+sweeps from balanced to 90% idle — and asserts the claim: analytical
+error grows sharply with unbalance while MESH stays low.  Timing
+target: the full three-estimator comparison at one unbalanced point.
+"""
+
+from repro.experiments.fig6 import render_fig6, run_fig6
+from repro.experiments.runner import run_comparison
+from repro.workloads.phm import phm_workload
+
+from _bench_helpers import publish, publish_chart
+
+
+def test_fig6(benchmark):
+    rows = run_fig6()
+    publish("fig6", render_fig6(rows))
+    publish_chart(
+        "fig6", "Figure 6 - avg % error vs idle fraction of core 2",
+        [r.idle_fraction * 100 for r in rows],
+        [("MESH err %", [r.mesh_error for r in rows]),
+         ("Analytical err %", [r.analytical_error for r in rows])],
+        x_label="idle fraction (%)", y_label="avg % error")
+
+    mesh_worst = max(r.mesh_error for r in rows)
+    # MESH stays low across the entire unbalance sweep...
+    assert mesh_worst < 40.0
+    # ...while the analytical model degrades badly at high unbalance.
+    unbalanced = [r for r in rows if r.idle_fraction >= 0.6]
+    assert max(r.analytical_error for r in unbalanced) > 80.0
+    # And at every unbalanced point MESH beats analytical.
+    for row in unbalanced:
+        assert row.mesh_error < row.analytical_error
+
+    workload = phm_workload(idle_fractions=(0.06, 0.75), bus_service=8,
+                            seed=1)
+    benchmark(lambda: run_comparison(workload))

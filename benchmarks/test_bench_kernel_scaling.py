@@ -1,0 +1,35 @@
+"""Micro-benchmarks: hybrid kernel and cycle-engine throughput.
+
+Not a paper artifact, but the engineering numbers behind Table 1:
+regions committed per second by the hybrid kernel as thread count
+grows, and cycles/events per second for the two ISS engines.
+"""
+
+import pytest
+
+from repro.cycle import EventEngine, SteppedEngine
+from repro.workloads.synthetic import uniform_workload
+from repro.workloads.to_mesh import run_hybrid
+
+
+@pytest.mark.parametrize("threads", [2, 4, 8])
+def test_kernel_region_throughput(benchmark, threads):
+    workload = uniform_workload(threads=threads, phases=50, work=1_000,
+                                accesses=20)
+    result = benchmark(lambda: run_hybrid(workload))
+    assert result.regions_committed == threads * 50
+
+
+def test_stepped_engine_throughput(benchmark):
+    workload = uniform_workload(threads=2, phases=4, work=10_000,
+                                accesses=50)
+    result = benchmark.pedantic(lambda: SteppedEngine(workload).run(),
+                                rounds=3, iterations=1)
+    assert result.makespan > 0
+
+
+def test_event_engine_throughput(benchmark):
+    workload = uniform_workload(threads=2, phases=4, work=10_000,
+                                accesses=50)
+    result = benchmark(lambda: EventEngine(workload).run())
+    assert result.makespan > 0

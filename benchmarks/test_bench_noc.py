@@ -1,0 +1,77 @@
+"""Extension bench: NoC congestion under uniform vs hotspot traffic.
+
+The paper's intro motivates the framework with SoCs built around
+networks-on-chip.  This bench runs a 3x3 mesh (every directed link a
+shared resource, packets as flit-burst transactions over XY routes)
+under balanced and hotspot traffic, and checks that the hybrid model
+(a) tracks the cycle-accurate total and (b) localizes the congestion
+onto the links feeding the hotspot.
+"""
+
+import random
+
+from repro.cycle import EventEngine
+from repro.experiments.report import format_table
+from repro.experiments.runner import percent_error
+from repro.workloads.noc import (hotspot_flows, link_penalties,
+                                 noc_workload, uniform_flows)
+from repro.workloads.to_mesh import run_hybrid
+
+from _bench_helpers import publish
+
+_PACKETS = 48
+
+
+def _flows(pattern):
+    if pattern == "uniform":
+        return uniform_flows(3, 3, random.Random(7),
+                             packets_per_phase=_PACKETS)
+    return hotspot_flows(3, 3, packets_per_phase=_PACKETS)
+
+
+def test_noc_congestion(benchmark):
+    results = {}
+
+    def sweep():
+        for pattern in ("uniform", "hotspot"):
+            workload = noc_workload(width=3, height=3,
+                                    flows=_flows(pattern),
+                                    phases=4, compute_work=2_000.0,
+                                    seed=2)
+            results[pattern] = (run_hybrid(workload),
+                                EventEngine(workload).run())
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for pattern in ("uniform", "hotspot"):
+        mesh, truth = results[pattern]
+        penalties = link_penalties(mesh)
+        hottest = max(penalties, key=penalties.get)
+        error = percent_error(mesh.queueing_cycles,
+                              truth.queueing_cycles)
+        rows.append([
+            pattern,
+            f"{truth.queueing_cycles:,}",
+            f"{mesh.queueing_cycles:,.0f}",
+            f"{error:.1f}%",
+            hottest.replace("link_", ""),
+        ])
+    publish("noc", format_table(
+        ["traffic", "ISS queueing", "MESH queueing", "MESH err",
+         "hottest link (MESH)"],
+        rows,
+        title=("Extension - 3x3 mesh NoC (per-link contention, "
+               "flit-burst packets, XY routing)"),
+    ))
+    # Hotspot concentrates contention...
+    assert (results["hotspot"][1].queueing_cycles
+            > results["uniform"][1].queueing_cycles)
+    # ...and the hybrid's hottest link feeds the sink tile (1,1).
+    hotspot_penalties = link_penalties(results["hotspot"][0])
+    hottest = max(hotspot_penalties, key=hotspot_penalties.get)
+    assert hottest.endswith("__1_1")
+    for pattern in ("uniform", "hotspot"):
+        mesh, truth = results[pattern]
+        if truth.queueing_cycles > 200:
+            assert percent_error(mesh.queueing_cycles,
+                                 truth.queueing_cycles) < 60.0

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""From real code to hybrid simulation: the profiling workflow (§3).
+
+The paper derives consume values "from techniques such as profiling".
+This example runs an *actual* radix-2 FFT written in plain Python over
+tracked buffers, profiles each algorithm stage into an annotated phase
+(complexity = executed lines, bus accesses = cache-filtered memory
+trace), and then simulates two such software threads sharing a bus —
+comparing the hybrid estimate against the cycle-accurate engines.
+
+Run:  python examples/annotate_real_code.py
+"""
+
+import math
+
+from repro.cycle import EventEngine
+from repro.profiling import PhaseProfiler
+from repro.workloads.to_mesh import run_hybrid
+from repro.workloads.trace import (ProcessorSpec, ResourceSpec, Workload)
+
+N = 256          # FFT points (power of two)
+CACHE_KB = 1     # deliberately small: visible miss traffic
+CYCLES_PER_LINE = 3.0
+
+
+def bit_reverse_permute(re, im, n):
+    """In-place bit-reversal reordering (FFT stage 1)."""
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            tr = re[i]
+            re[i] = re[j]
+            re[j] = tr
+            ti = im[i]
+            im[i] = im[j]
+            im[j] = ti
+
+
+def butterfly_pass(re, im, n, length):
+    """One radix-2 butterfly stage of span ``length`` (in place)."""
+    angle = -2.0 * math.pi / length
+    w_re = math.cos(angle)
+    w_im = math.sin(angle)
+    for start in range(0, n, length):
+        cur_re, cur_im = 1.0, 0.0
+        half = length // 2
+        for k in range(half):
+            a = start + k
+            b = a + half
+            tr = re[b] * cur_re - im[b] * cur_im
+            ti = re[b] * cur_im + im[b] * cur_re
+            re[b] = re[a] - tr
+            im[b] = im[a] - ti
+            re[a] = re[a] + tr
+            im[a] = im[a] + ti
+            cur_re, cur_im = (cur_re * w_re - cur_im * w_im,
+                              cur_re * w_im + cur_im * w_re)
+
+
+def profile_fft_thread(name, seed):
+    """Run and profile a full FFT; returns (profiler, spectrum peak)."""
+    profiler = PhaseProfiler(cache_kb=CACHE_KB,
+                             cycles_per_line=CYCLES_PER_LINE,
+                             seed=seed)
+    re = profiler.buffer(N)
+    im = profiler.buffer(N)
+
+    with profiler.phase("generate"):
+        for i in range(N):
+            re[i] = math.sin(2.0 * math.pi * (3 + seed) * i / N)
+            im[i] = 0.0
+
+    with profiler.phase("bit-reverse"):
+        bit_reverse_permute(re, im, N)
+
+    length = 2
+    stage = 0
+    while length <= N:
+        with profiler.phase(f"butterfly-{length}"):
+            butterfly_pass(re, im, N, length)
+        length *= 2
+        stage += 1
+
+    with profiler.phase("magnitude"):
+        peak_bin, peak = 0, -1.0
+        for i in range(N // 2):
+            mag = re[i] * re[i] + im[i] * im[i]
+            if mag > peak:
+                peak, peak_bin = mag, i
+    return profiler, peak_bin
+
+
+def main():
+    profiler_a, peak_a = profile_fft_thread("dsp_a", seed=0)
+    profiler_b, peak_b = profile_fft_thread("dsp_b", seed=5)
+    print("The algorithm really ran: spectral peaks at bins "
+          f"{peak_a} and {peak_b} (inputs were {3}-cycle and {8}-cycle "
+          f"sines)")
+    print()
+    print(profiler_a.summary())
+    print()
+
+    workload = Workload(
+        threads=[profiler_a.thread_trace("dsp_a", affinity="cpu0"),
+                 profiler_b.thread_trace("dsp_b", affinity="cpu1")],
+        processors=[ProcessorSpec("cpu0"), ProcessorSpec("cpu1")],
+        resources=[ResourceSpec("bus", 4)],
+    )
+    mesh = run_hybrid(workload)
+    truth = EventEngine(workload).run()
+    print("Two profiled FFT threads sharing one bus:")
+    print(f"  hybrid queueing estimate : {mesh.queueing_cycles:10.1f}")
+    print(f"  cycle-accurate queueing  : {truth.queueing_cycles:10d}")
+    print(f"  hybrid makespan          : {mesh.makespan:10.1f}")
+    print(f"  cycle-accurate makespan  : {truth.makespan:10d}")
+    if truth.queueing_cycles:
+        error = (100.0 * abs(mesh.queueing_cycles
+                             - truth.queueing_cycles)
+                 / truth.queueing_cycles)
+        print(f"  queueing error           : {error:10.1f}%")
+
+
+if __name__ == "__main__":
+    main()

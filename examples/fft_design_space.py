@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Design-space exploration on the SPLASH-2-style FFT (paper section 5.1).
+
+Reproduces the paper's Figure 4 study end to end and then uses the
+hybrid model the way the paper intends — as "the first timed model the
+designer considers": a sweep over processor count x cache size x bus
+latency that would be prohibitively slow cycle-accurately, completed in
+seconds with MESH.
+
+Run:  python examples/fft_design_space.py [--quick]
+"""
+
+import argparse
+import time
+
+from repro.experiments.fig4 import average_errors, render_fig4, run_fig4
+from repro.experiments.pareto import knee_point, pareto_front
+from repro.experiments.report import format_table
+from repro.workloads.fft import fft_workload
+from repro.workloads.to_mesh import run_hybrid
+
+
+def reproduce_figure4(points):
+    """Run both panels of Figure 4 and print the series + errors."""
+    for cache_kb in (512, 8):
+        rows = run_fig4(cache_kb=cache_kb, proc_counts=(2, 4, 8, 16),
+                        points=points)
+        print(render_fig4(rows))
+        print()
+
+
+def explore_design_space(points):
+    """The payoff: a 36-point design sweep using only the hybrid model.
+
+    A designer picks the cheapest configuration meeting a queueing
+    budget; the cycle-accurate engine would need minutes-to-hours for
+    the same sweep.
+    """
+    rows = []
+    points_list = []
+    started = time.perf_counter()
+    for processors in (2, 4, 8, 16):
+        for cache_kb in (8, 64, 512):
+            for bus_service in (1, 2, 4):
+                workload = fft_workload(points=points,
+                                        processors=processors,
+                                        cache_kb=cache_kb,
+                                        bus_service=bus_service)
+                result = run_hybrid(workload)
+                design = {
+                    "procs": processors, "cache_kb": cache_kb,
+                    "bus": bus_service,
+                    "makespan": result.makespan,
+                    "queueing_pct": result.percent_queueing(),
+                    "cost": processors * (4 + cache_kb / 64),
+                }
+                points_list.append(design)
+                rows.append([processors, f"{cache_kb}KB", bus_service,
+                             f"{result.makespan:,.0f}",
+                             f"{design['queueing_pct']:.2f}%"])
+    elapsed = time.perf_counter() - started
+    print(format_table(
+        ["procs", "cache", "bus", "makespan", "queueing"],
+        rows,
+        title=(f"Design sweep: 36 configurations in {elapsed:.2f}s "
+               f"(hybrid model only)")))
+
+    objectives = (lambda d: d["makespan"], lambda d: d["cost"])
+    front = pareto_front(points_list, objectives)
+    knee = knee_point(points_list, objectives)
+    print(f"\nPareto front (makespan vs cost): {len(front)} of "
+          f"{len(points_list)} designs")
+    for design in sorted(front, key=lambda d: d["makespan"]):
+        marker = "  <-- knee" if design is knee else ""
+        print(f"  {design['procs']:2d} procs, {design['cache_kb']:3d}KB, "
+              f"bus={design['bus']}: makespan "
+              f"{design['makespan']:>10,.0f}, cost "
+              f"{design['cost']:5.1f}{marker}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="use a 1024-point FFT for a fast run")
+    args = parser.parse_args()
+    points = 1024 if args.quick else 4096
+
+    print("=" * 72)
+    print("Part 1 - reproduce Figure 4 (Analytical vs MESH vs ISS)")
+    print("=" * 72)
+    reproduce_figure4(points)
+
+    print("=" * 72)
+    print("Part 2 - design-space exploration with the hybrid model")
+    print("=" * 72)
+    explore_design_space(points)
+
+
+if __name__ == "__main__":
+    main()

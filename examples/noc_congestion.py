@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""NoC congestion mapping: where does the mesh hurt?
+
+Models a 4x4 mesh network-on-chip — every directed link a shared
+resource, packets as flit-burst transactions over XY routes — under
+uniform and hotspot traffic, and renders an ASCII congestion heat map
+from the hybrid model's per-link penalties, cross-checked against the
+cycle-accurate engines.
+
+Run:  python examples/noc_congestion.py
+"""
+
+import random
+
+from repro.cycle import EventEngine
+from repro.experiments.runner import percent_error
+from repro.workloads.noc import (hotspot_flows, link_penalties,
+                                 noc_workload, uniform_flows)
+from repro.workloads.to_mesh import run_hybrid
+
+WIDTH = HEIGHT = 4
+PACKETS = 40
+HEAT = " .:-=+*#%@"
+
+
+def congestion_grid(penalties):
+    """Sum the penalties of links *entering* each node."""
+    grid = [[0.0] * WIDTH for _ in range(HEIGHT)]
+    for name, value in penalties.items():
+        # link_x1_y1__x2_y2 -> destination node (x2, y2)
+        _, dst = name.replace("link_", "").split("__")
+        x, y = (int(part) for part in dst.split("_"))
+        grid[y][x] += value
+    return grid
+
+
+def render_heatmap(grid):
+    """ASCII heat map, one character per node."""
+    peak = max(max(row) for row in grid) or 1.0
+    lines = []
+    for y in range(HEIGHT - 1, -1, -1):
+        cells = []
+        for x in range(WIDTH):
+            level = int(grid[y][x] / peak * (len(HEAT) - 1))
+            cells.append(HEAT[level] * 3)
+        lines.append(f"  y={y} " + " ".join(cells))
+    lines.append("       " + "  ".join(f"x={x}" for x in range(WIDTH)))
+    return "\n".join(lines)
+
+
+def study(label, flows):
+    workload = noc_workload(width=WIDTH, height=HEIGHT, flows=flows,
+                            phases=4, compute_work=2_000.0, seed=3)
+    mesh = run_hybrid(workload)
+    truth = EventEngine(workload).run()
+    error = percent_error(mesh.queueing_cycles, truth.queueing_cycles)
+    print(f"=== {label} traffic ===")
+    print(f"ISS queueing {truth.queueing_cycles:,} | MESH "
+          f"{mesh.queueing_cycles:,.0f} ({error:.0f}% err) | "
+          f"{len(workload.resources)} active links")
+    print("congestion absorbed per node (hybrid per-link penalties):")
+    print(render_heatmap(congestion_grid(link_penalties(mesh))))
+    print()
+
+
+def main():
+    study("uniform", uniform_flows(WIDTH, HEIGHT, random.Random(7),
+                                   packets_per_phase=PACKETS))
+    study("hotspot (sink at 2,2)",
+          hotspot_flows(WIDTH, HEIGHT, sink=(2, 2),
+                        packets_per_phase=PACKETS))
+    print("The hotspot map concentrates on the sink column/row — the "
+          "links XY routing\nfunnels into (2,2) — while uniform traffic "
+          "spreads thin everywhere.")
+
+
+if __name__ == "__main__":
+    main()

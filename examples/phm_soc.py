@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The heterogeneous PHM SoC study (paper section 5.2).
+
+Reproduces Figures 5 and 6: MiBench-shaped kernels (GSM encode,
+blowfish, mp3 encode) sporadically interleaved on an ARM-class plus
+M32R-class two-processor platform.  Shows why whole-run analytical
+models break on unbalanced workloads — and that the hybrid model,
+evaluating the *same* Chen-Lin model piecewise, does not.
+
+Run:  python examples/phm_soc.py [--quick]
+"""
+
+import argparse
+
+from repro.experiments.fig5 import render_fig5, run_fig5
+from repro.experiments.fig6 import render_fig6, run_fig6
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_comparison
+from repro.workloads.mibench import KERNELS
+from repro.workloads.phm import phm_workload
+
+
+def show_kernel_catalog():
+    """The application kernels and their characterized rates."""
+    rows = []
+    for spec in KERNELS.values():
+        rate = spec.accesses_per_unit / spec.work_per_unit
+        rows.append([spec.name, spec.category,
+                     f"{spec.work_per_unit:.0f}",
+                     f"{spec.accesses_per_unit:.0f}",
+                     f"{rate:.4f}"])
+    print(format_table(
+        ["kernel", "category", "work/unit", "accesses/unit", "rate"],
+        rows, title="MiBench-shaped kernel catalog"))
+    print()
+
+
+def show_one_scenario():
+    """A single unbalanced scenario, all three estimators side by side."""
+    workload = phm_workload(idle_fractions=(0.06, 0.90), bus_service=12,
+                            seed=2)
+    comparison = run_comparison(workload)
+    rows = []
+    for name in ("iss", "mesh", "analytical"):
+        run = comparison.runs[name]
+        error = ("-" if name == "iss"
+                 else f"{comparison.error(name):.1f}%")
+        rows.append([name, f"{run.queueing_cycles:,.0f}",
+                     f"{run.percent_queueing:.2f}%", error,
+                     f"{run.wall_seconds * 1e3:.2f}ms"])
+    print(format_table(
+        ["estimator", "queueing", "% of busy", "error vs ISS", "wall"],
+        rows,
+        title=("One scenario: ARM busy, M32R 90% idle, bus delay 12 "
+               "(paper section 5.2 setup)")))
+    print()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweeps for a fast run")
+    args = parser.parse_args()
+
+    show_kernel_catalog()
+    show_one_scenario()
+
+    delays = (4, 12, 20) if args.quick else (2, 4, 6, 8, 10, 12, 16, 20)
+    print(render_fig5(run_fig5(bus_delays=delays)))
+    print()
+
+    if args.quick:
+        rows = run_fig6(idle_sweep=(0.0, 0.45, 0.90), bus_delays=(8,),
+                        seeds=(1,))
+    else:
+        rows = run_fig6()
+    print(render_fig6(rows))
+
+
+if __name__ == "__main__":
+    main()

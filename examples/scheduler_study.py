@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Schedulers as design elements: UE policy exploration (paper §3).
+
+MESH models the scheduling layer explicitly because "it provides a
+global system control flow across resources" — scheduling policy is a
+design variable like cache size.  This study runs twelve software tasks
+(mixed lengths and priorities) on a four-core platform under every
+shipped UE policy and compares makespan, queueing, and the finish time
+of the latency-critical task.  This is the regime cycle-accurate ISS
+baselines cannot explore at all: they need a static thread-per-core
+mapping, while the hybrid kernel schedules dynamically.
+
+Run:  python examples/scheduler_study.py
+"""
+
+from repro import (ChenLinModel, FifoScheduler, HybridKernel,
+                   LeastLoadedScheduler, LogicalThread, PriorityScheduler,
+                   Processor, RoundRobinScheduler, SharedResource, consume)
+from repro.experiments.report import format_table
+
+BUS = 4.0
+
+#: (name, regions, work per region, bus accesses per region, priority)
+TASKS = [
+    ("codec0", 6, 4_000, 90, 5),
+    ("codec1", 6, 4_000, 90, 5),
+    ("ui", 3, 1_500, 30, 9),          # latency-critical
+    ("net0", 8, 2_000, 60, 3),
+    ("net1", 8, 2_000, 60, 3),
+    ("log0", 10, 800, 10, 1),
+    ("log1", 10, 800, 10, 1),
+    ("ai0", 4, 6_000, 140, 4),
+    ("ai1", 4, 6_000, 140, 4),
+    ("sensor", 12, 500, 15, 7),
+    ("backup", 2, 9_000, 200, 0),
+    ("telemetry", 6, 1_200, 25, 2),
+]
+
+SCHEDULERS = [
+    ("fifo", FifoScheduler),
+    ("round-robin", RoundRobinScheduler),
+    ("priority", PriorityScheduler),
+    ("least-loaded", LeastLoadedScheduler),
+]
+
+
+def task_body(regions, work, accesses):
+    def body():
+        for _ in range(regions):
+            yield consume(work, {"bus": accesses},
+                          extra_time=accesses * BUS)
+    return body
+
+
+def run_policy(scheduler_cls):
+    bus = SharedResource("bus", ChenLinModel(), service_time=BUS)
+    kernel = HybridKernel([Processor(f"core{i}") for i in range(4)],
+                          [bus], scheduler=scheduler_cls())
+    for name, regions, work, accesses, priority in TASKS:
+        kernel.add_thread(LogicalThread(
+            name, task_body(regions, work, accesses),
+            priority=priority))
+    return kernel.run()
+
+
+def main():
+    rows = []
+    for label, scheduler_cls in SCHEDULERS:
+        result = run_policy(scheduler_cls)
+        rows.append([
+            label,
+            f"{result.makespan:,.0f}",
+            f"{result.queueing_cycles:,.0f}",
+            f"{result.threads['ui'].finish_time:,.0f}",
+            f"{result.threads['backup'].finish_time:,.0f}",
+        ])
+    print(format_table(
+        ["UE policy", "makespan", "queueing", "ui finishes",
+         "backup finishes"],
+        rows,
+        title=("Scheduler design study: 12 tasks on 4 cores "
+               "(dynamic scheduling - hybrid only)")))
+    print()
+    print("Same software, same hardware, same contention model — only "
+          "the UE policy\nchanges. Priority scheduling pulls the "
+          "latency-critical 'ui' task forward at\nthe expense of the "
+          "background 'backup'; pool policies trade fairness for\n"
+          "makespan. Exactly the early design question MESH exists to "
+          "answer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Two-resource design study: sizing the L1/L2 under contention.
+
+A classic early-SoC question the hybrid framework answers in seconds:
+given four cores behind a shared L2 port and a memory bus, which cache
+geometry meets the performance budget?  Traffic at both levels comes
+from the real cache models (`repro.memory.MemoryHierarchy`), the memory
+bus carries burst line transfers, and every point is cross-checked
+against the cycle-accurate engines.
+
+Run:  python examples/shared_l2_study.py
+"""
+
+from repro.cycle import EventEngine
+from repro.experiments.report import format_table
+from repro.experiments.runner import percent_error
+from repro.workloads.smp import smp_workload
+from repro.workloads.to_mesh import run_hybrid
+
+
+def main():
+    rows = []
+    for l1_kb in (1, 4, 16):
+        for l2_kb in (32, 128, 512):
+            workload = smp_workload(threads=4, phases=4, l1_kb=l1_kb,
+                                    l2_kb=l2_kb, working_set_kb=24,
+                                    sharing=0.3, seed=2)
+            mesh = run_hybrid(workload)
+            truth = EventEngine(workload).run()
+            l2_q = mesh.resources["l2"].penalty
+            mem_q = mesh.resources["membus"].penalty
+            error = percent_error(mesh.queueing_cycles,
+                                  truth.queueing_cycles)
+            rows.append([
+                f"{l1_kb}KB", f"{l2_kb}KB",
+                f"{mesh.makespan:,.0f}",
+                f"{l2_q:,.0f}", f"{mem_q:,.0f}",
+                f"{truth.queueing_cycles:,}",
+                f"{error:.0f}%",
+            ])
+    print(format_table(
+        ["L1", "L2", "makespan (MESH)", "L2-port queueing",
+         "membus queueing", "ISS queueing", "MESH err"],
+        rows,
+        title=("Shared-L2 design study: 4 cores, private L1s, shared "
+               "L2 port + memory bus")))
+    print()
+    print("Reading the table: shrinking the L1 floods the shared L2 "
+          "port; shrinking the L2\nmoves the pain to the memory bus "
+          "(burst line transfers). The hybrid attributes\nqueueing to "
+          "the right resource, cross-checked against the cycle-accurate "
+          "engines.")
+
+
+if __name__ == "__main__":
+    main()

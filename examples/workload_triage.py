@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Workload triage: when is the cheap analytical estimate good enough?
+
+The paper positions the hybrid model between two tools a designer
+already has — a fast whole-run analytical model and a slow
+cycle-accurate simulator.  This example adds the missing decision aid:
+it characterizes a workload's traffic (burstiness, balance, peak
+utilization), recommends an estimator, and then *checks the
+recommendation* by running all three and comparing errors.  Finally it
+exports the full results as JSON for downstream tooling.
+
+Run:  python examples/workload_triage.py
+"""
+
+import json
+
+from repro.core.export import result_to_dict
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_comparison
+from repro.workloads import (fft_workload, lu_workload, phm_workload,
+                             recommend_estimator, uniform_workload)
+from repro.workloads.synthetic import critical_section_workload
+from repro.workloads.to_mesh import run_hybrid
+
+
+def triage(name, workload):
+    """Characterize, recommend, then verify against measured errors."""
+    report = recommend_estimator(workload, window=2_000.0)
+    comparison = run_comparison(workload)
+    analytical_error = comparison.error("analytical")
+    mesh_error = comparison.error("mesh")
+    verdict_ok = (report.recommendation == "analytical"
+                  and analytical_error < 40.0) or (
+                      report.recommendation == "hybrid"
+                      and mesh_error < analytical_error)
+    return [
+        name,
+        f"{max(report.burstiness.values(), default=0):.2f}",
+        f"{report.balance:.2f}",
+        report.recommendation,
+        f"{analytical_error:.0f}%",
+        f"{mesh_error:.0f}%",
+        "✓" if verdict_ok else "✗",
+    ]
+
+
+def main():
+    scenarios = {
+        "steady-symmetric": uniform_workload(
+            threads=2, phases=8, work=10_000, accesses=200),
+        "lu-regular": lu_workload(matrix_blocks=8, block_size=16,
+                                  processors=4, cache_kb=64),
+        "fft-512KB": fft_workload(points=4096, processors=4,
+                                  cache_kb=512),
+        "fft-8KB": fft_workload(points=4096, processors=4, cache_kb=8),
+        "phm-90%-idle": phm_workload(busy_cycles_target=60_000,
+                                     idle_fractions=(0.06, 0.90),
+                                     bus_service=12, seed=2),
+        "critical-sections": critical_section_workload(
+            threads=3, rounds=8, cs_work=2_000, open_work=4_000),
+    }
+    rows = [triage(name, workload)
+            for name, workload in scenarios.items()]
+    print(format_table(
+        ["workload", "burstiness", "balance", "recommends",
+         "analytical err", "MESH err", "verdict ok"],
+        rows,
+        title="Workload triage: traffic character -> estimator choice"))
+    print()
+
+    # Export one full hybrid result for downstream tooling.
+    result = run_hybrid(scenarios["fft-512KB"])
+    payload = result_to_dict(result)
+    print("JSON export sample (fft-512KB hybrid result, truncated):")
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print("\n".join(text.splitlines()[:16]))
+    print("  ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,187 @@
+"""Command-line interface: regenerate the paper's results from a shell.
+
+Examples::
+
+    python -m repro fig4 --cache-kb 512
+    python -m repro fig5 --bus-delays 4 8 12
+    python -m repro fig6 --quick
+    python -m repro table1
+    python -m repro all
+    python -m repro calibrate --model chenlin --threads 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .contention import available_models, make_model
+from .contention.calibrate import calibrate_model, render_calibration
+from .experiments import (render_fig4, render_fig5, render_fig6,
+                          render_table1, run_fig4, run_fig5, run_fig6,
+                          run_table1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Modeling Shared Resource "
+                     "Contention Using a Hybrid Simulation/Analytical "
+                     "Approach' (DATE 2004)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig4 = sub.add_parser("fig4", help="FFT queueing vs processor count")
+    fig4.add_argument("--cache-kb", type=int, default=512,
+                      choices=(512, 8))
+    fig4.add_argument("--points", type=int, default=4096)
+    fig4.add_argument("--procs", type=int, nargs="+",
+                      default=(2, 4, 8, 16))
+
+    table1 = sub.add_parser("table1", help="MESH vs ISS runtimes")
+    table1.add_argument("--points", type=int, default=4096)
+    table1.add_argument("--procs", type=int, nargs="+", default=(2, 4, 8))
+
+    fig5 = sub.add_parser("fig5", help="PHM queueing vs bus delay")
+    fig5.add_argument("--bus-delays", type=float, nargs="+",
+                      default=(2, 4, 6, 8, 10, 12, 16, 20))
+    fig5.add_argument("--idle", type=float, default=0.90,
+                      help="idle fraction of the second processor")
+
+    fig6 = sub.add_parser("fig6", help="model error vs unbalance")
+    fig6.add_argument("--quick", action="store_true",
+                      help="single seed, fewer points")
+
+    sub.add_parser("all", help="run every experiment")
+
+    sub.add_parser("validate",
+                   help="self-check the reproduction's claims (fast)")
+
+    calibrate = sub.add_parser(
+        "calibrate", help="fit-check a contention model vs ground truth")
+    calibrate.add_argument("--model", default="chenlin",
+                           choices=available_models())
+    calibrate.add_argument("--threads", type=int, default=2)
+    calibrate.add_argument("--service", type=float, default=4.0)
+
+    simulate = sub.add_parser(
+        "simulate", help="run a JSON scenario through the estimators")
+    simulate.add_argument("scenario", help="path to a scenario .json")
+    simulate.add_argument("--estimator", default="all",
+                          choices=("all", "mesh", "iss", "analytical"))
+    simulate.add_argument("--model", default="chenlin",
+                          choices=available_models())
+    simulate.add_argument("--min-timeslice", type=float, default=0.0)
+
+    return parser
+
+
+def _run_fig4(args) -> str:
+    rows = run_fig4(cache_kb=args.cache_kb,
+                    proc_counts=tuple(args.procs), points=args.points)
+    return render_fig4(rows)
+
+
+def _run_table1(args) -> str:
+    rows = run_table1(proc_counts=tuple(args.procs), points=args.points)
+    return render_table1(rows)
+
+
+def _run_fig5(args) -> str:
+    rows = run_fig5(bus_delays=tuple(args.bus_delays),
+                    idle_fractions=(0.06, args.idle))
+    return render_fig5(rows)
+
+
+def _run_fig6(args) -> str:
+    if args.quick:
+        rows = run_fig6(idle_sweep=(0.0, 0.45, 0.90), bus_delays=(8,),
+                        seeds=(1,))
+    else:
+        rows = run_fig6()
+    return render_fig6(rows)
+
+
+def _run_all(args) -> str:
+    class _Args:
+        cache_kb = 512
+        points = 4096
+        procs = (2, 4, 8, 16)
+        bus_delays = (2, 4, 6, 8, 10, 12, 16, 20)
+        idle = 0.90
+        quick = False
+
+    parts = []
+    for cache_kb in (512, 8):
+        _Args.cache_kb = cache_kb
+        parts.append(_run_fig4(_Args))
+    _Args.procs = (2, 4, 8)
+    parts.append(_run_table1(_Args))
+    parts.append(_run_fig5(_Args))
+    parts.append(_run_fig6(_Args))
+    return "\n\n".join(parts)
+
+
+def _run_calibrate(args) -> str:
+    model = make_model(args.model)
+    points = calibrate_model(model, threads=args.threads,
+                             service_time=args.service)
+    return render_calibration(model, points)
+
+
+def _run_validate(args) -> str:
+    from .experiments.validate import render_validation, run_validation
+
+    return render_validation(run_validation())
+
+
+def _run_simulate(args) -> str:
+    from .experiments.runner import ESTIMATORS, run_comparison
+    from .workloads.io import load_workload
+
+    workload = load_workload(args.scenario)
+    include = (ESTIMATORS if args.estimator == "all"
+               else (args.estimator,))
+    comparison = run_comparison(workload,
+                                model=make_model(args.model),
+                                min_timeslice=args.min_timeslice,
+                                include=include)
+    lines = [f"scenario: {args.scenario}"]
+    for name in include:
+        run = comparison.runs[name]
+        lines.append(
+            f"  {name:<10s} queueing={run.queueing_cycles:12,.1f}  "
+            f"({run.percent_queueing:5.2f}% of busy)  "
+            f"wall={run.wall_seconds * 1e3:8.2f}ms")
+    if "iss" in include:
+        for name in include:
+            if name != "iss":
+                lines.append(f"  {name} error vs iss: "
+                             f"{comparison.error(name):.1f}%")
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "fig4": _run_fig4,
+    "table1": _run_table1,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "all": _run_all,
+    "calibrate": _run_calibrate,
+    "validate": _run_validate,
+    "simulate": _run_simulate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

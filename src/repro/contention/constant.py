@@ -1,0 +1,52 @@
+"""Trivial contention models: constant per-access delay, and none at all.
+
+``NullModel`` is the degenerate member of the family — it turns the
+hybrid kernel into a plain contention-blind simulator, which is useful
+both in tests (zero-penalty invariants) and as the "infinite bandwidth"
+design point in exploration sweeps.  ``ConstantModel`` charges a fixed
+wait per access whenever at least one *other* thread also used the
+resource in the window, modeling a fixed arbitration overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import ContentionModel, SliceDemand
+
+
+class NullModel(ContentionModel):
+    """No contention: every access proceeds unimpeded."""
+
+    name = "null"
+
+    def penalties(self, demand: SliceDemand) -> Dict[str, float]:
+        return {}
+
+
+class ConstantModel(ContentionModel):
+    """Fixed delay per access while the resource is shared.
+
+    Parameters
+    ----------
+    delay:
+        Cycles added to every access made in a window where two or more
+        threads used the resource.
+    """
+
+    name = "constant"
+
+    def __init__(self, delay: float = 1.0):
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay!r}")
+        self.delay = float(delay)
+
+    def penalties(self, demand: SliceDemand) -> Dict[str, float]:
+        active = [name for name, count in demand.demands.items()
+                  if count > 0]
+        if len(active) < 2:
+            return {}
+        return {name: demand.demands[name] * self.delay for name in active}
+
+    def __repr__(self) -> str:
+        return f"ConstantModel(delay={self.delay})"

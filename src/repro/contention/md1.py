@@ -1,0 +1,58 @@
+"""M/D/1 queueing contention model.
+
+Poisson arrivals, *deterministic* service of ``s`` cycles — a natural fit
+for a bus whose transfer latency is fixed.  Expected waiting time in
+queue is the Pollaczek-Khinchine result ``Wq = rho * s / (2 * (1 - rho))``,
+half the M/M/1 value.  It differs from the reconstructed Chen-Lin model
+only in omitting the residual-service correction, which makes it a good
+ablation partner (see ``benchmarks/test_bench_ablation_models.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import ContentionModel, SliceDemand
+from .util import (apply_saturation_floor, closed_wait_for,
+                   open_wait_for, per_thread_utilization)
+
+_EPS = 1e-12
+
+
+class MD1Model(ContentionModel):
+    """Single-server deterministic-service queue model."""
+
+    name = "md1"
+
+    def __init__(self, rho_max: float = 0.98, exclude_self: bool = True):
+        if not 0.0 < rho_max < 1.0:
+            raise ValueError(f"rho_max must be in (0, 1), got {rho_max!r}")
+        self.rho_max = float(rho_max)
+        self.exclude_self = bool(exclude_self)
+
+    def penalties(self, demand: SliceDemand) -> Dict[str, float]:
+        rho = per_thread_utilization(demand)
+        if not rho:
+            return {}
+        total = sum(rho.values())
+        service = demand.service_time
+        result: Dict[str, float] = {}
+        for name, my_rho in rho.items():
+            load = total - my_rho if self.exclude_self else total
+            if load <= _EPS:
+                continue
+            wait = open_wait_for(demand, rho, name, self.rho_max,
+                                 deterministic=True)
+            if not self.exclude_self:
+                # Textbook variant: also queue behind own residual work.
+                wait += (my_rho * demand.service_of(name) / 2.0
+                         / max(1.0 - min(load, self.rho_max), 0.02))
+            wait = min(wait, closed_wait_for(demand, rho, name))
+            penalty = demand.demands[name] * wait
+            if penalty > 0:
+                result[name] = penalty
+        return apply_saturation_floor(result, demand, rho)
+
+    def __repr__(self) -> str:
+        return (f"MD1Model(rho_max={self.rho_max}, "
+                f"exclude_self={self.exclude_self})")

@@ -1,0 +1,53 @@
+"""Name-based registry of contention models.
+
+The paper stresses that "analytical models [can] be interchanged for each
+individual shared resource within the simulation"; the registry is the
+mechanism that makes interchange a one-word configuration change in the
+experiment harness, examples, and benches::
+
+    model = make_model("chenlin")
+    model = make_model("md1", rho_max=0.9)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import ContentionModel
+from .chenlin import ChenLinModel
+from .constant import ConstantModel, NullModel
+from .md1 import MD1Model
+from .mm1 import MM1Model
+from .mmc import MMcModel
+from .priority import PriorityModel
+from .roundrobin import RoundRobinModel
+
+_REGISTRY: Dict[str, Callable[..., ContentionModel]] = {}
+
+
+def register_model(name: str,
+                   factory: Callable[..., ContentionModel]) -> None:
+    """Register a model factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def make_model(name: str, **kwargs) -> ContentionModel:
+    """Instantiate a registered model by name with factory kwargs."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown contention model {name!r}; known models: {known}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_models() -> List[str]:
+    """Sorted names of every registered model."""
+    return sorted(_REGISTRY)
+
+
+for _factory in (ChenLinModel, MM1Model, MD1Model, MMcModel,
+                 RoundRobinModel, PriorityModel, ConstantModel, NullModel):
+    register_model(_factory.name, _factory)

@@ -1,0 +1,52 @@
+"""The hybrid simulation/analytical kernel — the paper's contribution.
+
+Public surface::
+
+    from repro.core import (
+        HybridKernel, LogicalThread, Processor, SharedResource,
+        consume, acquire, release, ...,
+        Mutex, Semaphore, ConditionVariable, Barrier,
+        FifoScheduler, RoundRobinScheduler, PriorityScheduler,
+        PinnedScheduler, LeastLoadedScheduler,
+    )
+"""
+
+from .errors import (ConfigurationError, DeadlockError, ProtocolError,
+                     SimulationError, SynchronizationError)
+from .events import (Acquire, BarrierWait, CondNotify, CondWait, Consume,
+                     Event, Release, SemAcquire, SemRelease, Spawn, acquire,
+                     barrier_wait, cond_notify, cond_wait, consume, release,
+                     sem_acquire, sem_release, spawn)
+from .export import (cycle_result_to_dict, gantt_rows, result_to_dict,
+                     save_json, trace_to_events)
+from .kernel import HybridKernel
+from .region import AnnotationRegion
+from .resource import Processor
+from .scheduler import (ExecutionScheduler, FifoScheduler,
+                        LeastLoadedScheduler, PinnedScheduler,
+                        PriorityScheduler, RoundRobinScheduler)
+from .shared import SharedResource
+from .stats import (ProcessorStats, ResourceStats, SimulationResult,
+                    ThreadStats)
+from .sync import Barrier, ConditionVariable, Mutex, Semaphore
+from .thread import LogicalThread, ThreadState
+from .tracelog import TraceEvent, TraceLog
+from .us import SharedResourceScheduler
+
+__all__ = [
+    "AnnotationRegion",
+    "Acquire", "BarrierWait", "CondNotify", "CondWait", "Consume", "Event",
+    "Release", "SemAcquire", "SemRelease", "Spawn",
+    "Barrier", "ConditionVariable", "Mutex", "Semaphore",
+    "ConfigurationError", "DeadlockError", "ProtocolError",
+    "SimulationError", "SynchronizationError",
+    "ExecutionScheduler", "FifoScheduler", "LeastLoadedScheduler",
+    "PinnedScheduler", "PriorityScheduler", "RoundRobinScheduler",
+    "HybridKernel", "LogicalThread", "Processor", "SharedResource",
+    "SharedResourceScheduler",
+    "ProcessorStats", "ResourceStats", "SimulationResult", "ThreadStats",
+    "ThreadState", "TraceEvent", "TraceLog",
+    "acquire", "barrier_wait", "cond_notify", "cond_wait", "consume",
+    "cycle_result_to_dict", "gantt_rows", "release", "result_to_dict",
+    "save_json", "sem_acquire", "sem_release", "spawn", "trace_to_events",
+]

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the MESH-style simulation kernel.
+
+All errors raised by :mod:`repro.core` derive from :class:`SimulationError`
+so callers can catch kernel problems with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+conditions such as deadlock.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulation kernel."""
+
+
+class ConfigurationError(SimulationError):
+    """The simulation was assembled inconsistently.
+
+    Examples: a logical thread pinned to an unknown processor, a consume
+    annotation referencing a shared resource that was never registered, or
+    a non-positive computational power.
+    """
+
+
+class DeadlockError(SimulationError):
+    """No thread can make progress but blocked threads remain.
+
+    Raised by the kernel main loop when the priority queue is empty, no
+    thread is runnable now or in the future, and at least one thread is
+    parked on a synchronization primitive.
+    """
+
+    def __init__(self, blocked_threads):
+        self.blocked_threads = list(blocked_threads)
+        names = ", ".join(sorted(t.name for t in self.blocked_threads))
+        super().__init__(f"deadlock: blocked threads with no waker: {names}")
+
+
+class ProtocolError(SimulationError):
+    """A logical thread yielded something the kernel does not understand."""
+
+
+class SynchronizationError(SimulationError):
+    """A synchronization primitive was misused.
+
+    Examples: releasing a mutex the thread does not hold, or waiting on a
+    condition variable without holding the associated mutex.
+    """

@@ -1,0 +1,218 @@
+"""Thread-to-kernel protocol events.
+
+A logical thread (:class:`repro.core.thread.LogicalThread`) is driven by a
+Python generator.  Host code between ``yield`` statements executes in zero
+virtual time, exactly like the C code between ``consume`` calls in the MESH
+framework; each yielded event tells the kernel what the thread just asked
+for.  The most important event is :class:`Consume` — the paper's annotation
+tuple — which closes an *annotation region* and carries both a computational
+complexity value (resolved to physical time by the executing processor's
+computational power) and, optionally, a count of accesses to each shared
+resource made inside the region.
+
+Threads normally build events through the convenience constructors
+(:func:`consume`, :func:`acquire`, ...) rather than instantiating the event
+classes directly::
+
+    from repro import consume, acquire, release
+
+    def body():
+        yield consume(1_000)                       # pure computation
+        yield acquire(lock)
+        yield consume(500, {"bus": 40})            # 40 bus accesses inside
+        yield release(lock)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, TYPE_CHECKING
+
+from .errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .sync import Barrier, ConditionVariable, Mutex, Semaphore
+    from .thread import LogicalThread
+
+
+class Event:
+    """Base class for everything a logical thread may yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Consume(Event):
+    """The MESH annotation tuple: complexity plus shared-resource accesses.
+
+    Parameters
+    ----------
+    complexity:
+        Abstract computational work performed since the previous
+        annotation.  This is *not* physical time; the kernel divides it by
+        the computational power of the processor the thread runs on.
+    accesses:
+        Mapping from shared-resource name to the number of accesses made
+        within the region.  Fractional counts are allowed (they arise
+        naturally when traces are statistically downsampled).
+    extra_time:
+        Physical cycles added to the region *independent of processor
+        power* — used for fixed-latency work such as the uncontended
+        service time of the region's accesses, or pure idle time.
+    burst:
+        Optional beats-per-transaction per resource: ``{"bus": 8}``
+        declares each of the region's bus accesses an 8-beat transfer.
+        Contention models then see the correct per-thread utilization
+        *and* mean transaction length (heterogeneous-service
+        modeling).  Resources absent from the mapping default to
+        single-beat transactions.
+    """
+
+    complexity: float
+    accesses: Mapping[str, float] = field(default_factory=dict)
+    extra_time: float = 0.0
+    burst: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.complexity < 0:
+            raise ProtocolError(
+                f"consume() complexity must be >= 0, got {self.complexity!r}"
+            )
+        if self.extra_time < 0:
+            raise ProtocolError(
+                f"consume() extra_time must be >= 0, got {self.extra_time!r}"
+            )
+        for name, count in self.accesses.items():
+            if count < 0:
+                raise ProtocolError(
+                    f"consume() access count for {name!r} must be >= 0, "
+                    f"got {count!r}"
+                )
+        for name, beats in self.burst.items():
+            if beats < 1:
+                raise ProtocolError(
+                    f"consume() burst for {name!r} must be >= 1, "
+                    f"got {beats!r}"
+                )
+
+
+@dataclass(frozen=True)
+class Acquire(Event):
+    """Acquire a mutex, blocking if it is held by another thread."""
+
+    mutex: "Mutex"
+
+
+@dataclass(frozen=True)
+class Release(Event):
+    """Release a mutex held by the yielding thread."""
+
+    mutex: "Mutex"
+
+
+@dataclass(frozen=True)
+class SemAcquire(Event):
+    """Decrement a semaphore, blocking while its value is zero."""
+
+    semaphore: "Semaphore"
+
+
+@dataclass(frozen=True)
+class SemRelease(Event):
+    """Increment a semaphore, waking one blocked thread if any."""
+
+    semaphore: "Semaphore"
+
+
+@dataclass(frozen=True)
+class CondWait(Event):
+    """Atomically release ``mutex`` and block on ``cond``.
+
+    On wake-up the kernel re-acquires the mutex on the thread's behalf
+    before the thread resumes, matching POSIX condition variable
+    semantics.
+    """
+
+    cond: "ConditionVariable"
+    mutex: "Mutex"
+
+
+@dataclass(frozen=True)
+class CondNotify(Event):
+    """Wake one (or all) threads blocked on a condition variable."""
+
+    cond: "ConditionVariable"
+    all: bool = False
+
+
+@dataclass(frozen=True)
+class BarrierWait(Event):
+    """Block until every participant of the barrier has arrived."""
+
+    barrier: "Barrier"
+
+
+@dataclass(frozen=True)
+class Spawn(Event):
+    """Dynamically add a new logical thread to the running simulation."""
+
+    thread: "LogicalThread"
+
+
+def consume(complexity: float,
+            accesses: Optional[Mapping[str, float]] = None,
+            extra_time: float = 0.0,
+            burst: Optional[Mapping[str, float]] = None) -> Consume:
+    """Build a :class:`Consume` annotation event.
+
+    This is the Python analogue of the MESH ``consume`` call: it marks the
+    end of an annotation region of the given abstract ``complexity`` and
+    records the shared-resource ``accesses`` performed inside the region.
+    ``extra_time`` adds power-independent physical cycles (fixed-latency
+    work or idle time); ``burst`` declares multi-beat transactions per
+    resource.
+    """
+    mapping: Dict[str, float] = dict(accesses) if accesses else {}
+    return Consume(complexity=float(complexity), accesses=mapping,
+                   extra_time=float(extra_time),
+                   burst=dict(burst) if burst else {})
+
+
+def acquire(mutex: "Mutex") -> Acquire:
+    """Build an :class:`Acquire` event for ``mutex``."""
+    return Acquire(mutex)
+
+
+def release(mutex: "Mutex") -> Release:
+    """Build a :class:`Release` event for ``mutex``."""
+    return Release(mutex)
+
+
+def sem_acquire(semaphore: "Semaphore") -> SemAcquire:
+    """Build a :class:`SemAcquire` event (P / wait) for ``semaphore``."""
+    return SemAcquire(semaphore)
+
+
+def sem_release(semaphore: "Semaphore") -> SemRelease:
+    """Build a :class:`SemRelease` event (V / post) for ``semaphore``."""
+    return SemRelease(semaphore)
+
+
+def cond_wait(cond: "ConditionVariable", mutex: "Mutex") -> CondWait:
+    """Build a :class:`CondWait` event for ``cond`` guarded by ``mutex``."""
+    return CondWait(cond, mutex)
+
+
+def cond_notify(cond: "ConditionVariable", all: bool = False) -> CondNotify:
+    """Build a :class:`CondNotify` event; set ``all=True`` to broadcast."""
+    return CondNotify(cond, all)
+
+
+def barrier_wait(barrier: "Barrier") -> BarrierWait:
+    """Build a :class:`BarrierWait` event for ``barrier``."""
+    return BarrierWait(barrier)
+
+
+def spawn(thread: "LogicalThread") -> Spawn:
+    """Build a :class:`Spawn` event adding ``thread`` to the simulation."""
+    return Spawn(thread)

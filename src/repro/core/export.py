@@ -1,0 +1,142 @@
+"""Exporting simulation results and traces to plain data (JSON-ready).
+
+Design-space exploration tools want machine-readable output, not
+rendered tables.  This module flattens every result type in the
+repository into dictionaries of primitives suitable for ``json.dump``,
+and converts trace logs into Gantt rows that plot directly in any
+charting tool.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from .stats import SimulationResult
+from .tracelog import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - avoid core <-> cycle import cycle
+    from ..cycle.stats import CycleResult
+
+
+def result_to_dict(result: SimulationResult) -> Dict:
+    """Flatten a hybrid-kernel result into JSON-ready primitives."""
+    return {
+        "kind": "hybrid",
+        "makespan": result.makespan,
+        "queueing_cycles": result.queueing_cycles,
+        "busy_cycles": result.busy_cycles,
+        "percent_queueing": result.percent_queueing(),
+        "regions_committed": result.regions_committed,
+        "slices_analyzed": result.slices_analyzed,
+        "slices_merged": result.slices_merged,
+        "threads": {
+            name: {
+                "base_time": stats.base_time,
+                "penalty": stats.penalty,
+                "regions": stats.regions,
+                "finish_time": stats.finish_time,
+            }
+            for name, stats in result.threads.items()
+        },
+        "processors": {
+            name: {
+                "power": stats.power,
+                "busy_time": stats.busy_time,
+                "utilization": stats.utilization(result.makespan),
+                "regions": stats.regions,
+            }
+            for name, stats in result.processors.items()
+        },
+        "resources": {
+            name: {
+                "service_time": stats.service_time,
+                "accesses": stats.accesses,
+                "penalty": stats.penalty,
+                "mean_wait": stats.mean_wait(),
+                "active_slices": stats.active_slices,
+                "penalty_by_thread": dict(stats.penalty_by_thread),
+            }
+            for name, stats in result.resources.items()
+        },
+    }
+
+
+def cycle_result_to_dict(result: "CycleResult") -> Dict:
+    """Flatten a cycle-accurate result into JSON-ready primitives."""
+    return {
+        "kind": "cycle",
+        "makespan": result.makespan,
+        "queueing_cycles": result.queueing_cycles,
+        "busy_cycles": result.busy_cycles,
+        "percent_queueing": result.percent_queueing(),
+        "cycles_executed": result.cycles_executed,
+        "threads": {
+            name: {
+                "processor": stats.processor,
+                "compute_cycles": stats.compute_cycles,
+                "service_cycles": stats.service_cycles,
+                "wait_cycles": stats.wait_cycles,
+                "idle_cycles": stats.idle_cycles,
+                "accesses": stats.accesses,
+                "finish_time": stats.finish_time,
+            }
+            for name, stats in result.threads.items()
+        },
+        "resources": {
+            name: {
+                "service_time": stats.service_time,
+                "grants": stats.grants,
+                "busy_cycles": stats.busy_cycles,
+                "wait_cycles": stats.wait_cycles,
+                "utilization": stats.utilization(result.makespan),
+            }
+            for name, stats in result.resources.items()
+        },
+    }
+
+
+def trace_to_events(trace: TraceLog) -> List[Dict]:
+    """Flatten a trace log into a list of event dictionaries."""
+    return [
+        {
+            "kind": event.kind,
+            "time": event.time,
+            "thread": event.thread,
+            "processor": event.processor,
+            "detail": dict(event.detail) if event.detail else {},
+        }
+        for event in trace.events
+    ]
+
+
+def gantt_rows(trace: TraceLog) -> List[Dict]:
+    """Pair region starts with commits into plottable Gantt rows.
+
+    Each row carries ``start``, ``end`` (committed end including
+    penalties), and ``base_end`` (zero-contention end) so contention
+    stretch renders as a distinct segment.
+    """
+    rows: List[Dict] = []
+    open_regions: Dict[str, Dict] = {}
+    for event in trace.events:
+        if event.kind == "start":
+            open_regions[event.thread] = {
+                "thread": event.thread,
+                "processor": event.processor,
+                "start": event.time,
+            }
+        elif event.kind == "commit" and event.thread in open_regions:
+            row = open_regions.pop(event.thread)
+            detail = event.detail or {}
+            row["end"] = event.time
+            row["base_end"] = detail.get("base_end", event.time)
+            rows.append(row)
+    return rows
+
+
+def save_json(data, path: str, indent: Optional[int] = 2) -> None:
+    """Write any JSON-ready structure to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=indent, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,497 @@
+"""The hybrid simulation kernel (paper Fig. 2).
+
+The kernel interleaves three activities:
+
+1. **Scheduling** — whenever an execution resource is available, the UE
+   scheduler places an eligible logical thread on it and the thread's body
+   executes (in zero virtual time) until it yields the next annotation,
+   producing an :class:`~repro.core.region.AnnotationRegion` whose end time
+   is pushed on a priority queue.
+2. **Committing** — the region with the earliest physical end time is
+   popped; any penalty assigned to it in earlier timeslices is folded into
+   its end time lazily (re-inserting it) before it can commit.  Committing
+   advances global simulated time.
+3. **Post-access arbitration** — the shared-resource scheduler (US)
+   gathers every shared access that fell inside the just-closed timeslice,
+   evaluates each shared resource's analytical model, and assigns queueing
+   penalties: the committed region's own penalty is applied immediately
+   (keeping its processor busy); other in-flight regions accumulate theirs
+   for lazy application; threads with no in-flight region carry the
+   penalty into their next region.
+
+Synchronization events between annotations are resolved in zero time; a
+thread that must block is *shelved* (its processor freed) and is released
+at the physical time of the unblocking event — the end of the unblocking
+thread's preceding region, which realizes the paper's pessimistic resume
+rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .errors import (ConfigurationError, DeadlockError, ProtocolError,
+                     SimulationError)
+from .events import (Acquire, BarrierWait, CondNotify, CondWait, Consume,
+                     Release, SemAcquire, SemRelease, Spawn)
+from .pqueue import RegionQueue
+from .region import AnnotationRegion
+from .resource import Processor
+from .scheduler import ExecutionScheduler, FifoScheduler
+from .shared import SharedResource
+from .stats import SimulationResult, build_result
+from .thread import LogicalThread, ThreadState
+from .tracelog import TraceLog
+from .us import SharedResourceScheduler
+
+_EPS = 1e-9
+
+
+class HybridKernel:
+    """MESH-style simulation kernel with hybrid shared-resource modeling.
+
+    Parameters
+    ----------
+    processors:
+        The platform's execution resources (ThP).
+    shared_resources:
+        Contended resources (ThS), each carrying an analytical model.
+    scheduler:
+        UE policy; defaults to a FIFO pool scheduler.
+    min_timeslice:
+        Minimum analysis window width (paper section 4.3).  ``0`` analyzes
+        every slice.
+    trace:
+        Record a :class:`~repro.core.tracelog.TraceLog` of kernel actions.
+    sync_policy:
+        When a sync event unblocks a waiter: ``"eager"`` (default)
+        releases it at the event's exact timestamp — correct here because
+        sync events sit at annotation boundaries; ``"deferred"``
+        reproduces the paper's pessimistic rule for sync calls buried
+        inside coarse annotation regions: the waiter resumes only at the
+        committed end of the unblocking thread's *next* region.
+    """
+
+    SYNC_POLICIES = ("eager", "deferred")
+
+    def __init__(self, processors: Sequence[Processor],
+                 shared_resources: Iterable[SharedResource] = (),
+                 scheduler: Optional[ExecutionScheduler] = None,
+                 min_timeslice: float = 0.0,
+                 trace: bool = False,
+                 sync_policy: str = "eager"):
+        if sync_policy not in self.SYNC_POLICIES:
+            raise ConfigurationError(
+                f"unknown sync_policy {sync_policy!r}; choose from "
+                f"{self.SYNC_POLICIES}"
+            )
+        self.sync_policy = sync_policy
+        self.processors: List[Processor] = list(processors)
+        if not self.processors:
+            raise ConfigurationError("at least one processor is required")
+        names = [p.name for p in self.processors]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate processor names: {names}")
+        self.shared_resources: List[SharedResource] = list(shared_resources)
+        self.scheduler = scheduler if scheduler is not None else (
+            FifoScheduler())
+        self.scheduler.bind(self.processors)
+        self.us = SharedResourceScheduler(self.shared_resources,
+                                          min_timeslice=min_timeslice)
+        self.trace: Optional[TraceLog] = TraceLog() if trace else None
+
+        self.now: float = 0.0
+        self.regions_committed: int = 0
+        self.threads: List[LogicalThread] = []
+        self._by_name: Dict[str, LogicalThread] = {}
+        self._priorities: Dict[str, int] = {}
+        self._queue = RegionQueue()
+        self._inflight: Dict[str, AnnotationRegion] = {}
+        self._blocked: set = set()
+        # Deferred sync policy state: wakes performed by a thread that
+        # have not yet been pinned to one of its regions.
+        self._pending_wakes: Dict[str, List[LogicalThread]] = {}
+        self._waking_thread: Optional[LogicalThread] = None
+        self._seq = 0
+        self._proc_by_name = {p.name: p for p in self.processors}
+        self._ran = False
+        self._finished = False
+
+    # -- configuration -----------------------------------------------------
+
+    def add_thread(self, thread: LogicalThread,
+                   start_time: float = 0.0) -> LogicalThread:
+        """Register a logical thread; it becomes eligible at ``start_time``."""
+        if thread.name in self._by_name:
+            raise ConfigurationError(
+                f"duplicate thread name {thread.name!r}"
+            )
+        if thread.affinity is not None and (
+                thread.affinity not in self._proc_by_name):
+            raise ConfigurationError(
+                f"thread {thread.name!r} pinned to unknown processor "
+                f"{thread.affinity!r}"
+            )
+        if start_time < 0:
+            raise ConfigurationError(
+                f"thread {thread.name!r} start time must be >= 0"
+            )
+        thread.release_time = float(start_time)
+        thread.state = ThreadState.READY
+        self.threads.append(thread)
+        self._by_name[thread.name] = thread
+        self._priorities[thread.name] = thread.priority
+        self.scheduler.add(thread)
+        return thread
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Execute the simulation to completion (or to time ``until``).
+
+        Returns the :class:`~repro.core.stats.SimulationResult`.  Raises
+        :class:`DeadlockError` if blocked threads can never be woken.
+        """
+        for _ in self.steps(until=until):
+            pass
+        return self.result()
+
+    def steps(self, until: Optional[float] = None):
+        """Advance the simulation one commit at a time (generator).
+
+        Yields each committed :class:`~repro.core.region.
+        AnnotationRegion` right after its slice analysis, so callers can
+        observe (or abort) the simulation incrementally::
+
+            for region in kernel.steps():
+                print(kernel.now, region.thread.name)
+            result = kernel.result()
+
+        A region re-inserted because it was penalized is yielded again
+        when it finally commits.  Exhausting the generator flushes the
+        final analysis window; :meth:`result` is then available.
+        """
+        if self._ran:
+            raise SimulationError("kernel instances are single-shot; "
+                                  "build a new kernel to run again")
+        self._ran = True
+        while True:
+            if until is not None and self.now >= until:
+                break
+            self._fill_processors()
+            if self._queue:
+                region = self._pop_with_penalties()
+                self._commit(region)
+                if region.committed:
+                    yield region
+                continue
+            # No in-flight regions: either idle-jump, deadlock, or done.
+            if self.scheduler.has_waiting():
+                next_release = self.scheduler.earliest_release()
+                if next_release is not None and next_release > self.now + _EPS:
+                    self.now = next_release
+                    continue
+                raise SimulationError(
+                    "internal error: eligible threads could not be placed "
+                    "on an idle platform"
+                )
+            if self._blocked:
+                raise DeadlockError(self._blocked)
+            break
+        self._flush_final_slice()
+        self._finished = True
+
+    def result(self) -> SimulationResult:
+        """Statistics of a completed (or ``until``-stopped) simulation."""
+        if not self._finished:
+            raise SimulationError(
+                "simulation has not finished; drain steps() or call run()"
+            )
+        return build_result(self)
+
+    # -- scheduling (Fig. 2 lines 2-7) --------------------------------------
+
+    def _fill_processors(self) -> None:
+        # A thread advanced on a later processor can wake threads (via
+        # sync events) that only fit an earlier processor, so iterate to
+        # a fixpoint rather than making a single pass.
+        placed = 1
+        while placed:
+            placed = 0
+            for processor in self.processors:
+                while processor.available:
+                    thread = self.scheduler.pick(processor, self.now)
+                    if thread is None:
+                        break
+                    placed += 1
+                    self._advance_thread(thread, processor)
+
+    def _advance_thread(self, thread: LogicalThread,
+                        processor: Processor) -> None:
+        """Run a thread's body in zero time until it yields an annotation.
+
+        Synchronization events are resolved inline; the method returns when
+        the thread starts a region, blocks, or finishes.
+        """
+        thread.state = ThreadState.RUNNING
+        self._waking_thread = thread
+        try:
+            while True:
+                event = thread.next_event()
+                if event is None:
+                    thread.state = ThreadState.DONE
+                    thread.finish_time = self.now
+                    self._flush_pending_wakes(thread)
+                    return
+                if isinstance(event, Consume):
+                    self._start_region(thread, processor, event)
+                    return
+                if isinstance(event, Spawn):
+                    self.add_thread(event.thread, start_time=self.now)
+                    continue
+                if not self._handle_sync(thread, event):
+                    # Blocked and shelved; any wakes it performed cannot
+                    # attach to a future region of its own.
+                    self._flush_pending_wakes(thread)
+                    return
+        finally:
+            self._waking_thread = None
+
+    def _start_region(self, thread: LogicalThread, processor: Processor,
+                      annotation: Consume) -> None:
+        for resource_name in annotation.accesses:
+            if resource_name not in self.us.resources:
+                raise ConfigurationError(
+                    f"thread {thread.name!r} consumed accesses to unknown "
+                    f"shared resource {resource_name!r}"
+                )
+        self._seq += 1
+        region = AnnotationRegion(
+            thread=thread, processor=processor,
+            complexity=annotation.complexity,
+            accesses=annotation.accesses,
+            start=self.now,
+            carried_penalty=thread.take_carry_penalty(),
+            seq=self._seq,
+            extra_time=annotation.extra_time,
+            burst=annotation.burst,
+        )
+        pending = self._pending_wakes.pop(thread.name, None)
+        if pending:
+            region.deferred_wakes = pending
+        processor._current_region = region
+        self._inflight[thread.name] = region
+        self._queue.push(region)
+        if self.trace:
+            self.trace.record("start", self.now, thread.name,
+                              processor.name,
+                              complexity=annotation.complexity)
+
+    # -- committing (Fig. 2 lines 8-14) -------------------------------------
+
+    def _pop_with_penalties(self) -> AnnotationRegion:
+        """Pop the earliest region, lazily folding pending penalties."""
+        while True:
+            region = self._queue.pop()
+            if region.pending_penalty > _EPS:
+                amount = region.apply_pending_penalty()
+                if self.trace:
+                    self.trace.record("penalty", region.end_time,
+                                      region.thread.name,
+                                      region.processor.name, amount=amount,
+                                      lazy=True)
+                self._queue.push(region)
+                continue
+            region.pending_penalty = 0.0
+            return region
+
+    def _commit(self, region: AnnotationRegion) -> None:
+        t_i = region.end_time
+        if t_i < self.now - _EPS:
+            raise SimulationError(
+                f"non-monotonic commit: {t_i} < {self.now}"
+            )
+        self.now = max(self.now, t_i)
+        # Post-access arbitration over the just-closed slice (lines 15-16).
+        live = self._queue.regions()
+        live.append(region)
+        self.us.collect(self.now, live)
+        penalties = self.us.analyze(self._priorities)
+        if self.trace and penalties:
+            self.trace.record("slice", self.now,
+                              detail_penalties=dict(penalties))
+        reinserted = self._distribute_penalties(penalties, region)
+        if reinserted:
+            return
+        self._finalize_region(region)
+
+    def _distribute_penalties(self, penalties: Dict[str, float],
+                              committed: AnnotationRegion) -> bool:
+        """Assign model penalties (Fig. 2 lines 16-18).
+
+        Returns ``True`` when the committed region itself was penalized
+        and therefore re-inserted instead of finalized.
+        """
+        reinserted = False
+        for thread_name, penalty in penalties.items():
+            thread = self._by_name[thread_name]
+            thread.total_penalty += penalty
+            if thread is committed.thread:
+                committed.add_penalty(penalty)
+                committed.apply_pending_penalty()
+                self._queue.push(committed)
+                reinserted = True
+                if self.trace:
+                    self.trace.record("penalty", committed.end_time,
+                                      thread_name,
+                                      committed.processor.name,
+                                      amount=penalty, lazy=False)
+            else:
+                target = self._inflight.get(thread_name)
+                if target is not None:
+                    target.add_penalty(penalty)
+                else:
+                    thread.carry_penalty += penalty
+        return reinserted
+
+    def _finalize_region(self, region: AnnotationRegion) -> None:
+        region.committed = True
+        thread = region.thread
+        processor = region.processor
+        thread.total_base_time += region.base_duration
+        thread.regions_committed += 1
+        processor.busy_time += region.end_time - region.base_start
+        processor.regions_executed += 1
+        processor._current_region = None
+        self.regions_committed += 1
+        self._inflight.pop(thread.name, None)
+        if self.trace:
+            self.trace.record("commit", region.end_time, thread.name,
+                              processor.name, base_end=region.base_end)
+        thread.state = ThreadState.READY
+        thread.release_time = region.end_time
+        self.scheduler.add(thread)
+        if region.deferred_wakes:
+            # Deferred sync policy: waiters resume at the committed end
+            # of the unblocking thread's region (paper's pessimism).
+            for waiter in region.deferred_wakes:
+                self._release_thread(waiter, region.end_time)
+            region.deferred_wakes = None
+
+    # -- synchronization -----------------------------------------------------
+
+    def _handle_sync(self, thread: LogicalThread, event) -> bool:
+        """Resolve a sync event in zero time.
+
+        Returns ``True`` when the thread may continue, ``False`` when it
+        blocked and was shelved.
+        """
+        if isinstance(event, Acquire):
+            if event.mutex.try_acquire(thread):
+                return True
+            event.mutex.enqueue(thread)
+            return self._shelve(thread)
+        if isinstance(event, Release):
+            woken = event.mutex.release(thread)
+            if woken is not None:
+                self._wake(woken)
+            return True
+        if isinstance(event, SemAcquire):
+            if event.semaphore.try_acquire(thread):
+                return True
+            event.semaphore.enqueue(thread)
+            return self._shelve(thread)
+        if isinstance(event, SemRelease):
+            woken = event.semaphore.release()
+            if woken is not None:
+                self._wake(woken)
+            return True
+        if isinstance(event, CondWait):
+            if event.mutex.owner is not thread:
+                from .errors import SynchronizationError
+
+                raise SynchronizationError(
+                    f"thread {thread.name!r} waited on condition "
+                    f"{event.cond.name!r} without holding mutex "
+                    f"{event.mutex.name!r}"
+                )
+            next_owner = event.mutex.release(thread)
+            if next_owner is not None:
+                self._wake(next_owner)
+            event.cond.enqueue(thread, event.mutex)
+            return self._shelve(thread)
+        if isinstance(event, CondNotify):
+            for waiter, mutex in event.cond.pop_waiters(event.all):
+                if mutex.try_acquire(waiter):
+                    self._wake(waiter)
+                else:
+                    mutex.enqueue(waiter)  # stays blocked, now on the mutex
+            return True
+        if isinstance(event, BarrierWait):
+            woken = event.barrier.arrive(thread)
+            if woken is None:
+                return self._shelve(thread)
+            for waiter in woken:
+                self._wake(waiter)
+            return True
+        raise ProtocolError(
+            f"thread {thread.name!r} yielded unsupported event "
+            f"{type(event).__name__}"
+        )
+
+    def _shelve(self, thread: LogicalThread) -> bool:
+        """Park a thread on a primitive; its processor stays available."""
+        thread.state = ThreadState.BLOCKED
+        self._blocked.add(thread)
+        if self.trace:
+            self.trace.record("block", self.now, thread.name)
+        return False
+
+    def _wake(self, thread: LogicalThread) -> None:
+        """Unblock a shelved thread.
+
+        Under the eager policy the thread is released at the current
+        (exact unblocking) time; under the deferred policy it stays
+        parked until the unblocking thread's next region commits.
+        """
+        waker = self._waking_thread
+        if self.sync_policy == "deferred" and waker is not None:
+            self._pending_wakes.setdefault(waker.name, []).append(thread)
+            if self.trace:
+                self.trace.record("wake-deferred", self.now, thread.name,
+                                  waker=waker.name)
+            return
+        self._release_thread(thread, self.now)
+
+    def _release_thread(self, thread: LogicalThread,
+                        release_time: float) -> None:
+        """Make an unblocked thread schedulable at ``release_time``."""
+        self._blocked.discard(thread)
+        thread.state = ThreadState.READY
+        thread.release_time = max(thread.release_time, release_time)
+        self.scheduler.add(thread)
+        if self.trace:
+            self.trace.record("wake", release_time, thread.name)
+
+    def _flush_pending_wakes(self, thread: LogicalThread) -> None:
+        """Release wakes that cannot attach to a future region.
+
+        Called when the waking thread finishes or itself blocks: the
+        deferred policy falls back to the exact wake time.
+        """
+        pending = self._pending_wakes.pop(thread.name, None)
+        if pending:
+            for waiter in pending:
+                self._release_thread(waiter, self.now)
+
+    # -- shutdown ------------------------------------------------------------
+
+    def _flush_final_slice(self) -> None:
+        """Analyze whatever demand the min-timeslice knob still holds."""
+        live = self._queue.regions()
+        self.us.collect(self.now, live)
+        penalties = self.us.analyze(self._priorities, force=True)
+        for thread_name, penalty in penalties.items():
+            # Simulation is over: count the queueing estimate but do not
+            # extend any end time.
+            self._by_name[thread_name].total_penalty += penalty

@@ -1,0 +1,68 @@
+"""Priority queue of in-flight annotation regions ordered by end time.
+
+The hybrid kernel (paper Fig. 2, line 6) keeps every executing region in a
+priority queue keyed by physical end time so that the earliest-ending
+region is always on top.  Because penalties move end times *after*
+insertion, the queue supports re-insertion of a region whose pending
+penalty was just folded in (lines 8-12); stale heap entries are tolerated
+by checking a per-region entry counter at pop time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from .region import AnnotationRegion
+
+
+class RegionQueue:
+    """Min-heap of :class:`AnnotationRegion` keyed by ``end_time``."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, AnnotationRegion]] = []
+        self._counter = itertools.count()
+        self._live = {}  # id(region) -> tie-break count of live entry
+
+    def push(self, region: AnnotationRegion) -> None:
+        """Insert (or re-insert) a region keyed by its current end time."""
+        count = next(self._counter)
+        self._live[id(region)] = count
+        heapq.heappush(self._heap, (region.end_time, count, region))
+
+    def pop(self) -> AnnotationRegion:
+        """Remove and return the region with the earliest end time."""
+        while self._heap:
+            end_time, count, region = heapq.heappop(self._heap)
+            if self._live.get(id(region)) == count:
+                del self._live[id(region)]
+                return region
+        raise IndexError("pop from empty RegionQueue")
+
+    def peek(self) -> Optional[AnnotationRegion]:
+        """Return the earliest-ending region without removing it."""
+        while self._heap:
+            end_time, count, region = self._heap[0]
+            if self._live.get(id(region)) == count:
+                return region
+            heapq.heappop(self._heap)
+        return None
+
+    def remove(self, region: AnnotationRegion) -> None:
+        """Lazily remove ``region`` (used when a region is shelved)."""
+        self._live.pop(id(region), None)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def regions(self) -> List[AnnotationRegion]:
+        """Snapshot of live regions in arbitrary order."""
+        seen = []
+        for end_time, count, region in self._heap:
+            if self._live.get(id(region)) == count:
+                seen.append(region)
+        return seen

@@ -1,0 +1,129 @@
+"""Annotation regions: the unit of timing resolution in the hybrid kernel.
+
+An :class:`AnnotationRegion` is created every time a logical thread yields a
+:class:`~repro.core.events.Consume` event while scheduled on a processor.
+Its *base span* ``[base_start, base_end]`` is the physical interval the
+region would occupy with zero contention (complexity divided by processor
+power, plus any penalty carried over from earlier timeslices).  Contention
+penalties assigned by shared-resource schedulers extend :attr:`end_time`
+beyond the base span.
+
+Two bookkeeping rules from the paper are encoded here:
+
+* shared-resource accesses are spread **uniformly over the base span**, so
+  when the kernel slices time at other regions' end points the region's
+  accesses are divided proportionally among the slices
+  (:meth:`AnnotationRegion.accesses_in`), and
+* penalty extensions past ``base_end`` carry **no accesses** — the paper's
+  observation that once a region's accesses have been analyzed, the extra
+  penalty time "has no additional shared accesses contained within".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .resource import Processor
+    from .thread import LogicalThread
+
+_EPS = 1e-12
+
+
+class AnnotationRegion:
+    """One annotation region of a logical thread in flight on a processor."""
+
+    __slots__ = ("thread", "processor", "complexity", "accesses",
+                 "base_start", "base_end", "end_time", "pending_penalty",
+                 "applied_penalty", "seq", "committed", "zero_collected",
+                 "deferred_wakes", "burst")
+
+    def __init__(self, thread: "LogicalThread", processor: "Processor",
+                 complexity: float, accesses: Mapping[str, float],
+                 start: float, carried_penalty: float = 0.0,
+                 seq: int = 0, extra_time: float = 0.0,
+                 burst: Mapping[str, float] = None):
+        duration = processor.duration_of(complexity) + float(extra_time)
+        self.thread = thread
+        self.processor = processor
+        self.complexity = float(complexity)
+        #: Total accesses per shared resource within the region.
+        self.accesses: Dict[str, float] = dict(accesses)
+        #: Beats per transaction per resource (default 1).
+        self.burst: Dict[str, float] = dict(burst) if burst else {}
+        self.base_start = float(start)
+        self.base_end = self.base_start + duration
+        #: Current physical end time (base end plus applied penalties).
+        self.end_time = self.base_end + float(carried_penalty)
+        #: Penalty assigned but not yet folded into :attr:`end_time`.
+        self.pending_penalty = 0.0
+        #: Total penalty folded into :attr:`end_time` so far (including
+        #: any penalty carried over from a previous region of the thread).
+        self.applied_penalty = float(carried_penalty)
+        self.seq = seq
+        self.committed = False
+        #: Guard so zero-duration regions attribute their accesses to
+        #: exactly one timeslice (see SharedResourceScheduler.collect).
+        self.zero_collected = False
+        #: Threads to release at this region's committed end time (the
+        #: kernel's "deferred" sync policy — paper section 4.3).
+        self.deferred_wakes = None
+
+    @property
+    def base_duration(self) -> float:
+        """Zero-contention duration of the region."""
+        return self.base_end - self.base_start
+
+    def add_penalty(self, penalty: float) -> None:
+        """Accumulate ``penalty`` without yet moving the end time.
+
+        The kernel folds pending penalties into :attr:`end_time` lazily,
+        when the region reaches the top of the priority queue (paper
+        Fig. 2 lines 8-12) or immediately after it is committed with a
+        fresh penalty (lines 17-18).
+        """
+        if penalty < 0:
+            raise ValueError(f"penalty must be >= 0, got {penalty!r}")
+        self.pending_penalty += penalty
+
+    def apply_pending_penalty(self) -> float:
+        """Fold the pending penalty into the end time; return the amount."""
+        amount = self.pending_penalty
+        if amount:
+            self.end_time += amount
+            self.applied_penalty += amount
+            self.pending_penalty = 0.0
+        return amount
+
+    def accesses_in(self, start: float, end: float) -> Dict[str, float]:
+        """Accesses attributed to the time window ``[start, end]``.
+
+        Accesses are distributed uniformly over the base span; penalty
+        time past ``base_end`` contributes nothing.  Zero-duration regions
+        attribute all accesses to any window containing their instant.
+        """
+        if not self.accesses:
+            return {}
+        duration = self.base_duration
+        if duration <= _EPS:
+            if start - _EPS <= self.base_start <= end + _EPS:
+                return dict(self.accesses)
+            return {}
+        lo = max(start, self.base_start)
+        hi = min(end, self.base_end)
+        if hi <= lo:
+            return {}
+        fraction = (hi - lo) / duration
+        return {name: count * fraction
+                for name, count in self.accesses.items()}
+
+    def overlaps_base(self, start: float, end: float) -> bool:
+        """Whether the base span intersects the window ``[start, end]``."""
+        if self.base_duration <= _EPS:
+            return start - _EPS <= self.base_start <= end + _EPS
+        return max(start, self.base_start) < min(end, self.base_end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AnnotationRegion({self.thread.name!r} on "
+                f"{self.processor.name!r}, [{self.base_start:.3f}, "
+                f"{self.base_end:.3f}] end={self.end_time:.3f})")

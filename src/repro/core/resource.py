@@ -1,0 +1,63 @@
+"""Execution resources (the paper's physical threads, ThP).
+
+A :class:`Processor` resolves the *logical* ordering of events in software
+into physical time: an annotation region of complexity ``c`` executed on a
+processor of computational power ``p`` occupies ``c / p`` physical time
+units.  Heterogeneous PHM platforms are modeled simply by giving processors
+different powers (e.g. an ARM-class core at 1.0 and an M32R-class core at
+0.6 complexity units per cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import ConfigurationError
+
+
+class Processor:
+    """An execution resource (ThP) with a fixed computational power.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within one simulation.
+    power:
+        Computational power in complexity units per physical time unit
+        (cycle).  Must be strictly positive.
+    """
+
+    __slots__ = ("name", "power", "busy_time", "regions_executed",
+                 "_current_region")
+
+    def __init__(self, name: str, power: float = 1.0):
+        if power <= 0:
+            raise ConfigurationError(
+                f"processor {name!r} must have positive power, got {power!r}"
+            )
+        self.name = str(name)
+        self.power = float(power)
+        #: Physical time spent executing regions (including penalties).
+        self.busy_time: float = 0.0
+        #: Number of annotation regions committed on this processor.
+        self.regions_executed: int = 0
+        self._current_region: Optional[object] = None
+
+    @property
+    def available(self) -> bool:
+        """Whether the processor currently has no in-flight region."""
+        return self._current_region is None
+
+    def duration_of(self, complexity: float) -> float:
+        """Physical time this processor needs for ``complexity`` work."""
+        return complexity / self.power
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of ``makespan`` this processor spent executing."""
+        if makespan <= 0:
+            return 0.0
+        return self.busy_time / makespan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "idle" if self.available else "busy"
+        return f"Processor({self.name!r}, power={self.power}, {state})"

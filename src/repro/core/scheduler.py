@@ -1,0 +1,158 @@
+"""Execution schedulers (the paper's UE layer).
+
+An execution scheduler arbitrates *before* resource access: whenever a
+processor becomes available the kernel invokes the scheduler to pick an
+eligible logical thread to run on it (paper Fig. 2 line 3).  Modeling the
+scheduler as a first-class layer is one of MESH's design points — it
+provides "a global system control flow across resources" — so scheduling
+policy is pluggable here.
+
+All schedulers honor per-thread processor affinity and release times (a
+thread is eligible only once simulated time reaches its
+``release_time``, which the synchronization layer pushes into the future
+when enforcing the paper's pessimistic unblocking rule).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from .resource import Processor
+from .thread import LogicalThread
+
+_EPS = 1e-9
+
+
+class ExecutionScheduler(abc.ABC):
+    """Base class for UE scheduling policies."""
+
+    def __init__(self) -> None:
+        self._ready: List[LogicalThread] = []
+
+    def bind(self, processors: Iterable[Processor]) -> None:
+        """Called once by the kernel with the platform's processors."""
+        self._processors = list(processors)
+
+    def add(self, thread: LogicalThread) -> None:
+        """Make ``thread`` schedulable (its release time gates eligibility)."""
+        self._ready.append(thread)
+
+    def _eligible(self, processor: Processor,
+                  now: float) -> List[LogicalThread]:
+        return [t for t in self._ready
+                if t.release_time <= now + _EPS
+                and (t.affinity is None or t.affinity == processor.name)]
+
+    def earliest_release(self) -> Optional[float]:
+        """Earliest future time at which any waiting thread is eligible."""
+        if not self._ready:
+            return None
+        return min(t.release_time for t in self._ready)
+
+    def has_waiting(self) -> bool:
+        """Whether any thread is waiting to be scheduled."""
+        return bool(self._ready)
+
+    def waiting_threads(self) -> List[LogicalThread]:
+        """Snapshot of threads waiting to be scheduled."""
+        return list(self._ready)
+
+    def _take(self, thread: LogicalThread) -> LogicalThread:
+        self._ready.remove(thread)
+        return thread
+
+    @abc.abstractmethod
+    def pick(self, processor: Processor,
+             now: float) -> Optional[LogicalThread]:
+        """Choose a thread to run on ``processor`` at time ``now``.
+
+        Returns ``None`` when no eligible thread exists; the chosen thread
+        is removed from the ready set.
+        """
+
+
+class FifoScheduler(ExecutionScheduler):
+    """First-come, first-served across the whole processor pool."""
+
+    def pick(self, processor: Processor,
+             now: float) -> Optional[LogicalThread]:
+        eligible = self._eligible(processor, now)
+        if not eligible:
+            return None
+        return self._take(eligible[0])
+
+
+class RoundRobinScheduler(ExecutionScheduler):
+    """Rotate fairly among ready threads at each scheduling decision."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: Deque[str] = deque()
+
+    def add(self, thread: LogicalThread) -> None:
+        super().add(thread)
+        if thread.name not in self._order:
+            self._order.append(thread.name)
+
+    def pick(self, processor: Processor,
+             now: float) -> Optional[LogicalThread]:
+        eligible = self._eligible(processor, now)
+        if not eligible:
+            return None
+        by_name = {t.name: t for t in eligible}
+        for _ in range(len(self._order)):
+            name = self._order[0]
+            self._order.rotate(-1)
+            if name in by_name:
+                return self._take(by_name[name])
+        # Names can fall out of _order when threads finish; fall back.
+        return self._take(eligible[0])
+
+
+class PriorityScheduler(ExecutionScheduler):
+    """Highest ``thread.priority`` first; FIFO among equals."""
+
+    def pick(self, processor: Processor,
+             now: float) -> Optional[LogicalThread]:
+        eligible = self._eligible(processor, now)
+        if not eligible:
+            return None
+        best = max(eligible, key=lambda t: t.priority)
+        return self._take(best)
+
+
+class PinnedScheduler(FifoScheduler):
+    """FIFO scheduler that requires every thread to declare an affinity.
+
+    This models statically-mapped platforms (one software stack per core),
+    the configuration used by both of the paper's examples.
+    """
+
+    def add(self, thread: LogicalThread) -> None:
+        if thread.affinity is None:
+            from .errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"PinnedScheduler requires an affinity for thread "
+                f"{thread.name!r}"
+            )
+        super().add(thread)
+
+
+class LeastLoadedScheduler(ExecutionScheduler):
+    """System-state-aware policy: prefer the thread that has run least.
+
+    A small example of the "system-state-aware scheduling algorithms"
+    MESH supports — it balances accumulated execution time across
+    threads, which matters when a thread pool shares fewer processors.
+    """
+
+    def pick(self, processor: Processor,
+             now: float) -> Optional[LogicalThread]:
+        eligible = self._eligible(processor, now)
+        if not eligible:
+            return None
+        best = min(eligible, key=lambda t: t.total_base_time)
+        return self._take(best)

@@ -1,0 +1,82 @@
+"""Shared resource threads (the paper's ThS layer).
+
+A :class:`SharedResource` pairs a name (used in consume annotations) with
+the analytical contention model that resolves grouped accesses into time
+penalties, plus the physical service time of one access.  Unlike execution
+resources, shared resource threads never *run* software — their function
+"is to apply time penalties to each ThL that has accessed the ThS".
+
+Models are interchangeable per resource: the same simulated system can
+model its bus with the Chen-Lin model and its DMA engine with an M/D/1
+queue, which is the flexibility the paper contrasts against the
+single-purpose network model of Gadde et al.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..contention.base import ContentionModel
+from .errors import ConfigurationError
+
+
+class SharedResource:
+    """A contended resource (bus, shared memory port, I/O interface).
+
+    Parameters
+    ----------
+    name:
+        Identifier referenced by ``consume(..., accesses={name: n})``.
+    model:
+        The analytical :class:`~repro.contention.base.ContentionModel`
+        used to resolve contention for this resource.
+    service_time:
+        Cycles one access occupies the resource (the paper's "bus delay").
+    ports:
+        Concurrent accesses the resource can serve (multi-bank memory);
+        forwarded to ports-aware contention models via the slice demand.
+    """
+
+    def __init__(self, name: str, model: ContentionModel,
+                 service_time: float = 1.0, ports: int = 1):
+        if service_time <= 0:
+            raise ConfigurationError(
+                f"shared resource {name!r} needs positive service time, "
+                f"got {service_time!r}"
+            )
+        if ports < 1:
+            raise ConfigurationError(
+                f"shared resource {name!r} needs >= 1 ports, got {ports!r}"
+            )
+        if not isinstance(model, ContentionModel):
+            raise ConfigurationError(
+                f"shared resource {name!r} model must be a ContentionModel, "
+                f"got {type(model).__name__}"
+            )
+        self.name = str(name)
+        self.model = model
+        self.service_time = float(service_time)
+        self.ports = int(ports)
+        # --- statistics -------------------------------------------------
+        #: Total accesses analyzed across all timeslices.
+        self.total_accesses: float = 0.0
+        #: Total penalty time assigned on behalf of this resource.
+        self.total_penalty: float = 0.0
+        #: Penalty attributed per thread name.
+        self.penalty_by_thread: Dict[str, float] = {}
+        #: Number of timeslices in which this resource saw any demand.
+        self.active_slices: int = 0
+
+    def record(self, penalties: Dict[str, float], accesses: float) -> None:
+        """Accumulate statistics for one analyzed timeslice."""
+        self.total_accesses += accesses
+        if accesses > 0:
+            self.active_slices += 1
+        for thread_name, penalty in penalties.items():
+            self.total_penalty += penalty
+            previous = self.penalty_by_thread.get(thread_name, 0.0)
+            self.penalty_by_thread[thread_name] = previous + penalty
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SharedResource({self.name!r}, model={self.model!r}, "
+                f"service_time={self.service_time})")

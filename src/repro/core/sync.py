@@ -1,0 +1,181 @@
+"""Synchronization primitives for logical threads (paper section 4.3).
+
+MESH provides "a full set of synchronization primitives commonly found in
+threaded programming libraries (mutexes, semaphores, condition variables)"
+so inter-thread data dependencies can be observed.  A blocked thread is
+*shelved*: its processor is freed and the execution scheduler may place
+other work on it.  When the event a thread waits for occurs, the thread is
+released at the physical end of the unblocking event's region — the
+paper's pessimistic assumption — which in this implementation is the
+boundary time at which the unblocking thread executed its release/notify
+event.
+
+The primitives hold pure state (owners, counters, waiter queues); the
+kernel interprets the protocol events and performs the actual shelving
+and waking so that all timing decisions stay in one place.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple, TYPE_CHECKING
+
+from .errors import SynchronizationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .thread import LogicalThread
+
+
+class Mutex:
+    """A non-recursive mutual-exclusion lock."""
+
+    def __init__(self, name: str = "mutex"):
+        self.name = str(name)
+        self.owner: Optional["LogicalThread"] = None
+        self.waiters: Deque["LogicalThread"] = deque()
+        #: Number of times the lock was contended (acquire had to block).
+        self.contended_acquires = 0
+
+    def try_acquire(self, thread: "LogicalThread") -> bool:
+        """Acquire if free; return ``False`` (and queue nothing) if held."""
+        if self.owner is None:
+            self.owner = thread
+            thread.held_mutexes.add(self.name)
+            return True
+        if self.owner is thread:
+            raise SynchronizationError(
+                f"thread {thread.name!r} re-acquired non-recursive mutex "
+                f"{self.name!r}"
+            )
+        return False
+
+    def enqueue(self, thread: "LogicalThread") -> None:
+        """Park ``thread`` waiting for the lock."""
+        self.contended_acquires += 1
+        self.waiters.append(thread)
+
+    def release(self, thread: "LogicalThread") -> Optional["LogicalThread"]:
+        """Release the lock; returns the waiter that now owns it, if any."""
+        if self.owner is not thread:
+            holder = self.owner.name if self.owner else None
+            raise SynchronizationError(
+                f"thread {thread.name!r} released mutex {self.name!r} "
+                f"held by {holder!r}"
+            )
+        thread.held_mutexes.discard(self.name)
+        if self.waiters:
+            next_owner = self.waiters.popleft()
+            self.owner = next_owner
+            next_owner.held_mutexes.add(self.name)
+            return next_owner
+        self.owner = None
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owner = self.owner.name if self.owner else None
+        return f"Mutex({self.name!r}, owner={owner!r})"
+
+
+class Semaphore:
+    """A counting semaphore."""
+
+    def __init__(self, value: int = 0, name: str = "semaphore"):
+        if value < 0:
+            raise SynchronizationError(
+                f"semaphore initial value must be >= 0, got {value!r}"
+            )
+        self.name = str(name)
+        self.value = int(value)
+        self.waiters: Deque["LogicalThread"] = deque()
+
+    def try_acquire(self, thread: "LogicalThread") -> bool:
+        """Decrement if positive; return ``False`` when the count is zero."""
+        if self.value > 0:
+            self.value -= 1
+            return True
+        return False
+
+    def enqueue(self, thread: "LogicalThread") -> None:
+        """Park ``thread`` waiting for a unit."""
+        self.waiters.append(thread)
+
+    def release(self) -> Optional["LogicalThread"]:
+        """Add a unit; hand it directly to the first waiter if present."""
+        if self.waiters:
+            return self.waiters.popleft()
+        self.value += 1
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Semaphore({self.name!r}, value={self.value})"
+
+
+class ConditionVariable:
+    """A POSIX-style condition variable used with an external mutex."""
+
+    def __init__(self, name: str = "cond"):
+        self.name = str(name)
+        self.waiters: Deque[Tuple["LogicalThread", Mutex]] = deque()
+
+    def enqueue(self, thread: "LogicalThread", mutex: Mutex) -> None:
+        """Park ``thread`` on the condition, remembering its mutex."""
+        self.waiters.append((thread, mutex))
+
+    def pop_waiters(self, all: bool) -> List[Tuple["LogicalThread", Mutex]]:
+        """Remove one waiter (or all) for notification."""
+        if not self.waiters:
+            return []
+        if all:
+            woken = list(self.waiters)
+            self.waiters.clear()
+            return woken
+        return [self.waiters.popleft()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConditionVariable({self.name!r}, waiting={len(self.waiters)})"
+
+
+class Barrier:
+    """A reusable rendezvous for a fixed number of participants.
+
+    The SPLASH-2 FFT reproduction places its annotations at barrier
+    statements, so the barrier is the synchronization primitive the
+    experiments lean on most heavily.
+    """
+
+    def __init__(self, parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise SynchronizationError(
+                f"barrier needs >= 1 parties, got {parties!r}"
+            )
+        self.name = str(name)
+        self.parties = int(parties)
+        self.arrived: List["LogicalThread"] = []
+        #: Number of completed rendezvous (generations).
+        self.generation = 0
+
+    def arrive(self, thread: "LogicalThread") -> Optional[
+            List["LogicalThread"]]:
+        """Record an arrival.
+
+        Returns ``None`` while the barrier is still filling (the caller
+        must shelve the thread) or the list of *other* threads to wake
+        once the final participant arrives (the caller itself does not
+        block in that case).
+        """
+        if thread in self.arrived:
+            raise SynchronizationError(
+                f"thread {thread.name!r} arrived twice at barrier "
+                f"{self.name!r} in the same generation"
+            )
+        self.arrived.append(thread)
+        if len(self.arrived) < self.parties:
+            return None
+        woken = [t for t in self.arrived if t is not thread]
+        self.arrived = []
+        self.generation += 1
+        return woken
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Barrier({self.name!r}, {len(self.arrived)}/"
+                f"{self.parties} arrived)")

@@ -1,0 +1,139 @@
+"""Logical threads (the paper's ThL layer).
+
+A logical thread wraps a Python generator whose yielded
+:mod:`repro.core.events` drive the kernel.  The generator's host code runs
+in zero virtual time; only :class:`~repro.core.events.Consume` annotations
+advance the thread's physical clock, and only when resolved against the
+computational power of the processor the execution scheduler placed the
+thread on.
+
+Thread state machine::
+
+    NEW --> READY --> RUNNING --> READY ...     (normal region turnover)
+                        |
+                        +--> BLOCKED --> READY  (sync primitive shelving)
+                        +--> DONE               (generator exhausted)
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Generator, Iterator, Optional, Union
+
+from .errors import ConfigurationError, ProtocolError
+from .events import Event
+
+BodyFactory = Callable[[], Iterator[Event]]
+Body = Union[Iterator[Event], BodyFactory]
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle states of a logical thread."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class LogicalThread:
+    """A schedulable software thread annotated with consume calls.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within one simulation.
+    body:
+        Either a generator (already instantiated) or a zero-argument
+        callable returning one.  The generator yields protocol events.
+    priority:
+        Larger numbers mean higher priority; used by priority execution
+        schedulers and priority contention models.
+    affinity:
+        Optional processor name the thread must run on.  ``None`` lets the
+        execution scheduler place the thread on any processor.
+    """
+
+    def __init__(self, name: str, body: Body, priority: int = 0,
+                 affinity: Optional[str] = None):
+        self.name = str(name)
+        self._body = body
+        self._gen: Optional[Iterator[Event]] = None
+        self.priority = int(priority)
+        self.affinity = affinity
+        self.state = ThreadState.NEW
+        #: Earliest physical time the thread may be scheduled again.
+        self.release_time: float = 0.0
+        #: Penalty assigned while the thread had no in-flight region;
+        #: folded into the next region it starts.
+        self.carry_penalty: float = 0.0
+        #: Names of mutexes currently held (for error checking).
+        self.held_mutexes: set = set()
+        # --- statistics -------------------------------------------------
+        #: Total contention penalty (queueing time) applied to the thread.
+        self.total_penalty: float = 0.0
+        #: Zero-contention execution time accumulated across regions.
+        self.total_base_time: float = 0.0
+        #: Number of annotation regions committed.
+        self.regions_committed: int = 0
+        #: Physical time at which the thread finished (if DONE).
+        self.finish_time: Optional[float] = None
+
+    # -- generator management -------------------------------------------
+
+    def _materialize(self) -> Iterator[Event]:
+        if self._gen is None:
+            body = self._body
+            if callable(body):
+                gen = body()
+            else:
+                gen = body
+            if not isinstance(gen, Generator) and not hasattr(gen, "__next__"):
+                raise ConfigurationError(
+                    f"thread {self.name!r} body must be a generator or a "
+                    f"callable returning one, got {type(gen).__name__}"
+                )
+            self._gen = gen
+        return self._gen
+
+    def next_event(self) -> Optional[Event]:
+        """Advance the body to its next yielded event.
+
+        Returns ``None`` when the generator is exhausted.  Raises
+        :class:`ProtocolError` if the body yields a non-event.
+        """
+        gen = self._materialize()
+        try:
+            event = next(gen)
+        except StopIteration:
+            return None
+        if not isinstance(event, Event):
+            raise ProtocolError(
+                f"thread {self.name!r} yielded {event!r}; logical threads "
+                f"must yield repro.core.events.Event instances "
+                f"(use consume(), acquire(), ...)"
+            )
+        return event
+
+    # -- convenience -----------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether the thread body has run to completion."""
+        return self.state is ThreadState.DONE
+
+    @property
+    def blocked(self) -> bool:
+        """Whether the thread is parked on a synchronization primitive."""
+        return self.state is ThreadState.BLOCKED
+
+    def take_carry_penalty(self) -> float:
+        """Consume and return the penalty carried between regions."""
+        amount = self.carry_penalty
+        self.carry_penalty = 0.0
+        return amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LogicalThread({self.name!r}, state={self.state.value}, "
+                f"release={self.release_time:.3f})")

@@ -1,0 +1,93 @@
+"""Timeline trace recording (a textual analogue of the paper's Fig. 3).
+
+When enabled on the kernel, a :class:`TraceLog` records every region
+start, commit, penalty application, and timeslice analysis so tests can
+assert kernel-ordering properties and users can render a timeline of what
+the hybrid simulation did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded kernel action."""
+
+    #: Event kind: "start", "commit", "penalty", "slice", "block", "wake".
+    kind: str
+    #: Physical time of the action.
+    time: float
+    #: Thread name (or "" for slice events).
+    thread: str
+    #: Processor name (or "" where not applicable).
+    processor: str = ""
+    #: Event-specific payload (penalty amount, slice bounds, ...).
+    detail: Optional[dict] = None
+
+
+class TraceLog:
+    """An append-only log of kernel actions."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, kind: str, time: float, thread: str = "",
+               processor: str = "", **detail) -> None:
+        """Append one event."""
+        self.events.append(TraceEvent(kind=kind, time=time, thread=thread,
+                                      processor=processor,
+                                      detail=detail or None))
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events of one kind, in recording order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def commits(self) -> List[TraceEvent]:
+        """Region-commit events in order (monotone in time)."""
+        return self.of_kind("commit")
+
+    def render(self, width: int = 72) -> str:
+        """ASCII timeline: one lane per processor, '#' per busy span.
+
+        A compact rendering of the paper's Fig. 3: annotation regions
+        appear as filled spans on their processor lane; committed penalty
+        extensions are drawn with '+'.
+        """
+        commits = self.commits()
+        if not commits:
+            return "(empty trace)"
+        horizon = max(e.time for e in commits)
+        if horizon <= 0:
+            return "(zero-length trace)"
+        lanes: Dict[str, List[str]] = {}
+        scale = width / horizon
+
+        def lane(processor: str) -> List[str]:
+            if processor not in lanes:
+                lanes[processor] = [" "] * width
+            return lanes[processor]
+
+        starts: Dict[str, TraceEvent] = {}
+        for event in self.events:
+            if event.kind == "start":
+                starts[event.thread] = event
+            elif event.kind == "commit" and event.thread in starts:
+                begin = starts.pop(event.thread)
+                row = lane(event.processor or begin.processor)
+                lo = int(begin.time * scale)
+                hi = max(lo + 1, int(event.time * scale))
+                detail = event.detail or {}
+                base_end = detail.get("base_end", event.time)
+                split = max(lo + 1, min(hi, int(base_end * scale)))
+                for i in range(lo, min(split, width)):
+                    row[i] = "#"
+                for i in range(split, min(hi, width)):
+                    row[i] = "+"
+        out = []
+        for processor in sorted(lanes):
+            out.append(f"{processor:>10s} |{''.join(lanes[processor])}|")
+        out.append(f"{'':>10s}  0{'':{width - 10}}{horizon:.0f}")
+        return "\n".join(out)

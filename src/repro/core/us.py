@@ -1,0 +1,199 @@
+"""Shared-resource schedulers (the paper's US layer).
+
+Where an execution scheduler (UE) arbitrates *before* a processor is
+granted, the shared-resource scheduler performs **post-access
+arbitration**: simulation first proceeds as if shared resources were
+uncontended, then — each time the kernel commits a region end and closes a
+timeslice — the US scheduler gathers every access that fell inside the
+slice, hands the per-thread demand of each shared resource to that
+resource's analytical model, and returns the resulting time penalties.
+
+The scheduler also implements the paper's *minimum timeslice* optimization
+(section 4.3): slices narrower than ``min_timeslice`` are not analyzed
+immediately; their accesses accumulate and are analyzed together with the
+next sufficiently large slice, trading a little accuracy for fewer model
+evaluations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from ..contention.base import SliceDemand
+from .region import AnnotationRegion
+from .shared import SharedResource
+
+_EPS = 1e-12
+
+
+class SharedResourceScheduler:
+    """Groups accesses per timeslice and applies analytical models."""
+
+    def __init__(self, resources: Iterable[SharedResource],
+                 min_timeslice: float = 0.0):
+        if min_timeslice < 0:
+            raise ValueError(
+                f"min_timeslice must be >= 0, got {min_timeslice!r}"
+            )
+        self.resources: Dict[str, SharedResource] = {
+            r.name: r for r in resources
+        }
+        self.min_timeslice = float(min_timeslice)
+        #: Left edge of the (possibly accumulated) analysis window.
+        self.window_start = 0.0
+        #: Time up to which accesses have been collected into the window.
+        self.collected_upto = 0.0
+        # resource name -> thread name -> transactions in the window
+        self._window_demand: Dict[str, Dict[str, float]] = {
+            name: {} for name in self.resources
+        }
+        # resource name -> thread name -> service-unit beats (burst
+        # transfers contribute `burst` beats per transaction)
+        self._window_units: Dict[str, Dict[str, float]] = {
+            name: {} for name in self.resources
+        }
+        # --- statistics -------------------------------------------------
+        #: Number of analytical evaluations actually performed.
+        self.slices_analyzed = 0
+        #: Number of undersized slices merged into a later window.
+        self.slices_merged = 0
+
+    # -- collection ------------------------------------------------------
+
+    def collect(self, upto: float,
+                regions: Iterable[AnnotationRegion]) -> None:
+        """Attribute accesses in ``[collected_upto, upto]`` to the window.
+
+        ``regions`` must include every region whose base span may overlap
+        the interval (in-flight regions plus the region just committed).
+        Each region's accesses are divided proportionally by overlap, the
+        paper's rule for regions broken across timeslices.
+        """
+        start = self.collected_upto
+        if upto < start - _EPS:
+            raise ValueError(
+                f"collect() must move forward: {upto} < {start}"
+            )
+        for region in regions:
+            if not region.accesses:
+                continue
+            if region.base_duration <= _EPS:
+                # A zero-duration region contributes its accesses to the
+                # first window that reaches its instant, exactly once.
+                if region.zero_collected:
+                    continue
+                if not (start - _EPS <= region.base_start <= upto + _EPS):
+                    continue
+                region.zero_collected = True
+                portion = dict(region.accesses)
+            else:
+                portion = region.accesses_in(start, upto)
+            for resource_name, count in portion.items():
+                if resource_name not in self._window_demand:
+                    from .errors import ConfigurationError
+
+                    raise ConfigurationError(
+                        f"thread {region.thread.name!r} accessed unknown "
+                        f"shared resource {resource_name!r}"
+                    )
+                thread_name = region.thread.name
+                per_thread = self._window_demand[resource_name]
+                per_thread[thread_name] = (
+                    per_thread.get(thread_name, 0.0) + count
+                )
+                beats = count * region.burst.get(resource_name, 1.0)
+                per_units = self._window_units[resource_name]
+                per_units[thread_name] = (
+                    per_units.get(thread_name, 0.0) + beats
+                )
+        self.collected_upto = max(self.collected_upto, upto)
+
+    # -- analysis ----------------------------------------------------------
+
+    def should_analyze(self, force: bool = False) -> bool:
+        """Whether the accumulated window is wide enough to analyze.
+
+        A zero-width window still analyzes when it holds demand (all of
+        it from zero-duration regions), so point accesses are never
+        silently dropped.
+        """
+        width = self.collected_upto - self.window_start
+        has_demand = any(self._window_demand.values())
+        if width <= _EPS and not has_demand:
+            return False
+        if force:
+            return True
+        return width + _EPS >= self.min_timeslice
+
+    def analyze(self, priorities: Mapping[str, int],
+                force: bool = False) -> Dict[str, float]:
+        """Run every resource's model over the accumulated window.
+
+        Returns the total penalty per thread name (summed across shared
+        resources).  When the window is narrower than ``min_timeslice``
+        and ``force`` is false, returns an empty mapping and keeps
+        accumulating (counting one merged slice).
+        """
+        if not self.should_analyze(force):
+            if self.collected_upto - self.window_start > _EPS:
+                self.slices_merged += 1
+            return {}
+        start, end = self.window_start, self.collected_upto
+        totals: Dict[str, float] = {}
+        for name, resource in self.resources.items():
+            demands = self._window_demand[name]
+            if not demands:
+                continue
+            units = self._window_units[name]
+            mean_service = {
+                thread: resource.service_time * units[thread] / count
+                for thread, count in demands.items()
+                if count > 0 and units.get(thread, count) != count
+            }
+            slice_demand = SliceDemand(
+                start=start, end=end,
+                service_time=resource.service_time,
+                demands=dict(demands),
+                priorities=dict(priorities),
+                ports=resource.ports,
+                mean_service=mean_service,
+            )
+            penalties = resource.model.penalties(slice_demand)
+            _check_penalties(penalties, demands, resource)
+            resource.record(penalties, sum(demands.values()))
+            for thread_name, penalty in penalties.items():
+                if penalty > 0:
+                    totals[thread_name] = (
+                        totals.get(thread_name, 0.0) + penalty
+                    )
+            demands.clear()
+            units.clear()
+        self.window_start = end
+        self.slices_analyzed += 1
+        return totals
+
+    def pending_demand(self) -> Dict[str, Dict[str, float]]:
+        """Snapshot of not-yet-analyzed accesses (for tests/inspection)."""
+        return {name: dict(per_thread)
+                for name, per_thread in self._window_demand.items()}
+
+
+def _check_penalties(penalties: Dict[str, float],
+                     demands: Dict[str, float],
+                     resource: SharedResource) -> None:
+    """Validate a model's output before it reaches the kernel."""
+    for thread_name, penalty in penalties.items():
+        if thread_name not in demands:
+            from .errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"model {resource.model!r} for {resource.name!r} penalized "
+                f"thread {thread_name!r} which made no accesses"
+            )
+        if not (penalty >= 0.0) or penalty != penalty:  # NaN guard
+            from .errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"model {resource.model!r} for {resource.name!r} returned "
+                f"invalid penalty {penalty!r} for thread {thread_name!r}"
+            )

@@ -1,0 +1,29 @@
+"""Cycle-accurate shared-bus multiprocessor simulation (the ISS baseline).
+
+Two engines with bit-identical results:
+
+* :class:`SteppedEngine` — advances one cycle at a time; the honest,
+  slow reference whose wall-clock time anchors the paper's Table 1
+  speedup comparison.
+* :class:`EventEngine` — exact event-driven twin used to generate
+  ground-truth queueing cycles quickly for the accuracy sweeps.
+"""
+
+from .arbiter import (Arbiter, FifoArbiter, PriorityArbiter, Request,
+                      RoundRobinArbiter, make_arbiter)
+from .eventdriven import EventEngine
+from .program import MicroOp, Program, lower_workload
+from .stats import (CycleResourceStats, CycleResult, CycleThreadStats,
+                    GrantRecord, StatsBuilder)
+from .stepped import SteppedEngine
+from .timeline import (per_thread_waits, queue_depth_series,
+                       utilization_series, wait_series)
+
+__all__ = [
+    "Arbiter", "CycleResourceStats", "CycleResult", "CycleThreadStats",
+    "EventEngine", "FifoArbiter", "GrantRecord", "MicroOp",
+    "PriorityArbiter", "Program", "Request", "RoundRobinArbiter",
+    "StatsBuilder", "SteppedEngine", "lower_workload", "make_arbiter",
+    "per_thread_waits", "queue_depth_series", "utilization_series",
+    "wait_series",
+]

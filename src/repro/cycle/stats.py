@@ -1,0 +1,215 @@
+"""Result statistics for the cycle-accurate engines.
+
+Ground-truth queueing cycles: in a cycle simulation an access's wait is
+directly observable (grant time minus request time), so these statistics
+are exact by construction — they are the reference every other estimator
+in the repository is scored against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+
+@dataclass(frozen=True)
+class CycleThreadStats:
+    """Per-thread outcome of a cycle-accurate run."""
+
+    name: str
+    processor: str
+    #: Cycles spent computing (excluding bus service and waits).
+    compute_cycles: int
+    #: Cycles spent being served by shared resources.
+    service_cycles: int
+    #: Cycles spent waiting for a grant — the ground-truth queueing.
+    wait_cycles: int
+    #: Cycles spent idling (IdleOp) or parked at barriers.
+    idle_cycles: int
+    #: Number of accesses issued.
+    accesses: int
+    #: Cycle at which the program finished.
+    finish_time: int
+
+    @property
+    def busy_cycles(self) -> int:
+        """Compute plus service cycles (the zero-contention run length)."""
+        return self.compute_cycles + self.service_cycles
+
+
+@dataclass(frozen=True)
+class CycleResourceStats:
+    """Per-shared-resource outcome of a cycle-accurate run."""
+
+    name: str
+    service_time: int
+    grants: int
+    busy_cycles: int
+    wait_cycles: int
+
+    def utilization(self, makespan: int) -> float:
+        """Fraction of the run the resource spent serving."""
+        return self.busy_cycles / makespan if makespan > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class CycleResult:
+    """Everything a cycle-accurate run reports."""
+
+    makespan: int
+    threads: Mapping[str, CycleThreadStats]
+    resources: Mapping[str, CycleResourceStats]
+    #: Number of simulated cycles (== makespan for the stepped engine).
+    cycles_executed: int = 0
+    #: Per-grant records when the engine ran with record_grants=True.
+    grants: tuple = ()
+
+    @property
+    def queueing_cycles(self) -> int:
+        """Total ground-truth wait cycles across threads."""
+        return sum(t.wait_cycles for t in self.threads.values())
+
+    @property
+    def busy_cycles(self) -> int:
+        """Total zero-contention cycles across threads."""
+        return sum(t.busy_cycles for t in self.threads.values())
+
+    def percent_queueing(self, basis: str = "busy") -> float:
+        """Queueing cycles as a percentage (same bases as the hybrid)."""
+        if basis == "busy":
+            denominator = self.busy_cycles
+        elif basis == "makespan":
+            denominator = self.makespan
+        else:
+            raise ValueError(f"unknown basis {basis!r}")
+        if denominator <= 0:
+            return 0.0
+        return 100.0 * self.queueing_cycles / denominator
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of the run."""
+        lines = [
+            f"makespan        : {self.makespan} cycles",
+            f"queueing cycles : {self.queueing_cycles} "
+            f"({self.percent_queueing():.2f}% of busy time)",
+        ]
+        for name in sorted(self.threads):
+            t = self.threads[name]
+            lines.append(
+                f"  thread {name:<12s} compute={t.compute_cycles:9d} "
+                f"service={t.service_cycles:8d} wait={t.wait_cycles:8d}"
+            )
+        for name in sorted(self.resources):
+            r = self.resources[name]
+            lines.append(
+                f"  shared {name:<12s} grants={r.grants:9d} "
+                f"util={r.utilization(self.makespan):6.1%}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class GrantRecord:
+    """One granted access, for post-hoc timeline analysis."""
+
+    resource: str
+    thread: str
+    #: Cycle the access was requested.
+    request_time: int
+    #: Cycle the access was granted (wait = grant - request).
+    grant_time: int
+    #: Cycles the grant occupied the resource.
+    service: int
+
+    @property
+    def wait(self) -> int:
+        """Queueing cycles this access suffered."""
+        return self.grant_time - self.request_time
+
+    @property
+    def completion_time(self) -> int:
+        """Cycle the transfer finished."""
+        return self.grant_time + self.service
+
+
+class StatsBuilder:
+    """Mutable accumulator shared by both engines.
+
+    With ``record_grants=True`` every grant is also logged as a
+    :class:`GrantRecord` (memory proportional to access count), which
+    :mod:`repro.cycle.timeline` turns into utilization and queue-depth
+    time series.
+    """
+
+    def __init__(self, record_grants: bool = False) -> None:
+        self.compute: Dict[str, int] = {}
+        self.service: Dict[str, int] = {}
+        self.wait: Dict[str, int] = {}
+        self.accesses: Dict[str, int] = {}
+        self.finish: Dict[str, int] = {}
+        self.processor_of: Dict[str, str] = {}
+        self.resource_grants: Dict[str, int] = {}
+        self.resource_busy: Dict[str, int] = {}
+        self.resource_wait: Dict[str, int] = {}
+        self.resource_service_time: Dict[str, int] = {}
+        self.record_grants = record_grants
+        self.grant_log: list = []
+
+    def register_thread(self, name: str, processor: str) -> None:
+        """Zero-initialize one thread's counters."""
+        self.processor_of[name] = processor
+        for counter in (self.compute, self.service, self.wait,
+                        self.accesses, self.finish):
+            counter[name] = 0
+
+    def register_resource(self, name: str, service_time: int) -> None:
+        """Zero-initialize one resource's counters."""
+        self.resource_service_time[name] = service_time
+        self.resource_grants[name] = 0
+        self.resource_busy[name] = 0
+        self.resource_wait[name] = 0
+
+    def grant(self, resource: str, thread: str, wait: int,
+              service_time: int, now: int = 0) -> None:
+        """Record one granted access."""
+        self.wait[thread] += wait
+        self.service[thread] += service_time
+        self.accesses[thread] += 1
+        self.resource_grants[resource] += 1
+        self.resource_busy[resource] += service_time
+        self.resource_wait[resource] += wait
+        if self.record_grants:
+            self.grant_log.append(GrantRecord(
+                resource=resource, thread=thread,
+                request_time=now - wait, grant_time=now,
+                service=service_time))
+
+    def build(self, makespan: int, cycles_executed: int) -> CycleResult:
+        """Freeze the accumulators into a :class:`CycleResult`."""
+        threads = {}
+        for name, processor in self.processor_of.items():
+            finish = self.finish[name]
+            busy = self.compute[name] + self.service[name] + self.wait[name]
+            threads[name] = CycleThreadStats(
+                name=name, processor=processor,
+                compute_cycles=self.compute[name],
+                service_cycles=self.service[name],
+                wait_cycles=self.wait[name],
+                idle_cycles=max(0, finish - busy),
+                accesses=self.accesses[name],
+                finish_time=finish,
+            )
+        resources = {
+            name: CycleResourceStats(
+                name=name,
+                service_time=self.resource_service_time[name],
+                grants=self.resource_grants[name],
+                busy_cycles=self.resource_busy[name],
+                wait_cycles=self.resource_wait[name],
+            )
+            for name in self.resource_service_time
+        }
+        return CycleResult(makespan=makespan, threads=threads,
+                           resources=resources,
+                           cycles_executed=cycles_executed,
+                           grants=tuple(self.grant_log))

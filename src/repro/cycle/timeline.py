@@ -1,0 +1,111 @@
+"""Post-hoc timeline analysis of cycle-accurate runs.
+
+A run executed with ``record_grants=True`` carries every grant as a
+:class:`~repro.cycle.stats.GrantRecord`.  This module turns that log
+into the time-series views used to *validate* the repository's
+burstiness claims against ground truth (rather than against the
+zero-contention approximation of :mod:`repro.workloads.analysis`):
+
+* :func:`utilization_series` — measured resource busy fraction per
+  window;
+* :func:`queue_depth_series` — mean number of requests waiting per
+  window (sampled from request/grant intervals);
+* :func:`wait_series` — mean per-access wait per window of grant time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .stats import CycleResult
+
+
+def _select(result: CycleResult, resource: Optional[str]):
+    if not result.grants:
+        raise ValueError(
+            "no grant log: run the engine with record_grants=True"
+        )
+    return [g for g in result.grants
+            if resource is None or g.resource == resource]
+
+
+def _window_count(makespan: int, window: int) -> int:
+    return max(1, -(-max(1, makespan) // window))  # ceil div
+
+
+def utilization_series(result: CycleResult, window: int = 1_000,
+                       resource: Optional[str] = None) -> List[float]:
+    """Measured busy fraction of the resource per time window."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window!r}")
+    grants = _select(result, resource)
+    windows = _window_count(result.makespan, window)
+    busy = [0.0] * windows
+    for grant in grants:
+        start = grant.grant_time
+        end = grant.completion_time
+        index = start // window
+        while index < windows and index * window < end:
+            lo = max(start, index * window)
+            hi = min(end, (index + 1) * window)
+            if hi > lo:
+                busy[index] += hi - lo
+            index += 1
+    return [value / window for value in busy]
+
+
+def queue_depth_series(result: CycleResult, window: int = 1_000,
+                       resource: Optional[str] = None) -> List[float]:
+    """Mean number of waiting requests per time window.
+
+    Integrates each access's waiting interval ``[request, grant)`` over
+    the windows it spans, divided by the window width — i.e. the
+    time-average queue length, the quantity queueing formulas predict.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window!r}")
+    grants = _select(result, resource)
+    windows = _window_count(result.makespan, window)
+    waiting = [0.0] * windows
+    for grant in grants:
+        start = grant.request_time
+        end = grant.grant_time
+        if end <= start:
+            continue
+        index = start // window
+        while index < windows and index * window < end:
+            lo = max(start, index * window)
+            hi = min(end, (index + 1) * window)
+            if hi > lo:
+                waiting[index] += hi - lo
+            index += 1
+    return [value / window for value in waiting]
+
+
+def wait_series(result: CycleResult, window: int = 1_000,
+                resource: Optional[str] = None) -> List[float]:
+    """Mean per-access wait per window (by grant time); 0 if no grants."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window!r}")
+    grants = _select(result, resource)
+    windows = _window_count(result.makespan, window)
+    totals = [0.0] * windows
+    counts = [0] * windows
+    for grant in grants:
+        index = min(grant.grant_time // window, windows - 1)
+        totals[index] += grant.wait
+        counts[index] += 1
+    return [totals[i] / counts[i] if counts[i] else 0.0
+            for i in range(windows)]
+
+
+def per_thread_waits(result: CycleResult,
+                     resource: Optional[str] = None) -> Dict[str, float]:
+    """Mean wait per access, per thread (from the grant log)."""
+    grants = _select(result, resource)
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for grant in grants:
+        totals[grant.thread] = totals.get(grant.thread, 0.0) + grant.wait
+        counts[grant.thread] = counts.get(grant.thread, 0) + 1
+    return {name: totals[name] / counts[name] for name in totals}

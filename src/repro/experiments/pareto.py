@@ -1,0 +1,73 @@
+"""Pareto-front utilities for design-space exploration results.
+
+Design sweeps produce points with competing objectives (makespan vs.
+cost vs. power); the designer wants the non-dominated set.  These
+helpers are deliberately tiny and generic: a point is any object, and
+objectives are extracted by callables (all minimized — negate a value
+to maximize it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+Point = TypeVar("Point")
+Objective = Callable[[Point], float]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether objective vector ``a`` dominates ``b`` (all <=, one <)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have equal length")
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b))
+
+
+def pareto_front(points: Sequence[Point],
+                 objectives: Sequence[Objective]) -> List[Point]:
+    """The non-dominated subset of ``points`` (all objectives minimized).
+
+    Order-stable: survivors keep their input order.  Duplicate
+    objective vectors all survive (none strictly dominates another).
+    """
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    vectors: List[Tuple[float, ...]] = [
+        tuple(objective(point) for objective in objectives)
+        for point in points
+    ]
+    front: List[Point] = []
+    for index, point in enumerate(points):
+        dominated = any(
+            dominates(vectors[other], vectors[index])
+            for other in range(len(points)) if other != index
+        )
+        if not dominated:
+            front.append(point)
+    return front
+
+
+def knee_point(points: Sequence[Point],
+               objectives: Sequence[Objective]) -> Point:
+    """A balanced pick from the Pareto front.
+
+    Normalizes each objective over the front to [0, 1] and returns the
+    front point minimizing the normalized objective sum — the usual
+    "knee" heuristic when the designer has no explicit weights.
+    """
+    front = pareto_front(points, objectives)
+    vectors = [[objective(point) for objective in objectives]
+               for point in front]
+    spans = []
+    for axis in range(len(objectives)):
+        values = [vector[axis] for vector in vectors]
+        low, high = min(values), max(values)
+        spans.append((low, (high - low) or 1.0))
+
+    def normalized_sum(vector):
+        return sum((value - low) / span
+                   for value, (low, span) in zip(vector, spans))
+
+    best_index = min(range(len(front)),
+                     key=lambda i: normalized_sum(vectors[i]))
+    return front[best_index]

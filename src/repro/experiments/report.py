@@ -1,0 +1,79 @@
+"""ASCII table and series rendering for experiment output.
+
+No plotting dependencies: every figure is reproduced as the series of
+numbers behind it, rendered as an aligned table plus (for the figures)
+a rough unicode sparkline so the shape is visible in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Tiny unicode bar chart of a numeric series."""
+    finite = [v for v in values if v == v and v not in (float("inf"),)]
+    if not finite:
+        return ""
+    low, high = min(finite), max(finite)
+    span = high - low
+    out = []
+    for value in values:
+        if value != value or value == float("inf"):
+            out.append("?")
+            continue
+        if span <= 0:
+            out.append(_BLOCKS[0])
+            continue
+        index = int((value - low) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[index])
+    return "".join(out)
+
+
+def series_block(name: str, xs: Sequence[object],
+                 series: Sequence[tuple]) -> str:
+    """Render one figure: x values plus named y series with sparklines.
+
+    ``series`` is a list of ``(label, values)`` pairs.
+    """
+    headers = ["x"] + [label for label, _ in series]
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x] + [values[index] for _, values in series])
+    lines = [format_table(headers, rows, title=name)]
+    for label, values in series:
+        lines.append(f"  {label:>12s} {sparkline(list(values))}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)

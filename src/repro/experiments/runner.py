@@ -1,0 +1,129 @@
+"""Run one workload through all three estimators and compare.
+
+The paper's evaluation protocol, packaged: the cycle-accurate engine is
+ground truth; the hybrid (MESH) kernel and the whole-run analytical
+model are the contestants; the figures report queueing cycles (or the
+percentage of execution time spent queueing) and the error of each
+contestant against ground truth.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..analytical import characterize, estimate_queueing
+from ..contention.base import ContentionModel
+from ..cycle import EventEngine, SteppedEngine
+from ..workloads.to_mesh import run_hybrid
+from ..workloads.trace import Workload
+
+ESTIMATORS = ("iss", "mesh", "analytical")
+
+
+def percent_error(value: float, reference: float) -> float:
+    """Absolute percent error of ``value`` against ``reference``.
+
+    Returns 0 when both are (near) zero and ``inf`` when only the
+    reference is zero, so error aggregation never divides by zero.
+    """
+    if abs(reference) < 1e-9:
+        return 0.0 if abs(value) < 1e-9 else float("inf")
+    return 100.0 * abs(value - reference) / abs(reference)
+
+
+@dataclass(frozen=True)
+class EstimatorRun:
+    """One estimator's outcome on one workload."""
+
+    estimator: str
+    queueing_cycles: float
+    percent_queueing: float
+    wall_seconds: float
+    #: Engine-specific result object (CycleResult / SimulationResult /
+    #: WholeRunEstimate) for deeper inspection.
+    detail: object = field(repr=False, default=None)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """All estimators on one workload, with errors vs ground truth."""
+
+    runs: Dict[str, EstimatorRun]
+
+    def queueing(self, estimator: str) -> float:
+        """Queueing cycles reported by one estimator."""
+        return self.runs[estimator].queueing_cycles
+
+    def error(self, estimator: str, reference: str = "iss") -> float:
+        """Percent error of ``estimator`` against ``reference``."""
+        return percent_error(self.queueing(estimator),
+                             self.queueing(reference))
+
+    def speedup(self, fast: str = "mesh", slow: str = "iss") -> float:
+        """Wall-clock ratio ``slow / fast``."""
+        fast_time = self.runs[fast].wall_seconds
+        if fast_time <= 0:
+            return float("inf")
+        return self.runs[slow].wall_seconds / fast_time
+
+
+def run_comparison(workload: Workload,
+                   model: Optional[ContentionModel] = None,
+                   min_timeslice: float = 0.0,
+                   annotation: str = "phase",
+                   iss_engine: str = "event",
+                   include: Sequence[str] = ESTIMATORS) -> Comparison:
+    """Evaluate ``workload`` with every requested estimator.
+
+    Parameters
+    ----------
+    model:
+        Contention model shared by the hybrid and analytical estimators
+        (the paper applies the *same* Chen-Lin model both ways).
+    iss_engine:
+        ``"event"`` (fast, exact) or ``"stepped"`` (the honest per-cycle
+        loop used for runtime comparisons).
+    """
+    # One busy-time basis for every estimator's percentage: the
+    # characterized zero-contention execution cycles (excluding idle),
+    # identical to the cycle engines' compute+service total.
+    busy_reference = sum(p.busy_cycles
+                         for p in characterize(workload).values())
+
+    def as_percent(queueing: float) -> float:
+        if busy_reference <= 0:
+            return 0.0
+        return 100.0 * queueing / busy_reference
+
+    runs: Dict[str, EstimatorRun] = {}
+    for estimator in include:
+        if estimator == "iss":
+            engine_cls = (SteppedEngine if iss_engine == "stepped"
+                          else EventEngine)
+            start = time.perf_counter()
+            result = engine_cls(workload).run()
+            elapsed = time.perf_counter() - start
+            queueing = float(result.queueing_cycles)
+        elif estimator == "mesh":
+            start = time.perf_counter()
+            result = run_hybrid(workload, model=model,
+                                min_timeslice=min_timeslice,
+                                annotation=annotation)
+            elapsed = time.perf_counter() - start
+            queueing = result.queueing_cycles
+        elif estimator == "analytical":
+            start = time.perf_counter()
+            result = estimate_queueing(workload, model=model)
+            elapsed = time.perf_counter() - start
+            queueing = result.queueing_cycles
+        else:
+            raise ValueError(f"unknown estimator {estimator!r}; "
+                             f"choose from {ESTIMATORS}")
+        runs[estimator] = EstimatorRun(
+            estimator=estimator,
+            queueing_cycles=queueing,
+            percent_queueing=as_percent(queueing),
+            wall_seconds=elapsed, detail=result)
+    return Comparison(runs=runs)

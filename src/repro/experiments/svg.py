@@ -1,0 +1,165 @@
+"""Minimal SVG line charts — figures without plotting dependencies.
+
+The environment has no matplotlib; reviewers still want figures.  This
+module emits self-contained SVG line charts (axes, ticks, legend,
+series) from plain Python data.  The figure benches write one next to
+each text artifact under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+#: Color-blind-safe categorical palette.
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#56B4E9",
+           "#E69F00")
+
+Series = Tuple[str, Sequence[float]]
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> List[float]:
+    """Roughly ``count`` round tick values spanning [low, high]."""
+    if high <= low:
+        return [low]
+    span = high - low
+    raw_step = span / max(1, count - 1)
+    magnitude = 10 ** int(f"{raw_step:e}".split("e")[1])
+    for factor in (1, 2, 2.5, 5, 10):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    first = int(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + step * 0.5:
+        if value >= low - step * 0.5:
+            ticks.append(value)
+        value += step
+    return ticks or [low]
+
+
+def _format_tick(value: float) -> str:
+    if abs(value) >= 10_000:
+        return f"{value:,.0f}"
+    if value == int(value):
+        return f"{int(value)}"
+    return f"{value:g}"
+
+
+def line_chart_svg(title: str, xs: Sequence[float],
+                   series: Sequence[Series],
+                   width: int = 640, height: int = 360,
+                   x_label: str = "", y_label: str = "") -> str:
+    """Render an SVG line chart as a string.
+
+    ``xs`` are shared by every series; non-finite y values break the
+    polyline at that point.
+    """
+    if not xs or not series:
+        raise ValueError("need at least one x value and one series")
+    margin_left, margin_right = 64, 16
+    margin_top, margin_bottom = 36, 48
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    finite = [v for _, values in series for v in values
+              if v == v and abs(v) != float("inf")]
+    y_low = min(0.0, min(finite)) if finite else 0.0
+    y_high = max(finite) if finite else 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = float(min(xs)), float(max(xs))
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    def sx(x: float) -> float:
+        return margin_left + (x - x_low) / (x_high - x_low) * plot_w
+
+    def sy(y: float) -> float:
+        return (margin_top
+                + (1.0 - (y - y_low) / (y_high - y_low)) * plot_h)
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">')
+    parts.append(f'<rect width="{width}" height="{height}" '
+                 f'fill="white"/>')
+    parts.append(f'<text x="{width / 2}" y="18" text-anchor="middle" '
+                 f'font-size="13">{escape(title)}</text>')
+
+    # Axes and ticks.
+    axis = (f'M {margin_left} {margin_top} V {margin_top + plot_h} '
+            f'H {margin_left + plot_w}')
+    parts.append(f'<path d="{axis}" fill="none" stroke="#333"/>')
+    for tick in _nice_ticks(y_low, y_high):
+        y = sy(tick)
+        parts.append(f'<line x1="{margin_left - 4}" y1="{y:.1f}" '
+                     f'x2="{margin_left + plot_w}" y2="{y:.1f}" '
+                     f'stroke="#ddd"/>')
+        parts.append(f'<text x="{margin_left - 8}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">'
+                     f'{escape(_format_tick(tick))}</text>')
+    for tick in _nice_ticks(x_low, x_high):
+        x = sx(tick)
+        parts.append(f'<line x1="{x:.1f}" y1="{margin_top + plot_h}" '
+                     f'x2="{x:.1f}" y2="{margin_top + plot_h + 4}" '
+                     f'stroke="#333"/>')
+        parts.append(f'<text x="{x:.1f}" '
+                     f'y="{margin_top + plot_h + 18}" '
+                     f'text-anchor="middle">'
+                     f'{escape(_format_tick(tick))}</text>')
+    if x_label:
+        parts.append(f'<text x="{margin_left + plot_w / 2}" '
+                     f'y="{height - 8}" text-anchor="middle">'
+                     f'{escape(x_label)}</text>')
+    if y_label:
+        parts.append(f'<text x="14" y="{margin_top + plot_h / 2}" '
+                     f'text-anchor="middle" transform="rotate(-90 14 '
+                     f'{margin_top + plot_h / 2})">'
+                     f'{escape(y_label)}</text>')
+
+    # Series polylines and markers.
+    for index, (label, values) in enumerate(series):
+        color = PALETTE[index % len(PALETTE)]
+        points = []
+        for x, y in zip(xs, values):
+            if y != y or abs(y) == float("inf"):
+                points.append(None)
+            else:
+                points.append((sx(float(x)), sy(float(y))))
+        segment: List[str] = []
+        for point in points + [None]:
+            if point is None:
+                if len(segment) >= 2:
+                    parts.append(
+                        f'<polyline points="{" ".join(segment)}" '
+                        f'fill="none" stroke="{color}" '
+                        f'stroke-width="2"/>')
+                segment = []
+            else:
+                segment.append(f"{point[0]:.1f},{point[1]:.1f}")
+                parts.append(f'<circle cx="{point[0]:.1f}" '
+                             f'cy="{point[1]:.1f}" r="2.5" '
+                             f'fill="{color}"/>')
+        # Legend entry.
+        legend_y = margin_top + 14 * index
+        legend_x = margin_left + plot_w - 120
+        parts.append(f'<line x1="{legend_x}" y1="{legend_y}" '
+                     f'x2="{legend_x + 18}" y2="{legend_y}" '
+                     f'stroke="{color}" stroke-width="2"/>')
+        parts.append(f'<text x="{legend_x + 24}" y="{legend_y + 4}">'
+                     f'{escape(str(label))}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_line_chart(path: str, title: str, xs: Sequence[float],
+                    series: Sequence[Series], **kwargs) -> None:
+    """Write :func:`line_chart_svg` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(line_chart_svg(title, xs, series, **kwargs))
+        handle.write("\n")

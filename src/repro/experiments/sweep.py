@@ -1,0 +1,135 @@
+"""Generic multi-seed parameter sweeps with statistical aggregation.
+
+Randomized workload generators make single runs noisy; every serious
+comparison should report mean and spread over seeds.  This module
+provides the sweep scaffolding used by the Figure 6 reproduction and
+available for custom studies::
+
+    def factory(idle, seed):
+        return phm_workload(idle_fractions=(0.06, idle), seed=seed)
+
+    points = run_sweep(factory, xs=[0.0, 0.5, 0.9], seeds=range(5))
+    for point in points:
+        print(point.x, point.error("mesh").mean,
+              point.error("analytical").mean)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..contention.base import ContentionModel
+from ..workloads.trace import Workload
+from .runner import ESTIMATORS, run_comparison
+
+#: Two-sided 95% normal quantile for the CI helper.
+_Z95 = 1.96
+
+
+@dataclass(frozen=True)
+class SweepStat:
+    """Summary statistics of one metric over seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the normal-approximation 95% CI of the mean."""
+        if self.count <= 1:
+            return 0.0
+        return _Z95 * self.std / math.sqrt(self.count)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.ci95:.2f} (n={self.count})"
+
+
+def aggregate(values: Sequence[float]) -> SweepStat:
+    """Summarize a sample; infinities are dropped (and shrink ``count``)."""
+    finite = [v for v in values if v == v and abs(v) != float("inf")]
+    if not finite:
+        return SweepStat(mean=0.0, std=0.0, minimum=0.0, maximum=0.0,
+                         count=0)
+    mean = sum(finite) / len(finite)
+    variance = sum((v - mean) ** 2 for v in finite) / len(finite)
+    return SweepStat(mean=mean, std=math.sqrt(variance),
+                     minimum=min(finite), maximum=max(finite),
+                     count=len(finite))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """All estimators' aggregated metrics at one sweep coordinate."""
+
+    x: object
+    #: estimator -> aggregated queueing cycles.
+    queueing: Dict[str, SweepStat] = field(default_factory=dict)
+    #: estimator -> aggregated |error| vs the reference estimator.
+    errors: Dict[str, SweepStat] = field(default_factory=dict)
+
+    def error(self, estimator: str) -> SweepStat:
+        """Aggregated percent error of one estimator."""
+        return self.errors[estimator]
+
+
+def run_sweep(workload_factory: Callable[[object, int], Workload],
+              xs: Sequence[object],
+              seeds: Sequence[int] = (1, 2, 3),
+              model: Optional[ContentionModel] = None,
+              include: Sequence[str] = ESTIMATORS,
+              reference: str = "iss") -> List[SweepPoint]:
+    """Evaluate every estimator over an x-grid, aggregating over seeds.
+
+    ``workload_factory(x, seed)`` builds one scenario instance.  Errors
+    are computed against ``reference`` (which must be in ``include``).
+    """
+    if reference not in include:
+        raise ValueError(
+            f"reference {reference!r} must be included in {include!r}"
+        )
+    points: List[SweepPoint] = []
+    for x in xs:
+        queueing_samples: Dict[str, List[float]] = {
+            name: [] for name in include}
+        error_samples: Dict[str, List[float]] = {
+            name: [] for name in include if name != reference}
+        for seed in seeds:
+            workload = workload_factory(x, seed)
+            comparison = run_comparison(workload, model=model,
+                                        include=include)
+            for name in include:
+                queueing_samples[name].append(comparison.queueing(name))
+                if name != reference:
+                    error_samples[name].append(
+                        comparison.error(name, reference))
+        points.append(SweepPoint(
+            x=x,
+            queueing={name: aggregate(samples)
+                      for name, samples in queueing_samples.items()},
+            errors={name: aggregate(samples)
+                    for name, samples in error_samples.items()},
+        ))
+    return points
+
+
+def render_sweep(points: Sequence[SweepPoint], x_label: str = "x") -> str:
+    """Aligned table of mean ± CI errors per estimator."""
+    from .report import format_table
+
+    if not points:
+        return "(empty sweep)"
+    estimators = sorted(points[0].errors)
+    headers = [x_label] + [f"{name} err %" for name in estimators]
+    rows = []
+    for point in points:
+        row = [point.x]
+        for name in estimators:
+            stat = point.errors[name]
+            row.append(f"{stat.mean:.1f} ± {stat.ci95:.1f}")
+        rows.append(row)
+    return format_table(headers, rows, title="Sweep (mean ± 95% CI)")

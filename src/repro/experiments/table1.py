@@ -1,0 +1,82 @@
+"""Table 1 reproduction: simulation runtimes, MESH vs cycle-accurate.
+
+The paper's Table 1 lists wall-clock runtimes of the MESH hybrid
+simulation against the ISS for the FFT benchmark at both cache sizes,
+showing the hybrid "at least 100 times faster".  Here the honest
+per-cycle :class:`~repro.cycle.stepped.SteppedEngine` plays the ISS; the
+hybrid runs the same workloads through the Fig. 2 kernel.  Absolute
+seconds obviously differ from 2004 hardware; the deliverable is the
+ratio.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..cycle import SteppedEngine
+from ..workloads.fft import fft_workload
+from ..workloads.to_mesh import run_hybrid
+from .report import format_table
+
+DEFAULT_PROCS = (2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Wall-clock runtimes for one configuration."""
+
+    processors: int
+    cache_kb: int
+    mesh_seconds: float
+    iss_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """ISS runtime over MESH runtime."""
+        if self.mesh_seconds <= 0:
+            return float("inf")
+        return self.iss_seconds / self.mesh_seconds
+
+
+def run_table1(proc_counts: Sequence[int] = DEFAULT_PROCS,
+               cache_kbs: Sequence[int] = (512, 8),
+               points: int = 4096,
+               repeats: int = 1) -> List[Table1Row]:
+    """Measure hybrid vs cycle-stepped wall-clock on the FFT workloads.
+
+    ``repeats`` takes the best of N to damp scheduler noise.
+    """
+    rows: List[Table1Row] = []
+    for cache_kb in cache_kbs:
+        for processors in proc_counts:
+            workload = fft_workload(points=points, processors=processors,
+                                    cache_kb=cache_kb)
+            mesh_seconds = min(
+                _timed(lambda: run_hybrid(workload))
+                for _ in range(repeats))
+            iss_seconds = min(
+                _timed(lambda: SteppedEngine(workload).run())
+                for _ in range(repeats))
+            rows.append(Table1Row(processors=processors, cache_kb=cache_kb,
+                                  mesh_seconds=mesh_seconds,
+                                  iss_seconds=iss_seconds))
+    return rows
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Table-1-style text rendering."""
+    return format_table(
+        ["procs", "cache", "MESH (s)", "ISS (s)", "speedup"],
+        [[r.processors, f"{r.cache_kb}KB", f"{r.mesh_seconds:.4f}",
+          f"{r.iss_seconds:.3f}", f"{r.speedup:.0f}x"] for r in rows],
+        title=("Table 1 — simulation runtimes (paper: MESH >= 100x "
+               "faster than ISS)"),
+    )
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

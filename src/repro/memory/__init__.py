@@ -1,0 +1,18 @@
+"""Memory-hierarchy substrate: cache model and address-stream tooling.
+
+Used by the FFT workload generator to derive per-phase bus access counts
+from first principles (512KB vs 8KB caches produce the paper's two
+traffic regimes) instead of hard-coding them.
+"""
+
+from .addrgen import (row_walk, sequential, strided_block, transpose_walk,
+                      uniform_random)
+from .cache import Cache, CacheStats
+from .hierarchy import HierarchyProfile, MemoryHierarchy
+from .profile import StreamProfile, run_stream
+
+__all__ = [
+    "Cache", "CacheStats", "HierarchyProfile", "MemoryHierarchy",
+    "StreamProfile", "row_walk", "run_stream", "sequential",
+    "strided_block", "transpose_walk", "uniform_random",
+]

@@ -1,0 +1,80 @@
+"""Synthetic address-stream generators.
+
+Streams are iterables of ``(address, is_write)`` tuples fed to the cache
+model.  The FFT workload generator composes the matrix streams; the
+generic ones serve tests and custom workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Tuple
+
+Access = Tuple[int, bool]
+
+
+def sequential(base: int, count: int, stride: int = 4,
+               write: bool = False) -> Iterator[Access]:
+    """``count`` accesses from ``base`` with a fixed ``stride``."""
+    for i in range(count):
+        yield base + i * stride, write
+
+
+def strided_block(base: int, rows: int, cols: int, elem: int,
+                  row_major: bool = True,
+                  write: bool = False) -> Iterator[Access]:
+    """Walk a ``rows x cols`` matrix of ``elem``-byte entries.
+
+    ``row_major=False`` walks column-major over the same row-major
+    layout, i.e. with stride ``rows * elem`` — the classic
+    cache-hostile transpose pattern.
+    """
+    if row_major:
+        for r in range(rows):
+            for c in range(cols):
+                yield base + (r * cols + c) * elem, write
+    else:
+        for c in range(cols):
+            for r in range(rows):
+                yield base + (r * cols + c) * elem, write
+
+
+def uniform_random(base: int, span: int, count: int, rng: random.Random,
+                   elem: int = 4,
+                   write_fraction: float = 0.0) -> Iterator[Access]:
+    """``count`` accesses uniformly random in ``[base, base + span)``."""
+    slots = max(1, span // elem)
+    for _ in range(count):
+        offset = rng.randrange(slots) * elem
+        yield base + offset, rng.random() < write_fraction
+
+
+def row_walk(base: int, row: int, cols: int, elem: int, passes: int = 1,
+             write_last_pass: bool = True) -> Iterator[Access]:
+    """Sweep one matrix row ``passes`` times (an in-place row kernel).
+
+    All passes read; the final pass also writes each element back, the
+    pattern of an in-place FFT butterfly stage over one row.
+    """
+    row_base = base + row * cols * elem
+    for pass_index in range(passes):
+        is_last = pass_index == passes - 1
+        for c in range(cols):
+            address = row_base + c * elem
+            yield address, False
+            if is_last and write_last_pass:
+                yield address, True
+
+
+def transpose_walk(src: int, dst: int, my_rows: range, cols: int,
+                   elem: int) -> Iterator[Access]:
+    """One processor's share of a blocked matrix transpose.
+
+    For each destination row ``r`` owned by this processor, read source
+    column ``r`` (stride ``cols * elem`` — spread across every other
+    processor's partition) and write destination row ``r`` sequentially.
+    """
+    for r in my_rows:
+        for c in range(cols):
+            yield src + (c * cols + r) * elem, False   # read column
+            yield dst + (r * cols + c) * elem, True    # write own row

@@ -1,0 +1,183 @@
+"""Set-associative cache model.
+
+The paper's two cache configurations (512KB and 8KB) change the SPLASH-2
+FFT benchmark's bus traffic — and thereby how bursty contention is.  We
+reproduce that mechanism rather than hard-coding access counts: the FFT
+workload generator runs each phase's address stream through this model
+and converts misses and write-backs into bus accesses.
+
+The model is a classic write-back, write-allocate, LRU, physically-
+indexed cache.  An ``invalidate_range`` operation approximates coherence:
+when another processor writes a region, the lines a processor holds from
+that region must be re-fetched — this is what keeps transpose
+(communication) phases bus-heavy even with a large cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Tuple
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass
+class CacheStats:
+    """Mutable counters for one cache instance."""
+
+    reads: int = 0
+    writes: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total CPU-side accesses."""
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        """Total line fills."""
+        return self.read_misses + self.write_misses
+
+    @property
+    def bus_accesses(self) -> int:
+        """Bus transactions generated: line fills plus write-backs."""
+        return self.misses + self.writebacks
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per CPU access."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative write-back cache with LRU replacement.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity; must be ``line_bytes * associativity * sets`` with
+        a power-of-two set count.
+    line_bytes:
+        Line size in bytes (power of two).
+    associativity:
+        Ways per set.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 32,
+                 associativity: int = 4):
+        if not _is_power_of_two(line_bytes):
+            raise ValueError(f"line size must be a power of two, "
+                             f"got {line_bytes}")
+        if associativity < 1:
+            raise ValueError(f"associativity must be >= 1, "
+                             f"got {associativity}")
+        if size_bytes % (line_bytes * associativity):
+            raise ValueError(
+                f"capacity {size_bytes} is not divisible by "
+                f"line*associativity ({line_bytes}*{associativity})"
+            )
+        sets = size_bytes // (line_bytes * associativity)
+        if not _is_power_of_two(sets):
+            raise ValueError(f"set count must be a power of two, got {sets}")
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = sets
+        self._line_shift = line_bytes.bit_length() - 1
+        self._set_mask = sets - 1
+        # Per set: OrderedDict tag -> dirty flag; LRU at the front.
+        self._sets: Tuple[OrderedDict, ...] = tuple(
+            OrderedDict() for _ in range(sets))
+        self.stats = CacheStats()
+
+    # -- lookup ------------------------------------------------------------
+
+    def _locate(self, address: int) -> Tuple[OrderedDict, int]:
+        line = address >> self._line_shift
+        return self._sets[line & self._set_mask], line
+
+    def access(self, address: int, write: bool = False) -> bool:
+        """Perform one CPU access; returns ``True`` on a hit."""
+        ways, tag = self._locate(address)
+        if write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        if tag in ways:
+            ways.move_to_end(tag)
+            if write:
+                ways[tag] = True
+            return True
+        # Miss: allocate, possibly evicting the LRU way.
+        if write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        if len(ways) >= self.associativity:
+            _, dirty = ways.popitem(last=False)
+            if dirty:
+                self.stats.writebacks += 1
+        ways[tag] = write
+        return False
+
+    def read(self, address: int) -> bool:
+        """CPU load; returns hit flag."""
+        return self.access(address, write=False)
+
+    def write(self, address: int) -> bool:
+        """CPU store (write-allocate); returns hit flag."""
+        return self.access(address, write=True)
+
+    # -- coherence approximation --------------------------------------------
+
+    def invalidate_range(self, start: int, end: int) -> int:
+        """Drop every cached line overlapping ``[start, end)``.
+
+        Models another processor writing the region: our copies become
+        stale and the next read must re-fetch over the bus.  Dirty lines
+        are dropped without write-back (the writer owns the data now).
+        Returns the number of lines invalidated.
+        """
+        first = start >> self._line_shift
+        last = (max(start, end - 1)) >> self._line_shift
+        dropped = 0
+        for ways in self._sets:
+            stale = [tag for tag in ways if first <= tag <= last]
+            for tag in stale:
+                del ways[tag]
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def flush(self) -> int:
+        """Write back and drop everything; returns write-back count."""
+        writebacks = 0
+        for ways in self._sets:
+            for tag, dirty in ways.items():
+                if dirty:
+                    writebacks += 1
+            ways.clear()
+        self.stats.writebacks += writebacks
+        return writebacks
+
+    # -- introspection -------------------------------------------------------
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is resident."""
+        ways, tag = self._locate(address)
+        return tag in ways
+
+    def resident_lines(self) -> int:
+        """Number of lines currently cached."""
+        return sum(len(ways) for ways in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Cache({self.size_bytes}B, line={self.line_bytes}, "
+                f"assoc={self.associativity}, sets={self.num_sets})")

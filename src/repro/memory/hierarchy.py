@@ -1,0 +1,138 @@
+"""Two-level memory hierarchy: private L1 caches over a shared L2.
+
+The paper's shared resources are "shared memory, the interconnect
+between processing elements, and I/O interfaces".  The FFT generator
+models the interconnect (L1 misses hitting one bus); this module adds
+the next level of realism: every processor owns a private L1, misses go
+to a *shared L2 port* (itself a contended resource), and L2 misses go
+on to the *memory bus* — producing per-thread traffic counts for two
+shared resources from one address stream.
+
+Use it to build two-resource workloads::
+
+    hierarchy = MemoryHierarchy(l1_kb=4, l2_kb=128)
+    profile = hierarchy.run_stream("cpu0", stream)
+    phase_l2  = Phase(work=w/2, accesses=profile.l2_accesses,
+                      resource="l2")
+    phase_mem = Phase(work=w/2, accesses=profile.mem_accesses,
+                      resource="membus", burst=hierarchy.line_beats)
+
+(L2-miss line fills are naturally burst transfers: a whole cache line
+moves per transaction.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from .cache import Cache
+
+Access = Tuple[int, bool]
+
+
+@dataclass(frozen=True)
+class HierarchyProfile:
+    """Traffic one stream generated at each level."""
+
+    accesses: int
+    l1_misses: int
+    #: Transactions reaching the shared L2 port (L1 misses + L1
+    #: write-backs).
+    l2_accesses: int
+    #: Transactions reaching the memory bus (L2 misses + L2
+    #: write-backs), each a full line transfer.
+    mem_accesses: int
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1 misses per CPU access."""
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+
+class MemoryHierarchy:
+    """Private per-thread L1 caches sharing one L2.
+
+    Parameters
+    ----------
+    l1_kb, l2_kb:
+        Capacities.  The shared L2 is a single cache observing every
+        thread's miss stream (interleaved in call order — an
+        approximation of true temporal interleaving that is exact for
+        disjoint working sets and conservative for shared ones).
+    line_bytes, l1_assoc, l2_assoc:
+        Geometry.
+    membus_beats:
+        Beats per memory-bus transaction (one cache line), exposed as
+        :attr:`line_beats` for building burst phases.
+    """
+
+    def __init__(self, l1_kb: int = 4, l2_kb: int = 128,
+                 line_bytes: int = 32, l1_assoc: int = 2,
+                 l2_assoc: int = 8, membus_beats: int = None):
+        self.line_bytes = line_bytes
+        self.l1_kb = l1_kb
+        self.l1_assoc = l1_assoc
+        self.l2 = Cache(l2_kb * 1024, line_bytes=line_bytes,
+                        associativity=l2_assoc)
+        self._l1: Dict[str, Cache] = {}
+        #: Beats per line transfer on the memory bus (defaults to the
+        #: line size in 4-byte beats).
+        self.line_beats = (membus_beats if membus_beats is not None
+                           else max(1, line_bytes // 4))
+
+    def l1_for(self, thread: str) -> Cache:
+        """The (lazily created) private L1 of one thread."""
+        if thread not in self._l1:
+            self._l1[thread] = Cache(self.l1_kb * 1024,
+                                     line_bytes=self.line_bytes,
+                                     associativity=self.l1_assoc)
+        return self._l1[thread]
+
+    def run_stream(self, thread: str,
+                   stream: Iterable[Access]) -> HierarchyProfile:
+        """Feed a stream through ``thread``'s L1 and the shared L2.
+
+        Returns the traffic the stream generated at each level; state
+        (both L1 and L2 contents) persists across calls so phased
+        workloads see warm caches.
+        """
+        l1 = self.l1_for(thread)
+        accesses = 0
+        l1_misses = 0
+        l2_accesses = 0
+        mem_accesses = 0
+        for address, is_write in stream:
+            accesses += 1
+            l1_wb_before = l1.stats.writebacks
+            hit = l1.access(address, write=is_write)
+            if hit:
+                continue
+            l1_misses += 1
+            # The line fill goes to the shared L2...
+            l2_accesses += 1
+            l2_wb_before = self.l2.stats.writebacks
+            l2_hit = self.l2.access(address, write=False)
+            if not l2_hit:
+                mem_accesses += 1  # line fill from memory
+            mem_accesses += self.l2.stats.writebacks - l2_wb_before
+            # ...and any dirty L1 victim is written back into the L2.
+            l1_writebacks = l1.stats.writebacks - l1_wb_before
+            l2_accesses += l1_writebacks
+            for _ in range(l1_writebacks):
+                # Victim address is unknown post-hoc; charge the L2
+                # port without disturbing its contents (the victim line
+                # is very likely still resident in the larger L2).
+                pass
+        return HierarchyProfile(accesses=accesses, l1_misses=l1_misses,
+                                l2_accesses=l2_accesses,
+                                mem_accesses=mem_accesses)
+
+    def invalidate_shared(self, start: int, end: int,
+                          except_thread: str = None) -> None:
+        """Coherence approximation: a write by one thread invalidates
+        the region in every *other* thread's L1 (the shared L2 keeps
+        the data)."""
+        for name, l1 in self._l1.items():
+            if name != except_thread:
+                l1.invalidate_range(start, end)

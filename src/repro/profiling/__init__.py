@@ -1,0 +1,25 @@
+"""Profiling-based annotation: from real Python code to consume values.
+
+Implements the paper's §3 annotation workflow — "values associated with
+consume calls can be derived from techniques such as profiling" — for
+host-Python software models:
+
+* :class:`ComplexityTracer` counts executed source lines (abstract
+  computational complexity, data-dependent by construction);
+* :class:`TrackedBuffer` / :class:`AccessRecorder` observe the code's
+  memory behavior, filtered through :class:`repro.memory.Cache` into
+  bus transactions;
+* :class:`PhaseProfiler` packages profiled code blocks into annotated
+  :class:`~repro.workloads.trace.Phase` lists ready for any estimator.
+
+See ``examples/annotate_real_code.py`` for the full loop on a real FFT.
+"""
+
+from .annotate import PhaseProfiler
+from .memory import AccessRecorder, TrackedBuffer
+from .tracer import ComplexityTracer, TraceResult, trace_complexity
+
+__all__ = [
+    "AccessRecorder", "ComplexityTracer", "PhaseProfiler", "TraceResult",
+    "TrackedBuffer", "trace_complexity",
+]

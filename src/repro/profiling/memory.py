@@ -1,0 +1,119 @@
+"""Tracked buffers: observing a real algorithm's memory behavior.
+
+To derive a consume annotation's *access* counts from real code, wrap
+the code's data in :class:`TrackedBuffer` — a list-like container that
+records every element read and write as an ``(address, is_write)``
+pair.  Replaying the recorded stream through a
+:class:`repro.memory.Cache` turns raw accesses into bus transactions,
+exactly the pipeline the FFT workload generator uses synthetically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..memory import Cache
+
+Access = Tuple[int, bool]
+
+
+class AccessRecorder:
+    """Append-only sink for memory accesses with phase marking."""
+
+    def __init__(self) -> None:
+        self.accesses: List[Access] = []
+        self._marks: List[int] = [0]
+
+    def record(self, address: int, write: bool) -> None:
+        """Append one access."""
+        self.accesses.append((address, write))
+
+    def mark(self) -> None:
+        """Close the current phase (subsequent accesses start a new one)."""
+        self._marks.append(len(self.accesses))
+
+    def phase_slices(self) -> List[List[Access]]:
+        """Accesses grouped by the marks placed so far."""
+        bounds = self._marks + [len(self.accesses)]
+        return [self.accesses[lo:hi]
+                for lo, hi in zip(bounds, bounds[1:])]
+
+    def replay_through(self, cache: Cache,
+                       accesses: Optional[Iterable[Access]] = None) -> int:
+        """Feed accesses through ``cache``; return bus transactions.
+
+        Defaults to the full recording; pass one phase's slice to get
+        per-phase traffic.
+        """
+        stream = self.accesses if accesses is None else accesses
+        before = cache.stats.bus_accesses
+        for address, write in stream:
+            cache.access(address, write=write)
+        return cache.stats.bus_accesses - before
+
+    def clear(self) -> None:
+        """Drop everything recorded so far."""
+        self.accesses.clear()
+        self._marks = [0]
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+
+class TrackedBuffer:
+    """A fixed-length list recording element accesses by address.
+
+    Parameters
+    ----------
+    data:
+        Initial contents (or an integer length, zero-filled).
+    recorder:
+        Where accesses are reported.
+    elem_bytes:
+        Bytes per element (address stride).
+    base:
+        Base address of the buffer in the simulated address space;
+        allocate disjoint buffers at disjoint bases.
+    """
+
+    def __init__(self, data, recorder: AccessRecorder,
+                 elem_bytes: int = 8, base: int = 0):
+        if isinstance(data, int):
+            self._data = [0.0] * data
+        else:
+            self._data = list(data)
+        self.recorder = recorder
+        self.elem_bytes = int(elem_bytes)
+        self.base = int(base)
+
+    def address_of(self, index: int) -> int:
+        """Simulated address of element ``index``."""
+        if index < 0:
+            index += len(self._data)
+        return self.base + index * self.elem_bytes
+
+    def __getitem__(self, index: int):
+        if isinstance(index, slice):
+            raise TypeError("TrackedBuffer does not support slicing; "
+                            "index elements so accesses are observable")
+        self.recorder.record(self.address_of(index), write=False)
+        return self._data[index]
+
+    def __setitem__(self, index: int, value) -> None:
+        if isinstance(index, slice):
+            raise TypeError("TrackedBuffer does not support slicing; "
+                            "index elements so accesses are observable")
+        self.recorder.record(self.address_of(index), write=True)
+        self._data[index] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def end(self) -> int:
+        """First address past the buffer (for allocating the next one)."""
+        return self.base + len(self._data) * self.elem_bytes
+
+    def untracked(self) -> List:
+        """A plain copy of the contents (no access recording)."""
+        return list(self._data)

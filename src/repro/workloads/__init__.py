@@ -1,0 +1,62 @@
+"""Workload generators and the shared workload IR.
+
+The IR (:mod:`repro.workloads.trace`) describes platform and per-thread
+behavior once; lowering functions target each estimator: the cycle
+engines (:mod:`repro.cycle.program`), the hybrid kernel
+(:mod:`repro.workloads.to_mesh`), and the analytical baseline
+(:mod:`repro.analytical.characterize`).
+
+Generators:
+
+* :mod:`repro.workloads.fft` — the SPLASH-2-FFT-shaped benchmark with
+  cache-derived bus traffic (paper section 5.1);
+* :mod:`repro.workloads.mibench` / :mod:`repro.workloads.phm` — the
+  MiBench kernel mix on a heterogeneous 2-processor PHM SoC (paper
+  section 5.2);
+* :mod:`repro.workloads.synthetic` — uniform/bursty/random shapes for
+  tests and ablations.
+"""
+
+from .fft import FFTConfig, fft_workload
+from .lu import lu_workload
+from .mibench import (ADPCM, ALL_KERNELS, BLOWFISH, DIJKSTRA, GSM_ENCODE,
+                      JPEG_ENCODE, KERNELS, MP3_ENCODE, SHA, SUSAN,
+                      KernelSpec, blowfish_kernel, gsm_encode_kernel,
+                      kernel_phases, mp3_encode_kernel)
+from .io import (load_workload, save_workload, workload_from_dict,
+                 workload_to_dict)
+from .noc import (Flow, hotspot_flows, link_name, link_penalties,
+                  noc_workload, uniform_flows, xy_route)
+from .phm import interleave_with_idle, kernel_mix, phm_workload
+from .smp import smp_workload
+from .synthetic import (bursty_thread, bursty_workload, random_thread,
+                        random_workload, uniform_thread, uniform_workload)
+from .analysis import (WorkloadReport, balance_index, burstiness_index,
+                       demand_series, recommend_estimator)
+from .synthetic import critical_section_workload
+from .to_mesh import ANNOTATION_POLICIES, build_kernel, run_hybrid
+from .transform import (inject_idle, scale_platform, scale_traffic,
+                        scale_work)
+from .trace import (BarrierOp, IdleOp, LockOp, Phase, ProcessorSpec,
+                    ResourceSpec, ThreadTrace, TraceItem, UnlockOp,
+                    Workload, expand_phase, thread_salt)
+
+__all__ = [
+    "ADPCM", "ALL_KERNELS", "ANNOTATION_POLICIES", "BLOWFISH",
+    "BarrierOp", "DIJKSTRA", "FFTConfig", "GSM_ENCODE", "IdleOp",
+    "JPEG_ENCODE", "KERNELS", "KernelSpec", "LockOp", "SHA", "SUSAN",
+    "MP3_ENCODE", "Phase", "ProcessorSpec", "ResourceSpec", "ThreadTrace",
+    "TraceItem", "UnlockOp", "Workload", "WorkloadReport",
+    "balance_index", "blowfish_kernel", "build_kernel", "bursty_thread",
+    "bursty_workload", "burstiness_index", "critical_section_workload",
+    "demand_series", "expand_phase", "fft_workload", "gsm_encode_kernel",
+    "Flow", "hotspot_flows", "interleave_with_idle", "kernel_mix",
+    "kernel_phases", "link_name", "link_penalties", "noc_workload",
+    "uniform_flows", "xy_route",
+    "load_workload", "lu_workload", "mp3_encode_kernel", "phm_workload", "random_thread",
+    "random_workload", "save_workload", "workload_from_dict",
+    "workload_to_dict",
+    "inject_idle", "recommend_estimator", "run_hybrid",
+    "scale_platform", "scale_traffic", "scale_work", "smp_workload",
+    "thread_salt", "uniform_thread", "uniform_workload",
+]

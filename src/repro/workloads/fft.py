@@ -1,0 +1,190 @@
+"""SPLASH-2-FFT-shaped workload generator (paper section 5.1).
+
+The paper chose the SPLASH-2 FFT "because it exhibited irregular shared
+bus behavior over time": the six-step FFT alternates barrier-separated
+*transpose* phases (all-to-all communication, bus-heavy) with *row FFT*
+phases (local computation, bus-light with a large cache).  The purely
+analytical model averages over these regimes and mispredicts; the hybrid
+model, with annotations at the barriers, tracks them.
+
+This generator rebuilds that structure from first principles:
+
+* the N-point data set is a ``sqrt(N) x sqrt(N)`` matrix of 16-byte
+  complex doubles, row-partitioned over the processors;
+* each processor owns a private cache (:class:`repro.memory.Cache`,
+  512KB or 8KB in the paper's two configurations);
+* each phase's address stream (column reads + row writes for transpose,
+  multi-pass row sweeps for the butterfly stages) runs through the cache,
+  and the misses + write-backs become the phase's bus access count;
+* coherence is approximated by invalidating remotely-written ranges
+  before each transpose (every other processor just rewrote the source
+  matrix), which is what keeps communication phases bus-heavy even with
+  a cache that holds the whole working set;
+* compute work per phase follows the classic operation counts
+  (``5 n log2 n`` for the butterflies, a few ops per element for the
+  transpose copy loop).
+
+With a 512KB cache the row phases run almost entirely out of cache and
+the traffic is strongly phase-bursty; with 8KB, capacity misses make
+every phase bus-active — the paper's two contrast regimes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..memory import Cache, run_stream
+from ..memory.addrgen import row_walk, transpose_walk
+from .trace import (BarrierOp, Phase, ProcessorSpec, ResourceSpec,
+                    ThreadTrace, Workload)
+
+#: Bytes per complex double element (matches SPLASH-2 FFT).
+ELEM_BYTES = 16
+#: Floating-point operations per point per butterfly pass.
+FFT_OPS_PER_POINT = 5.0
+#: Address-arithmetic + copy operations per element in a transpose.
+TRANSPOSE_OPS_PER_ELEM = 12.0
+
+
+@dataclass(frozen=True)
+class FFTConfig:
+    """Parameters of one FFT workload instance."""
+
+    points: int = 4096
+    processors: int = 4
+    cache_kb: int = 512
+    line_bytes: int = 32
+    associativity: int = 4
+    bus_service: float = 2.0
+    seed: int = 0
+
+    @property
+    def side(self) -> int:
+        """Matrix dimension ``sqrt(points)``."""
+        side = math.isqrt(self.points)
+        if side * side != self.points:
+            raise ValueError(
+                f"points must be a perfect square, got {self.points}"
+            )
+        return side
+
+    def validate(self) -> None:
+        """Check the configuration is realizable."""
+        side = self.side
+        if not (side > 0 and (side & (side - 1)) == 0):
+            raise ValueError(f"matrix side must be a power of two, "
+                             f"got {side}")
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+        if side % self.processors:
+            raise ValueError(
+                f"side {side} not divisible by {self.processors} "
+                f"processors"
+            )
+        if self.cache_kb <= 0:
+            raise ValueError("cache_kb must be positive")
+
+
+def fft_workload(points: int = 4096, processors: int = 4,
+                 cache_kb: int = 512, line_bytes: int = 32,
+                 associativity: int = 4, bus_service: float = 2.0,
+                 seed: int = 0) -> Workload:
+    """Build the six-step FFT workload for the given configuration.
+
+    Returns a :class:`~repro.workloads.trace.Workload` with one pinned
+    thread per processor and barrier-separated phases; the phases' bus
+    access counts come from per-processor cache simulation.
+    """
+    config = FFTConfig(points=points, processors=processors,
+                       cache_kb=cache_kb, line_bytes=line_bytes,
+                       associativity=associativity,
+                       bus_service=bus_service, seed=seed)
+    config.validate()
+    side = config.side
+    rows_per_proc = side // processors
+    log_side = int(math.log2(side))
+
+    # Memory map: matrix A, matrix B, contiguous, row-major.
+    matrix_bytes = points * ELEM_BYTES
+    base_a = 0
+    base_b = matrix_bytes
+
+    transpose_work = TRANSPOSE_OPS_PER_ELEM * rows_per_proc * side
+    fft_work = FFT_OPS_PER_POINT * rows_per_proc * side * log_side
+
+    threads: List[ThreadTrace] = []
+    for p in range(processors):
+        cache = Cache(cache_kb * 1024, line_bytes=line_bytes,
+                      associativity=associativity)
+        my_rows = range(p * rows_per_proc, (p + 1) * rows_per_proc)
+        items: List[object] = []
+        barrier_index = 0
+
+        def barrier():
+            nonlocal barrier_index
+            items.append(BarrierOp(f"fft_b{barrier_index}"))
+            barrier_index += 1
+
+        # The six-step structure: T(A->B), F(B), T(B->A), F(A), T(A->B).
+        steps = [("transpose", base_a, base_b), ("fft", base_b, None),
+                 ("transpose", base_b, base_a), ("fft", base_a, None),
+                 ("transpose", base_a, base_b)]
+        for step_index, (kind, src, dst) in enumerate(steps):
+            if kind == "transpose":
+                _invalidate_remote(cache, src, matrix_bytes, my_rows,
+                                   side)
+                stream = transpose_walk(src, dst, my_rows, side,
+                                        ELEM_BYTES)
+                profile = run_stream(cache, stream)
+                items.append(Phase(
+                    work=transpose_work,
+                    accesses=profile.bus_accesses,
+                    pattern="random",
+                    seed=config.seed * 1009 + step_index * 31 + p,
+                ))
+            else:
+                misses = 0
+                writebacks = 0
+                for row in my_rows:
+                    profile = run_stream(
+                        cache,
+                        row_walk(src, row, side, ELEM_BYTES,
+                                 passes=log_side))
+                    misses += profile.misses
+                    writebacks += profile.writebacks
+                items.append(Phase(
+                    work=fft_work,
+                    accesses=misses + writebacks,
+                    pattern="random",
+                    seed=config.seed * 1009 + step_index * 31 + p + 7,
+                ))
+            barrier()
+        threads.append(ThreadTrace(f"fft_p{p}", items,
+                                   affinity=f"cpu{p}"))
+
+    return Workload(
+        threads=threads,
+        processors=[ProcessorSpec(f"cpu{p}") for p in range(processors)],
+        resources=[ResourceSpec("bus", bus_service)],
+    )
+
+
+def _invalidate_remote(cache: Cache, base: int, matrix_bytes: int,
+                       my_rows: range, side: int) -> None:
+    """Invalidate the parts of a matrix other processors just wrote.
+
+    Before a transpose, every source row *not* owned by this processor
+    was last written remotely; coherence forces a re-fetch.
+    """
+    row_bytes = side * ELEM_BYTES
+    if len(my_rows) == 0:
+        cache.invalidate_range(base, base + matrix_bytes)
+        return
+    my_start = base + my_rows.start * row_bytes
+    my_end = base + my_rows.stop * row_bytes
+    if my_start > base:
+        cache.invalidate_range(base, my_start)
+    if my_end < base + matrix_bytes:
+        cache.invalidate_range(my_end, base + matrix_bytes)

@@ -1,0 +1,138 @@
+"""Workload (de)serialization: scenarios as JSON documents.
+
+A released modeling tool needs scenarios that live in files, not in
+Python: version-controlled platform descriptions that teammates run via
+``python -m repro simulate scenario.json``.  This module round-trips
+the entire workload IR through JSON-ready dictionaries with validation
+on the way in.
+
+Document shape::
+
+    {
+      "processors": [{"name": "cpu0", "power": 1.0}, ...],
+      "resources":  [{"name": "bus", "service_time": 4,
+                      "ports": 1}, ...],
+      "threads": [
+        {"name": "dsp", "affinity": "cpu0", "priority": 0,
+         "items": [
+            {"op": "phase", "work": 5000, "accesses": 80,
+             "resource": "bus", "pattern": "random", "seed": 1,
+             "burst": 1},
+            {"op": "barrier", "id": "sync0"},
+            {"op": "idle", "cycles": 2000},
+            {"op": "lock", "id": "m"},
+            {"op": "unlock", "id": "m"}
+         ]}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .trace import (BarrierOp, IdleOp, LockOp, Phase, ProcessorSpec,
+                    ResourceSpec, ThreadTrace, TraceItem, UnlockOp,
+                    Workload)
+
+
+def workload_to_dict(workload: Workload) -> Dict:
+    """Flatten a workload into a JSON-ready dictionary."""
+    return {
+        "processors": [{"name": p.name, "power": p.power}
+                       for p in workload.processors],
+        "resources": [{"name": r.name, "service_time": r.service_time,
+                       "ports": r.ports}
+                      for r in workload.resources],
+        "threads": [
+            {
+                "name": t.name,
+                "affinity": t.affinity,
+                "priority": t.priority,
+                "items": [_item_to_dict(item) for item in t.items],
+            }
+            for t in workload.threads
+        ],
+    }
+
+
+def workload_from_dict(data: Dict) -> Workload:
+    """Rebuild (and validate) a workload from its dictionary form."""
+    try:
+        processors = [ProcessorSpec(name=str(p["name"]),
+                                    power=float(p.get("power", 1.0)))
+                      for p in data["processors"]]
+        resources = [ResourceSpec(name=str(r["name"]),
+                                  service_time=float(
+                                      r.get("service_time", 1.0)),
+                                  ports=int(r.get("ports", 1)))
+                     for r in data.get("resources",
+                                       [{"name": "bus"}])]
+        threads = [
+            ThreadTrace(
+                name=str(t["name"]),
+                items=[_item_from_dict(item)
+                       for item in t.get("items", [])],
+                priority=int(t.get("priority", 0)),
+                affinity=t.get("affinity"),
+            )
+            for t in data["threads"]
+        ]
+    except KeyError as missing:
+        raise ValueError(f"scenario document missing field {missing}")
+    workload = Workload(threads=threads, processors=processors,
+                        resources=resources)
+    workload.validate_barriers()
+    workload.validate_locks()
+    return workload
+
+
+def save_workload(workload: Workload, path: str) -> None:
+    """Write a workload as a JSON scenario file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(workload_to_dict(workload), handle, indent=2)
+        handle.write("\n")
+
+
+def load_workload(path: str) -> Workload:
+    """Read a JSON scenario file into a validated workload."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return workload_from_dict(json.load(handle))
+
+
+def _item_to_dict(item: TraceItem) -> Dict:
+    if isinstance(item, Phase):
+        return {"op": "phase", "work": item.work,
+                "accesses": item.accesses, "resource": item.resource,
+                "pattern": item.pattern, "seed": item.seed,
+                "burst": item.burst}
+    if isinstance(item, BarrierOp):
+        return {"op": "barrier", "id": item.barrier_id}
+    if isinstance(item, IdleOp):
+        return {"op": "idle", "cycles": item.cycles}
+    if isinstance(item, LockOp):
+        return {"op": "lock", "id": item.lock_id}
+    if isinstance(item, UnlockOp):
+        return {"op": "unlock", "id": item.lock_id}
+    raise TypeError(f"unknown trace item {item!r}")  # pragma: no cover
+
+
+def _item_from_dict(data: Dict) -> TraceItem:
+    op = data.get("op")
+    if op == "phase":
+        return Phase(work=float(data.get("work", 0.0)),
+                     accesses=int(data.get("accesses", 0)),
+                     resource=str(data.get("resource", "bus")),
+                     pattern=str(data.get("pattern", "uniform")),
+                     seed=int(data.get("seed", 0)),
+                     burst=int(data.get("burst", 1)))
+    if op == "barrier":
+        return BarrierOp(barrier_id=str(data["id"]))
+    if op == "idle":
+        return IdleOp(cycles=float(data["cycles"]))
+    if op == "lock":
+        return LockOp(lock_id=str(data["id"]))
+    if op == "unlock":
+        return UnlockOp(lock_id=str(data["id"]))
+    raise ValueError(f"unknown scenario item op {op!r}")

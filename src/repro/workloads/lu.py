@@ -1,0 +1,168 @@
+"""SPLASH-2-LU-shaped workload: the paper's *regular* benchmark case.
+
+The paper chose FFT for its evaluation precisely because it misbehaves:
+"In the other SPLASH-2 benchmarks the Chen-Lin model performs well, as
+does the corresponding MESH model."  This generator provides one of
+those other benchmarks — blocked dense LU factorization — so that claim
+is testable here too.
+
+Structure (per factorization step ``k`` of an ``N x N`` matrix in
+``B x B`` blocks, block-cyclic ownership over processors):
+
+1. the owner of diagonal block ``(k,k)`` factors it;
+2. barrier; owners of perimeter blocks (row ``k`` and column ``k``)
+   update them against the diagonal block;
+3. barrier; every processor updates its share of the trailing
+   submatrix, reading the perimeter blocks (communication) and writing
+   its own blocks (local).
+
+Unlike FFT's alternating compute/transpose regimes, LU's per-step
+traffic shrinks *smoothly* as the trailing matrix shrinks and every
+processor's compute/communication mix stays similar — the steady,
+balanced behavior whole-run analytical models handle well.  Bus access
+counts come from per-processor cache simulation over the blocks each
+step touches, with remote blocks invalidated before reads (coherence),
+exactly as in :mod:`repro.workloads.fft`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..memory import Cache
+from ..memory.addrgen import sequential
+from .trace import (BarrierOp, Phase, ProcessorSpec, ResourceSpec,
+                    ThreadTrace, Workload)
+
+#: Bytes per matrix element (double precision).
+ELEM_BYTES = 8
+#: Floating-point work per element of a block operation.
+OPS_PER_ELEM = 2.0
+
+
+def _block_base(block_row: int, block_col: int, blocks: int,
+                block_elems: int) -> int:
+    """Address of a block (blocks stored contiguously, block-major)."""
+    index = block_row * blocks + block_col
+    return index * block_elems * ELEM_BYTES
+
+
+def _owner(block_row: int, block_col: int, processors: int) -> int:
+    """Block-cyclic owner of a block (the SPLASH-2 LU mapping)."""
+    return (block_row + block_col) % processors
+
+
+def lu_workload(matrix_blocks: int = 8, block_size: int = 16,
+                processors: int = 4, cache_kb: int = 64,
+                line_bytes: int = 32, bus_service: float = 2.0,
+                seed: int = 0) -> Workload:
+    """Build the blocked-LU workload.
+
+    Parameters
+    ----------
+    matrix_blocks:
+        Matrix dimension in blocks (``matrix_blocks**2`` blocks total).
+    block_size:
+        Elements per block side.
+    """
+    if matrix_blocks < 2:
+        raise ValueError("need at least a 2x2 block matrix")
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    block_elems = block_size * block_size
+    block_bytes = block_elems * ELEM_BYTES
+    block_work = OPS_PER_ELEM * block_elems
+    caches = [Cache(cache_kb * 1024, line_bytes=line_bytes,
+                    associativity=4) for _ in range(processors)]
+    items_by_proc: List[List[object]] = [[] for _ in range(processors)]
+    barrier_counter = 0
+
+    def read_block(cache: Cache, row: int, col: int, remote: bool) -> int:
+        base = _block_base(row, col, matrix_blocks, block_elems)
+        if remote:
+            cache.invalidate_range(base, base + block_bytes)
+        before = cache.stats.bus_accesses
+        for address, is_write in sequential(base, block_elems,
+                                            stride=ELEM_BYTES):
+            cache.access(address)
+        return cache.stats.bus_accesses - before
+
+    def write_block(cache: Cache, row: int, col: int) -> int:
+        base = _block_base(row, col, matrix_blocks, block_elems)
+        before = cache.stats.bus_accesses
+        for address, _ in sequential(base, block_elems,
+                                     stride=ELEM_BYTES):
+            cache.access(address, write=True)
+        return cache.stats.bus_accesses - before
+
+    def emit(proc: int, work: float, accesses: int, tag: int) -> None:
+        items_by_proc[proc].append(Phase(
+            work=max(work, 1.0), accesses=accesses, pattern="random",
+            seed=seed * 409 + tag))
+
+    def emit_barrier() -> None:
+        nonlocal barrier_counter
+        for proc in range(processors):
+            items_by_proc[proc].append(
+                BarrierOp(f"lu_b{barrier_counter}"))
+        barrier_counter += 1
+
+    tag = 0
+    for k in range(matrix_blocks):
+        # Step 1: diagonal factorization by its owner; other
+        # processors do bookkeeping-scale work.
+        diag_owner = _owner(k, k, processors)
+        for proc in range(processors):
+            if proc == diag_owner:
+                traffic = read_block(caches[proc], k, k, remote=False)
+                traffic += write_block(caches[proc], k, k)
+                emit(proc, block_work * block_size / 3.0, traffic,
+                     tag)
+            else:
+                emit(proc, block_work * 0.05, 0, tag)
+            tag += 1
+        emit_barrier()
+
+        # Step 2: perimeter updates (row k and column k blocks).
+        for proc in range(processors):
+            work = 0.0
+            traffic = 0
+            for j in range(k + 1, matrix_blocks):
+                for row, col in ((k, j), (j, k)):
+                    if _owner(row, col, processors) != proc:
+                        continue
+                    traffic += read_block(caches[proc], k, k,
+                                          remote=True)
+                    traffic += write_block(caches[proc], row, col)
+                    work += block_work * block_size / 2.0
+            emit(proc, max(work, block_work * 0.05), traffic, tag)
+            tag += 1
+        emit_barrier()
+
+        # Step 3: trailing-submatrix update (the dominant phase).
+        for proc in range(processors):
+            work = 0.0
+            traffic = 0
+            for i in range(k + 1, matrix_blocks):
+                for j in range(k + 1, matrix_blocks):
+                    if _owner(i, j, processors) != proc:
+                        continue
+                    traffic += read_block(caches[proc], i, k,
+                                          remote=True)
+                    traffic += read_block(caches[proc], k, j,
+                                          remote=True)
+                    traffic += write_block(caches[proc], i, j)
+                    work += block_work * block_size
+            emit(proc, max(work, block_work * 0.05), traffic, tag)
+            tag += 1
+        emit_barrier()
+
+    threads = [ThreadTrace(f"lu_p{proc}", items_by_proc[proc],
+                           affinity=f"cpu{proc}")
+               for proc in range(processors)]
+    return Workload(
+        threads=threads,
+        processors=[ProcessorSpec(f"cpu{proc}")
+                    for proc in range(processors)],
+        resources=[ResourceSpec("bus", bus_service)],
+    )

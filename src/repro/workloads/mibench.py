@@ -1,0 +1,148 @@
+"""MiBench-shaped application kernels (paper section 5.2).
+
+The paper extracts kernels "from GSM encoding (telecomm), blowfish
+encryption (security), and mp3 encoding (multimedia)" and notes that
+"all these kernels have uniform levels of shared resource accesses
+across their runtimes, making purely analytical approaches accurate when
+considering each kernel individually".  Running the real MiBench sources
+is neither possible offline nor necessary: what the experiment needs is
+a set of kernels that are (a) individually uniform-rate, (b) mutually
+*different* in rate, and (c) parameterizable in length.  The generators
+below provide exactly that, with compute/traffic ratios shaped on the
+published character of each benchmark:
+
+* **GSM encode** — LPC analysis + LTP filtering per 160-sample frame:
+  compute-dominated DSP with a moderate working set; moderate bus rate.
+* **Blowfish encrypt** — Feistel rounds over 8-byte blocks with S-boxes
+  that live in cache: very low bus rate, almost pure compute.
+* **MP3 encode** — polyphase filterbank + MDCT over PCM granules:
+  streaming input with a working set exceeding small caches; the highest
+  bus rate of the three.
+
+Every kernel returns a list of uniform :class:`Phase` objects (one per
+frame/block-group/granule) whose accesses use the ``random`` placement
+pattern, plus enough metadata for the PHM scenario builder to reason
+about activation lengths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .trace import Phase
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static shape of one application kernel.
+
+    ``work_per_unit`` is complexity per unit (frame/block/granule);
+    ``accesses_per_unit`` the mean bus accesses per unit; ``jitter`` the
+    relative spread applied per unit (data-dependent variation).
+    """
+
+    name: str
+    category: str
+    work_per_unit: float
+    accesses_per_unit: float
+    jitter: float = 0.10
+
+
+#: The three kernels used in the paper's PHM example.  Access rates are
+#: calibrated so a 2-processor mix lands in the paper's Figure 5 regime
+#: (a few percent of execution spent queueing at bus delays of 4-20
+#: cycles).
+GSM_ENCODE = KernelSpec(name="gsm_encode", category="telecomm",
+                        work_per_unit=1800.0, accesses_per_unit=60.0)
+BLOWFISH = KernelSpec(name="blowfish", category="security",
+                      work_per_unit=1400.0, accesses_per_unit=18.0)
+MP3_ENCODE = KernelSpec(name="mp3_encode", category="multimedia",
+                        work_per_unit=2600.0, accesses_per_unit=130.0)
+
+#: Additional MiBench-shaped kernels for richer mixes (the suite the
+#: paper draws from spans automotive/consumer/network/office/security/
+#: telecomm categories).
+JPEG_ENCODE = KernelSpec(name="jpeg_encode", category="consumer",
+                         work_per_unit=3200.0, accesses_per_unit=150.0,
+                         jitter=0.20)
+SHA = KernelSpec(name="sha", category="security",
+                 work_per_unit=1100.0, accesses_per_unit=34.0,
+                 jitter=0.05)
+DIJKSTRA = KernelSpec(name="dijkstra", category="network",
+                      work_per_unit=2000.0, accesses_per_unit=95.0,
+                      jitter=0.30)
+ADPCM = KernelSpec(name="adpcm", category="telecomm",
+                   work_per_unit=900.0, accesses_per_unit=40.0,
+                   jitter=0.05)
+SUSAN = KernelSpec(name="susan", category="automotive",
+                   work_per_unit=2800.0, accesses_per_unit=110.0,
+                   jitter=0.25)
+
+#: The kernels participating in the paper's PHM mix.
+KERNELS: Dict[str, KernelSpec] = {
+    spec.name: spec for spec in (GSM_ENCODE, BLOWFISH, MP3_ENCODE)
+}
+
+#: Every shipped kernel (extended catalog for custom scenarios).
+ALL_KERNELS: Dict[str, KernelSpec] = {
+    spec.name: spec
+    for spec in (GSM_ENCODE, BLOWFISH, MP3_ENCODE, JPEG_ENCODE, SHA,
+                 DIJKSTRA, ADPCM, SUSAN)
+}
+
+
+def kernel_phases(spec: KernelSpec, units: int,
+                  rng: random.Random) -> List[Phase]:
+    """Generate ``units`` uniform phases for one kernel activation.
+
+    Per-unit work and access counts vary by the kernel's jitter factor
+    (mimicking data-dependent behavior) but the *rate* stays uniform —
+    the property that makes whole-run analytical models accurate on a
+    kernel in isolation.
+    """
+    if units < 1:
+        raise ValueError(f"units must be >= 1, got {units!r}")
+    phases: List[Phase] = []
+    for _ in range(units):
+        scale = 1.0 + rng.uniform(-spec.jitter, spec.jitter)
+        work = spec.work_per_unit * scale
+        accesses = max(0, round(spec.accesses_per_unit * scale))
+        phases.append(Phase(work=work, accesses=accesses,
+                            pattern="random",
+                            seed=rng.getrandbits(30)))
+    return phases
+
+
+def gsm_encode_kernel(frames: int = 20,
+                      rng: random.Random = None) -> List[Phase]:
+    """GSM 06.10 full-rate encoder shape: one phase per speech frame."""
+    return kernel_phases(GSM_ENCODE, frames, rng or random.Random(0))
+
+
+def blowfish_kernel(block_groups: int = 20,
+                    rng: random.Random = None) -> List[Phase]:
+    """Blowfish CBC encrypt shape: one phase per group of blocks."""
+    return kernel_phases(BLOWFISH, block_groups, rng or random.Random(0))
+
+
+def mp3_encode_kernel(granules: int = 20,
+                      rng: random.Random = None) -> List[Phase]:
+    """MP3 (Lame-like) encoder shape: one phase per granule."""
+    return kernel_phases(MP3_ENCODE, granules, rng or random.Random(0))
+
+
+#: Name -> convenience generator, for configuration-driven scenarios.
+KERNEL_GENERATORS: Dict[str, Callable[..., List[Phase]]] = {
+    "gsm_encode": gsm_encode_kernel,
+    "blowfish": blowfish_kernel,
+    "mp3_encode": mp3_encode_kernel,
+}
+
+
+def busy_cycles(spec: KernelSpec, units: int, power: float,
+                service_time: float) -> float:
+    """Expected zero-contention duration of an activation (cycles)."""
+    return units * (spec.work_per_unit / power
+                    + spec.accesses_per_unit * service_time)

@@ -1,0 +1,164 @@
+"""Network-on-chip workloads: a 2D mesh of links as shared resources.
+
+The paper opens with SoCs built from "multiple processing units, shared
+resources, and networks-on-chip".  This generator models the NoC the
+same way the framework models every other shared resource: each
+directed mesh link is a :class:`~repro.workloads.trace.ResourceSpec`,
+and a packet traversing the network charges every link on its
+XY-routed path (store-and-forward at phase granularity — each hop is a
+burst transaction of the packet's flit count).
+
+Traffic patterns:
+
+* ``uniform`` — every node sends to a random distinct node (balanced
+  link load);
+* ``hotspot`` — every node sends to one sink, concentrating load on
+  the links entering it (the classic congested pattern where
+  average-rate analysis breaks).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .trace import (Phase, ProcessorSpec, ResourceSpec, ThreadTrace,
+                    Workload)
+
+Node = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One traffic flow: packets from ``src`` to ``dst`` every phase."""
+
+    src: Node
+    dst: Node
+    packets_per_phase: int = 8
+
+
+def link_name(a: Node, b: Node) -> str:
+    """Canonical name of the directed link from node ``a`` to ``b``."""
+    return f"link_{a[0]}_{a[1]}__{b[0]}_{b[1]}"
+
+
+def xy_route(src: Node, dst: Node) -> List[Tuple[Node, Node]]:
+    """Dimension-ordered (X then Y) route as a list of directed hops."""
+    hops: List[Tuple[Node, Node]] = []
+    x, y = src
+    while x != dst[0]:
+        nxt = (x + (1 if dst[0] > x else -1), y)
+        hops.append(((x, y), nxt))
+        x = nxt[0]
+    while y != dst[1]:
+        nxt = (x, y + (1 if dst[1] > y else -1))
+        hops.append(((x, y), nxt))
+        y = nxt[1]
+    return hops
+
+
+def uniform_flows(width: int, height: int, rng: random.Random,
+                  packets_per_phase: int = 8) -> List[Flow]:
+    """One flow per node to a random distinct destination."""
+    nodes = [(x, y) for x in range(width) for y in range(height)]
+    flows = []
+    for src in nodes:
+        dst = src
+        while dst == src:
+            dst = nodes[rng.randrange(len(nodes))]
+        flows.append(Flow(src=src, dst=dst,
+                          packets_per_phase=packets_per_phase))
+    return flows
+
+
+def hotspot_flows(width: int, height: int, sink: Node = None,
+                  packets_per_phase: int = 8) -> List[Flow]:
+    """Every node sends to one sink (default: the mesh center)."""
+    if sink is None:
+        sink = (width // 2, height // 2)
+    flows = []
+    for x in range(width):
+        for y in range(height):
+            if (x, y) != sink:
+                flows.append(Flow(src=(x, y), dst=sink,
+                                  packets_per_phase=packets_per_phase))
+    return flows
+
+
+def noc_workload(width: int = 3, height: int = 3,
+                 flows: Sequence[Flow] = None,
+                 pattern: str = "uniform",
+                 phases: int = 4,
+                 compute_work: float = 4_000.0,
+                 flit_beats: int = 4,
+                 link_service: float = 1.0,
+                 seed: int = 0) -> Workload:
+    """Build the mesh NoC workload.
+
+    Each node's core alternates local computation with sending its
+    flows' packets; a packet charges one burst transaction (of
+    ``flit_beats`` beats) on every link of its XY route, hop order
+    preserved as consecutive phases.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("mesh dimensions must be >= 1")
+    rng = random.Random(seed)
+    if flows is None:
+        if pattern == "uniform":
+            flows = uniform_flows(width, height, rng)
+        elif pattern == "hotspot":
+            flows = hotspot_flows(width, height)
+        else:
+            raise ValueError(
+                f"unknown pattern {pattern!r}; choose uniform or hotspot"
+            )
+
+    flows_by_src: Dict[Node, List[Flow]] = {}
+    used_links: Dict[str, bool] = {}
+    for flow in flows:
+        flows_by_src.setdefault(flow.src, []).append(flow)
+        for a, b in xy_route(flow.src, flow.dst):
+            used_links[link_name(a, b)] = True
+
+    threads: List[ThreadTrace] = []
+    for x in range(width):
+        for y in range(height):
+            node = (x, y)
+            name = f"core_{x}_{y}"
+            items: List[Phase] = []
+            for phase_index in range(phases):
+                items.append(Phase(
+                    work=compute_work, accesses=0,
+                    pattern="random",
+                    seed=seed * 101 + x * 17 + y * 5 + phase_index))
+                for flow in flows_by_src.get(node, []):
+                    route = xy_route(flow.src, flow.dst)
+                    hop_work = compute_work * 0.05
+                    for a, b in route:
+                        items.append(Phase(
+                            work=hop_work,
+                            accesses=flow.packets_per_phase,
+                            resource=link_name(a, b),
+                            burst=flit_beats,
+                            pattern="random",
+                            seed=(seed * 101 + x * 17 + y * 5
+                                  + phase_index + hash(link_name(a, b))
+                                  % 4096)))
+            threads.append(ThreadTrace(name, items,
+                                       affinity=f"tile_{x}_{y}"))
+
+    return Workload(
+        threads=threads,
+        processors=[ProcessorSpec(f"tile_{x}_{y}")
+                    for x in range(width) for y in range(height)],
+        resources=[ResourceSpec(link, link_service)
+                   for link in sorted(used_links)],
+    )
+
+
+def link_penalties(result) -> Dict[str, float]:
+    """Per-link queueing from a hybrid result (congestion map)."""
+    return {name: stats.penalty
+            for name, stats in result.resources.items()
+            if name.startswith("link_")}

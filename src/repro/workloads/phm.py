@@ -1,0 +1,130 @@
+"""PHM SoC scenario builder (paper section 5.2).
+
+The paper's second example runs MiBench kernels "sporadically ... in a
+random fashion on two heterogeneous processors mimicking data-dependent
+behavior", keeping the first processor busy (~6% idle) while the second
+is mostly idle (~90%), "an extreme case of unbalance, or burstiness in
+shared resource accesses".  The platform is a shared-bus 2-processor
+system built from an ARM and a Renesas M32R; we model the heterogeneity
+as computational powers 1.0 and 0.6.
+
+:func:`phm_workload` reproduces the construction: each processor gets
+one trace that randomly interleaves kernel activations with idle gaps
+sized to hit a target idle fraction.  Because the cycle engines need a
+static thread-per-processor mapping (like the paper's ISS), the software
+"scheduling" of kernels onto each core is part of the workload itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from .mibench import KERNELS, KernelSpec, busy_cycles, kernel_phases
+from .trace import (IdleOp, Phase, ProcessorSpec, ResourceSpec, ThreadTrace,
+                    TraceItem, Workload)
+
+#: Default heterogeneous platform: ARM-class and M32R-class cores.
+DEFAULT_POWERS = (1.0, 0.6)
+
+
+def kernel_mix(total_busy: float, power: float, service_time: float,
+               rng: random.Random,
+               kernels: Sequence[KernelSpec] = None,
+               units_range: Tuple[int, int] = (6, 18),
+               ) -> List[Tuple[KernelSpec, int]]:
+    """Pick random kernel activations totalling ~``total_busy`` cycles.
+
+    Returns ``(spec, units)`` pairs whose combined zero-contention
+    duration on a processor of the given ``power`` reaches the target.
+    """
+    pool = list(kernels) if kernels else list(KERNELS.values())
+    chosen: List[Tuple[KernelSpec, int]] = []
+    budget = total_busy
+    while budget > 0:
+        spec = pool[rng.randrange(len(pool))]
+        units = rng.randint(*units_range)
+        chosen.append((spec, units))
+        budget -= busy_cycles(spec, units, power, service_time)
+    return chosen
+
+
+def interleave_with_idle(activations: List[List[Phase]],
+                         idle_fraction: float,
+                         busy_total: float,
+                         rng: random.Random) -> List[TraceItem]:
+    """Insert idle gaps between activations to hit ``idle_fraction``.
+
+    The total idle time is ``busy * f / (1 - f)`` split randomly over the
+    gaps between (and after) activations, which produces the sporadic
+    activation pattern of user- or data-driven SoC workloads.
+    """
+    if not 0.0 <= idle_fraction < 1.0:
+        raise ValueError(
+            f"idle_fraction must be in [0, 1), got {idle_fraction!r}"
+        )
+    items: List[TraceItem] = []
+    total_idle = busy_total * idle_fraction / (1.0 - idle_fraction)
+    gaps = len(activations)
+    if gaps == 0 or total_idle <= 0:
+        for phases in activations:
+            items.extend(phases)
+        return items
+    # Random gap weights (Dirichlet-ish via exponentials).
+    weights = [rng.expovariate(1.0) for _ in range(gaps)]
+    weight_sum = sum(weights) or 1.0
+    for phases, weight in zip(activations, weights):
+        items.extend(phases)
+        gap = total_idle * weight / weight_sum
+        if gap >= 1.0:
+            items.append(IdleOp(cycles=gap))
+    return items
+
+
+def phm_workload(busy_cycles_target: float = 120_000.0,
+                 idle_fractions: Tuple[float, float] = (0.06, 0.90),
+                 powers: Tuple[float, float] = DEFAULT_POWERS,
+                 bus_service: float = 4.0,
+                 seed: int = 0,
+                 kernels: Optional[Sequence[KernelSpec]] = None,
+                 ) -> Workload:
+    """Build the paper's heterogeneous 2-processor PHM scenario.
+
+    Parameters
+    ----------
+    busy_cycles_target:
+        Approximate zero-contention busy time per processor; idle gaps
+        are added on top per ``idle_fractions``.
+    idle_fractions:
+        Idle fraction of each processor; the paper uses (0.06, 0.90) for
+        Figure 5 and sweeps the second value for Figure 6.
+    powers:
+        Computational power of the two cores (ARM-class, M32R-class).
+    bus_service:
+        Bus transfer latency in cycles (the Figure 5 sweep variable).
+    """
+    if len(idle_fractions) != len(powers):
+        raise ValueError("idle_fractions and powers must align")
+    rng = random.Random(seed)
+    threads: List[ThreadTrace] = []
+    for index, (idle_fraction, power) in enumerate(
+            zip(idle_fractions, powers)):
+        busy_target = busy_cycles_target * (1.0 - idle_fraction)
+        mix = kernel_mix(busy_target, power, bus_service, rng,
+                         kernels=kernels)
+        activations = [kernel_phases(spec, units, rng)
+                       for spec, units in mix]
+        busy_actual = sum(
+            phase.work / power + phase.accesses * bus_service
+            for phases in activations for phase in phases
+        )
+        items = interleave_with_idle(activations, idle_fraction,
+                                     busy_actual, rng)
+        threads.append(ThreadTrace(f"phm_cpu{index}", items,
+                                   affinity=f"cpu{index}"))
+    return Workload(
+        threads=threads,
+        processors=[ProcessorSpec(f"cpu{i}", power)
+                    for i, power in enumerate(powers)],
+        resources=[ResourceSpec("bus", bus_service)],
+    )

@@ -1,0 +1,194 @@
+"""Generic synthetic workload generators (tests, ablations, exploration).
+
+These produce the canonical traffic shapes used throughout the test
+suite and ablation benches: steady uniform streams (where whole-run
+analytical models are accurate), duty-cycled bursts (where they are
+not), and fully randomized traces for property-based testing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .trace import (BarrierOp, IdleOp, LockOp, Phase, ProcessorSpec,
+                    ResourceSpec, ThreadTrace, UnlockOp, Workload)
+
+
+def uniform_thread(name: str, phases: int, work: float, accesses: int,
+                   affinity: Optional[str] = None, seed: int = 0,
+                   resource: str = "bus") -> ThreadTrace:
+    """A steady-rate thread: identical phases with random placement."""
+    items = [Phase(work=work, accesses=accesses, resource=resource,
+                   pattern="random", seed=seed * 1009 + i)
+             for i in range(phases)]
+    return ThreadTrace(name, items, affinity=affinity)
+
+
+def bursty_thread(name: str, bursts: int, heavy_work: float,
+                  heavy_accesses: int, light_work: float,
+                  light_accesses: int, affinity: Optional[str] = None,
+                  seed: int = 0, barrier_prefix: Optional[str] = None,
+                  resource: str = "bus") -> ThreadTrace:
+    """Alternating heavy/light phases, optionally barrier-aligned.
+
+    With ``barrier_prefix`` set, a barrier follows every phase so
+    multiple bursty threads stay phase-locked — the worst case for
+    average-rate analytical models.
+    """
+    items: List[object] = []
+    for i in range(bursts):
+        heavy = i % 2 == 0
+        items.append(Phase(
+            work=heavy_work if heavy else light_work,
+            accesses=heavy_accesses if heavy else light_accesses,
+            resource=resource, pattern="random", seed=seed * 2003 + i))
+        if barrier_prefix is not None:
+            items.append(BarrierOp(f"{barrier_prefix}{i}"))
+    return ThreadTrace(name, items, affinity=affinity)
+
+
+def random_thread(name: str, rng: random.Random, max_items: int = 12,
+                  affinity: Optional[str] = None,
+                  resource: str = "bus",
+                  allow_idle: bool = True) -> ThreadTrace:
+    """A fully random trace for property-based tests (no barriers)."""
+    items: List[object] = []
+    for i in range(rng.randint(1, max_items)):
+        if allow_idle and rng.random() < 0.2:
+            items.append(IdleOp(cycles=rng.randint(0, 500)))
+        else:
+            items.append(Phase(
+                work=rng.randint(0, 2_000),
+                accesses=rng.randint(0, 40),
+                resource=resource,
+                pattern=rng.choice(["uniform", "front", "back", "random"]),
+                seed=rng.getrandbits(20)))
+    return ThreadTrace(name, items, affinity=affinity)
+
+
+def uniform_workload(threads: int = 2, phases: int = 8,
+                     work: float = 5_000.0, accesses: int = 60,
+                     bus_service: float = 4.0,
+                     seed: int = 0) -> Workload:
+    """Symmetric steady workload: one uniform thread per processor."""
+    return Workload(
+        threads=[uniform_thread(f"u{i}", phases, work, accesses,
+                                affinity=f"cpu{i}", seed=seed + i)
+                 for i in range(threads)],
+        processors=[ProcessorSpec(f"cpu{i}") for i in range(threads)],
+        resources=[ResourceSpec("bus", bus_service)],
+    )
+
+
+def bursty_workload(threads: int = 2, bursts: int = 10,
+                    heavy_work: float = 5_000.0, heavy_accesses: int = 400,
+                    light_work: float = 5_000.0, light_accesses: int = 10,
+                    bus_service: float = 4.0, seed: int = 0,
+                    barrier_locked: bool = True) -> Workload:
+    """Symmetric bursty workload with optional barrier phase-locking."""
+    prefix = "sync" if barrier_locked else None
+    return Workload(
+        threads=[bursty_thread(f"b{i}", bursts, heavy_work, heavy_accesses,
+                               light_work, light_accesses,
+                               affinity=f"cpu{i}", seed=seed + 31 * i,
+                               barrier_prefix=prefix)
+                 for i in range(threads)],
+        processors=[ProcessorSpec(f"cpu{i}") for i in range(threads)],
+        resources=[ResourceSpec("bus", bus_service)],
+    )
+
+
+def critical_section_workload(threads: int = 3, rounds: int = 8,
+                              open_work: float = 3_000.0,
+                              open_accesses: int = 40,
+                              cs_work: float = 800.0,
+                              cs_accesses: int = 30,
+                              bus_service: float = 4.0,
+                              seed: int = 0) -> Workload:
+    """Threads alternating open computation and a lock-guarded section.
+
+    Models the classic shared-data-structure pattern (e.g. a packet
+    queue): most work is parallel, but every round each thread enters a
+    mutex-protected critical section that both serializes execution
+    *and* concentrates bus traffic.  The whole-run analytical baseline
+    is blind to the serialization; the hybrid kernel and cycle engines
+    both observe it — the lock-aware companion to the paper's
+    idle-unbalance study.
+    """
+    trace_threads: List[ThreadTrace] = []
+    for index in range(threads):
+        items: List[object] = []
+        for round_index in range(rounds):
+            items.append(Phase(work=open_work, accesses=open_accesses,
+                               pattern="random",
+                               seed=seed * 7919 + index * 131
+                               + round_index))
+            items.append(LockOp("shared_state"))
+            items.append(Phase(work=cs_work, accesses=cs_accesses,
+                               pattern="random",
+                               seed=seed * 7919 + index * 131
+                               + round_index + 59))
+            items.append(UnlockOp("shared_state"))
+        trace_threads.append(ThreadTrace(f"cs{index}", items,
+                                         affinity=f"cpu{index}"))
+    return Workload(
+        threads=trace_threads,
+        processors=[ProcessorSpec(f"cpu{i}") for i in range(threads)],
+        resources=[ResourceSpec("bus", bus_service)],
+    )
+
+
+def dma_workload(cpu_threads: int = 2, cpu_phases: int = 8,
+                 cpu_work: float = 5_000.0, cpu_accesses: int = 80,
+                 dma_bytes_per_period: int = 64, dma_burst: int = 16,
+                 dma_period_work: float = 5_000.0,
+                 bus_service: float = 2.0, seed: int = 0) -> Workload:
+    """CPU word traffic plus a DMA engine doing burst transfers.
+
+    The DMA engine moves ``dma_bytes_per_period`` bus beats per period
+    in transactions of ``dma_burst`` beats each, so sweeping
+    ``dma_burst`` at fixed bandwidth isolates the *transaction length*
+    effect: longer bursts hold the bus longer per grant and stretch CPU
+    access latency even though total DMA demand is unchanged.
+    """
+    if dma_bytes_per_period % dma_burst:
+        raise ValueError(
+            f"dma_bytes_per_period ({dma_bytes_per_period}) must be a "
+            f"multiple of dma_burst ({dma_burst})"
+        )
+    threads: List[ThreadTrace] = [
+        uniform_thread(f"cpu{i}", cpu_phases, cpu_work, cpu_accesses,
+                       affinity=f"core{i}", seed=seed + i)
+        for i in range(cpu_threads)
+    ]
+    transfers = dma_bytes_per_period // dma_burst
+    dma_items = [Phase(work=dma_period_work, accesses=transfers,
+                       burst=dma_burst, pattern="random",
+                       seed=seed * 523 + i)
+                 for i in range(cpu_phases)]
+    threads.append(ThreadTrace("dma", dma_items, affinity="dma_engine"))
+    return Workload(
+        threads=threads,
+        processors=([ProcessorSpec(f"core{i}")
+                     for i in range(cpu_threads)]
+                    + [ProcessorSpec("dma_engine")]),
+        resources=[ResourceSpec("bus", bus_service)],
+    )
+
+
+def random_workload(rng: random.Random, max_threads: int = 4,
+                    bus_service: Optional[float] = None,
+                    powers: Optional[Sequence[float]] = None) -> Workload:
+    """A random pinned workload for cross-engine equivalence tests."""
+    count = rng.randint(1, max_threads)
+    if powers is None:
+        powers = [rng.choice([0.5, 0.6, 1.0, 1.5]) for _ in range(count)]
+    service = bus_service if bus_service else rng.randint(1, 8)
+    return Workload(
+        threads=[random_thread(f"r{i}", rng, affinity=f"cpu{i}")
+                 for i in range(count)],
+        processors=[ProcessorSpec(f"cpu{i}", powers[i])
+                    for i in range(count)],
+        resources=[ResourceSpec("bus", service)],
+    )

@@ -1,0 +1,136 @@
+"""Workload transformations for sensitivity studies.
+
+Design-space exploration rarely uses a workload as-is: the designer
+asks "what if traffic doubles?", "what if the code gets 20% faster?",
+"what if activations become sporadic?".  These pure functions derive
+modified workloads (originals are never mutated) so such questions
+become one-liners over any generator's output::
+
+    heavier = scale_traffic(workload, 2.0)
+    faster  = scale_work(workload, 0.8)
+    spiky   = inject_idle(workload, 0.5, rng)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from .trace import (IdleOp, Phase, ProcessorSpec, ThreadTrace, TraceItem,
+                    Workload)
+
+
+def _map_phases(workload: Workload,
+                fn: Callable[[str, Phase], Phase]) -> Workload:
+    threads: List[ThreadTrace] = []
+    for thread in workload.threads:
+        items: List[TraceItem] = []
+        for item in thread.items:
+            if isinstance(item, Phase):
+                items.append(fn(thread.name, item))
+            else:
+                items.append(item)
+        threads.append(ThreadTrace(thread.name, items,
+                                   priority=thread.priority,
+                                   affinity=thread.affinity))
+    return Workload(threads=threads,
+                    processors=list(workload.processors),
+                    resources=list(workload.resources))
+
+
+def scale_traffic(workload: Workload, factor: float,
+                  resource: Optional[str] = None) -> Workload:
+    """Multiply every phase's access count by ``factor``.
+
+    ``resource`` restricts the scaling to one shared resource.  Counts
+    round to the nearest integer (minimum 1 for phases that had any).
+    """
+    if factor < 0:
+        raise ValueError(f"factor must be >= 0, got {factor!r}")
+
+    def scale(thread_name: str, phase: Phase) -> Phase:
+        if resource is not None and phase.resource != resource:
+            return phase
+        if phase.accesses == 0:
+            return phase
+        scaled = max(1, round(phase.accesses * factor)) if factor > 0 \
+            else 0
+        return Phase(work=phase.work, accesses=scaled,
+                     resource=phase.resource, pattern=phase.pattern,
+                     seed=phase.seed, burst=phase.burst)
+
+    return _map_phases(workload, scale)
+
+
+def scale_work(workload: Workload, factor: float) -> Workload:
+    """Multiply every phase's computational work by ``factor``."""
+    if factor < 0:
+        raise ValueError(f"factor must be >= 0, got {factor!r}")
+
+    def scale(thread_name: str, phase: Phase) -> Phase:
+        return Phase(work=phase.work * factor, accesses=phase.accesses,
+                     resource=phase.resource, pattern=phase.pattern,
+                     seed=phase.seed, burst=phase.burst)
+
+    return _map_phases(workload, scale)
+
+
+def inject_idle(workload: Workload, idle_fraction: float,
+                rng: random.Random,
+                thread_names: Optional[List[str]] = None) -> Workload:
+    """Insert random idle gaps after phases to hit ``idle_fraction``.
+
+    The target fraction is of each affected thread's zero-contention
+    busy time (work at power 1 plus access service, approximated by
+    work alone when resources vary).  Use it to turn any steady
+    workload into the paper's sporadic-activation shape.
+    """
+    if not 0.0 <= idle_fraction < 1.0:
+        raise ValueError(
+            f"idle_fraction must be in [0, 1), got {idle_fraction!r}"
+        )
+    if idle_fraction == 0.0:
+        return _map_phases(workload, lambda _, phase: phase)
+    service_times = {spec.name: spec.service_time
+                     for spec in workload.resources}
+    threads: List[ThreadTrace] = []
+    for thread in workload.threads:
+        if thread_names is not None and thread.name not in thread_names:
+            threads.append(thread)
+            continue
+        busy = sum(p.work + p.accesses * p.burst
+                   * service_times.get(p.resource, 0.0)
+                   for p in thread.phases())
+        total_idle = busy * idle_fraction / (1.0 - idle_fraction)
+        phase_count = len(thread.phases()) or 1
+        weights = [rng.expovariate(1.0) for _ in range(phase_count)]
+        weight_sum = sum(weights) or 1.0
+        items: List[TraceItem] = []
+        weight_index = 0
+        for item in thread.items:
+            items.append(item)
+            if isinstance(item, Phase):
+                gap = total_idle * weights[weight_index] / weight_sum
+                weight_index += 1
+                if gap >= 1.0:
+                    items.append(IdleOp(cycles=gap))
+        threads.append(ThreadTrace(thread.name, items,
+                                   priority=thread.priority,
+                                   affinity=thread.affinity))
+    return Workload(threads=threads,
+                    processors=list(workload.processors),
+                    resources=list(workload.resources))
+
+
+def scale_platform(workload: Workload, power_factor: float) -> Workload:
+    """Multiply every processor's computational power by ``factor``."""
+    if power_factor <= 0:
+        raise ValueError(
+            f"power_factor must be > 0, got {power_factor!r}"
+        )
+    return Workload(
+        threads=list(workload.threads),
+        processors=[ProcessorSpec(p.name, p.power * power_factor)
+                    for p in workload.processors],
+        resources=list(workload.resources),
+    )

@@ -1,0 +1,13 @@
+"""Pytest fixtures for the test suite (helpers live in _helpers.py)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)

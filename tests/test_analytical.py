@@ -1,0 +1,141 @@
+"""Tests for characterization and the whole-run analytical baseline."""
+
+import pytest
+
+from repro.analytical import characterize, estimate_queueing
+from repro.contention import ChenLinModel, ConstantModel, NullModel
+from repro.workloads.synthetic import uniform_workload
+from repro.workloads.trace import (IdleOp, Phase, ProcessorSpec,
+                                   ResourceSpec, ThreadTrace, Workload)
+
+
+def workload(items_by_thread, powers=None, service=4):
+    names = sorted(items_by_thread)
+    if powers is None:
+        powers = {name: 1.0 for name in names}
+    return Workload(
+        threads=[ThreadTrace(name, items_by_thread[name],
+                             affinity=f"p{i}")
+                 for i, name in enumerate(names)],
+        processors=[ProcessorSpec(f"p{i}", powers[name])
+                    for i, name in enumerate(names)],
+        resources=[ResourceSpec("bus", service)],
+    )
+
+
+class TestCharacterize:
+    def test_busy_excludes_idle(self):
+        wl = workload({"a": [Phase(work=100, accesses=10),
+                             IdleOp(cycles=1000)]})
+        profile = characterize(wl)["a"]
+        assert profile.busy_cycles == pytest.approx(100 + 40)
+        assert profile.idle_cycles == pytest.approx(1000)
+
+    def test_power_scaling(self):
+        wl = workload({"a": [Phase(work=100)]}, powers={"a": 2.0})
+        assert characterize(wl)["a"].busy_cycles == pytest.approx(50)
+
+    def test_access_rate(self):
+        wl = workload({"a": [Phase(work=160, accesses=10)]})
+        profile = characterize(wl)["a"]
+        # rho = 10 * 4 / (160 + 40)
+        assert profile.access_rate("bus", 4) == pytest.approx(0.2)
+        assert profile.access_rate("dma", 4) == 0.0
+
+    def test_zero_busy_thread(self):
+        wl = workload({"a": []})
+        profile = characterize(wl)["a"]
+        assert profile.busy_cycles == 0
+        assert profile.access_rate("bus", 4) == 0.0
+
+
+class TestWholeRun:
+    def test_single_thread_no_queueing(self):
+        wl = workload({"a": [Phase(work=100, accesses=10)]})
+        estimate = estimate_queueing(wl)
+        assert estimate.queueing_cycles == 0.0
+
+    def test_symmetric_threads_symmetric_estimate(self):
+        wl = uniform_workload(threads=2, phases=4, work=5000, accesses=60)
+        estimate = estimate_queueing(wl)
+        values = list(estimate.per_thread.values())
+        assert values[0] == pytest.approx(values[1], rel=0.05)
+        assert estimate.queueing_cycles > 0
+
+    def test_blind_to_idle_gaps(self):
+        # Two workloads identical except thread b idles 90% of the
+        # time: the whole-run model must give (nearly) the same answer,
+        # because busy-rate characterization cannot see idleness.
+        base = {"a": [Phase(work=5000, accesses=100, pattern="random")],
+                "b": [Phase(work=5000, accesses=100, pattern="random")]}
+        idle = {"a": [Phase(work=5000, accesses=100, pattern="random")],
+                "b": [Phase(work=5000, accesses=100, pattern="random"),
+                      IdleOp(cycles=45_000)]}
+        dense = estimate_queueing(workload(base))
+        sparse = estimate_queueing(workload(idle))
+        assert dense.queueing_cycles == pytest.approx(
+            sparse.queueing_cycles, rel=1e-6)
+
+    def test_blind_to_phase_structure(self):
+        # Same totals, different distribution over time: identical
+        # whole-run estimates (the failure mode the paper exploits).
+        flat = {"a": [Phase(work=10_000, accesses=400)],
+                "b": [Phase(work=10_000, accesses=400)]}
+        bursty = {"a": [Phase(work=5_000, accesses=390),
+                        Phase(work=5_000, accesses=10)],
+                  "b": [Phase(work=5_000, accesses=10),
+                        Phase(work=5_000, accesses=390)]}
+        assert estimate_queueing(workload(flat)).queueing_cycles == \
+            pytest.approx(
+                estimate_queueing(workload(bursty)).queueing_cycles,
+                rel=1e-6)
+
+    def test_null_model_estimates_zero(self):
+        wl = uniform_workload()
+        assert estimate_queueing(
+            wl, model=NullModel()).queueing_cycles == 0.0
+
+    def test_per_resource_breakdown(self):
+        wl = Workload(
+            threads=[ThreadTrace("a", [Phase(work=100, accesses=10),
+                                       Phase(work=100, accesses=10,
+                                             resource="dma")],
+                                 affinity="p0"),
+                     ThreadTrace("b", [Phase(work=100, accesses=10),
+                                       Phase(work=100, accesses=10,
+                                             resource="dma")],
+                                 affinity="p1")],
+            processors=[ProcessorSpec("p0"), ProcessorSpec("p1")],
+            resources=[ResourceSpec("bus", 4), ResourceSpec("dma", 2)],
+        )
+        estimate = estimate_queueing(wl, model=ConstantModel(1.0))
+        assert set(estimate.per_resource) == {"bus", "dma"}
+        assert estimate.per_resource["bus"] > 0
+        assert estimate.per_resource["dma"] > 0
+        assert estimate.queueing_cycles == pytest.approx(
+            sum(estimate.per_thread.values()))
+
+    def test_percent_queueing(self):
+        wl = uniform_workload(threads=2)
+        estimate = estimate_queueing(wl)
+        expected = 100.0 * estimate.queueing_cycles / estimate.busy_cycles
+        assert estimate.percent_queueing() == pytest.approx(expected)
+        with pytest.raises(ValueError):
+            estimate.percent_queueing("bogus")
+
+    def test_empty_workload(self):
+        wl = workload({"a": []})
+        estimate = estimate_queueing(wl)
+        assert estimate.queueing_cycles == 0.0
+        assert estimate.percent_queueing() == 0.0
+
+    def test_accurate_on_uniform_workload(self):
+        # The paper's premise: on balanced steady workloads, the
+        # whole-run analytical model is close to ground truth.
+        from repro.cycle import EventEngine
+
+        wl = uniform_workload(threads=2, phases=8, work=10_000,
+                              accesses=250)
+        estimate = estimate_queueing(wl, model=ChenLinModel())
+        truth = EventEngine(wl).run().queueing_cycles
+        assert estimate.queueing_cycles == pytest.approx(truth, rel=0.35)

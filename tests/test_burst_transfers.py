@@ -1,0 +1,183 @@
+"""Burst (multi-beat) transfer support across the estimators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cycle import EventEngine, SteppedEngine
+from repro.experiments.runner import percent_error
+from repro.workloads.to_mesh import run_hybrid
+from repro.workloads.trace import (Phase, ProcessorSpec, ResourceSpec,
+                                   ThreadTrace, Workload, access_target)
+
+
+def burst_workload(burst, threads=2, accesses=1, work=0, service=4,
+                   pattern="front"):
+    return Workload(
+        threads=[ThreadTrace(f"t{i}",
+                             [Phase(work=work, accesses=accesses,
+                                    pattern=pattern, seed=i,
+                                    burst=burst)],
+                             affinity=f"p{i}")
+                 for i in range(threads)],
+        processors=[ProcessorSpec(f"p{i}") for i in range(threads)],
+        resources=[ResourceSpec("bus", service)],
+    )
+
+
+class TestAccessTarget:
+    def test_plain_resource(self):
+        assert access_target("bus") == ("bus", 1)
+
+    def test_tuple_form(self):
+        assert access_target(("dma", 8)) == ("dma", 8)
+
+    def test_invalid_burst_rejected(self):
+        with pytest.raises(ValueError):
+            Phase(work=1, accesses=1, burst=0)
+
+
+@pytest.mark.parametrize("engine_cls", [SteppedEngine, EventEngine])
+class TestCycleEngineBursts:
+    def test_burst_occupies_service_times_burst(self, engine_cls):
+        result = engine_cls(burst_workload(burst=8, threads=1)).run()
+        assert result.makespan == 32  # 8 beats * 4 cycles
+        assert result.threads["t0"].service_cycles == 32
+
+    def test_second_master_waits_full_burst(self, engine_cls):
+        result = engine_cls(burst_workload(burst=8, threads=2)).run()
+        waits = sorted(t.wait_cycles for t in result.threads.values())
+        assert waits == [0, 32]
+
+    def test_burst_is_one_arbitration_event(self, engine_cls):
+        result = engine_cls(burst_workload(burst=8, threads=1)).run()
+        assert result.resources["bus"].grants == 1
+
+    def test_mixed_bursts_serialize_correctly(self, engine_cls):
+        # A long DMA burst and a short CPU access issued together:
+        # FIFO serves the first requester (t0, the burst) first.
+        wl = Workload(
+            threads=[ThreadTrace("dma", [Phase(work=0, accesses=1,
+                                               pattern="front",
+                                               burst=16)],
+                                 affinity="p0"),
+                     ThreadTrace("cpu", [Phase(work=0, accesses=1,
+                                               pattern="front")],
+                                 affinity="p1")],
+            processors=[ProcessorSpec("p0"), ProcessorSpec("p1")],
+            resources=[ResourceSpec("bus", 2)],
+        )
+        result = engine_cls(wl).run()
+        assert result.threads["dma"].wait_cycles == 0
+        assert result.threads["cpu"].wait_cycles == 32
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       burst=st.integers(min_value=1, max_value=8))
+def test_burst_engines_identical(seed, burst):
+    rng = random.Random(seed)
+    threads = []
+    for index in range(3):
+        items = [Phase(work=rng.randint(0, 500),
+                       accesses=rng.randint(0, 10),
+                       pattern="random", seed=rng.getrandbits(16),
+                       burst=rng.randint(1, burst))
+                 for _ in range(3)]
+        threads.append(ThreadTrace(f"t{index}", items,
+                                   affinity=f"p{index}"))
+    wl = Workload(
+        threads=threads,
+        processors=[ProcessorSpec(f"p{i}") for i in range(3)],
+        resources=[ResourceSpec("bus", rng.randint(1, 4))],
+    )
+    stepped = SteppedEngine(wl).run()
+    event = EventEngine(wl).run()
+    assert stepped.makespan == event.makespan
+    assert stepped.queueing_cycles == event.queueing_cycles
+
+
+class TestHybridBursts:
+    def test_zero_contention_timeline_includes_burst_service(self):
+        from repro.contention import NullModel
+
+        wl = burst_workload(burst=8, threads=1, work=100,
+                            pattern="back")
+        mesh = run_hybrid(wl, model=NullModel())
+        truth = EventEngine(wl).run()
+        assert mesh.makespan == pytest.approx(truth.makespan)
+
+    def test_hybrid_tracks_burst_contention(self):
+        wl = burst_workload(burst=4, threads=3, accesses=40,
+                            work=4_000, pattern="random")
+        truth = EventEngine(wl).run()
+        mesh = run_hybrid(wl)
+        assert percent_error(mesh.queueing_cycles,
+                             truth.queueing_cycles) < 45.0
+
+    def test_burst_raises_contention_in_all_estimators(self):
+        from repro.analytical import estimate_queueing
+
+        thin = burst_workload(burst=1, threads=2, accesses=100,
+                              work=5_000, pattern="random")
+        thick = burst_workload(burst=4, threads=2, accesses=100,
+                               work=5_000, pattern="random")
+        assert (EventEngine(thick).run().queueing_cycles
+                > EventEngine(thin).run().queueing_cycles)
+        assert (run_hybrid(thick).queueing_cycles
+                > run_hybrid(thin).queueing_cycles)
+        assert (estimate_queueing(thick).queueing_cycles
+                > estimate_queueing(thin).queueing_cycles)
+
+    def test_transaction_length_effect_at_constant_bandwidth(self):
+        # Same total beats, longer transactions: every estimator must
+        # report more queueing (heterogeneous-service modeling), as the
+        # cycle engines measure.
+        from repro.analytical import estimate_queueing
+        from repro.workloads.synthetic import dma_workload
+
+        short = dma_workload(dma_burst=2, dma_bytes_per_period=64,
+                             seed=3)
+        long_ = dma_workload(dma_burst=32, dma_bytes_per_period=64,
+                             seed=3)
+        assert (EventEngine(long_).run().queueing_cycles
+                > EventEngine(short).run().queueing_cycles)
+        assert (run_hybrid(long_).queueing_cycles
+                > run_hybrid(short).queueing_cycles)
+        assert (estimate_queueing(long_).queueing_cycles
+                > estimate_queueing(short).queueing_cycles)
+
+    def test_mean_service_reaches_the_model(self):
+        # A burst region and a word region in the same slice: the
+        # model must see distinct per-thread mean service times.
+        from repro.contention import ContentionModel
+
+        seen = {}
+
+        class SpyModel(ContentionModel):
+            name = "spy"
+
+            def penalties(self, demand):
+                if demand.mean_service:
+                    seen.update(demand.mean_service)
+                return {}
+
+        wl = Workload(
+            threads=[ThreadTrace("dma", [Phase(work=100, accesses=4,
+                                               burst=8)],
+                                 affinity="p0"),
+                     ThreadTrace("cpu", [Phase(work=100, accesses=4)],
+                                 affinity="p1")],
+            processors=[ProcessorSpec("p0"), ProcessorSpec("p1")],
+            resources=[ResourceSpec("bus", 4)],
+        )
+        run_hybrid(wl, model=SpyModel())
+        assert seen.get("dma") == pytest.approx(32.0)  # 8 beats * 4
+        assert "cpu" not in seen  # defaults to the resource service
+
+    def test_dma_workload_validation(self):
+        from repro.workloads.synthetic import dma_workload
+
+        with pytest.raises(ValueError):
+            dma_workload(dma_burst=7, dma_bytes_per_period=64)

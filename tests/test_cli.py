@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig4_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.cache_kb == 512
+        assert args.points == 4096
+
+    def test_fig4_rejects_unknown_cache(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--cache-kb", "64"])
+
+    def test_calibrate_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["calibrate", "--model", "magic"])
+
+
+class TestCommands:
+    def test_fig4_tiny(self, capsys):
+        code = main(["fig4", "--cache-kb", "8", "--points", "1024",
+                     "--procs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "avg error" in out
+
+    def test_fig5_tiny(self, capsys):
+        code = main(["fig5", "--bus-delays", "4", "8"])
+        assert code == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_fig6_quick(self, capsys):
+        code = main(["fig6", "--quick"])
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_table1_tiny(self, capsys):
+        code = main(["table1", "--points", "1024", "--procs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "speedup" in out
+
+    def test_calibrate(self, capsys):
+        code = main(["calibrate", "--model", "md1", "--threads", "2"])
+        assert code == 0
+        assert "Calibration" in capsys.readouterr().out

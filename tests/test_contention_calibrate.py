@@ -1,0 +1,84 @@
+"""Tests for the model calibration harness — and, through it, the
+quantitative fidelity of every shipped queueing model."""
+
+import pytest
+
+from repro.contention import (ChenLinModel, MD1Model, MM1Model, NullModel,
+                              RoundRobinModel)
+from repro.contention.calibrate import (CalibrationPoint, calibrate_model,
+                                        max_relative_error,
+                                        render_calibration)
+
+
+class TestHarness:
+    def test_point_fields(self):
+        points = calibrate_model(ChenLinModel(), access_sweep=(30, 100))
+        assert len(points) == 2
+        for point in points:
+            assert point.rho_total == pytest.approx(
+                2 * point.rho_per_thread)
+            assert point.measured_wait >= 0.0
+            assert point.model_wait >= 0.0
+
+    def test_utilization_increases_along_sweep(self):
+        points = calibrate_model(ChenLinModel(),
+                                 access_sweep=(10, 100, 400))
+        rhos = [p.rho_total for p in points]
+        assert rhos == sorted(rhos)
+
+    def test_needs_two_threads(self):
+        with pytest.raises(ValueError):
+            calibrate_model(ChenLinModel(), threads=1)
+
+    def test_relative_error_edge_cases(self):
+        zero = CalibrationPoint(0.1, 0.2, 0.0, 0.0)
+        assert zero.relative_error == 0.0
+        phantom = CalibrationPoint(0.1, 0.2, 0.0, 1.0)
+        assert phantom.relative_error == float("inf")
+
+    def test_max_relative_error_filters_noise(self):
+        points = [CalibrationPoint(0.1, 0.2, 0.01, 1.0),   # tiny wait
+                  CalibrationPoint(0.2, 0.4, 1.0, 1.2)]
+        assert max_relative_error(points) == pytest.approx(0.2)
+
+    def test_render(self):
+        points = calibrate_model(ChenLinModel(), access_sweep=(60,))
+        text = render_calibration(ChenLinModel(), points)
+        assert "Calibration" in text
+        assert "rho/thread" in text
+
+
+class TestShippedModelFidelity:
+    """The repository's accuracy story rests on these bounds."""
+
+    def test_chenlin_within_35_percent_everywhere(self):
+        points = calibrate_model(ChenLinModel(), threads=2)
+        assert max_relative_error(points) < 0.35
+
+    def test_chenlin_many_threads(self):
+        points = calibrate_model(ChenLinModel(), threads=6)
+        assert max_relative_error(points) < 0.6
+
+    def test_md1_close_to_chenlin(self):
+        chenlin = calibrate_model(ChenLinModel(), threads=4)
+        md1 = calibrate_model(MD1Model(), threads=4)
+        for a, b in zip(chenlin, md1):
+            assert a.model_wait == pytest.approx(b.model_wait, rel=0.25)
+
+    def test_mm1_biased_high_at_low_load(self):
+        points = calibrate_model(MM1Model(), threads=2,
+                                 access_sweep=(30, 60, 100))
+        # Exponential-service assumption overestimates deterministic
+        # transfers at low load.
+        assert all(p.model_wait >= p.measured_wait * 0.9 for p in points)
+
+    def test_roundrobin_is_finite_under_saturation(self):
+        points = calibrate_model(RoundRobinModel(), threads=6,
+                                 access_sweep=(420,))
+        assert points[0].model_wait < 6 * 4.0  # < (N-1) * s bound
+
+    def test_null_model_fails_calibration(self):
+        # Sanity: the harness can tell a bad model from a good one.
+        points = calibrate_model(NullModel(), threads=4,
+                                 access_sweep=(160, 320))
+        assert max_relative_error(points) == pytest.approx(1.0)

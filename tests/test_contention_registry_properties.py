@@ -1,0 +1,119 @@
+"""Registry tests plus property-based contention model invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.contention import (ChenLinModel, ContentionModel, MD1Model,
+                              MM1Model, PriorityModel, RoundRobinModel,
+                              SliceDemand, available_models, make_model,
+                              register_model)
+
+QUEUE_MODELS = [ChenLinModel(), MM1Model(), MD1Model(), RoundRobinModel(),
+                PriorityModel()]
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        names = available_models()
+        for expected in ("chenlin", "mm1", "md1", "roundrobin", "priority",
+                         "constant", "null"):
+            assert expected in names
+
+    def test_make_model_by_name(self):
+        model = make_model("chenlin")
+        assert isinstance(model, ChenLinModel)
+
+    def test_make_model_passes_kwargs(self):
+        model = make_model("md1", rho_max=0.5)
+        assert model.rho_max == 0.5
+
+    def test_unknown_model_raises_with_hint(self):
+        with pytest.raises(KeyError) as excinfo:
+            make_model("does-not-exist")
+        assert "chenlin" in str(excinfo.value)
+
+    def test_register_custom_model(self):
+        class MyModel(ContentionModel):
+            name = "custom-test-model"
+
+            def penalties(self, demand):
+                return {}
+
+        register_model("custom-test-model", MyModel)
+        assert isinstance(make_model("custom-test-model"), MyModel)
+
+
+demand_strategy = st.builds(
+    lambda duration, service, counts: SliceDemand(
+        start=0.0, end=duration, service_time=service,
+        demands={f"t{i}": c for i, c in enumerate(counts)}),
+    duration=st.floats(min_value=0.0, max_value=10_000.0,
+                       allow_nan=False),
+    service=st.floats(min_value=0.5, max_value=32.0, allow_nan=False),
+    counts=st.lists(st.floats(min_value=0.0, max_value=2_000.0,
+                              allow_nan=False),
+                    min_size=1, max_size=6),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(demand=demand_strategy,
+       model_index=st.integers(0, len(QUEUE_MODELS) - 1))
+def test_penalties_always_valid(demand, model_index):
+    """Any demand: penalties nonnegative, finite, only for demanders."""
+    model = QUEUE_MODELS[model_index]
+    result = model.penalties(demand)
+    for name, penalty in result.items():
+        assert name in demand.demands
+        assert demand.demands[name] > 0
+        assert penalty >= 0.0
+        assert penalty == penalty
+        assert penalty != float("inf")
+
+
+@settings(max_examples=80, deadline=None)
+@given(demand=demand_strategy,
+       model_index=st.integers(0, len(QUEUE_MODELS) - 1))
+def test_hard_closed_bound(demand, model_index):
+    """No penalty can exceed a_i * (N-1) * s: the physical limit for
+    blocking masters (each access waits at most one access per other
+    master)."""
+    model = QUEUE_MODELS[model_index]
+    result = model.penalties(demand)
+    active = sum(1 for c in demand.demands.values() if c > 0)
+    for name, penalty in result.items():
+        bound = demand.demands[name] * demand.service_time * (active - 1)
+        # The absolute slack absorbs denormal rounding when hypothesis
+        # probes demands like 5e-324.
+        assert penalty <= bound * (1 + 1e-9) + 1e-300
+
+
+@settings(max_examples=80, deadline=None)
+@given(duration=st.floats(min_value=10.0, max_value=10_000.0,
+                          allow_nan=False),
+       service=st.floats(min_value=0.5, max_value=16.0, allow_nan=False),
+       a=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+       b=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+       scale=st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+       model_index=st.integers(0, len(QUEUE_MODELS) - 1))
+def test_monotone_in_other_demand(duration, service, a, b, scale,
+                                  model_index):
+    """Raising another thread's demand never lowers my penalty."""
+    model = QUEUE_MODELS[model_index]
+
+    def penalty_for(b_count):
+        demand = SliceDemand(start=0.0, end=duration,
+                             service_time=service,
+                             demands={"a": a, "b": b_count})
+        return model.penalties(demand).get("a", 0.0)
+
+    assert penalty_for(b * scale) >= penalty_for(b) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(demand=demand_strategy,
+       model_index=st.integers(0, len(QUEUE_MODELS) - 1))
+def test_models_are_pure(demand, model_index):
+    """Two evaluations of the same demand give identical penalties."""
+    model = QUEUE_MODELS[model_index]
+    assert model.penalties(demand) == model.penalties(demand)

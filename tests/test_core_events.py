@@ -1,0 +1,96 @@
+"""Unit tests for the thread-to-kernel protocol events."""
+
+import pytest
+
+from repro.core import (Barrier, ConditionVariable, Mutex, ProtocolError,
+                        Semaphore)
+from repro.core.events import (Acquire, BarrierWait, CondNotify, CondWait,
+                               Consume, Release, SemAcquire, SemRelease,
+                               Spawn, acquire, barrier_wait, cond_notify,
+                               cond_wait, consume, release, sem_acquire,
+                               sem_release, spawn)
+from repro.core.thread import LogicalThread
+
+
+class TestConsume:
+    def test_basic_fields(self):
+        event = consume(100.0, {"bus": 5})
+        assert event.complexity == 100.0
+        assert event.accesses == {"bus": 5}
+        assert event.extra_time == 0.0
+
+    def test_defaults_to_no_accesses(self):
+        event = consume(10)
+        assert event.accesses == {}
+
+    def test_complexity_is_floated(self):
+        assert isinstance(consume(3).complexity, float)
+
+    def test_extra_time(self):
+        assert consume(1, extra_time=7).extra_time == 7.0
+
+    def test_zero_complexity_allowed(self):
+        assert consume(0).complexity == 0.0
+
+    def test_negative_complexity_rejected(self):
+        with pytest.raises(ProtocolError):
+            consume(-1)
+
+    def test_negative_extra_time_rejected(self):
+        with pytest.raises(ProtocolError):
+            consume(1, extra_time=-0.5)
+
+    def test_negative_access_count_rejected(self):
+        with pytest.raises(ProtocolError):
+            consume(1, {"bus": -2})
+
+    def test_fractional_accesses_allowed(self):
+        assert consume(1, {"bus": 2.5}).accesses["bus"] == 2.5
+
+    def test_accesses_copied(self):
+        source = {"bus": 1}
+        event = consume(1, source)
+        source["bus"] = 99
+        assert event.accesses["bus"] == 1
+
+
+class TestSyncEventConstructors:
+    def test_acquire_release(self):
+        mutex = Mutex("m")
+        assert isinstance(acquire(mutex), Acquire)
+        assert acquire(mutex).mutex is mutex
+        assert isinstance(release(mutex), Release)
+
+    def test_semaphore_events(self):
+        sem = Semaphore(1)
+        assert isinstance(sem_acquire(sem), SemAcquire)
+        assert isinstance(sem_release(sem), SemRelease)
+        assert sem_acquire(sem).semaphore is sem
+
+    def test_cond_events(self):
+        cond = ConditionVariable("c")
+        mutex = Mutex("m")
+        wait = cond_wait(cond, mutex)
+        assert isinstance(wait, CondWait)
+        assert wait.cond is cond and wait.mutex is mutex
+        notify = cond_notify(cond)
+        assert isinstance(notify, CondNotify)
+        assert notify.all is False
+        assert cond_notify(cond, all=True).all is True
+
+    def test_barrier_event(self):
+        barrier = Barrier(2)
+        event = barrier_wait(barrier)
+        assert isinstance(event, BarrierWait)
+        assert event.barrier is barrier
+
+    def test_spawn_event(self):
+        child = LogicalThread("child", lambda: iter(()))
+        event = spawn(child)
+        assert isinstance(event, Spawn)
+        assert event.thread is child
+
+    def test_consume_is_frozen(self):
+        event = consume(1)
+        with pytest.raises(Exception):
+            event.complexity = 5

@@ -1,0 +1,79 @@
+"""Tests for JSON-ready export of results and traces."""
+
+import json
+
+import pytest
+
+from repro.contention import ConstantModel
+from repro.core import consume
+from repro.core.export import (cycle_result_to_dict, gantt_rows,
+                               result_to_dict, save_json, trace_to_events)
+from repro.cycle import EventEngine
+from repro.workloads.synthetic import uniform_workload
+
+from _helpers import make_kernel, simple_thread
+
+
+def contended_kernel():
+    kernel = make_kernel(2, model=ConstantModel(1.0), trace=True)
+    kernel.add_thread(simple_thread("a", [consume(100, {"bus": 10})]))
+    kernel.add_thread(simple_thread("b", [consume(100, {"bus": 10})]))
+    return kernel
+
+
+class TestResultExport:
+    def test_hybrid_round_trips_through_json(self):
+        kernel = contended_kernel()
+        data = result_to_dict(kernel.run())
+        encoded = json.dumps(data)
+        decoded = json.loads(encoded)
+        assert decoded["kind"] == "hybrid"
+        assert decoded["makespan"] == pytest.approx(110.0)
+        assert decoded["threads"]["a"]["penalty"] == pytest.approx(10.0)
+        assert decoded["resources"]["bus"]["accesses"] == 20.0
+
+    def test_cycle_round_trips_through_json(self):
+        result = EventEngine(uniform_workload(phases=2)).run()
+        data = cycle_result_to_dict(result)
+        decoded = json.loads(json.dumps(data))
+        assert decoded["kind"] == "cycle"
+        assert decoded["makespan"] == result.makespan
+        assert set(decoded["threads"]) == set(result.threads)
+
+    def test_percentages_present(self):
+        kernel = contended_kernel()
+        data = result_to_dict(kernel.run())
+        assert data["percent_queueing"] > 0
+
+
+class TestTraceExport:
+    def test_events_flattened(self):
+        kernel = contended_kernel()
+        kernel.run()
+        events = trace_to_events(kernel.trace)
+        kinds = {event["kind"] for event in events}
+        assert "start" in kinds and "commit" in kinds
+        json.dumps(events)  # must be JSON-serializable
+
+    def test_gantt_rows_pair_start_and_commit(self):
+        kernel = contended_kernel()
+        result = kernel.run()
+        rows = gantt_rows(kernel.trace)
+        assert len(rows) == result.regions_committed
+        for row in rows:
+            assert row["start"] <= row["base_end"] <= row["end"]
+
+    def test_gantt_shows_penalty_stretch(self):
+        kernel = contended_kernel()
+        kernel.run()
+        rows = gantt_rows(kernel.trace)
+        stretched = [row for row in rows if row["end"] > row["base_end"]]
+        assert stretched  # contention visibly extends some region
+
+
+class TestSaveJson:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "result.json"
+        save_json({"value": 1.5, "list": [1, 2]}, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == {"value": 1.5, "list": [1, 2]}

@@ -1,0 +1,259 @@
+"""Kernel behavior tests: scheduling, timing, penalties (paper Fig. 2/3)."""
+
+import pytest
+
+from repro.contention import ConstantModel, NullModel
+from repro.core import (ConfigurationError, HybridKernel, LogicalThread,
+                        Processor, ProtocolError, SharedResource,
+                        SimulationError, consume, spawn)
+
+from _helpers import make_kernel, simple_thread
+
+
+class TestBasicExecution:
+    def test_single_thread_single_region(self):
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("a", [consume(100)]))
+        result = kernel.run()
+        assert result.makespan == 100.0
+        assert result.threads["a"].base_time == 100.0
+        assert result.threads["a"].regions == 1
+        assert result.queueing_cycles == 0.0
+
+    def test_regions_are_sequential_per_thread(self):
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("a", [consume(100), consume(50)]))
+        result = kernel.run()
+        assert result.makespan == 150.0
+        assert result.threads["a"].regions == 2
+
+    def test_power_resolves_complexity_to_time(self):
+        kernel = make_kernel(1, powers=[2.0])
+        kernel.add_thread(simple_thread("a", [consume(100)]))
+        assert kernel.run().makespan == 50.0
+
+    def test_extra_time_is_power_independent(self):
+        kernel = make_kernel(1, powers=[2.0])
+        kernel.add_thread(simple_thread("a", [consume(100, extra_time=30)]))
+        assert kernel.run().makespan == 80.0
+
+    def test_two_threads_run_in_parallel(self):
+        kernel = make_kernel(2, model=NullModel())
+        kernel.add_thread(simple_thread("a", [consume(100)]))
+        kernel.add_thread(simple_thread("b", [consume(100)]))
+        result = kernel.run()
+        assert result.makespan == 100.0
+
+    def test_more_threads_than_processors_serialize(self):
+        kernel = make_kernel(1, model=NullModel())
+        kernel.add_thread(simple_thread("a", [consume(100)]))
+        kernel.add_thread(simple_thread("b", [consume(100)]))
+        assert kernel.run().makespan == 200.0
+
+    def test_start_time_defers_thread(self):
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("a", [consume(10)]),
+                          start_time=500.0)
+        assert kernel.run().makespan == 510.0
+
+    def test_empty_thread_finishes_immediately(self):
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("a", []))
+        result = kernel.run()
+        assert result.makespan == 0.0
+        assert result.threads["a"].regions == 0
+
+    def test_affinity_pins_thread(self):
+        kernel = make_kernel(2, model=NullModel())
+        kernel.add_thread(simple_thread("a", [consume(100)], affinity="p1"))
+        result = kernel.run()
+        assert result.processors["p1"].busy_time == 100.0
+        assert result.processors["p0"].busy_time == 0.0
+
+    def test_empty_simulation(self):
+        kernel = make_kernel(1)
+        result = kernel.run()
+        assert result.makespan == 0.0
+        assert result.regions_committed == 0
+
+
+class TestPenalties:
+    def test_no_contention_no_penalty(self):
+        kernel = make_kernel(2)
+        kernel.add_thread(simple_thread("a", [consume(100, {"bus": 10})]))
+        kernel.add_thread(simple_thread("b", [consume(100)]))
+        result = kernel.run()
+        assert result.queueing_cycles == 0.0
+
+    def test_contention_penalizes_both(self):
+        kernel = make_kernel(2, model=ConstantModel(delay=1.0))
+        kernel.add_thread(simple_thread("a", [consume(100, {"bus": 10})]))
+        kernel.add_thread(simple_thread("b", [consume(100, {"bus": 20})]))
+        result = kernel.run()
+        assert result.threads["a"].penalty == pytest.approx(10.0)
+        assert result.threads["b"].penalty == pytest.approx(20.0)
+        # Penalties extend execution: both end past their base time.
+        assert result.threads["a"].finish_time == pytest.approx(110.0)
+        assert result.threads["b"].finish_time == pytest.approx(120.0)
+
+    def test_makespan_includes_penalties(self):
+        kernel = make_kernel(2, model=ConstantModel(delay=2.0))
+        kernel.add_thread(simple_thread("a", [consume(100, {"bus": 10})]))
+        kernel.add_thread(simple_thread("b", [consume(100, {"bus": 10})]))
+        result = kernel.run()
+        assert result.makespan == pytest.approx(120.0)
+
+    def test_penalty_time_has_no_accesses(self):
+        # Two identical regions contend in slice 1; the penalty span
+        # must not generate new contention (paper's t2-t3 argument).
+        kernel = make_kernel(2, model=ConstantModel(delay=1.0))
+        kernel.add_thread(simple_thread("a", [consume(100, {"bus": 10})]))
+        kernel.add_thread(simple_thread("b", [consume(100, {"bus": 10})]))
+        result = kernel.run()
+        assert result.threads["a"].penalty == pytest.approx(10.0)
+        assert result.threads["b"].penalty == pytest.approx(10.0)
+
+    def test_deferred_penalty_applied_lazily(self):
+        # Thread b's long region overlaps a+b contention in slice one;
+        # its penalty is applied when it reaches the queue top, shifting
+        # its commit (paper Fig. 3, thread A at t4).
+        kernel = make_kernel(2, model=ConstantModel(delay=1.0))
+        kernel.add_thread(simple_thread("a", [consume(100, {"bus": 10})]))
+        kernel.add_thread(simple_thread("b", [consume(300, {"bus": 30})]))
+        result = kernel.run()
+        assert result.threads["b"].penalty > 0
+        assert result.threads["b"].finish_time == pytest.approx(
+            300.0 + result.threads["b"].penalty)
+
+    def test_carry_penalty_applies_to_next_region(self):
+        # Thread b finishes its only region while still owed penalty
+        # from a later-analyzed slice: the penalty lands on its next
+        # region via the carry mechanism.
+        kernel = make_kernel(2, model=ConstantModel(delay=1.0))
+        kernel.add_thread(simple_thread(
+            "a", [consume(50, {"bus": 10}), consume(50)]))
+        kernel.add_thread(simple_thread(
+            "b", [consume(100, {"bus": 10})]))
+        result = kernel.run()
+        assert result.threads["a"].penalty > 0
+
+    def test_processor_busy_includes_penalty(self):
+        kernel = make_kernel(2, model=ConstantModel(delay=1.0))
+        kernel.add_thread(simple_thread("a", [consume(100, {"bus": 10})]))
+        kernel.add_thread(simple_thread("b", [consume(100, {"bus": 10})]))
+        result = kernel.run()
+        assert result.processors["p0"].busy_time == pytest.approx(110.0)
+
+
+class TestTimeslicing:
+    def test_slice_count_matches_commits_without_merging(self):
+        kernel = make_kernel(2)
+        kernel.add_thread(simple_thread("a", [consume(100), consume(100)]))
+        kernel.add_thread(simple_thread("b", [consume(150)]))
+        result = kernel.run()
+        assert result.slices_analyzed >= 1
+        assert result.slices_merged == 0
+
+    def test_min_timeslice_merges_slices(self):
+        def regions():
+            for i in range(20):
+                yield consume(10, {"bus": 2})
+
+        reference = make_kernel(2, model=ConstantModel(1.0))
+        reference.add_thread(LogicalThread("a", regions))
+        reference.add_thread(simple_thread("b", [consume(195, {"bus": 40})]))
+        base = reference.run()
+
+        merged = make_kernel(2, model=ConstantModel(1.0),
+                             min_timeslice=50.0)
+        merged.add_thread(LogicalThread("a", regions))
+        merged.add_thread(simple_thread("b", [consume(195, {"bus": 40})]))
+        result = merged.run()
+        assert result.slices_merged > 0
+        assert result.slices_analyzed < base.slices_analyzed
+
+    def test_min_timeslice_preserves_total_accesses(self):
+        def regions():
+            for i in range(20):
+                yield consume(10, {"bus": 2})
+
+        kernel = make_kernel(1, min_timeslice=45.0)
+        kernel.add_thread(LogicalThread("a", regions))
+        result = kernel.run()
+        assert result.resources["bus"].accesses == pytest.approx(40.0)
+
+    def test_final_flush_analyzes_leftover_demand(self):
+        kernel = make_kernel(2, model=ConstantModel(1.0),
+                             min_timeslice=1e9)
+        kernel.add_thread(simple_thread("a", [consume(100, {"bus": 10})]))
+        kernel.add_thread(simple_thread("b", [consume(100, {"bus": 10})]))
+        result = kernel.run()
+        # Analysis only happened at the forced final flush.
+        assert result.slices_analyzed == 1
+        assert result.queueing_cycles == pytest.approx(20.0)
+
+
+class TestConfiguration:
+    def test_needs_processors(self):
+        with pytest.raises(ConfigurationError):
+            HybridKernel([], [])
+
+    def test_duplicate_processor_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridKernel([Processor("p"), Processor("p")], [])
+
+    def test_duplicate_thread_names_rejected(self):
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("a", []))
+        with pytest.raises(ConfigurationError):
+            kernel.add_thread(simple_thread("a", []))
+
+    def test_unknown_affinity_rejected(self):
+        kernel = make_kernel(1)
+        with pytest.raises(ConfigurationError):
+            kernel.add_thread(simple_thread("a", [], affinity="nope"))
+
+    def test_unknown_resource_access_rejected(self):
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("a", [consume(10, {"dma": 1})]))
+        with pytest.raises(ConfigurationError):
+            kernel.run()
+
+    def test_negative_start_time_rejected(self):
+        kernel = make_kernel(1)
+        with pytest.raises(ConfigurationError):
+            kernel.add_thread(simple_thread("a", []), start_time=-1.0)
+
+    def test_kernel_is_single_shot(self):
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("a", [consume(1)]))
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_non_event_yield_rejected(self):
+        kernel = make_kernel(1)
+        kernel.add_thread(LogicalThread("a", lambda: iter([42])))
+        with pytest.raises(ProtocolError):
+            kernel.run()
+
+
+class TestSpawnAndUntil:
+    def test_spawned_thread_runs(self):
+        child = simple_thread("child", [consume(50)])
+        kernel = make_kernel(2)
+        kernel.add_thread(simple_thread("parent",
+                                        [consume(10), spawn(child)]))
+        result = kernel.run()
+        assert result.threads["child"].regions == 1
+        assert result.threads["child"].finish_time == pytest.approx(60.0)
+
+    def test_until_stops_early(self):
+        def forever():
+            while True:
+                yield consume(10)
+
+        kernel = make_kernel(1)
+        kernel.add_thread(LogicalThread("a", forever))
+        result = kernel.run(until=105.0)
+        assert 100.0 <= result.makespan <= 115.0

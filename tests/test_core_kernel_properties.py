@@ -1,0 +1,129 @@
+"""Property-based kernel invariants (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.contention import (ChenLinModel, ConstantModel, MD1Model,
+                              NullModel, RoundRobinModel)
+from repro.core import HybridKernel, LogicalThread, Processor, SharedResource
+
+MODELS = [NullModel(), ConstantModel(0.5), ChenLinModel(), MD1Model(),
+          RoundRobinModel()]
+
+region_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2_000.0, allow_nan=False),
+        st.integers(min_value=0, max_value=60),
+    ),
+    min_size=0, max_size=8,
+)
+
+
+def build_kernel(thread_specs, model, n_procs, min_timeslice=0.0,
+                 powers=None):
+    processors = [
+        Processor(f"p{i}", (powers[i % len(powers)] if powers else 1.0))
+        for i in range(n_procs)
+    ]
+    bus = SharedResource("bus", model, service_time=3.0)
+    kernel = HybridKernel(processors, [bus], min_timeslice=min_timeslice)
+    for index, regions in enumerate(thread_specs):
+        def body(regions=regions):
+            from repro.core import consume
+            for work, accesses in regions:
+                yield consume(work, {"bus": accesses} if accesses else None)
+        kernel.add_thread(LogicalThread(f"t{index}", body))
+    return kernel
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=st.lists(region_lists, min_size=1, max_size=4),
+       model_index=st.integers(min_value=0, max_value=len(MODELS) - 1),
+       n_procs=st.integers(min_value=1, max_value=4))
+def test_simulation_terminates_and_is_consistent(specs, model_index,
+                                                 n_procs):
+    """Core consistency bundle on random workloads and models."""
+    kernel = build_kernel(specs, MODELS[model_index], n_procs)
+    result = kernel.run()
+    # Time is non-negative and finite.
+    assert result.makespan >= 0.0
+    assert math.isfinite(result.makespan)
+    # Every thread ran all its regions.
+    for index, regions in enumerate(specs):
+        stats = result.threads[f"t{index}"]
+        assert stats.regions == len(regions)
+        expected_base = sum(work for work, _ in regions)
+        assert math.isclose(stats.base_time, expected_base,
+                            rel_tol=1e-9, abs_tol=1e-6)
+        # Penalties are non-negative and finite.
+        assert stats.penalty >= 0.0
+        assert math.isfinite(stats.penalty)
+        # Finish time covers base time plus any penalty actually applied.
+        assert stats.finish_time >= 0.0
+    # Accesses are conserved through the timeslicing machinery.
+    expected_accesses = sum(accesses for regions in specs
+                            for _, accesses in regions)
+    assert math.isclose(result.resources["bus"].accesses,
+                        expected_accesses, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=st.lists(region_lists, min_size=1, max_size=3),
+       n_procs=st.integers(min_value=1, max_value=3))
+def test_null_model_means_zero_queueing(specs, n_procs):
+    """With the null model the hybrid collapses to plain simulation."""
+    kernel = build_kernel(specs, NullModel(), n_procs)
+    result = kernel.run()
+    assert result.queueing_cycles == 0.0
+    for index, regions in enumerate(specs):
+        assert result.threads[f"t{index}"].penalty == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=st.lists(region_lists, min_size=1, max_size=1))
+def test_single_thread_never_penalized(specs):
+    """A lone thread has no one to contend with under any model."""
+    for model in MODELS:
+        kernel = build_kernel(specs, model, 1)
+        result = kernel.run()
+        assert result.queueing_cycles == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs=st.lists(region_lists, min_size=2, max_size=3),
+       min_timeslice=st.floats(min_value=0.0, max_value=500.0,
+                               allow_nan=False))
+def test_min_timeslice_conserves_accesses(specs, min_timeslice):
+    """The merge optimization must never lose or duplicate accesses."""
+    kernel = build_kernel(specs, ChenLinModel(), 2,
+                          min_timeslice=min_timeslice)
+    result = kernel.run()
+    expected = sum(accesses for regions in specs
+                   for _, accesses in regions)
+    assert math.isclose(result.resources["bus"].accesses, expected,
+                        rel_tol=1e-9, abs_tol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs=st.lists(region_lists, min_size=1, max_size=3),
+       powers=st.lists(st.floats(min_value=0.25, max_value=4.0,
+                                 allow_nan=False),
+                       min_size=1, max_size=3))
+def test_commit_times_monotone(specs, powers):
+    """Committed region end times never run backwards."""
+    kernel = build_kernel(specs, ChenLinModel(), len(powers),
+                          powers=powers)
+    kernel.trace = None  # default off; use trace-enabled twin below
+    processors = [Processor(f"p{i}", powers[i]) for i in range(len(powers))]
+    bus = SharedResource("bus", ChenLinModel(), service_time=3.0)
+    kernel = HybridKernel(processors, [bus], trace=True)
+    for index, regions in enumerate(specs):
+        def body(regions=regions):
+            from repro.core import consume
+            for work, accesses in regions:
+                yield consume(work, {"bus": accesses} if accesses else None)
+        kernel.add_thread(LogicalThread(f"t{index}", body))
+    kernel.run()
+    times = [event.time for event in kernel.trace.commits()]
+    assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))

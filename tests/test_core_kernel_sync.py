@@ -1,0 +1,277 @@
+"""Kernel + synchronization primitive integration tests (paper §4.3)."""
+
+import pytest
+
+from repro.contention import NullModel
+from repro.core import (Barrier, ConditionVariable, DeadlockError,
+                        LogicalThread, Mutex, Semaphore,
+                        SynchronizationError, acquire, barrier_wait,
+                        cond_notify, cond_wait, consume, release,
+                        sem_acquire, sem_release)
+
+from _helpers import make_kernel, simple_thread
+
+
+class TestMutexIntegration:
+    def test_mutual_exclusion_on_timeline(self):
+        # Two threads each hold the mutex for a 100-cycle region; the
+        # critical sections must not overlap in virtual time.
+        mutex = Mutex("m")
+        spans = {}
+
+        def worker(name):
+            def body():
+                yield acquire(mutex)
+                yield consume(100)
+                yield release(mutex)
+            return body
+
+        kernel = make_kernel(2, model=NullModel(), trace=True)
+        kernel.add_thread(LogicalThread("a", worker("a")))
+        kernel.add_thread(LogicalThread("b", worker("b")))
+        result = kernel.run()
+        assert result.makespan == pytest.approx(200.0)
+        commits = kernel.trace.commits()
+        starts = {e.thread: e.time for e in kernel.trace.of_kind("start")}
+        ends = {e.thread: e.time for e in commits}
+        # Critical sections [start, end] must be disjoint.
+        ordered = sorted(starts, key=lambda n: starts[n])
+        first, second = ordered
+        assert ends[first] <= starts[second] + 1e-9
+
+    def test_blocked_thread_frees_processor(self):
+        # With 1 processor and thread a holding the lock across two
+        # regions, thread b blocks; c (independent) should still run
+        # while a continues — processor is never parked idle.
+        mutex = Mutex("m")
+
+        def holder():
+            yield acquire(mutex)
+            yield consume(100)
+            yield consume(100)
+            yield release(mutex)
+
+        def waiter():
+            yield acquire(mutex)
+            yield consume(10)
+            yield release(mutex)
+
+        kernel = make_kernel(1, model=NullModel())
+        kernel.add_thread(LogicalThread("a", holder))
+        kernel.add_thread(LogicalThread("b", waiter))
+        kernel.add_thread(simple_thread("c", [consume(50)]))
+        result = kernel.run()
+        # a: 200, then c (was ready, scheduled after b blocked): 50,
+        # then b: 10.  Makespan = 260.
+        assert result.makespan == pytest.approx(260.0)
+
+    def test_waiter_resumes_at_release_time(self):
+        mutex = Mutex("m")
+
+        def holder():
+            yield acquire(mutex)
+            yield consume(100)
+            yield release(mutex)
+
+        def waiter():
+            yield acquire(mutex)
+            yield consume(10)
+            yield release(mutex)
+
+        kernel = make_kernel(2, model=NullModel())
+        kernel.add_thread(LogicalThread("a", holder))
+        kernel.add_thread(LogicalThread("b", waiter))
+        result = kernel.run()
+        assert result.threads["b"].finish_time == pytest.approx(110.0)
+
+    def test_release_unheld_mutex_raises(self):
+        mutex = Mutex("m")
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("a", [release(mutex)]))
+        with pytest.raises(SynchronizationError):
+            kernel.run()
+
+    def test_deadlock_detected(self):
+        m1, m2 = Mutex("m1"), Mutex("m2")
+
+        def ab():
+            yield acquire(m1)
+            yield consume(10)
+            yield acquire(m2)
+
+        def ba():
+            yield acquire(m2)
+            yield consume(10)
+            yield acquire(m1)
+
+        kernel = make_kernel(2, model=NullModel())
+        kernel.add_thread(LogicalThread("a", ab))
+        kernel.add_thread(LogicalThread("b", ba))
+        with pytest.raises(DeadlockError) as excinfo:
+            kernel.run()
+        assert {t.name for t in excinfo.value.blocked_threads} == {"a", "b"}
+
+
+class TestSemaphoreIntegration:
+    def test_producer_consumer(self):
+        items = Semaphore(0)
+        consumed_at = []
+
+        def producer():
+            for _ in range(3):
+                yield consume(100)
+                yield sem_release(items)
+
+        def consumer():
+            for _ in range(3):
+                yield sem_acquire(items)
+                yield consume(10)
+                consumed_at.append(None)
+
+        kernel = make_kernel(2, model=NullModel())
+        kernel.add_thread(LogicalThread("p", producer))
+        kernel.add_thread(LogicalThread("c", consumer))
+        result = kernel.run()
+        assert len(consumed_at) == 3
+        # Last item produced at 300, consumed 10 cycles later.
+        assert result.threads["c"].finish_time == pytest.approx(310.0)
+
+    def test_semaphore_initial_value_admits_without_blocking(self):
+        gate = Semaphore(2)
+
+        def worker(name):
+            def body():
+                yield sem_acquire(gate)
+                yield consume(100)
+                yield sem_release(gate)
+            return body
+
+        kernel = make_kernel(3, model=NullModel())
+        for name in ("a", "b", "c"):
+            kernel.add_thread(LogicalThread(name, worker(name)))
+        result = kernel.run()
+        # Only two run concurrently; the third waits for a release.
+        assert result.makespan == pytest.approx(200.0)
+
+
+class TestConditionVariableIntegration:
+    def test_wait_notify_handshake(self):
+        mutex = Mutex("m")
+        cond = ConditionVariable("c")
+
+        def waiter():
+            yield acquire(mutex)
+            yield cond_wait(cond, mutex)
+            yield consume(10)
+            yield release(mutex)
+
+        def notifier():
+            yield consume(100)
+            yield acquire(mutex)
+            yield cond_notify(cond)
+            yield release(mutex)
+
+        kernel = make_kernel(2, model=NullModel())
+        kernel.add_thread(LogicalThread("w", waiter))
+        kernel.add_thread(LogicalThread("n", notifier))
+        result = kernel.run()
+        assert result.threads["w"].finish_time == pytest.approx(110.0)
+
+    def test_wait_without_mutex_raises(self):
+        mutex = Mutex("m")
+        cond = ConditionVariable("c")
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("a", [cond_wait(cond, mutex)]))
+        with pytest.raises(SynchronizationError):
+            kernel.run()
+
+    def test_notify_all_wakes_everyone(self):
+        mutex = Mutex("m")
+        cond = ConditionVariable("c")
+
+        def waiter(name):
+            def body():
+                yield acquire(mutex)
+                yield cond_wait(cond, mutex)
+                yield release(mutex)
+                yield consume(10)
+            return body
+
+        def broadcaster():
+            yield consume(50)
+            yield acquire(mutex)
+            yield cond_notify(cond, all=True)
+            yield release(mutex)
+
+        kernel = make_kernel(4, model=NullModel())
+        for name in ("w1", "w2", "w3"):
+            kernel.add_thread(LogicalThread(name, waiter(name)))
+        kernel.add_thread(LogicalThread("b", broadcaster))
+        result = kernel.run()
+        for name in ("w1", "w2", "w3"):
+            assert result.threads[name].regions == 1
+            assert result.threads[name].finish_time >= 60.0
+
+    def test_unnotified_waiter_deadlocks(self):
+        mutex = Mutex("m")
+        cond = ConditionVariable("c")
+
+        def waiter():
+            yield acquire(mutex)
+            yield cond_wait(cond, mutex)
+
+        kernel = make_kernel(1)
+        kernel.add_thread(LogicalThread("w", waiter))
+        with pytest.raises(DeadlockError):
+            kernel.run()
+
+
+class TestBarrierIntegration:
+    def test_barrier_aligns_threads(self):
+        barrier = Barrier(2)
+
+        def fast():
+            yield consume(10)
+            yield barrier_wait(barrier)
+            yield consume(10)
+
+        def slow():
+            yield consume(100)
+            yield barrier_wait(barrier)
+            yield consume(10)
+
+        kernel = make_kernel(2, model=NullModel())
+        kernel.add_thread(LogicalThread("fast", fast))
+        kernel.add_thread(LogicalThread("slow", slow))
+        result = kernel.run()
+        assert result.threads["fast"].finish_time == pytest.approx(110.0)
+        assert result.threads["slow"].finish_time == pytest.approx(110.0)
+
+    def test_repeated_barrier_generations(self):
+        barrier = Barrier(2)
+
+        def worker(duration):
+            def body():
+                for _ in range(3):
+                    yield consume(duration)
+                    yield barrier_wait(barrier)
+            return body
+
+        kernel = make_kernel(2, model=NullModel())
+        kernel.add_thread(LogicalThread("a", worker(10)))
+        kernel.add_thread(LogicalThread("b", worker(100)))
+        result = kernel.run()
+        assert result.makespan == pytest.approx(300.0)
+        assert barrier.generation == 3
+
+    def test_missing_party_deadlocks(self):
+        barrier = Barrier(3)
+
+        def worker():
+            yield barrier_wait(barrier)
+
+        kernel = make_kernel(2, model=NullModel())
+        kernel.add_thread(LogicalThread("a", worker))
+        kernel.add_thread(LogicalThread("b", worker))
+        with pytest.raises(DeadlockError):
+            kernel.run()

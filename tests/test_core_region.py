@@ -1,0 +1,123 @@
+"""Unit tests for annotation regions: spans, penalties, access division."""
+
+import pytest
+
+from repro.core import LogicalThread, Processor
+from repro.core.region import AnnotationRegion
+
+
+def make_region(complexity=100.0, accesses=None, start=0.0, power=1.0,
+                carried=0.0, extra=0.0):
+    thread = LogicalThread("t", lambda: iter(()))
+    proc = Processor("p", power)
+    return AnnotationRegion(thread, proc, complexity, accesses or {},
+                            start, carried_penalty=carried,
+                            extra_time=extra)
+
+
+class TestSpans:
+    def test_base_span_from_power(self):
+        region = make_region(complexity=100, power=2.0, start=10.0)
+        assert region.base_start == 10.0
+        assert region.base_end == 60.0
+        assert region.base_duration == 50.0
+
+    def test_extra_time_is_power_independent(self):
+        region = make_region(complexity=100, power=2.0, extra=30)
+        assert region.base_duration == 80.0
+
+    def test_carried_penalty_extends_end_not_base(self):
+        region = make_region(complexity=100, carried=25)
+        assert region.base_end == 100.0
+        assert region.end_time == 125.0
+        assert region.applied_penalty == 25.0
+
+    def test_zero_duration_region(self):
+        region = make_region(complexity=0, start=5.0)
+        assert region.base_duration == 0.0
+        assert region.end_time == 5.0
+
+
+class TestPenalties:
+    def test_add_penalty_is_lazy(self):
+        region = make_region()
+        region.add_penalty(10)
+        assert region.end_time == 100.0
+        assert region.pending_penalty == 10.0
+
+    def test_apply_pending_moves_end(self):
+        region = make_region()
+        region.add_penalty(10)
+        applied = region.apply_pending_penalty()
+        assert applied == 10.0
+        assert region.end_time == 110.0
+        assert region.pending_penalty == 0.0
+        assert region.applied_penalty == 10.0
+
+    def test_penalties_accumulate(self):
+        region = make_region()
+        region.add_penalty(3)
+        region.add_penalty(4)
+        assert region.pending_penalty == 7.0
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            make_region().add_penalty(-1)
+
+    def test_apply_with_no_pending_is_noop(self):
+        region = make_region()
+        assert region.apply_pending_penalty() == 0.0
+        assert region.end_time == 100.0
+
+
+class TestAccessDivision:
+    def test_full_window_gets_all(self):
+        region = make_region(accesses={"bus": 40})
+        assert region.accesses_in(0, 100) == {"bus": 40.0}
+
+    def test_half_window_gets_half(self):
+        region = make_region(accesses={"bus": 40})
+        assert region.accesses_in(0, 50) == pytest.approx({"bus": 20.0})
+
+    def test_disjoint_window_gets_none(self):
+        region = make_region(accesses={"bus": 40})
+        assert region.accesses_in(200, 300) == {}
+
+    def test_penalty_extension_carries_no_accesses(self):
+        region = make_region(accesses={"bus": 40})
+        region.add_penalty(50)
+        region.apply_pending_penalty()
+        assert region.end_time == 150.0
+        assert region.accesses_in(100, 150) == {}
+
+    def test_partition_conserves_accesses(self):
+        region = make_region(accesses={"bus": 33, "mem": 7})
+        cuts = [0, 13, 42.5, 60, 99, 100]
+        total = {"bus": 0.0, "mem": 0.0}
+        for lo, hi in zip(cuts, cuts[1:]):
+            for name, count in region.accesses_in(lo, hi).items():
+                total[name] += count
+        assert total["bus"] == pytest.approx(33)
+        assert total["mem"] == pytest.approx(7)
+
+    def test_zero_duration_attributes_to_containing_window(self):
+        region = make_region(complexity=0, accesses={"bus": 5}, start=50)
+        assert region.accesses_in(40, 60) == {"bus": 5}
+        assert region.accesses_in(0, 10) == {}
+
+    def test_no_accesses_empty(self):
+        region = make_region()
+        assert region.accesses_in(0, 100) == {}
+
+    def test_overlaps_base(self):
+        region = make_region(start=10)  # spans [10, 110]
+        assert region.overlaps_base(0, 20)
+        assert region.overlaps_base(100, 200)
+        assert not region.overlaps_base(110, 200)
+        assert not region.overlaps_base(0, 10)
+
+    def test_zero_duration_overlap_is_inclusive(self):
+        region = make_region(complexity=0, start=50)
+        assert region.overlaps_base(50, 60)
+        assert region.overlaps_base(40, 50)
+        assert not region.overlaps_base(0, 40)

@@ -1,0 +1,103 @@
+"""Unit tests for processors and the region priority queue."""
+
+import pytest
+
+from repro.core import ConfigurationError, LogicalThread, Processor
+from repro.core.pqueue import RegionQueue
+from repro.core.region import AnnotationRegion
+
+
+class TestProcessor:
+    def test_duration_scales_with_power(self):
+        assert Processor("p", 2.0).duration_of(100) == 50.0
+        assert Processor("p", 0.5).duration_of(100) == 200.0
+
+    def test_power_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Processor("p", 0.0)
+        with pytest.raises(ConfigurationError):
+            Processor("p", -1.0)
+
+    def test_initially_available(self):
+        assert Processor("p").available
+
+    def test_utilization(self):
+        proc = Processor("p")
+        proc.busy_time = 25.0
+        assert proc.utilization(100.0) == 0.25
+        assert proc.utilization(0.0) == 0.0
+
+
+def region_ending_at(end, name="t"):
+    thread = LogicalThread(name, lambda: iter(()))
+    proc = Processor("p")
+    return AnnotationRegion(thread, proc, end, {}, 0.0)
+
+
+class TestRegionQueue:
+    def test_pop_orders_by_end_time(self):
+        queue = RegionQueue()
+        regions = [region_ending_at(t) for t in (30, 10, 20)]
+        for region in regions:
+            queue.push(region)
+        assert [queue.pop().end_time for _ in range(3)] == [10, 20, 30]
+
+    def test_peek_does_not_remove(self):
+        queue = RegionQueue()
+        region = region_ending_at(5)
+        queue.push(region)
+        assert queue.peek() is region
+        assert len(queue) == 1
+
+    def test_reinsert_after_penalty_reorders(self):
+        queue = RegionQueue()
+        early = region_ending_at(10)
+        late = region_ending_at(15)
+        queue.push(early)
+        queue.push(late)
+        early.add_penalty(20)
+        early.apply_pending_penalty()  # now ends at 30
+        queue.push(early)  # stale entry at 10 must be ignored
+        assert queue.pop() is late
+        assert queue.pop() is early
+        assert len(queue) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            RegionQueue().pop()
+
+    def test_peek_empty_returns_none(self):
+        assert RegionQueue().peek() is None
+
+    def test_remove(self):
+        queue = RegionQueue()
+        region = region_ending_at(5)
+        queue.push(region)
+        queue.remove(region)
+        assert len(queue) == 0
+        assert queue.peek() is None
+
+    def test_regions_snapshot_excludes_stale(self):
+        queue = RegionQueue()
+        a = region_ending_at(10, "a")
+        b = region_ending_at(20, "b")
+        queue.push(a)
+        queue.push(b)
+        queue.push(a)  # re-push makes first entry stale
+        snapshot = queue.regions()
+        assert sorted(r.thread.name for r in snapshot) == ["a", "b"]
+
+    def test_bool(self):
+        queue = RegionQueue()
+        assert not queue
+        queue.push(region_ending_at(1))
+        assert queue
+
+    def test_fifo_among_equal_end_times(self):
+        queue = RegionQueue()
+        first = region_ending_at(10, "first")
+        second = region_ending_at(10, "second")
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop() is first
+        assert queue.pop() is second

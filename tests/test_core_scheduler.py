@@ -1,0 +1,124 @@
+"""Unit tests for UE execution schedulers."""
+
+import pytest
+
+from repro.core import (ConfigurationError, FifoScheduler,
+                        LeastLoadedScheduler, LogicalThread, PinnedScheduler,
+                        PriorityScheduler, Processor, RoundRobinScheduler)
+
+
+def thread(name, **kwargs):
+    return LogicalThread(name, lambda: iter(()), **kwargs)
+
+
+def bound(scheduler, n_procs=2):
+    procs = [Processor(f"p{i}") for i in range(n_procs)]
+    scheduler.bind(procs)
+    return scheduler, procs
+
+
+class TestFifo:
+    def test_picks_in_arrival_order(self):
+        scheduler, procs = bound(FifoScheduler())
+        a, b = thread("a"), thread("b")
+        scheduler.add(a)
+        scheduler.add(b)
+        assert scheduler.pick(procs[0], 0.0) is a
+        assert scheduler.pick(procs[0], 0.0) is b
+
+    def test_pick_removes_thread(self):
+        scheduler, procs = bound(FifoScheduler())
+        scheduler.add(thread("a"))
+        scheduler.pick(procs[0], 0.0)
+        assert scheduler.pick(procs[0], 0.0) is None
+
+    def test_release_time_gates_eligibility(self):
+        scheduler, procs = bound(FifoScheduler())
+        t = thread("a")
+        t.release_time = 100.0
+        scheduler.add(t)
+        assert scheduler.pick(procs[0], 50.0) is None
+        assert scheduler.pick(procs[0], 100.0) is t
+
+    def test_affinity_is_honored(self):
+        scheduler, procs = bound(FifoScheduler())
+        t = thread("a", affinity="p1")
+        scheduler.add(t)
+        assert scheduler.pick(procs[0], 0.0) is None
+        assert scheduler.pick(procs[1], 0.0) is t
+
+    def test_earliest_release(self):
+        scheduler, _ = bound(FifoScheduler())
+        for name, release in (("a", 30.0), ("b", 10.0), ("c", 20.0)):
+            t = thread(name)
+            t.release_time = release
+            scheduler.add(t)
+        assert scheduler.earliest_release() == 10.0
+
+    def test_earliest_release_empty(self):
+        scheduler, _ = bound(FifoScheduler())
+        assert scheduler.earliest_release() is None
+
+    def test_has_waiting(self):
+        scheduler, procs = bound(FifoScheduler())
+        assert not scheduler.has_waiting()
+        scheduler.add(thread("a"))
+        assert scheduler.has_waiting()
+
+
+class TestPriority:
+    def test_highest_priority_first(self):
+        scheduler, procs = bound(PriorityScheduler())
+        low, high = thread("low", priority=1), thread("high", priority=9)
+        scheduler.add(low)
+        scheduler.add(high)
+        assert scheduler.pick(procs[0], 0.0) is high
+        assert scheduler.pick(procs[0], 0.0) is low
+
+    def test_fifo_among_equal_priorities(self):
+        scheduler, procs = bound(PriorityScheduler())
+        a, b = thread("a", priority=5), thread("b", priority=5)
+        scheduler.add(a)
+        scheduler.add(b)
+        assert scheduler.pick(procs[0], 0.0) is a
+
+
+class TestRoundRobin:
+    def test_rotates_fairly(self):
+        scheduler, procs = bound(RoundRobinScheduler())
+        a, b, c = thread("a"), thread("b"), thread("c")
+        for t in (a, b, c):
+            scheduler.add(t)
+        first = scheduler.pick(procs[0], 0.0)
+        scheduler.add(first)  # immediately re-ready
+        second = scheduler.pick(procs[0], 0.0)
+        assert second is not first
+
+    def test_falls_back_when_rotation_stale(self):
+        scheduler, procs = bound(RoundRobinScheduler())
+        a = thread("a")
+        scheduler.add(a)
+        assert scheduler.pick(procs[0], 0.0) is a
+
+
+class TestPinned:
+    def test_requires_affinity(self):
+        scheduler, _ = bound(PinnedScheduler())
+        with pytest.raises(ConfigurationError):
+            scheduler.add(thread("a"))
+
+    def test_accepts_pinned(self):
+        scheduler, procs = bound(PinnedScheduler())
+        t = thread("a", affinity="p0")
+        scheduler.add(t)
+        assert scheduler.pick(procs[0], 0.0) is t
+
+
+class TestLeastLoaded:
+    def test_prefers_least_run_thread(self):
+        scheduler, procs = bound(LeastLoadedScheduler())
+        fresh, tired = thread("fresh"), thread("tired")
+        tired.total_base_time = 1000.0
+        scheduler.add(tired)
+        scheduler.add(fresh)
+        assert scheduler.pick(procs[0], 0.0) is fresh

@@ -1,0 +1,147 @@
+"""Unit tests for synchronization primitive state machines."""
+
+import pytest
+
+from repro.core import (Barrier, ConditionVariable, Mutex, Semaphore,
+                        SynchronizationError)
+from repro.core.thread import LogicalThread
+
+
+def thread(name="t"):
+    return LogicalThread(name, lambda: iter(()))
+
+
+class TestMutex:
+    def test_acquire_free(self):
+        mutex, owner = Mutex("m"), thread("a")
+        assert mutex.try_acquire(owner)
+        assert mutex.owner is owner
+        assert "m" in owner.held_mutexes
+
+    def test_acquire_held_fails(self):
+        mutex, a, b = Mutex("m"), thread("a"), thread("b")
+        mutex.try_acquire(a)
+        assert not mutex.try_acquire(b)
+        assert mutex.owner is a
+
+    def test_reacquire_raises(self):
+        mutex, a = Mutex("m"), thread("a")
+        mutex.try_acquire(a)
+        with pytest.raises(SynchronizationError):
+            mutex.try_acquire(a)
+
+    def test_release_hands_to_waiter(self):
+        mutex, a, b = Mutex("m"), thread("a"), thread("b")
+        mutex.try_acquire(a)
+        mutex.enqueue(b)
+        woken = mutex.release(a)
+        assert woken is b
+        assert mutex.owner is b
+        assert "m" in b.held_mutexes
+        assert "m" not in a.held_mutexes
+
+    def test_release_without_waiters_frees(self):
+        mutex, a = Mutex("m"), thread("a")
+        mutex.try_acquire(a)
+        assert mutex.release(a) is None
+        assert mutex.owner is None
+
+    def test_release_by_non_owner_raises(self):
+        mutex, a, b = Mutex("m"), thread("a"), thread("b")
+        mutex.try_acquire(a)
+        with pytest.raises(SynchronizationError):
+            mutex.release(b)
+
+    def test_contended_acquire_counter(self):
+        mutex, a, b = Mutex("m"), thread("a"), thread("b")
+        mutex.try_acquire(a)
+        mutex.enqueue(b)
+        assert mutex.contended_acquires == 1
+
+    def test_fifo_waiter_order(self):
+        mutex, a, b, c = Mutex("m"), thread("a"), thread("b"), thread("c")
+        mutex.try_acquire(a)
+        mutex.enqueue(b)
+        mutex.enqueue(c)
+        assert mutex.release(a) is b
+        assert mutex.release(b) is c
+
+
+class TestSemaphore:
+    def test_initial_value_consumed(self):
+        sem = Semaphore(2)
+        assert sem.try_acquire(thread())
+        assert sem.try_acquire(thread())
+        assert not sem.try_acquire(thread())
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(SynchronizationError):
+            Semaphore(-1)
+
+    def test_release_increments_when_empty(self):
+        sem = Semaphore(0)
+        assert sem.release() is None
+        assert sem.value == 1
+
+    def test_release_hands_unit_to_waiter(self):
+        sem, waiter = Semaphore(0), thread("w")
+        sem.enqueue(waiter)
+        assert sem.release() is waiter
+        assert sem.value == 0  # unit went to the waiter, not the counter
+
+
+class TestConditionVariable:
+    def test_notify_one_pops_fifo(self):
+        cond, mutex = ConditionVariable("c"), Mutex("m")
+        a, b = thread("a"), thread("b")
+        cond.enqueue(a, mutex)
+        cond.enqueue(b, mutex)
+        woken = cond.pop_waiters(all=False)
+        assert woken == [(a, mutex)]
+        assert len(cond.waiters) == 1
+
+    def test_notify_all_pops_everything(self):
+        cond, mutex = ConditionVariable("c"), Mutex("m")
+        a, b = thread("a"), thread("b")
+        cond.enqueue(a, mutex)
+        cond.enqueue(b, mutex)
+        assert len(cond.pop_waiters(all=True)) == 2
+        assert not cond.waiters
+
+    def test_notify_empty_is_noop(self):
+        assert ConditionVariable("c").pop_waiters(all=False) == []
+
+
+class TestBarrier:
+    def test_needs_positive_parties(self):
+        with pytest.raises(SynchronizationError):
+            Barrier(0)
+
+    def test_fills_then_releases_others(self):
+        barrier = Barrier(3)
+        a, b, c = thread("a"), thread("b"), thread("c")
+        assert barrier.arrive(a) is None
+        assert barrier.arrive(b) is None
+        woken = barrier.arrive(c)
+        assert set(woken) == {a, b}
+
+    def test_reusable_across_generations(self):
+        barrier = Barrier(2)
+        a, b = thread("a"), thread("b")
+        barrier.arrive(a)
+        barrier.arrive(b)
+        assert barrier.generation == 1
+        assert barrier.arrive(a) is None  # next generation accepts again
+        assert barrier.arrive(b) == [a]
+        assert barrier.generation == 2
+
+    def test_double_arrival_same_generation_raises(self):
+        barrier = Barrier(3)
+        a = thread("a")
+        barrier.arrive(a)
+        with pytest.raises(SynchronizationError):
+            barrier.arrive(a)
+
+    def test_single_party_never_blocks(self):
+        barrier = Barrier(1)
+        assert barrier.arrive(thread("a")) == []

@@ -1,0 +1,161 @@
+"""Tests for the deferred (pessimistic) sync resume policy — §4.3.
+
+Under ``sync_policy="deferred"`` a thread unblocked by a sync event
+resumes only at the committed end of the unblocking thread's *next*
+region — the paper's assumption when synchronization calls lie inside
+coarse annotation regions.  Under the default eager policy the wake is
+exact.  The deferred policy therefore produces equal-or-later resume
+times, and the paper warns it "can cause errors with coarsely annotated
+threads requiring continuous synchronization" — which these tests pin.
+"""
+
+import pytest
+
+from repro.contention import NullModel
+from repro.core import (Barrier, ConfigurationError, HybridKernel,
+                        LogicalThread, Mutex, Processor, Semaphore,
+                        acquire, barrier_wait, consume, release,
+                        sem_acquire, sem_release)
+
+from _helpers import make_kernel, simple_thread
+
+
+def pipeline_kernel(policy):
+    """Producer signals a consumer, then keeps computing."""
+    items = Semaphore(0)
+
+    def producer():
+        yield consume(100)
+        yield sem_release(items)   # wake happens here (t=100)
+        yield consume(200)         # deferred policy pins waiter to t=300
+
+    def consumer():
+        yield sem_acquire(items)
+        yield consume(10)
+
+    kernel = make_kernel(2, model=NullModel(), sync_policy=policy)
+    kernel.add_thread(LogicalThread("producer", producer))
+    kernel.add_thread(LogicalThread("consumer", consumer))
+    return kernel
+
+
+class TestDeferredPolicy:
+    def test_eager_wakes_at_exact_time(self):
+        result = pipeline_kernel("eager").run()
+        assert result.threads["consumer"].finish_time == pytest.approx(
+            110.0)
+
+    def test_deferred_wakes_at_next_region_end(self):
+        result = pipeline_kernel("deferred").run()
+        # Waiter resumes at the end of producer's region after the
+        # release (t=300), finishing at 310.
+        assert result.threads["consumer"].finish_time == pytest.approx(
+            310.0)
+
+    def test_deferred_is_never_earlier_than_eager(self):
+        eager = pipeline_kernel("eager").run()
+        deferred = pipeline_kernel("deferred").run()
+        for name in eager.threads:
+            assert (deferred.threads[name].finish_time
+                    >= eager.threads[name].finish_time - 1e-9)
+
+    def test_deferred_falls_back_when_waker_finishes(self):
+        # The waker releases and immediately ends: no next region
+        # exists, so the wake flushes at the exact time.
+        items = Semaphore(0)
+
+        def producer():
+            yield consume(100)
+            yield sem_release(items)
+
+        def consumer():
+            yield sem_acquire(items)
+            yield consume(10)
+
+        kernel = make_kernel(2, model=NullModel(), sync_policy="deferred")
+        kernel.add_thread(LogicalThread("producer", producer))
+        kernel.add_thread(LogicalThread("consumer", consumer))
+        result = kernel.run()
+        assert result.threads["consumer"].finish_time == pytest.approx(
+            110.0)
+
+    def test_deferred_falls_back_when_waker_blocks(self):
+        # The waker releases a mutex then blocks on a semaphore that is
+        # never posted by itself; the wake must flush eagerly, not hang.
+        lock = Mutex("m")
+        gate = Semaphore(0)
+
+        def holder():
+            yield acquire(lock)
+            yield consume(100)
+            yield release(lock)
+            yield sem_acquire(gate)   # blocks
+            yield consume(10)
+
+        def waiter():
+            yield acquire(lock)
+            yield consume(10)
+            yield release(lock)
+            yield sem_release(gate)   # unblocks holder
+
+        kernel = make_kernel(2, model=NullModel(), sync_policy="deferred")
+        kernel.add_thread(LogicalThread("holder", holder))
+        kernel.add_thread(LogicalThread("waiter", waiter))
+        result = kernel.run()
+        assert result.threads["holder"].regions == 2
+        assert result.threads["waiter"].regions == 1
+
+    def test_deferred_barrier_pessimism(self):
+        # Paper's warning case: continuously synchronizing threads.
+        # Under the deferred policy, barrier waiters resume only when
+        # the last arriver commits its following region, stretching the
+        # schedule relative to eager.
+        def build(policy):
+            barrier = Barrier(2)
+
+            def worker(name, work):
+                def body():
+                    for _ in range(3):
+                        yield consume(work)
+                        yield barrier_wait(barrier)
+                return body
+
+            kernel = make_kernel(2, model=NullModel(),
+                                 sync_policy=policy)
+            kernel.add_thread(LogicalThread("fast", worker("fast", 10)))
+            kernel.add_thread(LogicalThread("slow", worker("slow", 100)))
+            return kernel.run()
+
+        eager = build("eager")
+        deferred = build("deferred")
+        assert deferred.makespan > eager.makespan
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridKernel([Processor("p")], [], sync_policy="sometimes")
+
+    def test_to_mesh_plumbs_policy(self):
+        from repro.workloads.synthetic import uniform_workload
+        from repro.workloads.to_mesh import build_kernel
+
+        kernel = build_kernel(uniform_workload(), sync_policy="deferred")
+        assert kernel.sync_policy == "deferred"
+
+    def test_deferred_wake_trace_event(self):
+        items = Semaphore(0)
+
+        def producer():
+            yield consume(100)
+            yield sem_release(items)
+            yield consume(50)
+
+        def consumer():
+            yield sem_acquire(items)
+            yield consume(10)
+
+        kernel = make_kernel(2, model=NullModel(), sync_policy="deferred",
+                             trace=True)
+        kernel.add_thread(LogicalThread("producer", producer))
+        kernel.add_thread(LogicalThread("consumer", consumer))
+        kernel.run()
+        assert kernel.trace.of_kind("wake-deferred")

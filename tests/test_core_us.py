@@ -1,0 +1,165 @@
+"""Unit tests for the shared-resource scheduler (US layer)."""
+
+import pytest
+
+from repro.contention import ConstantModel, NullModel
+from repro.core import (ConfigurationError, LogicalThread, Processor,
+                        SharedResource)
+from repro.core.region import AnnotationRegion
+from repro.core.us import SharedResourceScheduler
+
+
+def make_region(name, complexity, accesses, start=0.0, power=1.0):
+    thread = LogicalThread(name, lambda: iter(()))
+    return AnnotationRegion(thread, Processor("p", power), complexity,
+                            accesses, start)
+
+
+def make_us(min_timeslice=0.0, model=None, service=2.0):
+    bus = SharedResource("bus", model or ConstantModel(delay=1.0),
+                         service_time=service)
+    return SharedResourceScheduler([bus], min_timeslice=min_timeslice), bus
+
+
+class TestCollection:
+    def test_collects_proportionally(self):
+        us, _ = make_us()
+        region = make_region("a", 100, {"bus": 40})
+        us.collect(50, [region])
+        assert us.pending_demand()["bus"]["a"] == pytest.approx(20.0)
+
+    def test_collect_is_incremental(self):
+        us, _ = make_us()
+        region = make_region("a", 100, {"bus": 40})
+        us.collect(25, [region])
+        us.collect(75, [region])
+        assert us.pending_demand()["bus"]["a"] == pytest.approx(30.0)
+
+    def test_collect_backwards_raises(self):
+        us, _ = make_us()
+        us.collect(50, [])
+        with pytest.raises(ValueError):
+            us.collect(20, [])
+
+    def test_unknown_resource_raises(self):
+        us, _ = make_us()
+        region = make_region("a", 100, {"dma": 5})
+        with pytest.raises(ConfigurationError):
+            us.collect(50, [region])
+
+    def test_zero_duration_region_collected_once(self):
+        us, _ = make_us()
+        region = make_region("a", 0, {"bus": 5}, start=50.0)
+        us.collect(50, [region])
+        us.collect(100, [region])
+        assert us.pending_demand()["bus"]["a"] == pytest.approx(5.0)
+
+    def test_multiple_threads_accumulate_separately(self):
+        us, _ = make_us()
+        a = make_region("a", 100, {"bus": 10})
+        b = make_region("b", 100, {"bus": 30})
+        us.collect(100, [a, b])
+        demand = us.pending_demand()["bus"]
+        assert demand["a"] == pytest.approx(10.0)
+        assert demand["b"] == pytest.approx(30.0)
+
+
+class TestAnalysis:
+    def test_penalties_from_model(self):
+        us, bus = make_us(model=ConstantModel(delay=1.0))
+        a = make_region("a", 100, {"bus": 10})
+        b = make_region("b", 100, {"bus": 30})
+        us.collect(100, [a, b])
+        penalties = us.analyze({})
+        assert penalties["a"] == pytest.approx(10.0)
+        assert penalties["b"] == pytest.approx(30.0)
+        assert us.slices_analyzed == 1
+        assert bus.total_accesses == pytest.approx(40.0)
+
+    def test_null_model_gives_no_penalties(self):
+        us, _ = make_us(model=NullModel())
+        a = make_region("a", 100, {"bus": 10})
+        us.collect(100, [a])
+        assert us.analyze({}) == {}
+
+    def test_analyze_clears_window(self):
+        us, _ = make_us()
+        a = make_region("a", 100, {"bus": 10})
+        us.collect(100, [a])
+        us.analyze({})
+        assert us.pending_demand()["bus"] == {}
+        assert us.window_start == 100.0
+
+    def test_empty_window_not_counted(self):
+        us, _ = make_us()
+        assert us.analyze({}) == {}
+        assert us.slices_analyzed == 0
+
+
+class TestMinTimeslice:
+    def test_undersized_slice_deferred(self):
+        us, _ = make_us(min_timeslice=50.0)
+        a = make_region("a", 100, {"bus": 10})
+        us.collect(20, [a])
+        assert us.analyze({}) == {}
+        assert us.slices_merged == 1
+        assert us.slices_analyzed == 0
+
+    def test_merged_demand_analyzed_with_next_big_slice(self):
+        us, bus = make_us(min_timeslice=50.0, model=ConstantModel(1.0))
+        a = make_region("a", 100, {"bus": 10})
+        b = make_region("b", 100, {"bus": 10})
+        us.collect(20, [a, b])
+        us.analyze({})
+        us.collect(80, [a, b])
+        penalties = us.analyze({})
+        # All accesses up to t=80 are analyzed together.
+        assert penalties["a"] == pytest.approx(8.0)
+        assert us.slices_analyzed == 1
+
+    def test_force_analyzes_small_slice(self):
+        us, _ = make_us(min_timeslice=50.0, model=ConstantModel(1.0))
+        a = make_region("a", 100, {"bus": 10})
+        b = make_region("b", 100, {"bus": 10})
+        us.collect(20, [a, b])
+        penalties = us.analyze({}, force=True)
+        assert penalties["a"] == pytest.approx(2.0)
+
+    def test_negative_min_timeslice_rejected(self):
+        with pytest.raises(ValueError):
+            make_us(min_timeslice=-1.0)
+
+
+class TestModelOutputValidation:
+    def test_penalizing_non_demanding_thread_rejected(self):
+        class BadModel(NullModel):
+            def penalties(self, demand):
+                return {"ghost": 1.0}
+
+        us, _ = make_us(model=BadModel())
+        a = make_region("a", 100, {"bus": 10})
+        us.collect(100, [a])
+        with pytest.raises(ConfigurationError):
+            us.analyze({})
+
+    def test_negative_penalty_rejected(self):
+        class NegativeModel(NullModel):
+            def penalties(self, demand):
+                return {name: -5.0 for name in demand.demands}
+
+        us, _ = make_us(model=NegativeModel())
+        a = make_region("a", 100, {"bus": 10})
+        us.collect(100, [a])
+        with pytest.raises(ConfigurationError):
+            us.analyze({})
+
+    def test_nan_penalty_rejected(self):
+        class NanModel(NullModel):
+            def penalties(self, demand):
+                return {name: float("nan") for name in demand.demands}
+
+        us, _ = make_us(model=NanModel())
+        a = make_region("a", 100, {"bus": 10})
+        us.collect(100, [a])
+        with pytest.raises(ConfigurationError):
+            us.analyze({})

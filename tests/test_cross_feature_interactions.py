@@ -1,0 +1,119 @@
+"""Cross-feature interaction tests.
+
+Each feature is unit-tested in isolation; these tests combine them the
+way downstream users will (serialization of exotic workloads, transforms
+over generators, stepping with sync, timelines of multiport runs).
+"""
+
+import random
+
+import pytest
+
+from repro.contention import NullModel
+from repro.core.export import gantt_rows, result_to_dict
+from repro.cycle import EventEngine, utilization_series
+from repro.workloads.io import workload_from_dict, workload_to_dict
+from repro.workloads.lu import lu_workload
+from repro.workloads.noc import noc_workload
+from repro.workloads.smp import smp_workload
+from repro.workloads.synthetic import dma_workload
+from repro.workloads.to_mesh import build_kernel, run_hybrid
+from repro.workloads.transform import inject_idle, scale_traffic
+
+
+class TestSerializationOfExoticWorkloads:
+    @pytest.mark.parametrize("workload", [
+        noc_workload(width=2, height=2, phases=2),
+        lu_workload(matrix_blocks=3, block_size=8, processors=2),
+        dma_workload(cpu_threads=1, cpu_phases=2),
+    ], ids=["noc", "lu", "dma"])
+    def test_round_trip_preserves_results(self, workload):
+        rebuilt = workload_from_dict(workload_to_dict(workload))
+        assert (EventEngine(workload).run().queueing_cycles
+                == EventEngine(rebuilt).run().queueing_cycles)
+
+
+class TestTransformsOverGenerators:
+    def test_scaled_lu_still_regular(self):
+        from repro.experiments.runner import run_comparison
+
+        heavier = scale_traffic(
+            lu_workload(matrix_blocks=6, block_size=16, processors=4,
+                        cache_kb=64), 2.0)
+        comparison = run_comparison(heavier)
+        # Scaling traffic uniformly keeps LU regular: the analytical
+        # model must stay competitive.
+        assert comparison.error("analytical") < 25.0
+
+    def test_idle_injection_on_noc(self):
+        base = noc_workload(width=2, height=2, phases=3)
+        spiky = inject_idle(base, 0.5, random.Random(0))
+        assert sum(t.total_idle() for t in spiky.threads) > 0
+        # Still simulates end to end.
+        assert EventEngine(spiky).run().makespan > \
+            EventEngine(base).run().makespan
+
+
+class TestSteppingWithSync:
+    def test_steps_through_barrier_workload(self):
+        workload = lu_workload(matrix_blocks=3, block_size=8,
+                               processors=2)
+        kernel = build_kernel(workload, model=NullModel())
+        commits = list(kernel.steps())
+        result = kernel.result()
+        assert len(commits) == result.regions_committed
+        times = [region.end_time for region in commits]
+        assert times == sorted(times)
+
+
+class TestTimelinesAndExports:
+    def test_multiport_run_timeline(self):
+        from repro.workloads.trace import (Phase, ProcessorSpec,
+                                           ResourceSpec, ThreadTrace,
+                                           Workload)
+
+        wl = Workload(
+            threads=[ThreadTrace(f"t{i}",
+                                 [Phase(work=500, accesses=60,
+                                        resource="mem",
+                                        pattern="random", seed=i)],
+                                 affinity=f"p{i}") for i in range(3)],
+            processors=[ProcessorSpec(f"p{i}") for i in range(3)],
+            resources=[ResourceSpec("mem", 4, ports=2)],
+        )
+        result = EventEngine(wl, record_grants=True).run()
+        series = utilization_series(result, window=200)
+        # A 2-port resource can exceed 100% single-port utilization.
+        assert sum(series) * 200 == pytest.approx(
+            result.resources["mem"].busy_cycles)
+
+    def test_smp_hybrid_exports_cleanly(self):
+        import json
+
+        workload = smp_workload(threads=2, phases=2)
+        kernel = build_kernel(workload, trace=True)
+        result = kernel.run()
+        payload = result_to_dict(result)
+        json.dumps(payload)
+        assert set(payload["resources"]) == {"l2", "membus"}
+        rows = gantt_rows(kernel.trace)
+        assert len(rows) == result.regions_committed
+
+    def test_noc_hybrid_result_has_all_links(self):
+        workload = noc_workload(width=2, height=2, phases=2)
+        result = run_hybrid(workload)
+        link_names = {spec.name for spec in workload.resources}
+        assert set(result.resources) == link_names
+
+
+class TestCliSimulateOptions:
+    def test_model_and_timeslice_options(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.workloads.io import save_workload
+
+        path = tmp_path / "wl.json"
+        save_workload(smp_workload(threads=2, phases=2), str(path))
+        code = main(["simulate", str(path), "--estimator", "mesh",
+                     "--model", "md1", "--min-timeslice", "500"])
+        assert code == 0
+        assert "mesh" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Unit tests for bus arbiters."""
+
+import pytest
+
+from repro.cycle.arbiter import (FifoArbiter, PriorityArbiter, Request,
+                                 RoundRobinArbiter, make_arbiter)
+
+
+def req(proc, time, seq, name=None):
+    return Request(proc_index=proc, thread_name=name or f"t{proc}",
+                   time=time, seq=seq)
+
+
+class TestFifo:
+    def test_earliest_request_wins(self):
+        arbiter = FifoArbiter()
+        waiting = [req(0, 10, 1), req(1, 5, 0)]
+        assert arbiter.pick(waiting).proc_index == 1
+        assert len(waiting) == 1
+
+    def test_sequence_breaks_ties(self):
+        arbiter = FifoArbiter()
+        waiting = [req(1, 5, 7), req(0, 5, 3)]
+        assert arbiter.pick(waiting).seq == 3
+
+
+class TestRoundRobin:
+    def test_rotates_after_grant(self):
+        arbiter = RoundRobinArbiter()
+        waiting = [req(0, 0, 0), req(1, 0, 1), req(2, 0, 2)]
+        order = []
+        while waiting:
+            order.append(arbiter.pick(waiting).proc_index)
+        assert order == [0, 1, 2]
+
+    def test_skips_to_next_waiting_index(self):
+        arbiter = RoundRobinArbiter()
+        arbiter._last = 0
+        waiting = [req(0, 0, 0), req(2, 0, 1)]
+        assert arbiter.pick(waiting).proc_index == 2
+
+    def test_wraps_around(self):
+        arbiter = RoundRobinArbiter()
+        arbiter._last = 2
+        waiting = [req(0, 0, 0), req(1, 0, 1)]
+        assert arbiter.pick(waiting).proc_index == 0
+
+
+class TestPriority:
+    def test_highest_priority_first(self):
+        arbiter = PriorityArbiter({"hi": 5, "lo": 1})
+        waiting = [req(0, 0, 0, "lo"), req(1, 0, 1, "hi")]
+        assert arbiter.pick(waiting).thread_name == "hi"
+
+    def test_fifo_among_equal_priority(self):
+        arbiter = PriorityArbiter({})
+        waiting = [req(0, 3, 1, "a"), req(1, 2, 0, "b")]
+        assert arbiter.pick(waiting).thread_name == "b"
+
+    def test_unknown_threads_default_zero(self):
+        arbiter = PriorityArbiter({"known": -5})
+        waiting = [req(0, 0, 0, "known"), req(1, 0, 1, "unknown")]
+        assert arbiter.pick(waiting).thread_name == "unknown"
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("fifo", FifoArbiter),
+        ("roundrobin", RoundRobinArbiter),
+        ("priority", PriorityArbiter),
+    ])
+    def test_make_arbiter(self, name, cls):
+        assert isinstance(make_arbiter(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_arbiter("magic")

@@ -1,0 +1,118 @@
+"""Property-based equivalence: stepped vs event-driven cycle engines.
+
+The event engine is only allowed to exist because it is bit-identical to
+the honest cycle-stepped reference; these tests enforce that on random
+workloads, arbiters, platforms, and barrier structures.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cycle import EventEngine, SteppedEngine
+from repro.workloads.synthetic import random_workload
+from repro.workloads.trace import (BarrierOp, Phase, ProcessorSpec,
+                                   ResourceSpec, ThreadTrace, Workload)
+
+
+def assert_identical(workload, arbiter="fifo"):
+    stepped = SteppedEngine(workload, arbiter=arbiter).run()
+    event = EventEngine(workload, arbiter=arbiter).run()
+    assert stepped.makespan == event.makespan
+    assert stepped.queueing_cycles == event.queueing_cycles
+    for name in stepped.threads:
+        s = stepped.threads[name]
+        e = event.threads[name]
+        assert s.wait_cycles == e.wait_cycles, name
+        assert s.compute_cycles == e.compute_cycles, name
+        assert s.service_cycles == e.service_cycles, name
+        assert s.finish_time == e.finish_time, name
+        assert s.accesses == e.accesses, name
+    for name in stepped.resources:
+        assert (stepped.resources[name].grants
+                == event.resources[name].grants)
+        assert (stepped.resources[name].busy_cycles
+                == event.resources[name].busy_cycles)
+    return stepped
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       arbiter=st.sampled_from(["fifo", "roundrobin", "priority"]))
+def test_random_workloads_identical(seed, arbiter):
+    workload = random_workload(random.Random(seed))
+    assert_identical(workload, arbiter)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       n_threads=st.integers(min_value=2, max_value=4),
+       n_phases=st.integers(min_value=1, max_value=5),
+       service=st.integers(min_value=1, max_value=8))
+def test_barrier_locked_workloads_identical(seed, n_threads, n_phases,
+                                            service):
+    rng = random.Random(seed)
+    threads = []
+    for t in range(n_threads):
+        items = []
+        for p in range(n_phases):
+            items.append(Phase(work=rng.randint(0, 800),
+                               accesses=rng.randint(0, 30),
+                               pattern="random",
+                               seed=rng.getrandbits(20)))
+            items.append(BarrierOp(f"b{p}"))
+        threads.append(ThreadTrace(f"t{t}", items, affinity=f"p{t}"))
+    workload = Workload(
+        threads=threads,
+        processors=[ProcessorSpec(f"p{i}",
+                                  rng.choice([0.5, 1.0, 2.0]))
+                    for i in range(n_threads)],
+        resources=[ResourceSpec("bus", service)],
+    )
+    assert_identical(workload)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_multi_resource_workloads_identical(seed):
+    rng = random.Random(seed)
+    threads = []
+    for t in range(3):
+        items = [Phase(work=rng.randint(10, 500),
+                       accesses=rng.randint(0, 20),
+                       resource=rng.choice(["bus", "dma"]),
+                       pattern="random", seed=rng.getrandbits(16))
+                 for _ in range(4)]
+        threads.append(ThreadTrace(f"t{t}", items, affinity=f"p{t}"))
+    workload = Workload(
+        threads=threads,
+        processors=[ProcessorSpec(f"p{i}") for i in range(3)],
+        resources=[ResourceSpec("bus", 4), ResourceSpec("dma", 2)],
+    )
+    assert_identical(workload)
+
+
+def test_fft_workload_identical():
+    from repro.workloads.fft import fft_workload
+
+    workload = fft_workload(points=1024, processors=2, cache_kb=8)
+    assert_identical(workload)
+
+
+def test_phm_workload_identical():
+    from repro.workloads.phm import phm_workload
+
+    workload = phm_workload(busy_cycles_target=30_000, seed=5)
+    assert_identical(workload)
+
+
+def test_event_engine_is_cheaper_than_stepped():
+    """The event engine must touch far fewer events than cycles."""
+    from repro.workloads.synthetic import uniform_workload
+
+    workload = uniform_workload(threads=2, phases=4, work=20_000,
+                                accesses=50)
+    stepped = SteppedEngine(workload).run()
+    event = EventEngine(workload).run()
+    assert event.cycles_executed < stepped.cycles_executed / 10

@@ -1,0 +1,84 @@
+"""Tests for Pareto-front utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.pareto import dominates, knee_point, pareto_front
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (2, 2))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1, 3), (2, 2))
+        assert not dominates((2, 2), (1, 3))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+
+class TestParetoFront:
+    POINTS = [
+        {"name": "cheap-slow", "cost": 1, "time": 10},
+        {"name": "pricey-fast", "cost": 10, "time": 1},
+        {"name": "balanced", "cost": 4, "time": 4},
+        {"name": "dominated", "cost": 6, "time": 6},
+    ]
+    OBJECTIVES = (lambda p: p["cost"], lambda p: p["time"])
+
+    def test_drops_dominated(self):
+        front = pareto_front(self.POINTS, self.OBJECTIVES)
+        names = {p["name"] for p in front}
+        assert names == {"cheap-slow", "pricey-fast", "balanced"}
+
+    def test_single_objective_reduces_to_min(self):
+        front = pareto_front(self.POINTS, (lambda p: p["cost"],))
+        assert [p["name"] for p in front] == ["cheap-slow"]
+
+    def test_requires_objectives(self):
+        with pytest.raises(ValueError):
+            pareto_front(self.POINTS, ())
+
+    def test_duplicates_survive(self):
+        points = [{"v": 1}, {"v": 1}]
+        assert len(pareto_front(points, (lambda p: p["v"],))) == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.tuples(st.integers(0, 20),
+                                     st.integers(0, 20)),
+                           min_size=1, max_size=20))
+    def test_front_is_mutually_nondominated(self, values):
+        objectives = (lambda p: p[0], lambda p: p[1])
+        front = pareto_front(values, objectives)
+        assert front  # never empty
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not dominates(a, b) or a == b
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.tuples(st.integers(0, 20),
+                                     st.integers(0, 20)),
+                           min_size=1, max_size=20))
+    def test_non_front_points_are_dominated(self, values):
+        objectives = (lambda p: p[0], lambda p: p[1])
+        front = pareto_front(values, objectives)
+        for point in values:
+            if point not in front:
+                assert any(dominates(f, point) for f in front)
+
+
+class TestKneePoint:
+    def test_balanced_point_wins(self):
+        points = TestParetoFront.POINTS
+        knee = knee_point(points, TestParetoFront.OBJECTIVES)
+        assert knee["name"] == "balanced"
+
+    def test_single_point(self):
+        assert knee_point([{"v": 3}], (lambda p: p["v"],)) == {"v": 3}

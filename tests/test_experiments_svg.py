@@ -1,0 +1,78 @@
+"""Tests for the dependency-free SVG chart writer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.svg import (_nice_ticks, line_chart_svg,
+                                   save_line_chart)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestNiceTicks:
+    def test_round_steps(self):
+        ticks = _nice_ticks(0, 10)
+        assert ticks[0] == 0
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+    def test_degenerate_range(self):
+        assert _nice_ticks(5, 5) == [5]
+
+
+class TestLineChart:
+    def chart(self, **kwargs):
+        return line_chart_svg(
+            "Demo", [1, 2, 3],
+            [("iss", [1.0, 2.0, 4.0]), ("mesh", [1.1, 2.2, 3.9])],
+            **kwargs)
+
+    def test_is_valid_xml(self):
+        root = parse(self.chart())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_contains_series_polylines_and_legend(self):
+        root = parse(self.chart())
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "iss" in texts and "mesh" in texts
+        assert "Demo" in texts
+
+    def test_markers_per_point(self):
+        root = parse(self.chart())
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == 6
+
+    def test_non_finite_values_break_the_line(self):
+        svg = line_chart_svg("gap", [1, 2, 3, 4],
+                             [("s", [1.0, float("nan"), 2.0, 3.0])])
+        root = parse(svg)
+        # Only the 2-point tail segment is long enough to draw.
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 1
+        assert len(root.findall(f"{SVG_NS}circle")) == 3
+
+    def test_title_escaped(self):
+        svg = line_chart_svg("a < b & c", [0, 1], [("s", [0, 1])])
+        parse(svg)  # would raise if unescaped
+
+    def test_requires_data(self):
+        with pytest.raises(ValueError):
+            line_chart_svg("x", [], [("s", [])])
+        with pytest.raises(ValueError):
+            line_chart_svg("x", [1], [])
+
+    def test_labels_rendered(self):
+        svg = self.chart(x_label="procs", y_label="cycles")
+        texts = [t.text for t in parse(svg).findall(f"{SVG_NS}text")]
+        assert "procs" in texts and "cycles" in texts
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        save_line_chart(str(path), "Demo", [1, 2], [("s", [1, 2])])
+        parse(path.read_text())

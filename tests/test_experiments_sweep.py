@@ -1,0 +1,69 @@
+"""Tests for the multi-seed sweep scaffolding."""
+
+import pytest
+
+from repro.experiments.sweep import (SweepStat, aggregate, render_sweep,
+                                     run_sweep)
+from repro.workloads.synthetic import uniform_workload
+
+
+class TestAggregate:
+    def test_basic_stats(self):
+        stat = aggregate([1.0, 2.0, 3.0])
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.minimum == 1.0
+        assert stat.maximum == 3.0
+        assert stat.count == 3
+        assert stat.std == pytest.approx((2.0 / 3.0) ** 0.5)
+
+    def test_ci95(self):
+        stat = aggregate([1.0, 2.0, 3.0])
+        assert stat.ci95 == pytest.approx(1.96 * stat.std / 3 ** 0.5)
+        single = aggregate([5.0])
+        assert single.ci95 == 0.0
+
+    def test_drops_non_finite(self):
+        stat = aggregate([1.0, float("inf"), float("nan"), 3.0])
+        assert stat.count == 2
+        assert stat.mean == pytest.approx(2.0)
+
+    def test_empty(self):
+        stat = aggregate([])
+        assert stat.count == 0
+        assert stat.mean == 0.0
+
+    def test_str(self):
+        assert "±" in str(aggregate([1.0, 2.0]))
+
+
+class TestRunSweep:
+    @staticmethod
+    def factory(accesses, seed):
+        return uniform_workload(threads=2, phases=3, work=4_000,
+                                accesses=accesses, seed=seed)
+
+    def test_points_cover_grid(self):
+        points = run_sweep(self.factory, xs=(30, 120), seeds=(1, 2))
+        assert [p.x for p in points] == [30, 120]
+        for point in points:
+            assert point.queueing["iss"].count == 2
+            assert point.error("mesh").count <= 2
+
+    def test_queueing_grows_with_load(self):
+        points = run_sweep(self.factory, xs=(30, 240), seeds=(1,))
+        assert (points[1].queueing["iss"].mean
+                > points[0].queueing["iss"].mean)
+
+    def test_reference_must_be_included(self):
+        with pytest.raises(ValueError):
+            run_sweep(self.factory, xs=(30,), include=("mesh",),
+                      reference="iss")
+
+    def test_render(self):
+        points = run_sweep(self.factory, xs=(60,), seeds=(1,))
+        text = render_sweep(points, x_label="accesses")
+        assert "accesses" in text
+        assert "mesh err %" in text
+
+    def test_render_empty(self):
+        assert render_sweep([]) == "(empty sweep)"

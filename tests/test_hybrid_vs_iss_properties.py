@@ -1,0 +1,99 @@
+"""Statistical agreement properties: hybrid estimates vs ground truth.
+
+The hybrid kernel is an *estimator*, not an exact simulator, so these
+are tolerance properties, not equalities: on randomized workloads the
+hybrid must (a) match the zero-contention timeline exactly, (b) predict
+zero queueing when there is none, and (c) stay within a calibrated
+error band of the cycle engines in contended regimes.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.contention import ChenLinModel, NullModel
+from repro.cycle import EventEngine
+from repro.experiments.runner import percent_error
+from repro.workloads.synthetic import uniform_workload
+from repro.workloads.to_mesh import run_hybrid
+from repro.workloads.trace import (IdleOp, Phase, ProcessorSpec,
+                                   ResourceSpec, ThreadTrace, Workload)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       threads=st.integers(min_value=1, max_value=4))
+def test_zero_contention_timeline_matches_exactly(seed, threads):
+    """Null model: the hybrid is a plain simulator and must land on the
+    cycle engines' makespan to floating-point accuracy."""
+    rng = random.Random(seed)
+    built = []
+    for index in range(threads):
+        items = []
+        for _ in range(rng.randint(1, 5)):
+            if rng.random() < 0.25:
+                items.append(IdleOp(cycles=rng.randint(0, 300)))
+            else:
+                items.append(Phase(work=rng.randint(0, 2_000),
+                                   accesses=rng.randint(0, 30),
+                                   pattern="random",
+                                   seed=rng.getrandbits(16)))
+        built.append(ThreadTrace(f"t{index}", items,
+                                 affinity=f"p{index}"))
+    workload = Workload(
+        threads=built,
+        processors=[ProcessorSpec(f"p{i}",
+                                  rng.choice([0.5, 1.0, 2.0]))
+                    for i in range(threads)],
+        resources=[ResourceSpec("bus", rng.randint(1, 6))],
+    )
+    mesh = run_hybrid(workload, model=NullModel())
+    truth = EventEngine(workload).run()
+    # The null-model hybrid is contention-blind, so compare against the
+    # ISS timeline with its measured waits removed (threads are pinned
+    # and barrier-free, so waits delay only their own thread).  Work
+    # rounding in the cycle engines is < 1 cycle per phase.
+    for name in mesh.threads:
+        uncontended_finish = (truth.threads[name].finish_time
+                              - truth.threads[name].wait_cycles)
+        assert mesh.threads[name].finish_time == pytest.approx(
+            uncontended_finish, abs=6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       accesses=st.integers(min_value=20, max_value=250),
+       threads=st.integers(min_value=2, max_value=4))
+def test_hybrid_error_band_on_uniform_contention(seed, accesses, threads):
+    """Chen-Lin hybrid stays within a wide band of ground truth on
+    symmetric uniform traffic (the regime it is calibrated in)."""
+    workload = uniform_workload(threads=threads, phases=5, work=5_000,
+                                accesses=accesses, bus_service=4,
+                                seed=seed)
+    truth = EventEngine(workload).run()
+    mesh = run_hybrid(workload, model=ChenLinModel())
+    if truth.queueing_cycles < 100:
+        # Too little queueing for a meaningful relative comparison.
+        assert mesh.queueing_cycles < max(
+            400.0, 8.0 * max(truth.queueing_cycles, 1))
+        return
+    error = percent_error(mesh.queueing_cycles, truth.queueing_cycles)
+    assert error < 60.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_hybrid_queueing_scales_with_ground_truth(seed):
+    """Doubling real contention must raise the hybrid estimate too —
+    a monotonicity check across a light and a heavy configuration."""
+    light = uniform_workload(threads=2, phases=4, work=8_000,
+                             accesses=60, seed=seed)
+    heavy = uniform_workload(threads=2, phases=4, work=8_000,
+                             accesses=300, seed=seed)
+    truth_light = EventEngine(light).run().queueing_cycles
+    truth_heavy = EventEngine(heavy).run().queueing_cycles
+    mesh_light = run_hybrid(light).queueing_cycles
+    mesh_heavy = run_hybrid(heavy).queueing_cycles
+    assert truth_heavy > truth_light
+    assert mesh_heavy > mesh_light

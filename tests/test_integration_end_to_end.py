@@ -1,0 +1,109 @@
+"""End-to-end integration tests: the paper's claims as regressions.
+
+These pin the qualitative results of every experiment at miniature
+scale, so a refactor that silently breaks the reproduction fails CI.
+"""
+
+import pytest
+
+from repro.analytical import estimate_queueing
+from repro.contention import ChenLinModel, MD1Model, MM1Model
+from repro.cycle import EventEngine
+from repro.experiments import percent_error, run_comparison
+from repro.workloads.fft import fft_workload
+from repro.workloads.phm import phm_workload
+from repro.workloads.synthetic import bursty_workload, uniform_workload
+from repro.workloads.to_mesh import run_hybrid
+
+
+class TestPaperClaims:
+    def test_fft_hybrid_beats_analytical_both_caches(self):
+        """Figure 4's claim at miniature scale (1024-pt FFT, 4 procs)."""
+        for cache_kb in (512, 8):
+            workload = fft_workload(points=1024, processors=4,
+                                    cache_kb=cache_kb)
+            comparison = run_comparison(workload)
+            assert comparison.error("mesh") < comparison.error(
+                "analytical"), f"cache {cache_kb}KB"
+
+    def test_fft_hybrid_error_reasonable(self):
+        """MESH error stays in the paper's ballpark (<= ~35%)."""
+        workload = fft_workload(points=4096, processors=4, cache_kb=512)
+        comparison = run_comparison(workload)
+        assert comparison.error("mesh") < 35.0
+
+    def test_phm_analytical_overestimates_unbalanced(self):
+        """Figure 5's claim: analytical >> ISS when one core is idle."""
+        workload = phm_workload(busy_cycles_target=60_000,
+                                idle_fractions=(0.06, 0.90),
+                                bus_service=12, seed=3)
+        comparison = run_comparison(workload)
+        assert (comparison.queueing("analytical")
+                > 1.5 * comparison.queueing("iss"))
+        assert comparison.error("mesh") < comparison.error("analytical")
+
+    def test_phm_balanced_analytical_acceptable(self):
+        """Figure 6's left edge: balanced loads suit the analytical
+        model (error within ~50%)."""
+        workload = phm_workload(busy_cycles_target=60_000,
+                                idle_fractions=(0.0, 0.0),
+                                bus_service=8, seed=1)
+        comparison = run_comparison(workload)
+        assert comparison.error("analytical") < 50.0
+
+    def test_min_timeslice_trades_accuracy_for_fewer_slices(self):
+        """Section 4.3: the knob reduces analyses, keeps totals."""
+        workload = fft_workload(points=1024, processors=4, cache_kb=8)
+        fine = run_hybrid(workload, min_timeslice=0.0)
+        coarse = run_hybrid(workload, min_timeslice=2_000.0)
+        assert coarse.slices_analyzed < fine.slices_analyzed
+        assert coarse.resources["bus"].accesses == pytest.approx(
+            fine.resources["bus"].accesses)
+        # Accuracy cost is bounded: estimates stay within 3x.
+        if fine.queueing_cycles > 0:
+            ratio = coarse.queueing_cycles / fine.queueing_cycles
+            assert 1 / 3 < ratio < 3
+
+    def test_interchangeable_models_same_kernel(self):
+        """Any registered model drops into the same simulation."""
+        workload = bursty_workload(threads=2, bursts=6)
+        results = {}
+        for model in (ChenLinModel(), MM1Model(), MD1Model()):
+            results[model.name] = run_hybrid(
+                workload, model=model).queueing_cycles
+        assert results["mm1"] >= results["md1"]
+        assert all(value >= 0 for value in results.values())
+
+    def test_hybrid_with_same_model_differs_only_by_piecewise(self):
+        """On a *stationary* workload, hybrid and whole-run agree; on a
+        bursty one they diverge — piecewise evaluation is the only
+        difference between them."""
+        model = ChenLinModel()
+        stationary = uniform_workload(threads=2, phases=6, work=8_000,
+                                      accesses=150)
+        mesh_s = run_hybrid(stationary, model=model).queueing_cycles
+        ana_s = estimate_queueing(stationary, model=model).queueing_cycles
+        assert mesh_s == pytest.approx(ana_s, rel=0.15)
+
+        bursty = bursty_workload(threads=2, bursts=8, heavy_accesses=500,
+                                 light_accesses=5)
+        mesh_b = run_hybrid(bursty, model=model).queueing_cycles
+        ana_b = estimate_queueing(bursty, model=model).queueing_cycles
+        assert abs(mesh_b - ana_b) / max(ana_b, 1.0) > 0.25
+
+    def test_ground_truth_consistency_across_engines(self):
+        """The two ISS engines agree on a real workload end to end."""
+        from repro.cycle import SteppedEngine
+
+        workload = phm_workload(busy_cycles_target=20_000, seed=3)
+        stepped = SteppedEngine(workload).run()
+        event = EventEngine(workload).run()
+        assert stepped.queueing_cycles == event.queueing_cycles
+        assert stepped.makespan == event.makespan
+
+    def test_error_metric_sanity(self):
+        workload = fft_workload(points=1024, processors=2, cache_kb=8)
+        comparison = run_comparison(workload)
+        recomputed = percent_error(comparison.queueing("mesh"),
+                                   comparison.queueing("iss"))
+        assert comparison.error("mesh") == pytest.approx(recomputed)

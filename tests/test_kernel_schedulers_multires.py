@@ -1,0 +1,128 @@
+"""Kernel integration: scheduler policies and multi-resource platforms."""
+
+import pytest
+
+from repro.contention import ChenLinModel, ConstantModel, NullModel
+from repro.core import (HybridKernel, LeastLoadedScheduler, LogicalThread,
+                        PinnedScheduler, PriorityScheduler, Processor,
+                        RoundRobinScheduler, SharedResource, consume)
+
+from _helpers import simple_thread
+
+
+def pool_kernel(scheduler, n_procs=2, model=None):
+    processors = [Processor(f"p{i}") for i in range(n_procs)]
+    bus = SharedResource("bus", model or NullModel(), service_time=4)
+    return HybridKernel(processors, [bus], scheduler=scheduler)
+
+
+class TestSchedulerIntegration:
+    def test_priority_scheduler_orders_backlog(self):
+        # One processor, three threads: highest priority runs first.
+        kernel = pool_kernel(PriorityScheduler(), n_procs=1)
+        for name, priority in (("low", 1), ("mid", 5), ("high", 9)):
+            kernel.add_thread(simple_thread(name, [consume(100)],
+                                            priority=priority))
+        result = kernel.run()
+        assert result.threads["high"].finish_time == pytest.approx(100.0)
+        assert result.threads["mid"].finish_time == pytest.approx(200.0)
+        assert result.threads["low"].finish_time == pytest.approx(300.0)
+
+    def test_round_robin_interleaves_multiregion_threads(self):
+        kernel = pool_kernel(RoundRobinScheduler(), n_procs=1)
+        kernel.add_thread(simple_thread("a", [consume(10)] * 3))
+        kernel.add_thread(simple_thread("b", [consume(10)] * 3))
+        result = kernel.run()
+        # Fair rotation: neither thread finishes all regions before the
+        # other starts; both end within one region of each other.
+        assert abs(result.threads["a"].finish_time
+                   - result.threads["b"].finish_time) <= 10.0
+
+    def test_least_loaded_balances_cumulative_time(self):
+        kernel = pool_kernel(LeastLoadedScheduler(), n_procs=1)
+        kernel.add_thread(simple_thread("short", [consume(10)] * 4))
+        kernel.add_thread(simple_thread("long", [consume(40)] * 4))
+        result = kernel.run()
+        assert result.makespan == pytest.approx(200.0)
+
+    def test_pinned_scheduler_end_to_end(self):
+        kernel = pool_kernel(PinnedScheduler(), n_procs=2)
+        kernel.add_thread(simple_thread("a", [consume(100)],
+                                        affinity="p0"))
+        kernel.add_thread(simple_thread("b", [consume(100)],
+                                        affinity="p1"))
+        result = kernel.run()
+        assert result.makespan == pytest.approx(100.0)
+
+    def test_unpinned_threads_migrate_across_processors(self):
+        # Three threads, two processors, FIFO pool: the third thread
+        # runs on whichever processor frees first.
+        kernel = pool_kernel(None, n_procs=2)
+        kernel.add_thread(simple_thread("a", [consume(50)]))
+        kernel.add_thread(simple_thread("b", [consume(100)]))
+        kernel.add_thread(simple_thread("c", [consume(50)]))
+        result = kernel.run()
+        assert result.threads["c"].finish_time == pytest.approx(100.0)
+        assert result.makespan == pytest.approx(100.0)
+
+
+class TestMultiResourceKernel:
+    def build(self, models=None):
+        processors = [Processor("p0"), Processor("p1")]
+        models = models or {}
+        bus = SharedResource("bus", models.get("bus", ConstantModel(1.0)),
+                             service_time=4)
+        dma = SharedResource("dma", models.get("dma", ConstantModel(2.0)),
+                             service_time=8)
+        return HybridKernel(processors, [bus, dma])
+
+    def test_region_accessing_two_resources(self):
+        kernel = self.build()
+        kernel.add_thread(simple_thread(
+            "a", [consume(100, {"bus": 10, "dma": 5})]))
+        kernel.add_thread(simple_thread(
+            "b", [consume(100, {"bus": 10, "dma": 5})]))
+        result = kernel.run()
+        # Constant models: 10*1 from the bus plus 5*2 from the DMA.
+        assert result.threads["a"].penalty == pytest.approx(20.0)
+        assert result.resources["bus"].penalty == pytest.approx(20.0)
+        assert result.resources["dma"].penalty == pytest.approx(20.0)
+
+    def test_resources_are_independent(self):
+        kernel = self.build()
+        kernel.add_thread(simple_thread("a", [consume(100, {"bus": 10})]))
+        kernel.add_thread(simple_thread("b", [consume(100, {"dma": 10})]))
+        result = kernel.run()
+        # No resource is shared by two threads: no contention at all.
+        assert result.queueing_cycles == 0.0
+
+    def test_per_resource_chenlin(self):
+        kernel = self.build(models={"bus": ChenLinModel(),
+                                    "dma": NullModel()})
+        kernel.add_thread(simple_thread(
+            "a", [consume(1_000, {"bus": 50, "dma": 50})]))
+        kernel.add_thread(simple_thread(
+            "b", [consume(1_000, {"bus": 50, "dma": 50})]))
+        result = kernel.run()
+        assert result.resources["bus"].penalty > 0
+        assert result.resources["dma"].penalty == 0.0
+
+    def test_multiport_resource_in_kernel(self):
+        from repro.contention import MMcModel
+
+        processors = [Processor(f"p{i}") for i in range(3)]
+        mem = SharedResource("mem", MMcModel(), service_time=4, ports=2)
+        kernel = HybridKernel(processors, [mem])
+        for i in range(3):
+            kernel.add_thread(simple_thread(
+                f"t{i}", [consume(1_000, {"mem": 100})]))
+        dual = kernel.run()
+
+        processors = [Processor(f"p{i}") for i in range(3)]
+        mem1 = SharedResource("mem", MMcModel(), service_time=4, ports=1)
+        kernel1 = HybridKernel(processors, [mem1])
+        for i in range(3):
+            kernel1.add_thread(simple_thread(
+                f"t{i}", [consume(1_000, {"mem": 100})]))
+        single = kernel1.run()
+        assert dual.queueing_cycles < single.queueing_cycles

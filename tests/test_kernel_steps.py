@@ -1,0 +1,85 @@
+"""Tests for the incremental stepping API."""
+
+import pytest
+
+from repro.contention import ConstantModel, NullModel
+from repro.core import SimulationError, consume
+
+from _helpers import make_kernel, simple_thread
+
+
+class TestSteps:
+    def test_yields_committed_regions_in_time_order(self):
+        kernel = make_kernel(2, model=NullModel())
+        kernel.add_thread(simple_thread("a", [consume(100), consume(50)]))
+        kernel.add_thread(simple_thread("b", [consume(30)]))
+        times = [kernel.now for _ in kernel.steps()]
+        assert times == sorted(times)
+        assert len(times) == 3
+
+    def test_result_after_drain_matches_run(self):
+        build = lambda: (  # noqa: E731 - tiny local factory
+            make_kernel(2, model=ConstantModel(1.0)))
+
+        def populate(kernel):
+            kernel.add_thread(simple_thread(
+                "a", [consume(100, {"bus": 10})]))
+            kernel.add_thread(simple_thread(
+                "b", [consume(100, {"bus": 10})]))
+            return kernel
+
+        stepped = populate(build())
+        for _ in stepped.steps():
+            pass
+        via_steps = stepped.result()
+        via_run = populate(build()).run()
+        assert via_steps.makespan == via_run.makespan
+        assert via_steps.queueing_cycles == via_run.queueing_cycles
+
+    def test_penalized_region_yields_once_on_final_commit(self):
+        kernel = make_kernel(2, model=ConstantModel(1.0))
+        kernel.add_thread(simple_thread("a", [consume(100, {"bus": 10})]))
+        kernel.add_thread(simple_thread("b", [consume(100, {"bus": 10})]))
+        regions = list(kernel.steps())
+        assert len(regions) == 2
+        assert all(region.committed for region in regions)
+
+    def test_result_before_finish_raises(self):
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("a", [consume(100)]))
+        stepper = kernel.steps()
+        next(stepper)
+        with pytest.raises(SimulationError):
+            kernel.result()
+
+    def test_single_shot_enforced_via_steps(self):
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("a", [consume(1)]))
+        list(kernel.steps())
+        with pytest.raises(SimulationError):
+            list(kernel.steps())
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_early_abandon_is_allowed(self):
+        kernel = make_kernel(1, model=NullModel())
+        kernel.add_thread(simple_thread("a", [consume(10)] * 10))
+        stepper = kernel.steps()
+        for _ in range(3):
+            next(stepper)
+        # Abandoning mid-run is fine; result() stays gated.
+        with pytest.raises(SimulationError):
+            kernel.result()
+
+    def test_until_in_steps(self):
+        def forever():
+            while True:
+                yield consume(10)
+
+        from repro.core import LogicalThread
+
+        kernel = make_kernel(1, model=NullModel())
+        kernel.add_thread(LogicalThread("a", forever))
+        count = sum(1 for _ in kernel.steps(until=55))
+        assert 5 <= count <= 7
+        assert kernel.result().makespan >= 50

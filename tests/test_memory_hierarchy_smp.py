@@ -1,0 +1,133 @@
+"""Tests for the two-level memory hierarchy and the SMP workload."""
+
+import pytest
+
+from repro.cycle import EventEngine
+from repro.memory import MemoryHierarchy
+from repro.memory.addrgen import sequential
+from repro.workloads.smp import smp_workload
+from repro.workloads.to_mesh import run_hybrid
+
+
+class TestMemoryHierarchy:
+    def test_l1_hit_generates_no_l2_traffic(self):
+        hierarchy = MemoryHierarchy(l1_kb=4)
+        stream = [(0x100, False)] * 10
+        profile = hierarchy.run_stream("t0", stream)
+        assert profile.accesses == 10
+        assert profile.l1_misses == 1
+        assert profile.l2_accesses == 1
+
+    def test_l2_hit_generates_no_memory_traffic(self):
+        hierarchy = MemoryHierarchy(l1_kb=1, l2_kb=128)
+        # Working set larger than L1, smaller than L2: second pass
+        # misses L1 but hits L2.
+        stream = list(sequential(0, 128, stride=32))
+        hierarchy.run_stream("t0", stream)
+        profile = hierarchy.run_stream("t0", stream)
+        assert profile.l1_misses > 0
+        assert profile.mem_accesses == 0
+
+    def test_l2_capacity_miss_reaches_memory(self):
+        hierarchy = MemoryHierarchy(l1_kb=1, l2_kb=2)
+        # 8KB working set through a 2KB L2: second pass misses both.
+        stream = list(sequential(0, 256, stride=32))
+        hierarchy.run_stream("t0", stream)
+        profile = hierarchy.run_stream("t0", stream)
+        assert profile.mem_accesses > 0
+
+    def test_private_l1_per_thread(self):
+        hierarchy = MemoryHierarchy(l1_kb=4)
+        hierarchy.run_stream("a", [(0x100, False)])
+        profile_b = hierarchy.run_stream("b", [(0x100, False)])
+        # b's L1 is cold even though a touched the line...
+        assert profile_b.l1_misses == 1
+        # ...but the shared L2 is warm: no memory traffic.
+        assert profile_b.mem_accesses == 0
+
+    def test_l1_writeback_charges_l2_port(self):
+        hierarchy = MemoryHierarchy(l1_kb=1, l2_kb=128, l1_assoc=1)
+        l1_lines = 1024 // 32
+        # Dirty the whole L1, then evict it with a second region.
+        dirty = [(i * 32, True) for i in range(l1_lines)]
+        evict = [(0x40000 + i * 32, False) for i in range(l1_lines)]
+        hierarchy.run_stream("t0", dirty)
+        profile = hierarchy.run_stream("t0", evict)
+        # Each eviction fills a line (1 L2 access) and writes back the
+        # dirty victim (1 more L2 access).
+        assert profile.l2_accesses == pytest.approx(2 * l1_lines)
+
+    def test_invalidate_shared_spares_writer(self):
+        hierarchy = MemoryHierarchy(l1_kb=4)
+        hierarchy.run_stream("a", [(0x100, False)])
+        hierarchy.run_stream("b", [(0x100, False)])
+        hierarchy.invalidate_shared(0x100, 0x120, except_thread="a")
+        assert hierarchy.l1_for("a").contains(0x100)
+        assert not hierarchy.l1_for("b").contains(0x100)
+
+    def test_line_beats_default(self):
+        assert MemoryHierarchy(line_bytes=32).line_beats == 8
+        assert MemoryHierarchy(line_bytes=32,
+                               membus_beats=4).line_beats == 4
+
+
+class TestSMPWorkload:
+    def test_two_resources_with_traffic(self):
+        wl = smp_workload(threads=2, phases=3)
+        names = {spec.name for spec in wl.resources}
+        assert names == {"l2", "membus"}
+        l2_total = sum(t.total_accesses("l2") for t in wl.threads)
+        mem_total = sum(t.total_accesses("membus") for t in wl.threads)
+        assert l2_total > 0
+        assert mem_total > 0
+
+    def test_membus_phases_are_bursts(self):
+        wl = smp_workload(threads=2, phases=2)
+        mem_phases = [p for t in wl.threads for p in t.phases()
+                      if p.resource == "membus"]
+        assert all(p.burst > 1 for p in mem_phases)
+
+    def test_smaller_l1_shifts_traffic_to_l2(self):
+        small = smp_workload(threads=2, phases=3, l1_kb=1, seed=4)
+        big = smp_workload(threads=2, phases=3, l1_kb=64, seed=4)
+        small_l2 = sum(t.total_accesses("l2") for t in small.threads)
+        big_l2 = sum(t.total_accesses("l2") for t in big.threads)
+        assert small_l2 > big_l2
+
+    def test_smaller_l2_shifts_traffic_to_membus(self):
+        small = smp_workload(threads=2, phases=3, working_set_kb=32,
+                             l2_kb=8, seed=4)
+        big = smp_workload(threads=2, phases=3, working_set_kb=32,
+                           l2_kb=512, seed=4)
+        small_mem = sum(t.total_accesses("membus")
+                        for t in small.threads)
+        big_mem = sum(t.total_accesses("membus") for t in big.threads)
+        assert small_mem > big_mem
+
+    def test_invalid_sharing_rejected(self):
+        with pytest.raises(ValueError):
+            smp_workload(sharing=1.5)
+
+    def test_runs_through_all_estimators(self):
+        from repro.analytical import estimate_queueing
+
+        wl = smp_workload(threads=3, phases=3)
+        truth = EventEngine(wl).run()
+        mesh = run_hybrid(wl)
+        analytical = estimate_queueing(wl)
+        assert truth.makespan > 0
+        assert mesh.queueing_cycles >= 0
+        assert analytical.queueing_cycles >= 0
+        # Contention exists on at least one of the two resources.
+        assert truth.queueing_cycles > 0
+
+    def test_hybrid_tracks_two_resource_contention(self):
+        from repro.experiments.runner import percent_error
+
+        wl = smp_workload(threads=4, phases=4, l1_kb=1, l2_kb=64,
+                          sharing=0.3, seed=2)
+        truth = EventEngine(wl).run()
+        mesh = run_hybrid(wl)
+        if truth.queueing_cycles > 200:
+            assert percent_error(mesh.queueing_cycles,
+                                 truth.queueing_cycles) < 60.0

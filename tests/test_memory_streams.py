@@ -1,0 +1,82 @@
+"""Unit tests for address-stream generators and stream profiling."""
+
+import random
+
+import pytest
+
+from repro.memory import (Cache, row_walk, run_stream, sequential,
+                          strided_block, transpose_walk, uniform_random)
+
+
+class TestGenerators:
+    def test_sequential(self):
+        accesses = list(sequential(0x100, 4, stride=8))
+        assert accesses == [(0x100, False), (0x108, False),
+                            (0x110, False), (0x118, False)]
+
+    def test_sequential_write_flag(self):
+        assert all(w for _, w in sequential(0, 3, write=True))
+
+    def test_strided_block_row_major(self):
+        accesses = [a for a, _ in strided_block(0, 2, 3, elem=4)]
+        assert accesses == [0, 4, 8, 12, 16, 20]
+
+    def test_strided_block_column_major(self):
+        accesses = [a for a, _ in strided_block(0, 2, 3, elem=4,
+                                                row_major=False)]
+        assert accesses == [0, 12, 4, 16, 8, 20]
+
+    def test_uniform_random_in_bounds(self):
+        rng = random.Random(1)
+        for address, _ in uniform_random(1000, 256, 50, rng, elem=4):
+            assert 1000 <= address < 1256
+            assert address % 4 == 0
+
+    def test_uniform_random_write_fraction(self):
+        rng = random.Random(1)
+        writes = sum(1 for _, w in uniform_random(0, 1024, 400, rng,
+                                                  write_fraction=0.5) if w)
+        assert 100 < writes < 300
+
+    def test_row_walk_reads_then_writes_last_pass(self):
+        stream = list(row_walk(0, row=1, cols=2, elem=8, passes=2))
+        # Pass 1: 2 reads; pass 2: read+write per element.
+        assert stream == [(16, False), (24, False),
+                          (16, False), (16, True), (24, False), (24, True)]
+
+    def test_transpose_walk_shape(self):
+        stream = list(transpose_walk(0, 1000, range(0, 1), cols=4, elem=8))
+        reads = [a for a, w in stream if not w]
+        writes = [a for a, w in stream if w]
+        # Read column 0 (stride cols*elem), write row 0 sequentially.
+        assert reads == [0, 32, 64, 96]
+        assert writes == [1000, 1008, 1016, 1024]
+
+
+class TestRunStream:
+    def test_profile_counts_delta_only(self):
+        cache = Cache(1024, line_bytes=32, associativity=2)
+        first = run_stream(cache, sequential(0, 8, stride=32))
+        assert first.accesses == 8
+        assert first.misses == 8
+        second = run_stream(cache, sequential(0, 8, stride=32))
+        assert second.misses == 0
+        assert second.accesses == 8
+
+    def test_bus_accesses_includes_writebacks(self):
+        cache = Cache(64, line_bytes=32, associativity=1)
+        profile = run_stream(cache, [(0x000, True), (0x040, False)])
+        assert profile.misses == 2
+        assert profile.writebacks == 1
+        assert profile.bus_accesses == 3
+
+    def test_miss_rate(self):
+        cache = Cache(1024, line_bytes=32, associativity=2)
+        profile = run_stream(cache, [(0, False), (0, False)])
+        assert profile.miss_rate == pytest.approx(0.5)
+
+    def test_empty_stream(self):
+        cache = Cache(1024, line_bytes=32, associativity=2)
+        profile = run_stream(cache, [])
+        assert profile.accesses == 0
+        assert profile.miss_rate == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the extended MiBench kernel catalog and custom PHM mixes."""
+
+import random
+
+import pytest
+
+from repro.workloads.mibench import (ALL_KERNELS, DIJKSTRA, JPEG_ENCODE,
+                                     KERNELS, SHA, busy_cycles,
+                                     kernel_phases)
+from repro.workloads.phm import phm_workload
+
+
+class TestExtendedCatalog:
+    def test_catalog_superset_of_paper_mix(self):
+        assert set(KERNELS) <= set(ALL_KERNELS)
+        assert len(ALL_KERNELS) == 8
+
+    def test_categories_cover_mibench_spread(self):
+        categories = {spec.category for spec in ALL_KERNELS.values()}
+        assert {"telecomm", "security", "multimedia", "consumer",
+                "network", "automotive"} <= categories
+
+    def test_every_kernel_generates_valid_phases(self):
+        rng = random.Random(0)
+        for spec in ALL_KERNELS.values():
+            phases = kernel_phases(spec, 5, rng)
+            assert len(phases) == 5
+            assert all(p.work > 0 for p in phases)
+
+    def test_jitter_shapes_variation(self):
+        rng = random.Random(0)
+        steady = kernel_phases(SHA, 40, rng)       # jitter 0.05
+        noisy = kernel_phases(DIJKSTRA, 40, rng)   # jitter 0.30
+
+        def spread(phases):
+            works = [p.work for p in phases]
+            mean = sum(works) / len(works)
+            return max(abs(w - mean) / mean for w in works)
+
+        assert spread(noisy) > spread(steady)
+
+    def test_busy_cycles_monotone_in_units(self):
+        assert busy_cycles(JPEG_ENCODE, 20, 1.0, 4) == \
+            pytest.approx(2 * busy_cycles(JPEG_ENCODE, 10, 1.0, 4))
+
+
+class TestCustomPHMMixes:
+    def test_phm_accepts_extended_kernels(self):
+        heavy_mix = [ALL_KERNELS["jpeg_encode"], ALL_KERNELS["dijkstra"]]
+        wl = phm_workload(busy_cycles_target=30_000, seed=1,
+                          kernels=heavy_mix)
+        total = sum(t.total_accesses() for t in wl.threads)
+        assert total > 0
+
+    def test_heavier_mix_raises_contention(self):
+        from repro.cycle import EventEngine
+
+        light = phm_workload(busy_cycles_target=40_000, seed=1,
+                             idle_fractions=(0.0, 0.0),
+                             kernels=[ALL_KERNELS["sha"],
+                                      ALL_KERNELS["blowfish"]])
+        heavy = phm_workload(busy_cycles_target=40_000, seed=1,
+                             idle_fractions=(0.0, 0.0),
+                             kernels=[ALL_KERNELS["jpeg_encode"],
+                                      ALL_KERNELS["mp3_encode"]])
+        assert (EventEngine(heavy).run().queueing_cycles
+                > EventEngine(light).run().queueing_cycles)

@@ -1,0 +1,132 @@
+"""Edge-case coverage across modules not exercised elsewhere."""
+
+import pytest
+
+from repro.contention import ChenLinModel, SliceDemand
+from repro.core import consume
+from repro.experiments.report import format_table, sparkline
+from repro.experiments.runner import run_comparison
+from repro.workloads.synthetic import uniform_workload
+
+from _helpers import make_kernel, simple_thread
+
+
+class TestSliceDemandEdges:
+    def test_service_of_defaults_to_resource_service(self):
+        demand = SliceDemand(start=0, end=100, service_time=4,
+                             demands={"a": 10})
+        assert demand.service_of("a") == 4
+        assert demand.service_of("ghost") == 4
+
+    def test_service_of_override(self):
+        demand = SliceDemand(start=0, end=100, service_time=4,
+                             demands={"a": 10, "b": 10},
+                             mean_service={"a": 32.0})
+        assert demand.service_of("a") == 32.0
+        assert demand.service_of("b") == 4
+
+    def test_utilization_uses_mean_service_and_ports(self):
+        demand = SliceDemand(start=0, end=100, service_time=4,
+                             demands={"a": 10}, ports=2,
+                             mean_service={"a": 8.0})
+        assert demand.utilization() == pytest.approx(
+            10 * 8.0 / (100 * 2))
+
+    def test_heterogeneous_service_raises_partner_wait(self):
+        model = ChenLinModel()
+        word = SliceDemand(start=0, end=1_000, service_time=4,
+                           demands={"cpu": 50, "dma": 10})
+        burst = SliceDemand(start=0, end=1_000, service_time=4,
+                            demands={"cpu": 50, "dma": 10},
+                            mean_service={"dma": 32.0})
+        assert (model.penalties(burst)["cpu"]
+                > model.penalties(word)["cpu"])
+
+
+class TestReportEdges:
+    def test_format_table_handles_mixed_types(self):
+        text = format_table(["a"], [[float("nan")], [float("inf")],
+                                    [1234567.0], [None]])
+        assert "nan" in text
+        assert "inf" in text
+        assert "1,234,567" in text
+        assert "None" in text
+
+    def test_sparkline_single_value(self):
+        assert sparkline([7.0]) == "▁"
+
+
+class TestRunnerEdges:
+    def test_speedup_infinite_when_fast_is_zero(self):
+        comparison = run_comparison(uniform_workload(phases=1),
+                                    include=("iss", "analytical"))
+        # The analytical estimator is near-instant but measurable;
+        # speedup stays finite and positive.
+        assert comparison.speedup("analytical", "iss") > 0
+
+    def test_annotation_policy_forwarded(self):
+        comparison = run_comparison(uniform_workload(phases=2),
+                                    annotation="barrier",
+                                    include=("mesh",))
+        detail = comparison.runs["mesh"].detail
+        # With no barriers the whole trace merges into one region per
+        # thread.
+        assert detail.regions_committed == 2
+
+
+class TestKernelEdges:
+    def test_until_zero_stops_immediately(self):
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("a", [consume(100)]))
+        result = kernel.run(until=0.0)
+        assert result.makespan == 0.0
+
+    def test_consume_burst_validation(self):
+        from repro.core import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            consume(10, {"bus": 1}, burst={"bus": 0.5})
+
+    def test_region_burst_defaults_empty(self):
+        kernel = make_kernel(2)
+        kernel.add_thread(simple_thread("a", [consume(10, {"bus": 2})]))
+        kernel.add_thread(simple_thread("b", [consume(10, {"bus": 2})]))
+        result = kernel.run()
+        assert result.resources["bus"].accesses == pytest.approx(4.0)
+
+
+class TestCharacterizeBursts:
+    def test_mean_service_from_profile(self):
+        from repro.analytical import characterize
+        from repro.workloads.trace import (Phase, ProcessorSpec,
+                                           ResourceSpec, ThreadTrace,
+                                           Workload)
+
+        wl = Workload(
+            threads=[ThreadTrace("dma", [Phase(work=100, accesses=4,
+                                               burst=8)],
+                                 affinity="p0")],
+            processors=[ProcessorSpec("p0")],
+            resources=[ResourceSpec("bus", 4)],
+        )
+        profile = characterize(wl)["dma"]
+        assert profile.accesses["bus"] == 4
+        assert profile.service_units["bus"] == 32
+        assert profile.mean_service("bus", 4) == pytest.approx(32.0)
+        # Busy time includes the full burst occupancy.
+        assert profile.busy_cycles == pytest.approx(100 + 32 * 4)
+
+    def test_mean_service_default_without_accesses(self):
+        from repro.analytical import characterize
+        from repro.workloads.trace import (Phase, ProcessorSpec,
+                                           ResourceSpec, ThreadTrace,
+                                           Workload)
+
+        wl = Workload(
+            threads=[ThreadTrace("t", [Phase(work=100)],
+                                 affinity="p0")],
+            processors=[ProcessorSpec("p0")],
+            resources=[ResourceSpec("bus", 4)],
+        )
+        profile = characterize(wl)["t"]
+        assert profile.mean_service("bus", 4) == 4

@@ -1,0 +1,187 @@
+"""Multi-port shared resources across the whole stack.
+
+A dual-port memory serves two accesses concurrently; the cycle engines
+model it exactly (two grant slots), the MMcModel analytically.  These
+tests cover engine behavior, engine equivalence, the Erlang-C helper,
+and end-to-end agreement of all three estimators.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.contention import MMcModel, SliceDemand, erlang_c, make_model
+from repro.core import ConfigurationError, SharedResource
+from repro.cycle import EventEngine, SteppedEngine
+from repro.workloads.trace import (Phase, ProcessorSpec, ResourceSpec,
+                                   ThreadTrace, Workload)
+
+
+def mem_workload(ports, threads=2, accesses=1, work=0, service=4,
+                 pattern="front"):
+    return Workload(
+        threads=[ThreadTrace(f"t{i}",
+                             [Phase(work=work, accesses=accesses,
+                                    resource="mem", pattern=pattern,
+                                    seed=i)],
+                             affinity=f"p{i}")
+                 for i in range(threads)],
+        processors=[ProcessorSpec(f"p{i}") for i in range(threads)],
+        resources=[ResourceSpec("mem", service, ports=ports)],
+    )
+
+
+class TestCycleEnginesMultiPort:
+    @pytest.mark.parametrize("engine_cls", [SteppedEngine, EventEngine])
+    def test_two_ports_serve_two_masters_without_wait(self, engine_cls):
+        result = engine_cls(mem_workload(ports=2)).run()
+        assert result.queueing_cycles == 0
+        assert result.makespan == 4
+
+    @pytest.mark.parametrize("engine_cls", [SteppedEngine, EventEngine])
+    def test_single_port_serializes(self, engine_cls):
+        result = engine_cls(mem_workload(ports=1)).run()
+        assert result.queueing_cycles == 4
+        assert result.makespan == 8
+
+    @pytest.mark.parametrize("engine_cls", [SteppedEngine, EventEngine])
+    def test_three_masters_two_ports(self, engine_cls):
+        result = engine_cls(mem_workload(ports=2, threads=3)).run()
+        # Two served immediately, the third waits one service time.
+        assert result.queueing_cycles == 4
+        assert result.makespan == 8
+
+    @pytest.mark.parametrize("engine_cls", [SteppedEngine, EventEngine])
+    def test_ports_bounded_concurrency(self, engine_cls):
+        # 4 masters, 2 ports, back-to-back accesses: utilization of the
+        # resource cannot exceed the makespan times the port count.
+        wl = mem_workload(ports=2, threads=4, accesses=10)
+        result = engine_cls(wl).run()
+        mem = result.resources["mem"]
+        assert mem.busy_cycles <= 2 * result.makespan
+
+    def test_invalid_ports_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceSpec("mem", 4, ports=0)
+
+    def test_shared_resource_rejects_bad_ports(self):
+        from repro.contention import NullModel
+
+        with pytest.raises(ConfigurationError):
+            SharedResource("mem", NullModel(), service_time=4, ports=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       ports=st.integers(min_value=1, max_value=3))
+def test_multiport_engines_identical(seed, ports):
+    rng = random.Random(seed)
+    threads = []
+    for t in range(3):
+        items = [Phase(work=rng.randint(0, 400),
+                       accesses=rng.randint(0, 25),
+                       resource="mem", pattern="random",
+                       seed=rng.getrandbits(16))
+                 for _ in range(3)]
+        threads.append(ThreadTrace(f"t{t}", items, affinity=f"p{t}"))
+    workload = Workload(
+        threads=threads,
+        processors=[ProcessorSpec(f"p{i}") for i in range(3)],
+        resources=[ResourceSpec("mem", rng.randint(1, 6), ports=ports)],
+    )
+    stepped = SteppedEngine(workload).run()
+    event = EventEngine(workload).run()
+    assert stepped.makespan == event.makespan
+    assert stepped.queueing_cycles == event.queueing_cycles
+    for name in stepped.threads:
+        assert (stepped.threads[name].wait_cycles
+                == event.threads[name].wait_cycles)
+
+
+class TestErlangC:
+    def test_zero_load(self):
+        assert erlang_c(2, 0.0) == 0.0
+
+    def test_saturated(self):
+        assert erlang_c(2, 2.0) == 1.0
+        assert erlang_c(2, 5.0) == 1.0
+
+    def test_single_server_reduces_to_rho(self):
+        # M/M/1: P(wait) = rho.
+        assert erlang_c(1, 0.3) == pytest.approx(0.3)
+        assert erlang_c(1, 0.8) == pytest.approx(0.8)
+
+    def test_known_value_two_servers(self):
+        # M/M/2 at offered load 1.0 (rho = 0.5): C = 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_monotone_in_load(self):
+        values = [erlang_c(3, load / 10.0) for load in range(1, 29)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_more_servers_less_waiting(self):
+        assert erlang_c(4, 1.5) < erlang_c(2, 1.5)
+
+
+class TestMMcModel:
+    def demand(self, ports, duration=1000.0, service=4.0, **counts):
+        return SliceDemand(start=0.0, end=duration, service_time=service,
+                           demands=dict(counts), ports=ports)
+
+    def test_registered(self):
+        assert isinstance(make_model("mmc"), MMcModel)
+
+    def test_single_port_penalizes(self):
+        result = MMcModel().penalties(self.demand(1, a=60, b=60))
+        assert result["a"] > 0
+
+    def test_two_masters_two_ports_no_penalty(self):
+        # Two blocking masters can never collide on a 2-port resource.
+        result = MMcModel().penalties(self.demand(2, a=60, b=60))
+        assert result.get("a", 0.0) == 0.0
+
+    def test_more_ports_less_penalty(self):
+        d1 = self.demand(1, a=60, b=60, c=60)
+        d2 = self.demand(2, a=60, b=60, c=60)
+        p1 = MMcModel().penalties(d1).get("a", 0.0)
+        p2 = MMcModel().penalties(d2).get("a", 0.0)
+        assert p2 < p1
+
+    def test_saturation_floor_multiport(self):
+        # 3 heavy masters on 2 ports beyond combined capacity.
+        d = self.demand(2, duration=100.0, a=40, b=40, c=40)
+        result = MMcModel().penalties(d)
+        assert result["a"] > 0
+
+    def test_invalid_rho_max(self):
+        with pytest.raises(ValueError):
+            MMcModel(rho_max=1.1)
+
+    def test_matches_ground_truth_roughly(self):
+        # Dual-port memory, 3 uniform masters at moderate load: the
+        # hybrid + MMc estimate should land near the cycle engines.
+        from repro.workloads.to_mesh import run_hybrid
+
+        wl = mem_workload(ports=2, threads=3, accesses=150, work=5_000,
+                          pattern="random")
+        truth = EventEngine(wl).run().queueing_cycles
+        estimate = run_hybrid(wl, model=MMcModel()).queueing_cycles
+        if truth > 50:
+            assert estimate == pytest.approx(truth, rel=0.6)
+
+    def test_hybrid_sees_port_benefit_like_iss(self):
+        from repro.workloads.to_mesh import run_hybrid
+
+        single = mem_workload(ports=1, threads=3, accesses=150,
+                              work=5_000, pattern="random")
+        dual = mem_workload(ports=2, threads=3, accesses=150,
+                            work=5_000, pattern="random")
+        truth_ratio = (EventEngine(dual).run().queueing_cycles
+                       / max(1, EventEngine(single).run().queueing_cycles))
+        est_single = run_hybrid(single, model=MMcModel()).queueing_cycles
+        est_dual = run_hybrid(dual, model=MMcModel()).queueing_cycles
+        est_ratio = est_dual / max(1.0, est_single)
+        # Both agree the second port removes most of the queueing.
+        assert truth_ratio < 0.5
+        assert est_ratio < 0.5

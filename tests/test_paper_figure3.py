@@ -1,0 +1,128 @@
+"""Executable specification: the paper's Figure 3 timeline.
+
+Section 4.2 walks the kernel through a three-thread example (A, B, C on
+three resources).  This test reconstructs that scenario with concrete
+numbers and asserts every behavior the narrative describes:
+
+* t0: all three threads scheduled; region end times queued;
+* B1 commits first with no contention (only A touched the bus);
+* B2 commits next; the slice containing both A's and B2's accesses
+  penalizes *both*; B2's penalty is applied immediately (its end
+  extends, its resource stays busy) while A's accumulates unapplied;
+* the penalty extension of B2 contains no accesses, so the next slice
+  sees no contention;
+* when A reaches the top of the queue its pending penalty is folded in
+  lazily and the region re-inserted before it can commit;
+* the timing of a region ends up dependent on both complexity
+  resolution and the penalties applied to it.
+
+Numbers: bus service 1; ConstantModel(delay=1) so penalties are exact
+access counts.  A = 40 complexity with 8 uniform bus accesses;
+B = 10 (quiet) + 10 (4 accesses) + 10 (quiet); C = 60 quiet.
+"""
+
+import pytest
+
+from repro.contention import ConstantModel
+from repro.core import (HybridKernel, LogicalThread, Processor,
+                        SharedResource, consume)
+
+
+@pytest.fixture
+def run():
+    bus = SharedResource("bus", ConstantModel(delay=1.0), service_time=1)
+    kernel = HybridKernel(
+        [Processor("r1"), Processor("r2"), Processor("r3")],
+        [bus], trace=True)
+
+    def thread_a():
+        yield consume(40, {"bus": 8})
+
+    def thread_b():
+        yield consume(10)
+        yield consume(10, {"bus": 4})
+        yield consume(10)
+
+    def thread_c():
+        yield consume(60)
+
+    kernel.add_thread(LogicalThread("A", thread_a, affinity="r1"))
+    kernel.add_thread(LogicalThread("B", thread_b, affinity="r2"))
+    kernel.add_thread(LogicalThread("C", thread_c, affinity="r3"))
+    result = kernel.run()
+    return kernel, result
+
+
+class TestFigure3:
+    def test_commit_order_and_times(self, run):
+        kernel, result = run
+        commits = [(e.thread, e.time) for e in kernel.trace.commits()]
+        # B1 at 10; B2 at 24 (20 + its 4-cycle penalty, applied
+        # immediately and committed after the quiet penalty slice);
+        # B3 at 34; A at 42 (40 + its deferred 2-cycle penalty);
+        # C at 60.
+        assert commits == [
+            ("B", pytest.approx(10.0)),
+            ("B", pytest.approx(24.0)),
+            ("B", pytest.approx(34.0)),
+            ("A", pytest.approx(42.0)),
+            ("C", pytest.approx(60.0)),
+        ]
+
+    def test_first_slice_has_no_contention(self, run):
+        kernel, result = run
+        # Slice [0, 10): only A accessed the bus -> no penalties; the
+        # first penalty event happens at/after B2's commit.
+        penalties = kernel.trace.of_kind("penalty")
+        assert penalties
+        assert min(e.time for e in penalties) >= 20.0
+
+    def test_contended_slice_penalizes_both(self, run):
+        kernel, result = run
+        # Slice [10, 20): A contributes 8 * (10/40) = 2 accesses, B2
+        # contributes 4; ConstantModel charges 1 cycle per access.
+        assert result.threads["B"].penalty == pytest.approx(4.0)
+        assert result.threads["A"].penalty == pytest.approx(2.0)
+
+    def test_b2_penalty_applied_immediately(self, run):
+        kernel, result = run
+        immediate = [e for e in kernel.trace.of_kind("penalty")
+                     if e.thread == "B"]
+        assert len(immediate) == 1
+        event = immediate[0]
+        assert event.detail["lazy"] is False
+        assert event.time == pytest.approx(24.0)  # 20 + 4
+
+    def test_a_penalty_applied_lazily_at_queue_top(self, run):
+        kernel, result = run
+        lazy = [e for e in kernel.trace.of_kind("penalty")
+                if e.thread == "A"]
+        assert len(lazy) == 1
+        event = lazy[0]
+        assert event.detail["lazy"] is True
+        assert event.time == pytest.approx(42.0)  # 40 + 2, on pop
+
+    def test_penalty_span_generates_no_further_contention(self, run):
+        kernel, result = run
+        # If B2's penalty span [20, 24) carried accesses, B would have
+        # been penalized again (A's accesses overlap that window).
+        assert result.threads["B"].penalty == pytest.approx(4.0)
+
+    def test_final_timing_includes_both_resolutions(self, run):
+        kernel, result = run
+        # "the timing of a software region is not only dependent on the
+        # resolution of computational complexity into physical timing,
+        # but on penalties applied by the shared resource contention
+        # model as well"
+        assert result.threads["A"].finish_time == pytest.approx(42.0)
+        assert result.threads["A"].base_time == pytest.approx(40.0)
+        assert result.threads["B"].finish_time == pytest.approx(34.0)
+        assert result.makespan == pytest.approx(60.0)
+
+    def test_access_conservation(self, run):
+        kernel, result = run
+        assert result.resources["bus"].accesses == pytest.approx(12.0)
+
+    def test_c_never_penalized(self, run):
+        kernel, result = run
+        assert result.threads["C"].penalty == 0.0

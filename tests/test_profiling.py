@@ -1,0 +1,188 @@
+"""Tests for the profiling-based annotation substrate."""
+
+import pytest
+
+from repro.memory import Cache
+from repro.profiling import (AccessRecorder, ComplexityTracer,
+                             PhaseProfiler, TrackedBuffer,
+                             trace_complexity)
+
+
+class TestComplexityTracer:
+    def test_counts_scale_with_iterations(self):
+        def loop(n):
+            total = 0
+            for i in range(n):
+                total += i
+            return total
+
+        tracer = ComplexityTracer()
+        small = tracer.run(loop, 10)
+        large = tracer.run(loop, 100)
+        assert large.lines_executed > 5 * small.lines_executed
+        assert small.value == sum(range(10))
+
+    def test_deterministic(self):
+        def work():
+            return sum(i * i for i in range(50))
+
+        tracer = ComplexityTracer()
+        assert tracer.run(work).lines_executed == \
+            tracer.run(work).lines_executed
+
+    def test_nested_calls_counted(self):
+        def inner(n):
+            total = 0
+            for i in range(n):
+                total += 1
+            return total
+
+        def outer():
+            return inner(20) + inner(20)
+
+        flat = ComplexityTracer().run(lambda: 1 + 1)
+        nested = ComplexityTracer().run(outer)
+        assert nested.lines_executed > flat.lines_executed + 30
+
+    def test_by_line_profile(self):
+        def work():
+            total = 0
+            for i in range(7):
+                total += i
+            return total
+
+        result = ComplexityTracer().run(work)
+        assert sum(result.by_line.values()) == result.lines_executed
+        (filename, lineno), hits = result.hottest(1)[0]
+        assert hits >= 7  # the loop body dominates
+
+    def test_trace_complexity_helper(self):
+        complexity, value = trace_complexity(lambda: 40 + 2,
+                                             cycles_per_line=10.0)
+        assert value == 42
+        assert complexity > 0
+        assert complexity % 10.0 == 0.0
+
+
+class TestTrackedBuffer:
+    def test_reads_and_writes_recorded(self):
+        recorder = AccessRecorder()
+        buf = TrackedBuffer(4, recorder, elem_bytes=8, base=100)
+        buf[0] = 1.5
+        _ = buf[2]
+        assert recorder.accesses == [(100, True), (116, False)]
+
+    def test_negative_index(self):
+        recorder = AccessRecorder()
+        buf = TrackedBuffer([1, 2, 3], recorder, elem_bytes=4, base=0)
+        assert buf[-1] == 3
+        assert recorder.accesses == [(8, False)]
+
+    def test_initial_data_and_untracked_copy(self):
+        recorder = AccessRecorder()
+        buf = TrackedBuffer([5, 6], recorder)
+        assert buf.untracked() == [5, 6]
+        assert len(recorder) == 0  # untracked() records nothing
+
+    def test_slicing_rejected(self):
+        recorder = AccessRecorder()
+        buf = TrackedBuffer(4, recorder)
+        with pytest.raises(TypeError):
+            _ = buf[0:2]
+        with pytest.raises(TypeError):
+            buf[0:2] = [1, 2]
+
+    def test_disjoint_allocation_via_end(self):
+        recorder = AccessRecorder()
+        a = TrackedBuffer(4, recorder, elem_bytes=8, base=0)
+        b = TrackedBuffer(4, recorder, elem_bytes=8, base=a.end)
+        assert b.base == 32
+        assert a.address_of(3) < b.address_of(0)
+
+
+class TestAccessRecorder:
+    def test_phase_slices(self):
+        recorder = AccessRecorder()
+        recorder.record(0, False)
+        recorder.mark()
+        recorder.record(8, True)
+        recorder.record(16, False)
+        slices = recorder.phase_slices()
+        assert slices == [[(0, False)], [(8, True), (16, False)]]
+
+    def test_replay_counts_bus_transactions(self):
+        recorder = AccessRecorder()
+        for address in (0, 0, 32, 0):
+            recorder.record(address, False)
+        cache = Cache(1024, line_bytes=32, associativity=2)
+        bus = recorder.replay_through(cache)
+        assert bus == 2  # two distinct lines, rest hits
+
+    def test_clear(self):
+        recorder = AccessRecorder()
+        recorder.record(0, False)
+        recorder.mark()
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.phase_slices() == [[]]
+
+
+class TestPhaseProfiler:
+    def test_profiles_blocks_into_phases(self):
+        profiler = PhaseProfiler(cache_kb=1, cycles_per_line=2.0)
+        data = profiler.buffer(64)
+        with profiler.phase("fill"):
+            for i in range(len(data)):
+                data[i] = float(i)
+        with profiler.phase("sum"):
+            total = 0.0
+            for i in range(len(data)):
+                total += data[i]
+        phases = profiler.phases()
+        assert len(phases) == 2
+        assert all(p.work > 0 for p in phases)
+        # Fill misses (cold cache + write-allocate); the sum re-reads
+        # warm lines: 64 elems * 8B = 512B fits a 1KB cache.
+        assert phases[0].accesses > 0
+        assert phases[1].accesses <= phases[0].accesses
+        assert profiler.labels() == ["fill", "sum"]
+
+    def test_complexity_tracks_work(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("small"):
+            for _ in range(10):
+                pass
+        with profiler.phase("big"):
+            for _ in range(200):
+                pass
+        small, big = profiler.phases()
+        assert big.work > 5 * small.work
+
+    def test_run_phase_returns_value(self):
+        profiler = PhaseProfiler()
+        value = profiler.run_phase(lambda: 21 * 2)
+        assert value == 42
+        assert len(profiler.phases()) == 1
+
+    def test_thread_trace_is_valid_workload_material(self):
+        from repro.workloads.trace import (ProcessorSpec, ResourceSpec,
+                                           Workload)
+        from repro.workloads.to_mesh import run_hybrid
+
+        profiler = PhaseProfiler(cycles_per_line=3.0)
+        data = profiler.buffer(128)
+        with profiler.phase("touch"):
+            for i in range(len(data)):
+                data[i] = i
+        workload = Workload(
+            threads=[profiler.thread_trace("profiled", affinity="p0")],
+            processors=[ProcessorSpec("p0")],
+            resources=[ResourceSpec("bus", 4)])
+        result = run_hybrid(workload)
+        assert result.makespan > 0
+
+    def test_summary_renders(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("x"):
+            pass
+        assert "Profiled phases" in profiler.summary()

@@ -1,0 +1,70 @@
+"""Golden-value regression tests.
+
+Every generator and engine in the repository is seed-deterministic, so
+key end-to-end numbers can be pinned exactly.  If a refactor changes
+any of these, it changed observable behavior — bump the goldens
+*deliberately* (and re-check EXPERIMENTS.md) rather than loosening the
+assertions.
+"""
+
+import pytest
+
+from repro.cycle import EventEngine
+from repro.workloads.fft import fft_workload
+from repro.workloads.phm import phm_workload
+from repro.workloads.to_mesh import run_hybrid
+
+
+class TestFFTGoldens:
+    def test_fft_512kb_traffic_counts(self):
+        wl = fft_workload(points=4096, processors=4, cache_kb=512)
+        accesses = [p.accesses for p in wl.threads[0].phases()]
+        assert accesses == [1024, 0, 768, 0, 384]
+
+    def test_fft_8kb_traffic_counts(self):
+        wl = fft_workload(points=4096, processors=4, cache_kb=8)
+        accesses = [p.accesses for p in wl.threads[0].phases()]
+        assert accesses == [1812, 1004, 2068, 1004, 2068]
+
+    def test_fft_iss_queueing(self):
+        wl = fft_workload(points=4096, processors=4, cache_kb=512)
+        assert EventEngine(wl).run().queueing_cycles == 4186
+
+    def test_fft_hybrid_queueing(self):
+        wl = fft_workload(points=4096, processors=4, cache_kb=512)
+        assert run_hybrid(wl).queueing_cycles == pytest.approx(
+            4937.14, abs=0.1)
+
+
+class TestPHMGoldens:
+    def test_phm_iss_queueing(self):
+        wl = phm_workload(busy_cycles_target=60_000,
+                          idle_fractions=(0.06, 0.90), bus_service=12,
+                          seed=3)
+        result = EventEngine(wl).run()
+        assert result.queueing_cycles == 656
+
+    def test_phm_workload_structure_stable(self):
+        wl = phm_workload(busy_cycles_target=60_000, seed=3)
+        works = [round(t.total_work()) for t in wl.threads]
+        idles = [round(t.total_idle()) for t in wl.threads]
+        assert works == [69565, 14110]
+        assert idles == [5014, 218166]
+
+
+class TestEngineDeterminism:
+    def test_repeated_runs_identical(self):
+        wl = fft_workload(points=1024, processors=4, cache_kb=8)
+        first = EventEngine(wl).run()
+        second = EventEngine(wl).run()
+        assert first.queueing_cycles == second.queueing_cycles
+        assert first.makespan == second.makespan
+        mesh_first = run_hybrid(wl)
+        mesh_second = run_hybrid(wl)
+        assert mesh_first.queueing_cycles == mesh_second.queueing_cycles
+
+    def test_generator_rebuild_identical(self):
+        a = fft_workload(points=1024, processors=2, cache_kb=8, seed=9)
+        b = fft_workload(points=1024, processors=2, cache_kb=8, seed=9)
+        assert [p.accesses for t in a.threads for p in t.phases()] == \
+            [p.accesses for t in b.threads for p in t.phases()]

@@ -1,0 +1,166 @@
+"""Robustness: error propagation, fuzzing, and hostile inputs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.contention import ChenLinModel, ContentionModel, NullModel
+from repro.core import (Barrier, DeadlockError, HybridKernel,
+                        LogicalThread, Mutex, Processor, SharedResource,
+                        acquire, barrier_wait, consume, release)
+
+from _helpers import make_kernel, simple_thread
+
+
+class TestUserCodeErrors:
+    def test_exception_in_thread_body_propagates(self):
+        def broken():
+            yield consume(10)
+            raise RuntimeError("boom in user code")
+
+        kernel = make_kernel(1)
+        kernel.add_thread(LogicalThread("x", broken))
+        with pytest.raises(RuntimeError, match="boom in user code"):
+            kernel.run()
+
+    def test_exception_in_model_propagates(self):
+        class ExplodingModel(ContentionModel):
+            name = "exploding"
+
+            def penalties(self, demand):
+                raise ValueError("model blew up")
+
+        bus = SharedResource("bus", ExplodingModel(), service_time=1)
+        kernel = HybridKernel([Processor("p0"), Processor("p1")], [bus])
+        kernel.add_thread(simple_thread("a", [consume(10, {"bus": 1})]))
+        kernel.add_thread(simple_thread("b", [consume(10, {"bus": 1})]))
+        with pytest.raises(ValueError, match="model blew up"):
+            kernel.run()
+
+    def test_body_as_plain_function_rejected(self):
+        from repro.core import ConfigurationError
+
+        kernel = make_kernel(1)
+        kernel.add_thread(LogicalThread("x", lambda: 42))
+        with pytest.raises(ConfigurationError):
+            kernel.run()
+
+
+class TestFuzzedSyncPatterns:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           policy=st.sampled_from(["eager", "deferred"]))
+    def test_well_formed_lock_patterns_never_hang(self, seed, policy):
+        """Random lock/compute interleavings with balanced acquire/
+        release terminate under both sync policies."""
+        rng = random.Random(seed)
+        mutexes = [Mutex(f"m{i}") for i in range(rng.randint(1, 3))]
+
+        def body_for(thread_seed):
+            thread_rng = random.Random(thread_seed)
+
+            def body():
+                for _ in range(thread_rng.randint(1, 6)):
+                    mutex = mutexes[thread_rng.randrange(len(mutexes))]
+                    yield acquire(mutex)
+                    yield consume(thread_rng.randint(0, 200),
+                                  {"bus": thread_rng.randint(0, 10)})
+                    yield release(mutex)
+                    if thread_rng.random() < 0.5:
+                        yield consume(thread_rng.randint(0, 300))
+            return body
+
+        kernel = make_kernel(rng.randint(1, 3), model=ChenLinModel(),
+                             sync_policy=policy)
+        for index in range(rng.randint(1, 4)):
+            kernel.add_thread(LogicalThread(
+                f"t{index}", body_for(rng.getrandbits(32))))
+        result = kernel.run()
+        assert result.makespan >= 0
+        assert all(t.penalty >= 0 for t in result.threads.values())
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_barrier_rounds_never_hang(self, seed):
+        rng = random.Random(seed)
+        parties = rng.randint(2, 4)
+        rounds = rng.randint(1, 5)
+        barrier = Barrier(parties)
+
+        def body_for(thread_seed):
+            thread_rng = random.Random(thread_seed)
+
+            def body():
+                for _ in range(rounds):
+                    yield consume(thread_rng.randint(0, 500),
+                                  {"bus": thread_rng.randint(0, 20)})
+                    yield barrier_wait(barrier)
+            return body
+
+        kernel = make_kernel(parties, model=ChenLinModel())
+        for index in range(parties):
+            kernel.add_thread(LogicalThread(
+                f"t{index}", body_for(rng.getrandbits(32))))
+        result = kernel.run()
+        assert barrier.generation == rounds
+        assert result.makespan >= 0
+
+    def test_lock_ordering_deadlock_detected_not_hung(self):
+        m1, m2 = Mutex("m1"), Mutex("m2")
+
+        def one():
+            yield acquire(m1)
+            yield consume(10)
+            yield acquire(m2)
+            yield consume(10)
+            yield release(m2)
+            yield release(m1)
+
+        def two():
+            yield acquire(m2)
+            yield consume(10)
+            yield acquire(m1)
+            yield consume(10)
+            yield release(m1)
+            yield release(m2)
+
+        kernel = make_kernel(2, model=NullModel())
+        kernel.add_thread(LogicalThread("one", one))
+        kernel.add_thread(LogicalThread("two", two))
+        with pytest.raises(DeadlockError):
+            kernel.run()
+
+
+class TestHostileNumerics:
+    def test_huge_complexity_is_finite(self):
+        kernel = make_kernel(1)
+        kernel.add_thread(simple_thread("x", [consume(1e15)]))
+        result = kernel.run()
+        assert result.makespan == pytest.approx(1e15)
+
+    def test_tiny_fractional_regions(self):
+        kernel = make_kernel(2)
+        kernel.add_thread(simple_thread(
+            "a", [consume(1e-6, {"bus": 1})] * 5))
+        kernel.add_thread(simple_thread(
+            "b", [consume(1e-6, {"bus": 1})] * 5))
+        result = kernel.run()
+        assert result.resources["bus"].accesses == pytest.approx(10.0)
+
+    def test_many_zero_length_regions(self):
+        kernel = make_kernel(2)
+        kernel.add_thread(simple_thread("a", [consume(0)] * 50))
+        kernel.add_thread(simple_thread("b", [consume(0)] * 50))
+        result = kernel.run()
+        assert result.makespan == 0.0
+        assert result.regions_committed == 100
+
+    def test_fractional_access_counts(self):
+        kernel = make_kernel(2)
+        kernel.add_thread(simple_thread("a",
+                                        [consume(100, {"bus": 0.25})]))
+        kernel.add_thread(simple_thread("b",
+                                        [consume(100, {"bus": 1.75})]))
+        result = kernel.run()
+        assert result.resources["bus"].accesses == pytest.approx(2.0)

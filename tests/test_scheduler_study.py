@@ -1,0 +1,82 @@
+"""Integration: dynamic-scheduling design study outcomes are stable.
+
+The scheduler_study example's qualitative conclusions, pinned as
+regressions (12 mixed tasks on 4 cores; see examples/scheduler_study.py
+for the narrative version).
+"""
+
+import pytest
+
+from repro import (ChenLinModel, FifoScheduler, HybridKernel,
+                   LeastLoadedScheduler, LogicalThread, PriorityScheduler,
+                   Processor, RoundRobinScheduler, SharedResource, consume)
+
+BUS = 4.0
+TASKS = [
+    ("codec0", 6, 4_000, 90, 5), ("codec1", 6, 4_000, 90, 5),
+    ("ui", 3, 1_500, 30, 9),
+    ("net0", 8, 2_000, 60, 3), ("net1", 8, 2_000, 60, 3),
+    ("log0", 10, 800, 10, 1), ("log1", 10, 800, 10, 1),
+    ("ai0", 4, 6_000, 140, 4), ("ai1", 4, 6_000, 140, 4),
+    ("sensor", 12, 500, 15, 7),
+    ("backup", 2, 9_000, 200, 0),
+    ("telemetry", 6, 1_200, 25, 2),
+]
+
+
+def run_policy(scheduler_cls):
+    bus = SharedResource("bus", ChenLinModel(), service_time=BUS)
+    kernel = HybridKernel([Processor(f"core{i}") for i in range(4)],
+                          [bus], scheduler=scheduler_cls())
+    for name, regions, work, accesses, priority in TASKS:
+        def body(regions=regions, work=work, accesses=accesses):
+            for _ in range(regions):
+                yield consume(work, {"bus": accesses},
+                              extra_time=accesses * BUS)
+        kernel.add_thread(LogicalThread(name, body, priority=priority))
+    return kernel.run()
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {cls.__name__: run_policy(cls)
+            for cls in (FifoScheduler, RoundRobinScheduler,
+                        PriorityScheduler, LeastLoadedScheduler)}
+
+
+class TestSchedulerStudy:
+    def test_all_policies_complete_all_work(self, results):
+        total_regions = sum(task[1] for task in TASKS)
+        for name, result in results.items():
+            assert result.regions_committed == total_regions, name
+
+    def test_total_base_time_is_policy_independent(self, results):
+        base_times = {name: result.busy_cycles
+                      for name, result in results.items()}
+        reference = next(iter(base_times.values()))
+        for name, value in base_times.items():
+            assert value == pytest.approx(reference), name
+
+    def test_priority_policy_wins_latency_critical_task(self, results):
+        priority_finish = results["PriorityScheduler"].threads[
+            "ui"].finish_time
+        for name, result in results.items():
+            if name != "PriorityScheduler":
+                assert priority_finish < result.threads[
+                    "ui"].finish_time, name
+
+    def test_priority_policy_pays_with_low_priority_task(self, results):
+        assert (results["PriorityScheduler"].threads["backup"].finish_time
+                > results["FifoScheduler"].threads["backup"].finish_time)
+
+    def test_pool_policies_have_similar_makespans(self, results):
+        makespans = [results[name].makespan
+                     for name in ("FifoScheduler", "RoundRobinScheduler",
+                                  "LeastLoadedScheduler")]
+        assert max(makespans) < 1.1 * min(makespans)
+
+    def test_four_cores_beat_serial_execution(self, results):
+        serial = sum(regions * (work + accesses * BUS)
+                     for _, regions, work, accesses, _ in TASKS)
+        for name, result in results.items():
+            assert result.makespan < serial / 2.5, name

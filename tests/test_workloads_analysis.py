@@ -1,0 +1,122 @@
+"""Tests for the workload traffic analysis module."""
+
+import pytest
+
+from repro.workloads.analysis import (balance_index, burstiness_index,
+                                      demand_series, recommend_estimator)
+from repro.workloads.fft import fft_workload
+from repro.workloads.phm import phm_workload
+from repro.workloads.synthetic import bursty_workload, uniform_workload
+from repro.workloads.trace import (IdleOp, Phase, ProcessorSpec,
+                                   ResourceSpec, ThreadTrace, Workload)
+
+
+class TestDemandSeries:
+    def test_total_demand_conserved(self):
+        wl = uniform_workload(threads=2, phases=4, work=5_000,
+                              accesses=50, bus_service=4)
+        series = demand_series(wl, window=500.0)
+        total = sum(series["bus"]) * 500.0
+        assert total == pytest.approx(2 * 4 * 50 * 4)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            demand_series(uniform_workload(), window=0)
+
+    def test_empty_workload(self):
+        wl = Workload(threads=[ThreadTrace("t", [])],
+                      processors=[ProcessorSpec("p")])
+        series = demand_series(wl)
+        assert series["bus"] == [0.0]
+
+    def test_front_pattern_concentrates_demand(self):
+        wl = Workload(
+            threads=[ThreadTrace(
+                "t", [Phase(work=10_000, accesses=100, pattern="front")],
+                affinity="p")],
+            processors=[ProcessorSpec("p")],
+            resources=[ResourceSpec("bus", 4)])
+        series = demand_series(wl, window=1_000.0)["bus"]
+        assert series[0] > 0
+        assert sum(series[1:]) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBurstiness:
+    def test_constant_series_zero(self):
+        assert burstiness_index([0.3, 0.3, 0.3]) == 0.0
+
+    def test_empty_and_silent_series(self):
+        assert burstiness_index([]) == 0.0
+        assert burstiness_index([0.0, 0.0]) == 0.0
+
+    def test_spiky_series_high(self):
+        assert burstiness_index([0.0, 0.0, 0.0, 1.0]) > 1.0
+
+    def test_uniform_workload_is_steady(self):
+        wl = uniform_workload(threads=2, phases=8, work=10_000,
+                              accesses=200)
+        series = demand_series(wl, window=2_000.0)["bus"]
+        assert burstiness_index(series) < 0.6
+
+    def test_bursty_workload_is_bursty(self):
+        wl = bursty_workload(threads=2, bursts=8, heavy_accesses=400,
+                             light_accesses=5)
+        series = demand_series(wl, window=2_000.0)["bus"]
+        assert burstiness_index(series) > 0.7
+
+    def test_fft_512kb_burstier_than_8kb(self):
+        big = fft_workload(points=4096, processors=4, cache_kb=512)
+        small = fft_workload(points=4096, processors=4, cache_kb=8)
+        big_cv = burstiness_index(demand_series(big, 2_000.0)["bus"])
+        small_cv = burstiness_index(demand_series(small, 2_000.0)["bus"])
+        assert big_cv > small_cv
+
+
+class TestBalance:
+    def test_symmetric_workload_balanced(self):
+        wl = uniform_workload(threads=3)
+        assert balance_index(wl) > 0.9
+
+    def test_idle_skew_lowers_balance(self):
+        items_busy = [Phase(work=1_000, accesses=50)] * 4
+        items_idle = [Phase(work=1_000, accesses=50),
+                      IdleOp(cycles=20_000)]
+        wl = Workload(
+            threads=[ThreadTrace("busy", list(items_busy),
+                                 affinity="p0"),
+                     ThreadTrace("sparse", items_idle, affinity="p1")],
+            processors=[ProcessorSpec("p0"), ProcessorSpec("p1")],
+            resources=[ResourceSpec("bus", 4)])
+        assert balance_index(wl) < 0.6
+
+    def test_no_demand_is_balanced(self):
+        wl = Workload(threads=[ThreadTrace("t", [Phase(work=100)])],
+                      processors=[ProcessorSpec("p")])
+        assert balance_index(wl) == 1.0
+
+
+class TestRecommendation:
+    def test_uniform_workload_allows_analytical(self):
+        wl = uniform_workload(threads=2, phases=8, work=10_000,
+                              accesses=200)
+        report = recommend_estimator(wl, window=2_000.0)
+        assert report.recommendation == "analytical"
+        assert "steady" in report.reason
+
+    def test_fft_needs_hybrid(self):
+        wl = fft_workload(points=4096, processors=4, cache_kb=512)
+        report = recommend_estimator(wl, window=2_000.0)
+        assert report.recommendation == "hybrid"
+
+    def test_unbalanced_phm_needs_hybrid(self):
+        wl = phm_workload(busy_cycles_target=40_000,
+                          idle_fractions=(0.06, 0.90), seed=1)
+        report = recommend_estimator(wl, window=2_000.0)
+        assert report.recommendation == "hybrid"
+
+    def test_report_fields(self):
+        report = recommend_estimator(uniform_workload())
+        assert "bus" in report.burstiness
+        assert "bus" in report.peak_utilization
+        assert 0.0 <= report.balance <= 1.0
+        assert report.reason

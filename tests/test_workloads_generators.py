@@ -1,0 +1,173 @@
+"""Tests for the FFT, MiBench, PHM, and synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.workloads.fft import FFTConfig, fft_workload
+from repro.workloads.mibench import (BLOWFISH, GSM_ENCODE, KERNELS,
+                                     MP3_ENCODE, busy_cycles,
+                                     gsm_encode_kernel, kernel_phases)
+from repro.workloads.phm import (interleave_with_idle, kernel_mix,
+                                 phm_workload)
+from repro.workloads.synthetic import (bursty_workload, random_workload,
+                                       uniform_workload)
+from repro.workloads.trace import IdleOp, Phase
+
+
+class TestFFT:
+    def test_structure(self):
+        wl = fft_workload(points=1024, processors=2, cache_kb=512)
+        assert len(wl.threads) == 2
+        # Six-step layout: 5 phases, each followed by a barrier.
+        phases = wl.threads[0].phases()
+        assert len(phases) == 5
+        assert len(wl.threads[0].barrier_ids()) == 5
+
+    def test_512kb_is_bursty_8kb_is_uniform(self):
+        big = fft_workload(points=4096, processors=4, cache_kb=512)
+        small = fft_workload(points=4096, processors=4, cache_kb=8)
+        big_phases = big.threads[0].phases()
+        small_phases = small.threads[0].phases()
+        # 512KB: compute phases (indices 1, 3) are bus-silent.
+        assert big_phases[1].accesses == 0
+        assert big_phases[3].accesses == 0
+        assert big_phases[0].accesses > 0
+        # 8KB: every phase produces traffic, and more of it.
+        assert all(p.accesses > 0 for p in small_phases)
+        assert (sum(p.accesses for p in small_phases)
+                > sum(p.accesses for p in big_phases))
+
+    def test_transposes_communicate_even_with_big_cache(self):
+        wl = fft_workload(points=4096, processors=4, cache_kb=512)
+        transposes = [wl.threads[0].phases()[i] for i in (0, 2, 4)]
+        assert all(t.accesses > 0 for t in transposes)
+
+    def test_more_processors_less_work_each(self):
+        wl2 = fft_workload(points=4096, processors=2)
+        wl8 = fft_workload(points=4096, processors=8)
+        assert (wl8.threads[0].total_work()
+                < wl2.threads[0].total_work())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            fft_workload(points=1000)  # not a perfect square
+        with pytest.raises(ValueError):
+            fft_workload(points=4096, processors=3)  # 64 % 3 != 0
+        with pytest.raises(ValueError):
+            FFTConfig(points=4096, cache_kb=0).validate()
+
+    def test_threads_are_pinned(self):
+        wl = fft_workload(points=1024, processors=2)
+        assert all(t.affinity is not None for t in wl.threads)
+
+    def test_deterministic_given_seed(self):
+        a = fft_workload(points=1024, processors=2, seed=3)
+        b = fft_workload(points=1024, processors=2, seed=3)
+        assert [p.accesses for p in a.threads[0].phases()] == \
+            [p.accesses for p in b.threads[0].phases()]
+
+
+class TestMiBench:
+    def test_kernels_registered(self):
+        assert set(KERNELS) == {"gsm_encode", "blowfish", "mp3_encode"}
+
+    def test_kernel_phases_shape(self):
+        rng = random.Random(0)
+        phases = kernel_phases(GSM_ENCODE, 10, rng)
+        assert len(phases) == 10
+        assert all(isinstance(p, Phase) for p in phases)
+        assert all(p.pattern == "random" for p in phases)
+
+    def test_rates_are_roughly_uniform(self):
+        rng = random.Random(0)
+        phases = kernel_phases(MP3_ENCODE, 50, rng)
+        rates = [p.accesses / p.work for p in phases]
+        mean = sum(rates) / len(rates)
+        assert all(abs(r - mean) / mean < 0.35 for r in rates)
+
+    def test_kernels_have_distinct_rates(self):
+        def rate(spec):
+            return spec.accesses_per_unit / spec.work_per_unit
+
+        assert rate(BLOWFISH) < rate(GSM_ENCODE) < rate(MP3_ENCODE)
+
+    def test_units_must_be_positive(self):
+        with pytest.raises(ValueError):
+            kernel_phases(GSM_ENCODE, 0, random.Random(0))
+
+    def test_busy_cycles_estimate(self):
+        estimate = busy_cycles(GSM_ENCODE, 10, power=1.0, service_time=4)
+        assert estimate == pytest.approx(
+            10 * (1800 + 60 * 4))
+
+    def test_default_rng(self):
+        assert len(gsm_encode_kernel(5)) == 5
+
+
+class TestPHM:
+    def test_two_heterogeneous_processors(self):
+        wl = phm_workload(busy_cycles_target=30_000, seed=0)
+        assert len(wl.processors) == 2
+        assert wl.processors[0].power != wl.processors[1].power
+
+    def test_idle_fraction_realized(self):
+        wl = phm_workload(busy_cycles_target=60_000,
+                          idle_fractions=(0.0, 0.75), seed=2)
+        light = wl.threads[1]
+        busy = sum(p.work / 0.6 + p.accesses * 4 for p in light.phases())
+        idle = light.total_idle()
+        realized = idle / (busy + idle)
+        assert realized == pytest.approx(0.75, abs=0.08)
+
+    def test_zero_idle_has_no_gaps(self):
+        wl = phm_workload(busy_cycles_target=30_000,
+                          idle_fractions=(0.0, 0.0), seed=0)
+        assert wl.threads[0].total_idle() == 0.0
+
+    def test_deterministic_per_seed(self):
+        a = phm_workload(busy_cycles_target=30_000, seed=9)
+        b = phm_workload(busy_cycles_target=30_000, seed=9)
+        assert a.threads[0].total_work() == b.threads[0].total_work()
+        c = phm_workload(busy_cycles_target=30_000, seed=10)
+        assert a.threads[0].total_work() != c.threads[0].total_work()
+
+    def test_invalid_idle_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_with_idle([], 1.0, 100.0, random.Random(0))
+
+    def test_mismatched_tuples_rejected(self):
+        with pytest.raises(ValueError):
+            phm_workload(idle_fractions=(0.1,), powers=(1.0, 0.5))
+
+    def test_kernel_mix_reaches_budget(self):
+        rng = random.Random(0)
+        mix = kernel_mix(50_000, power=1.0, service_time=4, rng=rng)
+        total = sum(busy_cycles(spec, units, 1.0, 4)
+                    for spec, units in mix)
+        assert total >= 50_000
+
+
+class TestSynthetic:
+    def test_uniform_workload_shape(self):
+        wl = uniform_workload(threads=3, phases=4)
+        assert len(wl.threads) == 3
+        assert all(len(t.phases()) == 4 for t in wl.threads)
+
+    def test_bursty_workload_alternates(self):
+        wl = bursty_workload(bursts=4, heavy_accesses=100,
+                             light_accesses=2)
+        accesses = [p.accesses for p in wl.threads[0].phases()]
+        assert accesses == [100, 2, 100, 2]
+
+    def test_bursty_barrier_locking_optional(self):
+        locked = bursty_workload(barrier_locked=True)
+        free = bursty_workload(barrier_locked=False)
+        assert locked.barrier_parties()
+        assert not free.barrier_parties()
+
+    def test_random_workload_valid(self):
+        for seed in range(5):
+            wl = random_workload(random.Random(seed))
+            wl.validate_barriers()
+            assert 1 <= len(wl.threads) <= 4

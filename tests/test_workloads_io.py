@@ -1,0 +1,145 @@
+"""Round-trip and validation tests for scenario (de)serialization."""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.workloads.io import (load_workload, save_workload,
+                                workload_from_dict, workload_to_dict)
+from repro.workloads.phm import phm_workload
+from repro.workloads.smp import smp_workload
+from repro.workloads.synthetic import (critical_section_workload,
+                                       random_workload)
+from repro.workloads.trace import BarrierOp, Phase, ThreadTrace
+
+
+def assert_equivalent(a, b):
+    assert workload_to_dict(a) == workload_to_dict(b)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("workload", [
+        phm_workload(busy_cycles_target=20_000, seed=1),
+        critical_section_workload(threads=2, rounds=2),
+        smp_workload(threads=2, phases=2),
+    ], ids=["phm", "locks", "smp"])
+    def test_generator_workloads_round_trip(self, workload):
+        rebuilt = workload_from_dict(workload_to_dict(workload))
+        assert_equivalent(workload, rebuilt)
+
+    def test_file_round_trip(self, tmp_path):
+        workload = phm_workload(busy_cycles_target=20_000, seed=2)
+        path = tmp_path / "scenario.json"
+        save_workload(workload, str(path))
+        loaded = load_workload(str(path))
+        assert_equivalent(workload, loaded)
+        # The file is plain JSON.
+        json.loads(path.read_text())
+
+    def test_round_trip_preserves_simulation_results(self):
+        from repro.cycle import EventEngine
+
+        workload = phm_workload(busy_cycles_target=20_000, seed=3)
+        rebuilt = workload_from_dict(workload_to_dict(workload))
+        assert (EventEngine(workload).run().queueing_cycles
+                == EventEngine(rebuilt).run().queueing_cycles)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_random_workloads_round_trip(self, seed):
+        workload = random_workload(random.Random(seed))
+        rebuilt = workload_from_dict(workload_to_dict(workload))
+        assert_equivalent(workload, rebuilt)
+
+
+class TestValidationOnLoad:
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError):
+            workload_from_dict({"threads": []})
+
+    def test_unknown_item_op_rejected(self):
+        data = {
+            "processors": [{"name": "p"}],
+            "threads": [{"name": "t",
+                         "items": [{"op": "teleport"}]}],
+        }
+        with pytest.raises(ValueError):
+            workload_from_dict(data)
+
+    def test_defaults_applied(self):
+        data = {
+            "processors": [{"name": "p"}],
+            "threads": [{"name": "t",
+                         "items": [{"op": "phase", "work": 10}]}],
+        }
+        workload = workload_from_dict(data)
+        assert workload.resources[0].name == "bus"
+        assert workload.threads[0].phases()[0].pattern == "uniform"
+
+    def test_invalid_locks_rejected_on_load(self):
+        data = {
+            "processors": [{"name": "p"}],
+            "threads": [{"name": "t",
+                         "items": [{"op": "unlock", "id": "m"}]}],
+        }
+        with pytest.raises(ValueError):
+            workload_from_dict(data)
+
+    def test_uneven_barriers_rejected_on_load(self):
+        data = {
+            "processors": [{"name": "p0"}, {"name": "p1"}],
+            "threads": [
+                {"name": "a", "affinity": "p0",
+                 "items": [{"op": "barrier", "id": "x"},
+                           {"op": "barrier", "id": "x"}]},
+                {"name": "b", "affinity": "p1",
+                 "items": [{"op": "barrier", "id": "x"}]},
+            ],
+        }
+        with pytest.raises(ValueError):
+            workload_from_dict(data)
+
+
+class TestSimulateCommand:
+    def test_ships_with_a_working_scenario(self, capsys):
+        code = main(["simulate", "examples/scenarios/set_top_box.json",
+                     "--estimator", "mesh"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mesh" in out
+        assert "queueing" in out
+
+    def test_all_estimators_report_errors(self, capsys):
+        code = main(["simulate", "examples/scenarios/set_top_box.json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "error vs iss" in out
+
+    def test_item_shapes_covered(self):
+        # A thread exercising every op kind round-trips.
+        workload_dict = {
+            "processors": [{"name": "p0"}, {"name": "p1"}],
+            "resources": [{"name": "bus", "service_time": 2,
+                           "ports": 2}],
+            "threads": [
+                {"name": "a", "affinity": "p0", "items": [
+                    {"op": "phase", "work": 10, "accesses": 2,
+                     "burst": 4},
+                    {"op": "lock", "id": "m"},
+                    {"op": "unlock", "id": "m"},
+                    {"op": "idle", "cycles": 5},
+                    {"op": "barrier", "id": "x"},
+                ]},
+                {"name": "b", "affinity": "p1", "items": [
+                    {"op": "barrier", "id": "x"},
+                ]},
+            ],
+        }
+        workload = workload_from_dict(workload_dict)
+        again = workload_from_dict(workload_to_dict(workload))
+        assert_equivalent(workload, again)
+        assert workload.resources[0].ports == 2
+        assert workload.threads[0].phases()[0].burst == 4

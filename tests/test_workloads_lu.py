@@ -1,0 +1,75 @@
+"""Tests for the LU workload — the paper's "other SPLASH-2" claim.
+
+"In the other SPLASH-2 benchmarks the Chen-Lin model performs well, as
+does the corresponding MESH model" — LU's regular, balanced traffic is
+the benchmark family where whole-run analytical modeling is adequate.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_comparison
+from repro.workloads.analysis import burstiness_index, demand_series
+from repro.workloads.fft import fft_workload
+from repro.workloads.lu import lu_workload
+
+
+class TestConstruction:
+    def test_structure(self):
+        wl = lu_workload(matrix_blocks=4, block_size=8, processors=2)
+        assert len(wl.threads) == 2
+        # 3 barriers per factorization step.
+        assert len(wl.threads[0].barrier_ids()) == 3 * 4
+        assert wl.threads[0].total_accesses() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lu_workload(matrix_blocks=1)
+        with pytest.raises(ValueError):
+            lu_workload(processors=0)
+
+    def test_deterministic(self):
+        a = lu_workload(matrix_blocks=4, processors=2, seed=5)
+        b = lu_workload(matrix_blocks=4, processors=2, seed=5)
+        assert [p.accesses for t in a.threads for p in t.phases()] == \
+            [p.accesses for t in b.threads for p in t.phases()]
+
+    def test_work_shrinks_with_iterations(self):
+        wl = lu_workload(matrix_blocks=6, block_size=8, processors=2)
+        thread = wl.threads[0]
+        phases = thread.phases()
+        # Compare the first and last trailing-update phases (every
+        # third phase of this thread).
+        trailing = phases[2::3]
+        assert trailing[0].work > trailing[-1].work
+
+    def test_block_cyclic_balance(self):
+        wl = lu_workload(matrix_blocks=8, block_size=8, processors=4)
+        works = [t.total_work() for t in wl.threads]
+        assert max(works) < 1.5 * min(works)
+
+
+class TestPaperClaim:
+    def test_both_models_accurate_on_lu(self):
+        """The paper's statement, as a regression test."""
+        wl = lu_workload(matrix_blocks=8, block_size=16, processors=4,
+                         cache_kb=64)
+        comparison = run_comparison(wl)
+        assert comparison.error("mesh") < 15.0
+        assert comparison.error("analytical") < 15.0
+
+    def test_lu_is_less_bursty_than_fft(self):
+        lu = lu_workload(matrix_blocks=8, block_size=16, processors=4)
+        fft = fft_workload(points=4096, processors=4, cache_kb=512)
+        lu_cv = burstiness_index(demand_series(lu, 2_000.0)["bus"])
+        fft_cv = burstiness_index(demand_series(fft, 2_000.0)["bus"])
+        assert lu_cv < fft_cv
+
+    def test_analytical_gap_smaller_on_lu_than_fft(self):
+        """The contrast the paper builds its evaluation on."""
+        lu = lu_workload(matrix_blocks=8, block_size=16, processors=4,
+                         cache_kb=64)
+        fft = fft_workload(points=4096, processors=4, cache_kb=512)
+        lu_cmp = run_comparison(lu)
+        fft_cmp = run_comparison(fft)
+        assert (lu_cmp.error("analytical")
+                < fft_cmp.error("analytical") / 3)

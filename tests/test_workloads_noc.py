@@ -1,0 +1,122 @@
+"""Tests for the NoC mesh workload generator."""
+
+import pytest
+
+from repro.cycle import EventEngine
+from repro.experiments.runner import percent_error
+from repro.workloads.noc import (Flow, hotspot_flows, link_name,
+                                 link_penalties, noc_workload,
+                                 uniform_flows, xy_route)
+from repro.workloads.to_mesh import run_hybrid
+
+
+class TestRouting:
+    def test_xy_route_goes_x_first(self):
+        hops = xy_route((0, 0), (2, 1))
+        assert hops == [(((0, 0)), (1, 0)), ((1, 0), (2, 0)),
+                        ((2, 0), (2, 1))]
+
+    def test_route_to_self_is_empty(self):
+        assert xy_route((1, 1), (1, 1)) == []
+
+    def test_negative_direction(self):
+        hops = xy_route((2, 2), (0, 2))
+        assert hops == [((2, 2), (1, 2)), ((1, 2), (0, 2))]
+
+    def test_link_names_directed(self):
+        assert link_name((0, 0), (1, 0)) != link_name((1, 0), (0, 0))
+
+
+class TestFlowPatterns:
+    def test_uniform_flows_cover_all_sources(self):
+        import random
+
+        flows = uniform_flows(3, 3, random.Random(0))
+        assert len(flows) == 9
+        assert all(f.src != f.dst for f in flows)
+
+    def test_hotspot_flows_share_sink(self):
+        flows = hotspot_flows(3, 3)
+        assert len(flows) == 8
+        assert len({f.dst for f in flows}) == 1
+        assert (1, 1) == flows[0].dst  # mesh center
+
+
+class TestWorkloadConstruction:
+    def test_one_thread_per_tile(self):
+        wl = noc_workload(width=2, height=3, phases=1)
+        assert len(wl.threads) == 6
+        assert len(wl.processors) == 6
+
+    def test_resources_are_used_links_only(self):
+        wl = noc_workload(width=2, height=1, phases=1,
+                          flows=[Flow(src=(0, 0), dst=(1, 0))])
+        names = [spec.name for spec in wl.resources]
+        assert names == [link_name((0, 0), (1, 0))]
+
+    def test_multi_hop_flow_charges_every_link(self):
+        wl = noc_workload(width=3, height=1, phases=1,
+                          flows=[Flow(src=(0, 0), dst=(2, 0),
+                                      packets_per_phase=5)])
+        sender = next(t for t in wl.threads if t.name == "core_0_0")
+        link_accesses = {p.resource: p.accesses for p in sender.phases()
+                         if p.resource.startswith("link_")}
+        assert link_accesses == {
+            link_name((0, 0), (1, 0)): 5,
+            link_name((1, 0), (2, 0)): 5,
+        }
+
+    def test_packets_are_flit_bursts(self):
+        wl = noc_workload(width=2, height=1, phases=1, flit_beats=4,
+                          flows=[Flow(src=(0, 0), dst=(1, 0))])
+        phases = [p for t in wl.threads for p in t.phases()
+                  if p.resource.startswith("link_")]
+        assert all(p.burst == 4 for p in phases)
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            noc_workload(pattern="spiral")
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            noc_workload(width=0)
+
+
+class TestNocBehavior:
+    def test_hotspot_congests_more_than_uniform(self):
+        uniform = noc_workload(width=3, height=3, pattern="uniform",
+                               phases=3, seed=2)
+        hotspot = noc_workload(width=3, height=3, pattern="hotspot",
+                               phases=3, seed=2)
+        q_uniform = EventEngine(uniform).run().queueing_cycles
+        q_hotspot = EventEngine(hotspot).run().queueing_cycles
+        assert q_hotspot > q_uniform
+
+    def test_hybrid_localizes_congestion_to_sink_links(self):
+        wl = noc_workload(width=3, height=3, pattern="hotspot",
+                          phases=3, seed=2)
+        result = run_hybrid(wl)
+        penalties = link_penalties(result)
+        into_sink = {name: value for name, value in penalties.items()
+                     if name.endswith("__1_1")}
+        elsewhere = {name: value for name, value in penalties.items()
+                     if not name.endswith("__1_1")}
+        assert sum(into_sink.values()) > sum(elsewhere.values())
+
+    def test_hybrid_tracks_noc_ground_truth(self):
+        wl = noc_workload(width=3, height=3, pattern="hotspot",
+                          phases=3, seed=2)
+        truth = EventEngine(wl).run()
+        mesh = run_hybrid(wl)
+        if truth.queueing_cycles > 200:
+            assert percent_error(mesh.queueing_cycles,
+                                 truth.queueing_cycles) < 60.0
+
+    def test_triage_flags_hotspot_noc(self):
+        from repro.workloads.analysis import recommend_estimator
+
+        wl = noc_workload(width=3, height=3, pattern="hotspot",
+                          phases=3, seed=2)
+        report = recommend_estimator(wl, window=2_000.0)
+        # Link demand is inherently phase-bursty.
+        assert report.recommendation == "hybrid"

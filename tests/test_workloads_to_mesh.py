@@ -1,0 +1,159 @@
+"""Tests for trace-to-MESH lowering: the hybrid must execute the same
+physical workload as the cycle engines."""
+
+import pytest
+
+from repro.contention import NullModel
+from repro.workloads.to_mesh import build_kernel, run_hybrid
+from repro.workloads.trace import (BarrierOp, IdleOp, Phase, ProcessorSpec,
+                                   ResourceSpec, ThreadTrace, Workload)
+
+
+def workload(items_by_thread, powers=None, service=4):
+    names = sorted(items_by_thread)
+    if powers is None:
+        powers = {name: 1.0 for name in names}
+    return Workload(
+        threads=[ThreadTrace(name, items_by_thread[name],
+                             affinity=f"p{i}")
+                 for i, name in enumerate(names)],
+        processors=[ProcessorSpec(f"p{i}", powers[name])
+                    for i, name in enumerate(names)],
+        resources=[ResourceSpec("bus", service)],
+    )
+
+
+class TestZeroContentionTimeline:
+    def test_phase_duration_includes_service_time(self):
+        wl = workload({"a": [Phase(work=100, accesses=10)]})
+        result = run_hybrid(wl, model=NullModel())
+        # 100 compute + 10 accesses * 4 service = 140.
+        assert result.makespan == pytest.approx(140.0)
+
+    def test_power_scales_work_not_service(self):
+        wl = workload({"a": [Phase(work=100, accesses=10)]},
+                      powers={"a": 2.0})
+        result = run_hybrid(wl, model=NullModel())
+        assert result.makespan == pytest.approx(50.0 + 40.0)
+
+    def test_idle_op_advances_time(self):
+        wl = workload({"a": [Phase(work=100), IdleOp(cycles=60),
+                             Phase(work=40)]})
+        result = run_hybrid(wl, model=NullModel())
+        assert result.makespan == pytest.approx(200.0)
+
+    def test_matches_cycle_engine_zero_contention(self):
+        from repro.cycle import EventEngine
+
+        wl = workload({"a": [Phase(work=997, accesses=13),
+                             IdleOp(cycles=50),
+                             Phase(work=313, accesses=7)]})
+        mesh = run_hybrid(wl, model=NullModel())
+        iss = EventEngine(wl).run()
+        assert mesh.makespan == pytest.approx(iss.makespan, rel=1e-9)
+
+    def test_barrier_lowered(self):
+        wl = workload({
+            "a": [Phase(work=10), BarrierOp("x"), Phase(work=10)],
+            "b": [Phase(work=100), BarrierOp("x"), Phase(work=10)],
+        })
+        result = run_hybrid(wl, model=NullModel())
+        assert result.makespan == pytest.approx(110.0)
+        assert result.threads["a"].finish_time == pytest.approx(110.0)
+
+
+class TestAnnotationPolicies:
+    def test_phase_policy_one_region_per_phase(self):
+        wl = workload({"a": [Phase(work=10, accesses=1),
+                             Phase(work=10, accesses=1)]})
+        result = run_hybrid(wl, annotation="phase", model=NullModel())
+        assert result.threads["a"].regions == 2
+
+    def test_barrier_policy_merges_phases(self):
+        wl = workload({
+            "a": [Phase(work=10, accesses=1), Phase(work=10, accesses=1),
+                  BarrierOp("x"), Phase(work=10)],
+            "b": [BarrierOp("x")],
+        })
+        result = run_hybrid(wl, annotation="barrier", model=NullModel())
+        assert result.threads["a"].regions == 2  # merged + trailing
+
+    def test_barrier_policy_preserves_totals(self):
+        wl = workload({"a": [Phase(work=10, accesses=3),
+                             IdleOp(cycles=5),
+                             Phase(work=20, accesses=4)]})
+        fine = run_hybrid(wl, annotation="phase", model=NullModel())
+        coarse = run_hybrid(wl, annotation="barrier", model=NullModel())
+        assert coarse.makespan == pytest.approx(fine.makespan)
+        assert coarse.resources["bus"].accesses == pytest.approx(
+            fine.resources["bus"].accesses)
+
+    def test_unknown_policy_rejected(self):
+        wl = workload({"a": []})
+        with pytest.raises(ValueError):
+            build_kernel(wl, annotation="nonsense")
+
+    def test_coarser_annotation_changes_accuracy_not_totals(self):
+        # The paper: annotation spacing is the accuracy/run-time knob.
+        wl = workload({
+            "a": [Phase(work=1000, accesses=100, pattern="random", seed=1),
+                  Phase(work=1000, accesses=2, pattern="random", seed=2)],
+            "b": [Phase(work=1000, accesses=2, pattern="random", seed=3),
+                  Phase(work=1000, accesses=100, pattern="random", seed=4)],
+        })
+        fine = run_hybrid(wl, annotation="phase")
+        coarse = run_hybrid(wl, annotation="barrier")
+        assert fine.resources["bus"].accesses == pytest.approx(
+            coarse.resources["bus"].accesses)
+        # Fine sees anti-correlated bursts; coarse smears them together,
+        # predicting different (here: higher) contention.
+        assert fine.queueing_cycles != pytest.approx(
+            coarse.queueing_cycles, rel=0.01)
+
+
+class TestModelWiring:
+    def test_per_resource_model_override(self):
+        from repro.contention import ConstantModel
+
+        wl = Workload(
+            threads=[
+                ThreadTrace("a", [Phase(work=10, accesses=2),
+                                  Phase(work=10, accesses=2,
+                                        resource="dma")],
+                            affinity="p0"),
+                ThreadTrace("b", [Phase(work=10, accesses=2),
+                                  Phase(work=10, accesses=2,
+                                        resource="dma")],
+                            affinity="p1"),
+            ],
+            processors=[ProcessorSpec("p0"), ProcessorSpec("p1")],
+            resources=[ResourceSpec("bus", 4), ResourceSpec("dma", 2)],
+        )
+        result = run_hybrid(
+            wl, model=NullModel(),
+            models={"dma": ConstantModel(1.0)})
+        # Only dma accesses are penalized (constant 1 per access).
+        assert result.resources["bus"].penalty == 0.0
+        assert result.resources["dma"].penalty > 0.0
+
+    def test_default_model_is_chenlin(self):
+        from repro.contention import ChenLinModel
+
+        wl = workload({"a": []})
+        kernel = build_kernel(wl)
+        assert isinstance(kernel.shared_resources[0].model, ChenLinModel)
+
+    def test_priorities_forwarded(self):
+        wl = Workload(
+            threads=[ThreadTrace("hi", [Phase(work=100, accesses=20)],
+                                 affinity="p0", priority=5),
+                     ThreadTrace("lo", [Phase(work=100, accesses=20)],
+                                 affinity="p1", priority=0)],
+            processors=[ProcessorSpec("p0"), ProcessorSpec("p1")],
+            resources=[ResourceSpec("bus", 4)],
+        )
+        from repro.contention import PriorityModel
+
+        result = run_hybrid(wl, model=PriorityModel())
+        assert (result.threads["hi"].penalty
+                < result.threads["lo"].penalty)

@@ -1,0 +1,102 @@
+"""Unit tests for the workload IR."""
+
+import pytest
+
+from repro.workloads.trace import (BarrierOp, IdleOp, Phase, ProcessorSpec,
+                                   ResourceSpec, ThreadTrace, Workload,
+                                   thread_salt)
+
+
+def trace(name="t", items=None, **kwargs):
+    return ThreadTrace(name, items or [], **kwargs)
+
+
+class TestThreadTrace:
+    def test_totals(self):
+        t = trace(items=[Phase(work=100, accesses=5),
+                         IdleOp(cycles=50),
+                         Phase(work=200, accesses=10, resource="dma"),
+                         BarrierOp("b0")])
+        assert t.total_work() == 300
+        assert t.total_accesses() == 15
+        assert t.total_accesses("bus") == 5
+        assert t.total_accesses("dma") == 10
+        assert t.total_idle() == 50
+        assert t.barrier_ids() == ["b0"]
+
+    def test_barrier_ids_deduplicated_in_order(self):
+        t = trace(items=[BarrierOp("z"), BarrierOp("a"), BarrierOp("z")])
+        assert t.barrier_ids() == ["z", "a"]
+
+    def test_phases_filters(self):
+        t = trace(items=[Phase(work=1), IdleOp(cycles=1)])
+        assert len(t.phases()) == 1
+
+
+class TestWorkloadValidation:
+    def test_duplicate_thread_names_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(threads=[trace("x"), trace("x")],
+                     processors=[ProcessorSpec("p0"), ProcessorSpec("p1")])
+
+    def test_duplicate_processor_names_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(threads=[trace("x")],
+                     processors=[ProcessorSpec("p"), ProcessorSpec("p")])
+
+    def test_unknown_affinity_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(threads=[trace("x", affinity="ghost")],
+                     processors=[ProcessorSpec("p")])
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                threads=[trace("x", [Phase(work=1, accesses=1,
+                                           resource="ghost")])],
+                processors=[ProcessorSpec("p")])
+
+    def test_resource_lookup(self):
+        workload = Workload(threads=[trace("x")],
+                            processors=[ProcessorSpec("p")],
+                            resources=[ResourceSpec("bus", 4)])
+        assert workload.resource("bus").service_time == 4
+        with pytest.raises(KeyError):
+            workload.resource("dma")
+
+    def test_barrier_parties(self):
+        workload = Workload(
+            threads=[trace("a", [BarrierOp("x")]),
+                     trace("b", [BarrierOp("x")]),
+                     trace("c", [])],
+            processors=[ProcessorSpec(f"p{i}") for i in range(3)])
+        assert workload.barrier_parties() == {"x": 2}
+
+    def test_uneven_barriers_detected(self):
+        workload = Workload(
+            threads=[trace("a", [BarrierOp("x"), BarrierOp("x")]),
+                     trace("b", [BarrierOp("x")])],
+            processors=[ProcessorSpec("p0"), ProcessorSpec("p1")])
+        with pytest.raises(ValueError):
+            workload.validate_barriers()
+
+    def test_even_barriers_pass(self):
+        workload = Workload(
+            threads=[trace("a", [BarrierOp("x")]),
+                     trace("b", [BarrierOp("x")])],
+            processors=[ProcessorSpec("p0"), ProcessorSpec("p1")])
+        workload.validate_barriers()
+
+
+class TestIdleOp:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            IdleOp(cycles=-1)
+
+
+class TestThreadSalt:
+    def test_stable(self):
+        assert thread_salt("abc") == thread_salt("abc")
+
+    def test_distinct(self):
+        assert thread_salt("abc") != thread_salt("abd")

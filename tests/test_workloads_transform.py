@@ -1,0 +1,125 @@
+"""Tests for workload transformation utilities."""
+
+import random
+
+import pytest
+
+from repro.workloads.synthetic import uniform_workload
+from repro.workloads.transform import (inject_idle, scale_platform,
+                                       scale_traffic, scale_work)
+
+
+@pytest.fixture
+def base():
+    return uniform_workload(threads=2, phases=4, work=5_000, accesses=60)
+
+
+class TestScaleTraffic:
+    def test_doubles_access_counts(self, base):
+        scaled = scale_traffic(base, 2.0)
+        assert scaled.threads[0].total_accesses() == \
+            2 * base.threads[0].total_accesses()
+
+    def test_original_untouched(self, base):
+        before = base.threads[0].total_accesses()
+        scale_traffic(base, 3.0)
+        assert base.threads[0].total_accesses() == before
+
+    def test_zero_factor_clears_traffic(self, base):
+        assert scale_traffic(base, 0.0).threads[0].total_accesses() == 0
+
+    def test_small_factor_keeps_at_least_one(self, base):
+        scaled = scale_traffic(base, 1e-6)
+        phases = scaled.threads[0].phases()
+        assert all(p.accesses == 1 for p in phases)
+
+    def test_resource_filter(self):
+        from repro.workloads.smp import smp_workload
+
+        base = smp_workload(threads=2, phases=2)
+        scaled = scale_traffic(base, 2.0, resource="l2")
+        assert scaled.threads[0].total_accesses("l2") > \
+            base.threads[0].total_accesses("l2")
+        assert scaled.threads[0].total_accesses("membus") == \
+            base.threads[0].total_accesses("membus")
+
+    def test_negative_rejected(self, base):
+        with pytest.raises(ValueError):
+            scale_traffic(base, -1.0)
+
+    def test_preserves_burst_and_pattern(self):
+        from repro.workloads.synthetic import dma_workload
+
+        base = dma_workload(dma_burst=8)
+        scaled = scale_traffic(base, 2.0)
+        dma = next(t for t in scaled.threads if t.name == "dma")
+        assert all(p.burst == 8 for p in dma.phases())
+
+
+class TestScaleWork:
+    def test_scales_work_only(self, base):
+        scaled = scale_work(base, 0.5)
+        assert scaled.threads[0].total_work() == \
+            pytest.approx(0.5 * base.threads[0].total_work())
+        assert scaled.threads[0].total_accesses() == \
+            base.threads[0].total_accesses()
+
+    def test_raises_contention(self, base):
+        # Same traffic in half the time: more contention.
+        from repro.cycle import EventEngine
+
+        faster = scale_work(base, 0.4)
+        assert (EventEngine(faster).run().queueing_cycles
+                > EventEngine(base).run().queueing_cycles)
+
+
+class TestInjectIdle:
+    def test_hits_target_fraction(self, base):
+        spiky = inject_idle(base, 0.6, random.Random(0))
+        thread = spiky.threads[0]
+        busy = sum(p.work + p.accesses * 4 for p in thread.phases())
+        idle = thread.total_idle()
+        assert idle / (busy + idle) == pytest.approx(0.6, abs=0.05)
+
+    def test_zero_fraction_is_identity_shape(self, base):
+        same = inject_idle(base, 0.0, random.Random(0))
+        assert same.threads[0].total_idle() == 0.0
+
+    def test_thread_filter(self, base):
+        spiky = inject_idle(base, 0.5, random.Random(0),
+                            thread_names=["u1"])
+        by_name = {t.name: t for t in spiky.threads}
+        assert by_name["u0"].total_idle() == 0.0
+        assert by_name["u1"].total_idle() > 0.0
+
+    def test_invalid_fraction(self, base):
+        with pytest.raises(ValueError):
+            inject_idle(base, 1.0, random.Random(0))
+
+    def test_unbalances_like_the_paper(self, base):
+        # Injecting idle into one thread reproduces the Figure 5/6
+        # analytical overestimation pattern on any workload.
+        from repro.experiments.runner import run_comparison
+
+        spiky = inject_idle(base, 0.8, random.Random(1),
+                            thread_names=["u1"])
+        comparison = run_comparison(spiky)
+        assert (comparison.queueing("analytical")
+                > comparison.queueing("iss"))
+
+
+class TestScalePlatform:
+    def test_scales_powers(self, base):
+        faster = scale_platform(base, 2.0)
+        assert all(p.power == 2.0 for p in faster.processors)
+
+    def test_invalid_factor(self, base):
+        with pytest.raises(ValueError):
+            scale_platform(base, 0.0)
+
+    def test_faster_cores_more_contention(self, base):
+        from repro.cycle import EventEngine
+
+        faster = scale_platform(base, 2.0)
+        assert (EventEngine(faster).run().queueing_cycles
+                > EventEngine(base).run().queueing_cycles)
