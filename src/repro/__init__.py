@@ -26,10 +26,12 @@ Quickstart::
     print(result.summary())
 """
 
-from .core import (AnnotationRegion, Barrier, ConditionVariable,
+from .core import (AnnotationRegion, Barrier, BudgetExceededError,
+                   ConditionVariable,
                    ConfigurationError, DeadlockError, ExecutionScheduler,
                    FifoScheduler, HybridKernel, LeastLoadedScheduler,
-                   LogicalThread, Mutex, PinnedScheduler, PriorityScheduler,
+                   LogicalThread, ModelValidationError, Mutex,
+                   PinnedScheduler, PriorityScheduler,
                    Processor, ProtocolError, RoundRobinScheduler, Semaphore,
                    SharedResource, SimulationError, SimulationResult,
                    SynchronizationError, ThreadState, acquire, barrier_wait,
@@ -39,17 +41,24 @@ from .contention import (ChenLinModel, ConstantModel, ContentionModel,
                          MD1Model, MM1Model, NullModel, PriorityModel,
                          RoundRobinModel, SliceDemand, available_models,
                          make_model)
+from .robustness import (FaultPlan, FaultWindow, GuardedModel, RetryPolicy,
+                         RunBudget, RunHealth)
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "AnnotationRegion", "Barrier", "ChenLinModel", "ConditionVariable",
+    "AnnotationRegion", "Barrier", "BudgetExceededError", "ChenLinModel",
+    "ConditionVariable",
     "ConfigurationError", "ConstantModel", "ContentionModel",
-    "DeadlockError", "ExecutionScheduler", "FifoScheduler", "HybridKernel",
+    "DeadlockError", "ExecutionScheduler", "FaultPlan", "FaultWindow",
+    "FifoScheduler", "GuardedModel", "HybridKernel",
     "LeastLoadedScheduler", "LogicalThread", "MD1Model", "MM1Model",
+    "ModelValidationError",
     "Mutex", "NullModel", "PinnedScheduler", "PriorityModel",
-    "PriorityScheduler", "Processor", "ProtocolError", "RoundRobinModel",
-    "RoundRobinScheduler", "Semaphore", "SharedResource", "SimulationError",
+    "PriorityScheduler", "Processor", "ProtocolError", "RetryPolicy",
+    "RoundRobinModel",
+    "RoundRobinScheduler", "RunBudget", "RunHealth", "Semaphore",
+    "SharedResource", "SimulationError",
     "SimulationResult", "SliceDemand", "SynchronizationError", "ThreadState",
     "acquire", "available_models", "barrier_wait", "cond_notify",
     "cond_wait", "consume", "make_model", "release", "sem_acquire",

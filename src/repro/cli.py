@@ -74,6 +74,22 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--model", default="chenlin",
                           choices=available_models())
     simulate.add_argument("--min-timeslice", type=float, default=0.0)
+    simulate.add_argument(
+        "--max-virtual-time", type=float, default=None,
+        help="abort (with partial results) past this many simulated "
+             "cycles")
+    simulate.add_argument(
+        "--timeout", type=float, default=None,
+        help="wall-clock budget in seconds for each estimator run")
+    simulate.add_argument(
+        "--fault-plan", default=None, metavar="PLAN_JSON",
+        help="path to a fault-plan .json injected into the hybrid "
+             "estimator (see repro.robustness.faults)")
+    simulate.add_argument(
+        "--model-fallback", default=None, metavar="CHAIN",
+        help="comma-separated fallback chain of model names (e.g. "
+             "'chenlin,mm1,constant'); wraps --model in a GuardedModel "
+             "that falls back when an evaluation misbehaves")
 
     return parser
 
@@ -139,15 +155,28 @@ def _run_validate(args) -> str:
 
 def _run_simulate(args) -> str:
     from .experiments.runner import ESTIMATORS, run_comparison
+    from .robustness import GuardedModel, RunBudget, load_fault_plan
     from .workloads.io import load_workload
 
     workload = load_workload(args.scenario)
     include = (ESTIMATORS if args.estimator == "all"
                else (args.estimator,))
+    if args.model_fallback:
+        model = GuardedModel.from_names(chain=args.model_fallback)
+    else:
+        model = make_model(args.model)
+    fault_plan = (load_fault_plan(args.fault_plan)
+                  if args.fault_plan else None)
+    budget = None
+    if args.max_virtual_time is not None or args.timeout is not None:
+        budget = RunBudget(max_virtual_time=args.max_virtual_time,
+                           max_wall_seconds=args.timeout)
     comparison = run_comparison(workload,
-                                model=make_model(args.model),
+                                model=model,
                                 min_timeslice=args.min_timeslice,
-                                include=include)
+                                include=include,
+                                fault_plan=fault_plan,
+                                budget=budget)
     lines = [f"scenario: {args.scenario}"]
     for name in include:
         run = comparison.runs[name]
@@ -160,6 +189,14 @@ def _run_simulate(args) -> str:
             if name != "iss":
                 lines.append(f"  {name} error vs iss: "
                              f"{comparison.error(name):.1f}%")
+    mesh = comparison.runs.get("mesh")
+    if mesh is not None:
+        health = getattr(mesh.detail, "health", None)
+        if health is not None and not health.ok:
+            lines.append("  " + health.summary().replace("\n", "\n  "))
+        faults = getattr(mesh.detail, "faults_injected", 0.0)
+        if faults:
+            lines.append(f"  faults injected (mesh): {faults:.1f}")
     return "\n".join(lines)
 
 
@@ -176,9 +213,23 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    A run that exhausts its :class:`~repro.robustness.budget.RunBudget`
+    prints the reason plus the partial result's summary and exits 1
+    instead of traceback-crashing.
+    """
+    from .core.errors import BudgetExceededError
+
     args = build_parser().parse_args(argv)
-    output = _COMMANDS[args.command](args)
+    try:
+        output = _COMMANDS[args.command](args)
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.partial_result is not None:
+            print("partial result at abort:", file=sys.stderr)
+            print(exc.partial_result.summary(), file=sys.stderr)
+        return 1
     print(output)
     return 0
 

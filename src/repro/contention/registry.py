@@ -48,6 +48,19 @@ def available_models() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def _make_guarded(chain=("chenlin", "mm1", "constant"),
+                  **kwargs) -> ContentionModel:
+    """Build a :class:`~repro.robustness.guard.GuardedModel` chain.
+
+    Imported lazily so the contention package stays importable without
+    the robustness subsystem (and vice versa).
+    """
+    from ..robustness.guard import GuardedModel
+
+    return GuardedModel.from_names(chain=chain, **kwargs)
+
+
 for _factory in (ChenLinModel, MM1Model, MD1Model, MMcModel,
                  RoundRobinModel, PriorityModel, ConstantModel, NullModel):
     register_model(_factory.name, _factory)
+register_model("guarded", _make_guarded)

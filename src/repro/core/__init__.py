@@ -11,8 +11,9 @@ Public surface::
     )
 """
 
-from .errors import (ConfigurationError, DeadlockError, ProtocolError,
-                     SimulationError, SynchronizationError)
+from .errors import (BudgetExceededError, ConfigurationError, DeadlockError,
+                     ModelValidationError, ProtocolError, SimulationError,
+                     SynchronizationError)
 from .events import (Acquire, BarrierWait, CondNotify, CondWait, Consume,
                      Event, Release, SemAcquire, SemRelease, Spawn, acquire,
                      barrier_wait, cond_notify, cond_wait, consume, release,
@@ -38,7 +39,8 @@ __all__ = [
     "Acquire", "BarrierWait", "CondNotify", "CondWait", "Consume", "Event",
     "Release", "SemAcquire", "SemRelease", "Spawn",
     "Barrier", "ConditionVariable", "Mutex", "Semaphore",
-    "ConfigurationError", "DeadlockError", "ProtocolError",
+    "BudgetExceededError", "ConfigurationError", "DeadlockError",
+    "ModelValidationError", "ProtocolError",
     "SimulationError", "SynchronizationError",
     "ExecutionScheduler", "FifoScheduler", "LeastLoadedScheduler",
     "PinnedScheduler", "PriorityScheduler", "RoundRobinScheduler",

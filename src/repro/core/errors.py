@@ -28,12 +28,58 @@ class DeadlockError(SimulationError):
     Raised by the kernel main loop when the priority queue is empty, no
     thread is runnable now or in the future, and at least one thread is
     parked on a synchronization primitive.
+
+    The error carries a wait-for graph: :attr:`wait_for` maps each
+    blocked thread's name to ``(primitive kind, primitive name,
+    holder names)`` — or ``None`` when the parked-on primitive is
+    unknown — so deadlock reports name both what each thread waits on
+    and who currently holds it.
     """
 
     def __init__(self, blocked_threads):
         self.blocked_threads = list(blocked_threads)
+        self.wait_for = {}
+        details = []
+        for thread in sorted(self.blocked_threads, key=lambda t: t.name):
+            primitive = getattr(thread, "blocked_on", None)
+            if primitive is None:
+                self.wait_for[thread.name] = None
+                details.append(f"  {thread.name} -> <unknown primitive>")
+                continue
+            holders = list(primitive.holders())
+            self.wait_for[thread.name] = (
+                primitive.kind, primitive.name, holders)
+            details.append(f"  {thread.name} -> {primitive.describe()}")
         names = ", ".join(sorted(t.name for t in self.blocked_threads))
-        super().__init__(f"deadlock: blocked threads with no waker: {names}")
+        message = f"deadlock: blocked threads with no waker: {names}"
+        if details:
+            message += "\n" + "\n".join(details)
+        super().__init__(message)
+
+
+class ModelValidationError(SimulationError):
+    """A guarded contention model chain produced no valid penalties.
+
+    Raised by :class:`repro.robustness.guard.GuardedModel` when every
+    model in its fallback chain either raised or returned penalties
+    that are non-finite, negative, or out of the configured bound.
+    """
+
+
+class BudgetExceededError(SimulationError):
+    """A :class:`repro.robustness.budget.RunBudget` limit was hit.
+
+    Carries the statistics accumulated up to the point of abortion in
+    :attr:`partial_result` (a ``SimulationResult`` from the hybrid
+    kernel, a ``CycleResult`` from the cycle engines) so callers can
+    inspect how far the run got.
+    """
+
+    def __init__(self, reason: str, partial_result=None, budget=None):
+        self.reason = reason
+        self.partial_result = partial_result
+        self.budget = budget
+        super().__init__(f"run budget exceeded: {reason}")
 
 
 class ProtocolError(SimulationError):

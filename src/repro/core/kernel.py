@@ -30,8 +30,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from .errors import (ConfigurationError, DeadlockError, ProtocolError,
-                     SimulationError)
+from .errors import (BudgetExceededError, ConfigurationError, DeadlockError,
+                     ProtocolError, SimulationError)
 from .events import (Acquire, BarrierWait, CondNotify, CondWait, Consume,
                      Release, SemAcquire, SemRelease, Spawn)
 from .pqueue import RegionQueue
@@ -70,6 +70,15 @@ class HybridKernel:
         reproduces the paper's pessimistic rule for sync calls buried
         inside coarse annotation regions: the waiter resumes only at the
         committed end of the unblocking thread's *next* region.
+    fault_plan:
+        Optional :class:`~repro.robustness.faults.FaultPlan` consulted
+        by the US scheduler each analyzed timeslice; degrades shared
+        resources and injects access failures deterministically.
+    budget:
+        Optional :class:`~repro.robustness.budget.RunBudget`; when a
+        limit trips, :meth:`run`/:meth:`steps` raise
+        :class:`~repro.core.errors.BudgetExceededError` carrying the
+        partial :class:`~repro.core.stats.SimulationResult`.
     """
 
     SYNC_POLICIES = ("eager", "deferred")
@@ -79,7 +88,9 @@ class HybridKernel:
                  scheduler: Optional[ExecutionScheduler] = None,
                  min_timeslice: float = 0.0,
                  trace: bool = False,
-                 sync_policy: str = "eager"):
+                 sync_policy: str = "eager",
+                 fault_plan=None,
+                 budget=None):
         if sync_policy not in self.SYNC_POLICIES:
             raise ConfigurationError(
                 f"unknown sync_policy {sync_policy!r}; choose from "
@@ -97,7 +108,18 @@ class HybridKernel:
             FifoScheduler())
         self.scheduler.bind(self.processors)
         self.us = SharedResourceScheduler(self.shared_resources,
-                                          min_timeslice=min_timeslice)
+                                          min_timeslice=min_timeslice,
+                                          fault_plan=fault_plan)
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            unknown = [name for name in fault_plan.resource_names()
+                       if name not in self.us.resources]
+            if unknown:
+                raise ConfigurationError(
+                    f"fault plan targets unknown shared resources: "
+                    f"{unknown}"
+                )
+        self.budget = budget
         self.trace: Optional[TraceLog] = TraceLog() if trace else None
 
         self.now: float = 0.0
@@ -175,7 +197,14 @@ class HybridKernel:
             raise SimulationError("kernel instances are single-shot; "
                                   "build a new kernel to run again")
         self._ran = True
+        meter = self.budget.start() if self.budget is not None else None
         while True:
+            if meter is not None:
+                reason = meter.check(self.now, self.regions_committed)
+                if reason is not None:
+                    raise BudgetExceededError(
+                        reason, partial_result=build_result(self),
+                        budget=self.budget)
             if until is not None and self.now >= until:
                 break
             self._fill_processors()
@@ -390,7 +419,7 @@ class HybridKernel:
             if event.mutex.try_acquire(thread):
                 return True
             event.mutex.enqueue(thread)
-            return self._shelve(thread)
+            return self._shelve(thread, on=event.mutex)
         if isinstance(event, Release):
             woken = event.mutex.release(thread)
             if woken is not None:
@@ -400,7 +429,7 @@ class HybridKernel:
             if event.semaphore.try_acquire(thread):
                 return True
             event.semaphore.enqueue(thread)
-            return self._shelve(thread)
+            return self._shelve(thread, on=event.semaphore)
         if isinstance(event, SemRelease):
             woken = event.semaphore.release()
             if woken is not None:
@@ -419,18 +448,19 @@ class HybridKernel:
             if next_owner is not None:
                 self._wake(next_owner)
             event.cond.enqueue(thread, event.mutex)
-            return self._shelve(thread)
+            return self._shelve(thread, on=event.cond)
         if isinstance(event, CondNotify):
             for waiter, mutex in event.cond.pop_waiters(event.all):
                 if mutex.try_acquire(waiter):
                     self._wake(waiter)
                 else:
                     mutex.enqueue(waiter)  # stays blocked, now on the mutex
+                    waiter.blocked_on = mutex
             return True
         if isinstance(event, BarrierWait):
             woken = event.barrier.arrive(thread)
             if woken is None:
-                return self._shelve(thread)
+                return self._shelve(thread, on=event.barrier)
             for waiter in woken:
                 self._wake(waiter)
             return True
@@ -439,9 +469,14 @@ class HybridKernel:
             f"{type(event).__name__}"
         )
 
-    def _shelve(self, thread: LogicalThread) -> bool:
-        """Park a thread on a primitive; its processor stays available."""
+    def _shelve(self, thread: LogicalThread, on=None) -> bool:
+        """Park a thread on a primitive; its processor stays available.
+
+        ``on`` is the synchronization primitive the thread waits for,
+        recorded for deadlock wait-for reporting.
+        """
         thread.state = ThreadState.BLOCKED
+        thread.blocked_on = on
         self._blocked.add(thread)
         if self.trace:
             self.trace.record("block", self.now, thread.name)
@@ -467,6 +502,7 @@ class HybridKernel:
                         release_time: float) -> None:
         """Make an unblocked thread schedulable at ``release_time``."""
         self._blocked.discard(thread)
+        thread.blocked_on = None
         thread.state = ThreadState.READY
         thread.release_time = max(thread.release_time, release_time)
         self.scheduler.add(thread)

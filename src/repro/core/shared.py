@@ -66,6 +66,18 @@ class SharedResource:
         self.penalty_by_thread: Dict[str, float] = {}
         #: Number of timeslices in which this resource saw any demand.
         self.active_slices: int = 0
+        # --- fault statistics (see repro.robustness.faults) --------------
+        #: First-attempt access failures injected by the fault plan.
+        self.faults_injected: float = 0.0
+        #: Retry attempts modeled (extra demand fed to the model).
+        self.retries_modeled: float = 0.0
+        #: Accesses that exhausted their retry budget.
+        self.accesses_dropped: float = 0.0
+        #: Total backoff delay charged to threads for retries.
+        self.retry_backoff: float = 0.0
+        #: Timeslices in which the resource ran degraded (service
+        #: inflation, reduced ports, or unavailability).
+        self.degraded_slices: int = 0
 
     def record(self, penalties: Dict[str, float], accesses: float) -> None:
         """Accumulate statistics for one analyzed timeslice."""
@@ -76,6 +88,19 @@ class SharedResource:
             self.total_penalty += penalty
             previous = self.penalty_by_thread.get(thread_name, 0.0)
             self.penalty_by_thread[thread_name] = previous + penalty
+
+    def record_faults(self, effect) -> None:
+        """Accumulate one slice's fault-injection statistics.
+
+        ``effect`` is a :class:`~repro.robustness.faults.
+        SliceFaultEffect` produced by the active fault plan.
+        """
+        if effect.degraded:
+            self.degraded_slices += 1
+        self.faults_injected += effect.total_failures
+        self.retries_modeled += effect.total_retries
+        self.accesses_dropped += effect.total_dropped
+        self.retry_backoff += effect.total_backoff
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"SharedResource({self.name!r}, model={self.model!r}, "

@@ -57,6 +57,12 @@ class ResourceStats:
     penalty: float
     active_slices: int
     penalty_by_thread: Mapping[str, float] = field(default_factory=dict)
+    #: Fault-injection statistics (zero when no fault plan was active).
+    faults_injected: float = 0.0
+    retries_modeled: float = 0.0
+    accesses_dropped: float = 0.0
+    retry_backoff: float = 0.0
+    degraded_slices: int = 0
 
     def mean_wait(self) -> float:
         """Average queueing delay per access on this resource."""
@@ -90,6 +96,16 @@ class SimulationResult:
     slices_merged: int
     #: Total annotation regions committed across all threads.
     regions_committed: int
+    #: Merged :class:`~repro.robustness.guard.RunHealth` of every
+    #: guarded model in the run (``None`` when no model was guarded).
+    #: Excluded from equality so guarded-but-clean runs compare equal
+    #: to unguarded ones.
+    health: object = field(default=None, compare=False)
+
+    @property
+    def faults_injected(self) -> float:
+        """Total injected access failures across all shared resources."""
+        return sum(r.faults_injected for r in self.resources.values())
 
     @property
     def queueing_cycles(self) -> float:
@@ -146,6 +162,16 @@ class SimulationResult:
                 f"  shared {name:<12s} accesses={r.accesses:10.1f} "
                 f"penalty={r.penalty:10.1f} wait/acc={r.mean_wait():.3f}"
             )
+            if r.faults_injected or r.degraded_slices:
+                lines.append(
+                    f"         {'':<12s} faults={r.faults_injected:.1f} "
+                    f"retries={r.retries_modeled:.1f} "
+                    f"dropped={r.accesses_dropped:.1f} "
+                    f"backoff={r.retry_backoff:.1f} "
+                    f"degraded_slices={r.degraded_slices}"
+                )
+        if self.health is not None and not self.health.ok:
+            lines.append("  " + self.health.summary().replace("\n", "\n  "))
         return "\n".join(lines)
 
 
@@ -173,6 +199,11 @@ def build_result(kernel) -> SimulationResult:
             accesses=r.total_accesses, penalty=r.total_penalty,
             active_slices=r.active_slices,
             penalty_by_thread=dict(r.penalty_by_thread),
+            faults_injected=r.faults_injected,
+            retries_modeled=r.retries_modeled,
+            accesses_dropped=r.accesses_dropped,
+            retry_backoff=r.retry_backoff,
+            degraded_slices=r.degraded_slices,
         )
         for r in kernel.shared_resources
     }
@@ -184,4 +215,29 @@ def build_result(kernel) -> SimulationResult:
         slices_analyzed=kernel.us.slices_analyzed,
         slices_merged=kernel.us.slices_merged,
         regions_committed=kernel.regions_committed,
+        health=_gather_health(kernel),
     )
+
+
+def _gather_health(kernel):
+    """Merge the RunHealth of every guarded model in the kernel.
+
+    Returns ``None`` when no shared resource uses a guarded model,
+    the single shared report when all guarded resources share one, or
+    a merged copy otherwise.
+    """
+    healths = []
+    for resource in kernel.shared_resources:
+        health = getattr(resource.model, "health", None)
+        if health is not None and not any(h is health for h in healths):
+            healths.append(health)
+    if not healths:
+        return None
+    if len(healths) == 1:
+        return healths[0]
+    from ..robustness.guard import RunHealth
+
+    merged = RunHealth()
+    for health in healths:
+        merged.extend(health)
+    return merged

@@ -29,6 +29,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Mutex:
     """A non-recursive mutual-exclusion lock."""
 
+    #: Primitive kind tag used in deadlock wait-for reports.
+    kind = "mutex"
+
     def __init__(self, name: str = "mutex"):
         self.name = str(name)
         self.owner: Optional["LogicalThread"] = None
@@ -71,6 +74,16 @@ class Mutex:
         self.owner = None
         return None
 
+    def holders(self):
+        """Names of threads currently holding the lock (0 or 1)."""
+        return [self.owner.name] if self.owner is not None else []
+
+    def describe(self) -> str:
+        """One-line wait-for description for deadlock reports."""
+        holder = f"held by {self.owner.name!r}" if self.owner else "free"
+        return (f"mutex {self.name!r} ({holder}, "
+                f"{len(self.waiters)} waiting)")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         owner = self.owner.name if self.owner else None
         return f"Mutex({self.name!r}, owner={owner!r})"
@@ -78,6 +91,9 @@ class Mutex:
 
 class Semaphore:
     """A counting semaphore."""
+
+    #: Primitive kind tag used in deadlock wait-for reports.
+    kind = "semaphore"
 
     def __init__(self, value: int = 0, name: str = "semaphore"):
         if value < 0:
@@ -106,12 +122,24 @@ class Semaphore:
         self.value += 1
         return None
 
+    def holders(self):
+        """Semaphore units are not owned; always empty."""
+        return []
+
+    def describe(self) -> str:
+        """One-line wait-for description for deadlock reports."""
+        return (f"semaphore {self.name!r} (value={self.value}, "
+                f"{len(self.waiters)} waiting)")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Semaphore({self.name!r}, value={self.value})"
 
 
 class ConditionVariable:
     """A POSIX-style condition variable used with an external mutex."""
+
+    #: Primitive kind tag used in deadlock wait-for reports.
+    kind = "condition"
 
     def __init__(self, name: str = "cond"):
         self.name = str(name)
@@ -131,6 +159,15 @@ class ConditionVariable:
             return woken
         return [self.waiters.popleft()]
 
+    def holders(self):
+        """Conditions have no holder; always empty."""
+        return []
+
+    def describe(self) -> str:
+        """One-line wait-for description for deadlock reports."""
+        return (f"condition {self.name!r} "
+                f"({len(self.waiters)} waiting, never notified)")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ConditionVariable({self.name!r}, waiting={len(self.waiters)})"
 
@@ -142,6 +179,9 @@ class Barrier:
     statements, so the barrier is the synchronization primitive the
     experiments lean on most heavily.
     """
+
+    #: Primitive kind tag used in deadlock wait-for reports.
+    kind = "barrier"
 
     def __init__(self, parties: int, name: str = "barrier"):
         if parties < 1:
@@ -175,6 +215,16 @@ class Barrier:
         self.arrived = []
         self.generation += 1
         return woken
+
+    def holders(self):
+        """Names of threads already arrived (the ones being waited with)."""
+        return [t.name for t in self.arrived]
+
+    def describe(self) -> str:
+        """One-line wait-for description for deadlock reports."""
+        missing = self.parties - len(self.arrived)
+        return (f"barrier {self.name!r} ({len(self.arrived)}/"
+                f"{self.parties} arrived, waiting for {missing} more)")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Barrier({self.name!r}, {len(self.arrived)}/"

@@ -70,6 +70,9 @@ class LogicalThread:
         self.carry_penalty: float = 0.0
         #: Names of mutexes currently held (for error checking).
         self.held_mutexes: set = set()
+        #: Synchronization primitive the thread is currently parked on
+        #: (``None`` while runnable); feeds deadlock wait-for reports.
+        self.blocked_on: Optional[object] = None
         # --- statistics -------------------------------------------------
         #: Total contention penalty (queueing time) applied to the thread.
         self.total_penalty: float = 0.0

@@ -27,10 +27,20 @@ _EPS = 1e-12
 
 
 class SharedResourceScheduler:
-    """Groups accesses per timeslice and applies analytical models."""
+    """Groups accesses per timeslice and applies analytical models.
+
+    With a ``fault_plan`` (see :mod:`repro.robustness.faults`), each
+    analyzed slice first consults the plan: degraded service times,
+    reduced ports, and retry traffic from injected access failures are
+    folded into the :class:`~repro.contention.base.SliceDemand` handed
+    to the model, and retry backoff delays become direct penalties on
+    the issuing threads.  Without a plan (or when no window overlaps
+    the slice) the healthy path is untouched, bit for bit.
+    """
 
     def __init__(self, resources: Iterable[SharedResource],
-                 min_timeslice: float = 0.0):
+                 min_timeslice: float = 0.0,
+                 fault_plan=None):
         if min_timeslice < 0:
             raise ValueError(
                 f"min_timeslice must be >= 0, got {min_timeslice!r}"
@@ -38,6 +48,7 @@ class SharedResourceScheduler:
         self.resources: Dict[str, SharedResource] = {
             r.name: r for r in resources
         }
+        self.fault_plan = fault_plan
         self.min_timeslice = float(min_timeslice)
         #: Left edge of the (possibly accumulated) analysis window.
         self.window_start = 0.0
@@ -150,16 +161,39 @@ class SharedResourceScheduler:
                 for thread, count in demands.items()
                 if count > 0 and units.get(thread, count) != count
             }
+            effect = None
+            if self.fault_plan is not None:
+                effect = self.fault_plan.apply(
+                    resource=name, start=start, end=end,
+                    service_time=resource.service_time,
+                    ports=resource.ports, demands=demands,
+                    slice_index=self.slices_analyzed)
+            if effect is not None:
+                service_time = effect.service_time
+                ports = effect.ports
+                model_demands = effect.demands
+            else:
+                service_time = resource.service_time
+                ports = resource.ports
+                model_demands = demands
             slice_demand = SliceDemand(
                 start=start, end=end,
-                service_time=resource.service_time,
-                demands=dict(demands),
+                service_time=service_time,
+                demands=dict(model_demands),
                 priorities=dict(priorities),
-                ports=resource.ports,
+                ports=ports,
                 mean_service=mean_service,
             )
             penalties = resource.model.penalties(slice_demand)
-            _check_penalties(penalties, demands, resource)
+            _check_penalties(penalties, model_demands, resource)
+            if effect is not None:
+                # Retry backoff is queueing the thread really suffers:
+                # merge it into the penalties the kernel distributes.
+                penalties = dict(penalties)
+                for thread_name, delay in effect.backoff.items():
+                    penalties[thread_name] = (
+                        penalties.get(thread_name, 0.0) + delay)
+                resource.record_faults(effect)
             resource.record(penalties, sum(demands.values()))
             for thread_name, penalty in penalties.items():
                 if penalty > 0:

@@ -22,6 +22,7 @@ import heapq
 import itertools
 from typing import Dict, List, Optional, Set
 
+from ..core.errors import BudgetExceededError
 from ..workloads.trace import Workload, access_target
 from .arbiter import Request, make_arbiter
 from .program import lower_workload
@@ -66,11 +67,18 @@ class _Lock:
 
 
 class EventEngine:
-    """Exact event-driven shared-bus multiprocessor simulator."""
+    """Exact event-driven shared-bus multiprocessor simulator.
+
+    An optional ``budget`` (:class:`~repro.robustness.budget.RunBudget`)
+    is checked once per event batch; exceeding it raises
+    :class:`~repro.core.errors.BudgetExceededError` with the partial
+    result so far.
+    """
 
     def __init__(self, workload: Workload, arbiter: str = "fifo",
                  max_events: int = 200_000_000,
-                 record_grants: bool = False):
+                 record_grants: bool = False,
+                 budget=None):
         self.workload = workload
         self.programs = lower_workload(workload)
         self._arbiter_name = arbiter
@@ -78,6 +86,7 @@ class EventEngine:
                             for p in self.programs}
         self.max_events = int(max_events)
         self.record_grants = bool(record_grants)
+        self.budget = budget
 
     def run(self) -> CycleResult:
         """Simulate to completion and return ground-truth statistics."""
@@ -112,9 +121,18 @@ class EventEngine:
         done = 0
         events = 0
         total = len(procs)
+        meter = self.budget.start() if self.budget is not None else None
 
         while heap:
             t = heap[0][0]
+            if meter is not None:
+                reason = meter.check(t, events)
+                if reason is not None:
+                    raise BudgetExceededError(
+                        reason,
+                        partial_result=stats.build(makespan=t,
+                                                   cycles_executed=events),
+                        budget=self.budget)
             advance_set: Set[int] = set()
             # Phase 1+2a: drain the batch; completions free resources.
             while heap and heap[0][0] == t:

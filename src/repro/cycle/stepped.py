@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..core.errors import BudgetExceededError
 from ..workloads.trace import Workload, access_target
 from .arbiter import Arbiter, Request, make_arbiter
 from .program import Program, lower_workload
@@ -106,11 +107,16 @@ class SteppedEngine:
         ``priority``.
     max_cycles:
         Safety bound; exceeding it raises ``RuntimeError``.
+    budget:
+        Optional :class:`~repro.robustness.budget.RunBudget`; exceeding
+        any of its limits raises :class:`~repro.core.errors.
+        BudgetExceededError` carrying the partial result so far.
     """
 
     def __init__(self, workload: Workload, arbiter: str = "fifo",
                  max_cycles: int = 200_000_000,
-                 record_grants: bool = False):
+                 record_grants: bool = False,
+                 budget=None):
         self.workload = workload
         self.programs = lower_workload(workload)
         priorities = {p.thread_name: p.priority for p in self.programs}
@@ -118,6 +124,7 @@ class SteppedEngine:
         self._priorities = priorities
         self.max_cycles = int(max_cycles)
         self.record_grants = bool(record_grants)
+        self.budget = budget
 
     def run(self) -> CycleResult:
         """Simulate to completion and return ground-truth statistics."""
@@ -145,12 +152,21 @@ class SteppedEngine:
         done = 0
         total = len(procs)
         t = 0
+        meter = self.budget.start() if self.budget is not None else None
 
         while done < total:
             if t > self.max_cycles:
                 raise RuntimeError(
                     f"stepped simulation exceeded {self.max_cycles} cycles"
                 )
+            if meter is not None:
+                reason = meter.check(t, t)
+                if reason is not None:
+                    raise BudgetExceededError(
+                        reason,
+                        partial_result=stats.build(makespan=t,
+                                                   cycles_executed=t),
+                        budget=self.budget)
             # Phase 1: completions.
             for resource in resource_order:
                 for port in range(resource.ports):

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from ..contention.base import ContentionModel
 from ..workloads.fft import fft_workload
 from .report import series_block
-from .runner import run_comparison
+from .runner import finite_mean, run_comparison
 
 #: Paper-reported average errors, for EXPERIMENTS.md bookkeeping.
 PAPER_AVG_ERRORS = {
@@ -63,15 +63,15 @@ def run_fig4(cache_kb: int = 512,
 
 
 def average_errors(rows: Sequence[Fig4Row]) -> Dict[str, float]:
-    """Mean |error| over the sweep for each contestant estimator."""
-    finite = [r for r in rows
-              if r.mesh_error != float("inf")
-              and r.analytical_error != float("inf")]
-    if not finite:
-        return {"mesh": 0.0, "analytical": 0.0}
+    """Mean |error| over the sweep for each contestant estimator.
+
+    Each estimator's mean is taken over its own finite errors, so one
+    zero-reference (infinite-error) point for the analytical model does
+    not discard the MESH data at that configuration.
+    """
     return {
-        "mesh": sum(r.mesh_error for r in finite) / len(finite),
-        "analytical": sum(r.analytical_error for r in finite) / len(finite),
+        "mesh": finite_mean([r.mesh_error for r in rows])[0],
+        "analytical": finite_mean([r.analytical_error for r in rows])[0],
     }
 
 
@@ -93,4 +93,9 @@ def render_fig4(rows: Sequence[Fig4Row]) -> str:
               f"(paper ~{paper.get('mesh', float('nan'))}%), "
               f"Analytical {averages['analytical']:.1f}% "
               f"(paper ~{paper.get('analytical', float('nan'))}%)")
+    excluded = (finite_mean([r.mesh_error for r in rows])[1]
+                + finite_mean([r.analytical_error for r in rows])[1])
+    if excluded:
+        footer += (f" [{excluded} non-finite error point(s) excluded "
+                   f"from the averages]")
     return block + "\n" + footer

@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..contention.base import ContentionModel
 from ..workloads.phm import phm_workload
 from .report import series_block
-from .runner import run_comparison
+from .runner import finite_mean, run_comparison
 
 DEFAULT_BUS_DELAYS = (2, 4, 6, 8, 10, 12, 16, 20)
 DEFAULT_IDLE = (0.06, 0.90)
@@ -67,9 +67,13 @@ def render_fig5(rows: Sequence[Fig5Row]) -> str:
          ("MESH %", [r.mesh_pct for r in rows]),
          ("Analytical %", [r.analytical_pct for r in rows])],
     )
-    mesh_avg = sum(r.mesh_error for r in rows) / len(rows)
-    ana_avg = sum(r.analytical_error for r in rows) / len(rows)
+    mesh_avg, mesh_excluded = finite_mean([r.mesh_error for r in rows])
+    ana_avg, ana_excluded = finite_mean(
+        [r.analytical_error for r in rows])
     footer = (f"  avg error vs ISS: MESH {mesh_avg:.1f}%, "
               f"Analytical {ana_avg:.1f}% (paper: analytical greatly "
               f"overestimates, MESH tracks ISS)")
+    if mesh_excluded or ana_excluded:
+        footer += (f" [{mesh_excluded + ana_excluded} non-finite error "
+                   f"point(s) excluded from the averages]")
     return block + "\n" + footer

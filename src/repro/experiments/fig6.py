@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence
 from ..contention.base import ContentionModel
 from ..workloads.phm import phm_workload
 from .report import series_block
-from .runner import run_comparison
+from .runner import finite_mean, run_comparison
 
 DEFAULT_IDLE_SWEEP = (0.0, 0.15, 0.30, 0.45, 0.60, 0.75, 0.90)
 DEFAULT_BUS_DELAYS = (4, 8, 12)
@@ -60,9 +60,8 @@ def run_fig6(idle_sweep: Sequence[float] = DEFAULT_IDLE_SWEEP,
                 analytical_errors.append(comparison.error("analytical"))
         rows.append(Fig6Row(
             idle_fraction=idle,
-            mesh_error=sum(mesh_errors) / len(mesh_errors),
-            analytical_error=(sum(analytical_errors)
-                              / len(analytical_errors)),
+            mesh_error=finite_mean(mesh_errors)[0],
+            analytical_error=finite_mean(analytical_errors)[0],
         ))
     return rows
 

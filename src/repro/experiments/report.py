@@ -7,6 +7,7 @@ a rough unicode sparkline so the shape is visible in a terminal.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
@@ -32,15 +33,19 @@ def format_table(headers: Sequence[str],
 
 
 def sparkline(values: Sequence[float]) -> str:
-    """Tiny unicode bar chart of a numeric series."""
-    finite = [v for v in values if v == v and v not in (float("inf"),)]
+    """Tiny unicode bar chart of a numeric series.
+
+    Non-finite entries (``inf``/``-inf``/``nan``) render as ``?`` and
+    never participate in the scale.
+    """
+    finite = [v for v in values if math.isfinite(v)]
     if not finite:
         return ""
     low, high = min(finite), max(finite)
     span = high - low
     out = []
     for value in values:
-        if value != value or value == float("inf"):
+        if not math.isfinite(value):
             out.append("?")
             continue
         if span <= 0:
@@ -62,8 +67,14 @@ def series_block(name: str, xs: Sequence[object],
     for index, x in enumerate(xs):
         rows.append([x] + [values[index] for _, values in series])
     lines = [format_table(headers, rows, title=name)]
+    non_finite = 0
     for label, values in series:
         lines.append(f"  {label:>12s} {sparkline(list(values))}")
+        non_finite += sum(1 for v in values
+                          if isinstance(v, float) and not math.isfinite(v))
+    if non_finite:
+        lines.append(f"  note: {non_finite} non-finite value(s) plotted "
+                     f"as '?' and excluded from scaling")
     return "\n".join(lines)
 
 

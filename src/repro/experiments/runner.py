@@ -9,6 +9,7 @@ contestant against ground truth.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
@@ -27,10 +28,27 @@ def percent_error(value: float, reference: float) -> float:
 
     Returns 0 when both are (near) zero and ``inf`` when only the
     reference is zero, so error aggregation never divides by zero.
+    Aggregate with :func:`finite_mean` so a single infinite point does
+    not poison a reported average.
     """
     if abs(reference) < 1e-9:
         return 0.0 if abs(value) < 1e-9 else float("inf")
     return 100.0 * abs(value - reference) / abs(reference)
+
+
+def finite_mean(values: Sequence[float]) -> "tuple[float, int]":
+    """Mean over the finite entries of ``values``.
+
+    Returns ``(mean, excluded)`` where ``excluded`` counts the
+    non-finite entries (``inf``/``nan`` from zero-reference percent
+    errors) left out of the mean.  The mean of zero finite entries is
+    0.0, never ``nan``, so tables and SVG axes stay renderable.
+    """
+    finite = [v for v in values if math.isfinite(v)]
+    excluded = len(values) - len(finite)
+    if not finite:
+        return 0.0, excluded
+    return sum(finite) / len(finite), excluded
 
 
 @dataclass(frozen=True)
@@ -74,7 +92,9 @@ def run_comparison(workload: Workload,
                    min_timeslice: float = 0.0,
                    annotation: str = "phase",
                    iss_engine: str = "event",
-                   include: Sequence[str] = ESTIMATORS) -> Comparison:
+                   include: Sequence[str] = ESTIMATORS,
+                   fault_plan=None,
+                   budget=None) -> Comparison:
     """Evaluate ``workload`` with every requested estimator.
 
     Parameters
@@ -85,6 +105,15 @@ def run_comparison(workload: Workload,
     iss_engine:
         ``"event"`` (fast, exact) or ``"stepped"`` (the honest per-cycle
         loop used for runtime comparisons).
+    fault_plan:
+        Optional :class:`~repro.robustness.faults.FaultPlan` applied to
+        the hybrid estimator only — the cycle engines and the whole-run
+        analytical model have no fault hooks, so a faulted comparison
+        measures the hybrid's degraded behavior against the *healthy*
+        ground truth.
+    budget:
+        Optional :class:`~repro.robustness.budget.RunBudget` enforced
+        on the hybrid kernel and both cycle engines.
     """
     # One busy-time basis for every estimator's percentage: the
     # characterized zero-contention execution cycles (excluding idle),
@@ -103,14 +132,16 @@ def run_comparison(workload: Workload,
             engine_cls = (SteppedEngine if iss_engine == "stepped"
                           else EventEngine)
             start = time.perf_counter()
-            result = engine_cls(workload).run()
+            result = engine_cls(workload, budget=budget).run()
             elapsed = time.perf_counter() - start
             queueing = float(result.queueing_cycles)
         elif estimator == "mesh":
             start = time.perf_counter()
             result = run_hybrid(workload, model=model,
                                 min_timeslice=min_timeslice,
-                                annotation=annotation)
+                                annotation=annotation,
+                                fault_plan=fault_plan,
+                                budget=budget)
             elapsed = time.perf_counter() - start
             queueing = result.queueing_cycles
         elif estimator == "analytical":

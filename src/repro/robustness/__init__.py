@@ -1,0 +1,36 @@
+"""Robustness subsystem: fault injection, model guarding, run budgets.
+
+Three coordinated layers make the simulator able to *model* degraded
+resources and to *survive* misbehaving models and runaway runs:
+
+* :mod:`repro.robustness.faults` — deterministic, seed-driven
+  :class:`FaultPlan` degrading shared resources over virtual-time
+  windows and failing individual accesses with modeled retry/backoff;
+* :mod:`repro.robustness.guard` — :class:`GuardedModel`, a validating
+  wrapper that falls back through a chain of contention models and
+  reports every fallback in a structured :class:`RunHealth`;
+* :mod:`repro.robustness.budget` — :class:`RunBudget` guardrails (max
+  virtual time, max committed work, wall-clock timeout, livelock
+  heuristic) enforced by the kernel and both cycle engines via
+  :class:`~repro.core.errors.BudgetExceededError`.
+"""
+
+from .budget import BudgetMeter, RunBudget
+from .faults import (DEFAULT_RETRY, FaultPlan, FaultWindow, RetryPolicy,
+                     SliceFaultEffect, load_fault_plan)
+from .guard import FallbackRecord, GuardedModel, RunHealth, model_name
+
+__all__ = [
+    "BudgetMeter",
+    "DEFAULT_RETRY",
+    "FallbackRecord",
+    "FaultPlan",
+    "FaultWindow",
+    "GuardedModel",
+    "RetryPolicy",
+    "RunBudget",
+    "RunHealth",
+    "SliceFaultEffect",
+    "load_fault_plan",
+    "model_name",
+]

@@ -1,0 +1,127 @@
+"""Run guardrails: bounded virtual time, work, and wall-clock.
+
+A misconfigured scenario (a runaway generator, a livelocked penalty
+loop, a model that keeps stretching regions) previously ran forever or
+until the process was killed.  :class:`RunBudget` declares hard limits
+— maximum virtual time, maximum committed regions/events, a wall-clock
+timeout, and a livelock heuristic (virtual time failing to advance
+across N commits) — that :class:`~repro.core.kernel.HybridKernel` and
+both cycle engines enforce, raising
+:class:`~repro.core.errors.BudgetExceededError` *with a usable partial
+result* instead of hanging.
+
+The kernel and engines duck-type the budget (they only call
+:meth:`RunBudget.start` and :meth:`BudgetMeter.check`), so ``repro.core``
+never imports this module and the dependency points one way:
+robustness -> core.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import ConfigurationError
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Limits for one simulation run; ``None`` fields are unlimited.
+
+    Attributes
+    ----------
+    max_virtual_time:
+        Hard ceiling on simulated time (cycles).
+    max_regions:
+        Hard ceiling on committed annotation regions (hybrid kernel) or
+        processed events/cycles (cycle engines).
+    max_wall_seconds:
+        Wall-clock timeout measured from :meth:`start`.
+    max_stalled_commits:
+        Livelock heuristic: raise after this many consecutive commits
+        during which virtual time did not advance.  Leave ``None`` for
+        workloads that legitimately commit many zero-duration regions.
+    """
+
+    max_virtual_time: Optional[float] = None
+    max_regions: Optional[int] = None
+    max_wall_seconds: Optional[float] = None
+    max_stalled_commits: Optional[int] = None
+
+    def __post_init__(self):
+        """Validate that every set limit is positive."""
+        for name in ("max_virtual_time", "max_regions",
+                     "max_wall_seconds", "max_stalled_commits"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ConfigurationError(
+                    f"{name} must be >= 0, got {value!r}"
+                )
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether every limit is unset (the budget can never trip)."""
+        return (self.max_virtual_time is None
+                and self.max_regions is None
+                and self.max_wall_seconds is None
+                and self.max_stalled_commits is None)
+
+    def start(self) -> "BudgetMeter":
+        """Begin metering a run (arms the wall-clock deadline)."""
+        return BudgetMeter(self)
+
+
+class BudgetMeter:
+    """Per-run mutable state checking a :class:`RunBudget`.
+
+    Engines call :meth:`check` once per commit (or per event batch);
+    the first violated limit is returned as a human-readable reason and
+    the caller raises :class:`~repro.core.errors.BudgetExceededError`
+    carrying its partial result.
+    """
+
+    def __init__(self, budget: RunBudget):
+        self.budget = budget
+        self._deadline: Optional[float] = None
+        if budget.max_wall_seconds is not None:
+            self._deadline = time.monotonic() + budget.max_wall_seconds
+        self._last_now = float("-inf")
+        self._last_commits = 0
+        self._stalled = 0
+
+    def check(self, now: float, commits: int) -> Optional[str]:
+        """Reason the budget is exhausted, or ``None`` to continue.
+
+        ``now`` is current virtual time; ``commits`` is the monotonic
+        count of committed regions (kernel) or processed events/cycles
+        (cycle engines).
+        """
+        budget = self.budget
+        if (budget.max_virtual_time is not None
+                and now > budget.max_virtual_time + _EPS):
+            return (f"virtual time {now:.1f} exceeded max_virtual_time "
+                    f"{budget.max_virtual_time:.1f}")
+        if (budget.max_regions is not None
+                and commits > budget.max_regions):
+            return (f"committed work {commits} exceeded max_regions "
+                    f"{budget.max_regions}")
+        if budget.max_stalled_commits is not None:
+            if commits > self._last_commits:
+                if now <= self._last_now + _EPS:
+                    self._stalled += commits - self._last_commits
+                    if self._stalled >= budget.max_stalled_commits:
+                        return (f"livelock suspected: virtual time stuck "
+                                f"at {now:.1f} across {self._stalled} "
+                                f"commits")
+                else:
+                    self._stalled = 0
+        self._last_now = max(self._last_now, now)
+        self._last_commits = commits
+        if (self._deadline is not None
+                and time.monotonic() > self._deadline):
+            return (f"wall-clock timeout: exceeded "
+                    f"{budget.max_wall_seconds:.3f}s")
+        return None

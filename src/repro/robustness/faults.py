@@ -1,0 +1,490 @@
+"""Deterministic fault injection for shared resources.
+
+Real SoC shared resources are not perfectly healthy: buses drop into
+degraded modes, memory ports get fenced off, transient errors force
+accesses to retry.  This module models those conditions *inside the
+analytical layer*: a :class:`FaultPlan` describes, over virtual-time
+windows, how each :class:`~repro.core.shared.SharedResource` degrades
+(service-time inflation, reduced ports, transient unavailability) and
+how individual accesses fail and retry.  The shared-resource scheduler
+(:class:`~repro.core.us.SharedResourceScheduler`) consults the plan once
+per analyzed timeslice; retry traffic feeds back into the contention
+model as extra slice demand, and backoff delays become direct penalties
+on the issuing thread.
+
+Everything is deterministic and seed-driven — failures are sampled from
+a :class:`random.Random` keyed on ``(plan seed, resource, thread, slice
+index, window index)`` so the same plan on the same workload reproduces
+bit-identical results, with no wall-clock randomness anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+
+_EPS = 1e-12
+
+#: Above this many accesses per (thread, window, slice) the sampler
+#: switches from per-access Bernoulli draws to the exact expected-value
+#: computation, keeping fault injection O(1) for huge slices.
+EXACT_SAMPLING_LIMIT = 4096
+
+#: Unavailability never removes more than this fraction of a slice, so
+#: the effective service time stays finite (a fully-dead window would
+#: otherwise demand infinite stretch from a mean-value model).
+MAX_DOWN_FRACTION = 0.95
+
+RETRY_KINDS = ("fixed", "linear", "exponential")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for accesses that fail and must be reissued.
+
+    Attributes
+    ----------
+    kind:
+        ``"fixed"`` (every retry waits ``delay``), ``"linear"``
+        (attempt ``k`` waits ``k * delay``) or ``"exponential"``
+        (attempt ``k`` waits ``delay * factor**(k-1)``).
+    delay:
+        Base backoff delay in cycles (must be >= 0).
+    factor:
+        Growth factor for the exponential schedule.
+    cap:
+        Upper bound on any single backoff delay.
+    max_retries:
+        Attempts after the initial failure before the access is counted
+        as dropped.
+    """
+
+    kind: str = "exponential"
+    delay: float = 1.0
+    factor: float = 2.0
+    cap: float = float("inf")
+    max_retries: int = 3
+
+    def __post_init__(self):
+        """Validate the schedule parameters."""
+        if self.kind not in RETRY_KINDS:
+            raise ConfigurationError(
+                f"retry kind must be one of {RETRY_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.delay < 0:
+            raise ConfigurationError(
+                f"retry delay must be >= 0, got {self.delay!r}"
+            )
+        if self.factor <= 0:
+            raise ConfigurationError(
+                f"retry factor must be > 0, got {self.factor!r}"
+            )
+        if self.cap <= 0:
+            raise ConfigurationError(
+                f"retry cap must be > 0, got {self.cap!r}"
+            )
+        if self.max_retries < 1:
+            raise ConfigurationError(
+                f"max_retries must be >= 1, got {self.max_retries!r}"
+            )
+
+    def delay_of(self, attempt: int) -> float:
+        """Backoff delay (cycles) before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt!r}")
+        if self.kind == "fixed":
+            raw = self.delay
+        elif self.kind == "linear":
+            raw = self.delay * attempt
+        else:  # exponential
+            raw = self.delay * self.factor ** (attempt - 1)
+        return min(raw, self.cap)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        data: Dict[str, object] = {
+            "kind": self.kind, "delay": self.delay,
+            "factor": self.factor, "max_retries": self.max_retries,
+        }
+        if self.cap != float("inf"):
+            data["cap"] = self.cap
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RetryPolicy":
+        """Build a policy from a plain mapping (e.g. parsed JSON)."""
+        allowed = {"kind", "delay", "factor", "cap", "max_retries"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"unknown retry policy keys: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
+#: Policy used by fault windows that declare ``fail_prob`` but no retry.
+DEFAULT_RETRY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One resource degradation over one virtual-time window.
+
+    Attributes
+    ----------
+    resource:
+        Name of the :class:`~repro.core.shared.SharedResource` affected.
+    start, end:
+        Virtual-time bounds of the fault (``end`` exclusive-ish; windows
+        are weighted by overlap with each analysis slice).
+    service_factor:
+        Multiplier (>= 1) on the resource's service time while the
+        fault is active — e.g. a bus dropping to a slower clock.
+    ports:
+        Reduced port count during the window (``None`` keeps the
+        resource's configured ports).
+    unavailable:
+        The resource serves nothing during the window; demand is
+        squeezed into the remaining slice time (capped by
+        :data:`MAX_DOWN_FRACTION`).
+    fail_prob:
+        Probability that an access issued inside the window fails and
+        must retry under ``retry``.
+    retry:
+        Backoff policy for failed accesses (:data:`DEFAULT_RETRY` when
+        omitted).
+    """
+
+    resource: str
+    start: float
+    end: float
+    service_factor: float = 1.0
+    ports: Optional[int] = None
+    unavailable: bool = False
+    fail_prob: float = 0.0
+    retry: Optional[RetryPolicy] = None
+
+    def __post_init__(self):
+        """Validate the window definition."""
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"fault window on {self.resource!r} must satisfy "
+                f"start < end, got [{self.start!r}, {self.end!r}]"
+            )
+        if self.service_factor < 1.0:
+            raise ConfigurationError(
+                f"service_factor must be >= 1, got {self.service_factor!r}"
+            )
+        if self.ports is not None and self.ports < 1:
+            raise ConfigurationError(
+                f"degraded ports must be >= 1, got {self.ports!r}"
+            )
+        if not 0.0 <= self.fail_prob <= 1.0:
+            raise ConfigurationError(
+                f"fail_prob must be in [0, 1], got {self.fail_prob!r}"
+            )
+
+    @property
+    def degrades(self) -> bool:
+        """Whether the window changes service time, ports or availability."""
+        return (self.service_factor > 1.0 or self.ports is not None
+                or self.unavailable)
+
+    def overlap_fraction(self, lo: float, hi: float) -> float:
+        """Fraction of the slice ``[lo, hi]`` covered by this window.
+
+        A zero-width slice counts as fully covered when its instant
+        falls inside the window (zero-duration regions must still be
+        able to fault).
+        """
+        if hi - lo <= _EPS:
+            return 1.0 if self.start - _EPS <= lo <= self.end + _EPS else 0.0
+        covered = min(hi, self.end) - max(lo, self.start)
+        if covered <= 0:
+            return 0.0
+        return min(1.0, covered / (hi - lo))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        data: Dict[str, object] = {
+            "resource": self.resource,
+            "start": self.start, "end": self.end,
+        }
+        if self.service_factor != 1.0:
+            data["service_factor"] = self.service_factor
+        if self.ports is not None:
+            data["ports"] = self.ports
+        if self.unavailable:
+            data["unavailable"] = True
+        if self.fail_prob:
+            data["fail_prob"] = self.fail_prob
+        if self.retry is not None:
+            data["retry"] = self.retry.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultWindow":
+        """Build a window from a plain mapping (e.g. parsed JSON)."""
+        allowed = {"resource", "start", "end", "service_factor", "ports",
+                   "unavailable", "fail_prob", "retry"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault window keys: {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        retry = kwargs.pop("retry", None)
+        if retry is not None:
+            kwargs["retry"] = RetryPolicy.from_dict(retry)
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class SliceFaultEffect:
+    """What the active fault plan did to one resource in one timeslice.
+
+    Produced by :meth:`FaultPlan.apply`; consumed by the shared-resource
+    scheduler (degraded service/ports/demands feed the contention model,
+    backoff becomes direct thread penalties) and by
+    :meth:`~repro.core.shared.SharedResource.record_faults`.
+    """
+
+    #: Effective service time after inflation/unavailability squeeze.
+    service_time: float
+    #: Effective port count after any reduction.
+    ports: int
+    #: Per-thread demand including retry traffic.
+    demands: Dict[str, float]
+    #: Per-thread backoff delay (cycles) charged directly to the thread.
+    backoff: Dict[str, float] = field(default_factory=dict)
+    #: Per-thread first-attempt failures injected this slice.
+    failures: Dict[str, float] = field(default_factory=dict)
+    #: Per-thread retry attempts (the extra demand fed to the model).
+    retries: Dict[str, float] = field(default_factory=dict)
+    #: Per-thread accesses that exhausted their retry budget.
+    dropped: Dict[str, float] = field(default_factory=dict)
+    #: Whether service time, ports or availability were degraded.
+    degraded: bool = False
+
+    @property
+    def total_failures(self) -> float:
+        """Failures summed over threads."""
+        return sum(self.failures.values())
+
+    @property
+    def total_retries(self) -> float:
+        """Retry attempts summed over threads."""
+        return sum(self.retries.values())
+
+    @property
+    def total_dropped(self) -> float:
+        """Dropped accesses summed over threads."""
+        return sum(self.dropped.values())
+
+    @property
+    def total_backoff(self) -> float:
+        """Backoff delay summed over threads."""
+        return sum(self.backoff.values())
+
+
+class FaultPlan:
+    """A deterministic, seed-driven schedule of shared-resource faults.
+
+    The plan is immutable once built; the same plan applied to the same
+    slice sequence produces identical effects.  An empty plan is a
+    guaranteed no-op: :meth:`apply` returns ``None`` without touching
+    any demand, which the no-fault identity tests pin down.
+
+    Parameters
+    ----------
+    windows:
+        The :class:`FaultWindow` definitions (any order).
+    seed:
+        Root seed for access-failure sampling.
+    """
+
+    def __init__(self, windows: Iterable[FaultWindow] = (), seed: int = 0):
+        self.windows: Tuple[FaultWindow, ...] = tuple(windows)
+        for window in self.windows:
+            if not isinstance(window, FaultWindow):
+                raise ConfigurationError(
+                    f"FaultPlan windows must be FaultWindow instances, "
+                    f"got {type(window).__name__}"
+                )
+        self.seed = int(seed)
+        self._by_resource: Dict[str, List[FaultWindow]] = {}
+        for window in self.windows:
+            self._by_resource.setdefault(window.resource, []).append(window)
+        for windows_of in self._by_resource.values():
+            windows_of.sort(key=lambda w: (w.start, w.end))
+
+    def __bool__(self) -> bool:
+        """A plan is truthy when it holds at least one window."""
+        return bool(self.windows)
+
+    def resource_names(self) -> List[str]:
+        """Sorted names of every resource the plan can affect."""
+        return sorted(self._by_resource)
+
+    def windows_for(self, resource: str) -> Tuple[FaultWindow, ...]:
+        """Windows targeting ``resource`` (empty tuple when unaffected)."""
+        return tuple(self._by_resource.get(resource, ()))
+
+    def apply(self, resource: str, start: float, end: float,
+              service_time: float, ports: int,
+              demands: Mapping[str, float],
+              slice_index: int) -> Optional[SliceFaultEffect]:
+        """Evaluate the plan for one resource over one analysis slice.
+
+        Returns ``None`` when no window overlaps the slice (the caller
+        must then run the unmodified healthy path), otherwise a
+        :class:`SliceFaultEffect` with degraded service parameters and
+        injected failures.  ``slice_index`` keys the failure sampler so
+        each slice draws an independent but reproducible sample.
+        """
+        windows = self._by_resource.get(resource)
+        if not windows:
+            return None
+        active = [(index, window, window.overlap_fraction(start, end))
+                  for index, window in enumerate(windows)]
+        active = [(index, window, fraction)
+                  for index, window, fraction in active if fraction > 0.0]
+        if not active:
+            return None
+
+        inflation = 1.0
+        eff_ports = ports
+        down = 0.0
+        degraded = False
+        for _, window, fraction in active:
+            if window.service_factor > 1.0:
+                inflation += fraction * (window.service_factor - 1.0)
+                degraded = True
+            if window.ports is not None and window.ports < eff_ports:
+                eff_ports = window.ports
+                degraded = True
+            if window.unavailable:
+                down += fraction
+                degraded = True
+        down = min(down, MAX_DOWN_FRACTION)
+        eff_service = service_time * inflation / (1.0 - down)
+
+        new_demands = dict(demands)
+        backoff: Dict[str, float] = {}
+        failures: Dict[str, float] = {}
+        retries: Dict[str, float] = {}
+        dropped: Dict[str, float] = {}
+        for thread in sorted(demands):
+            count = demands[thread]
+            if count <= 0:
+                continue
+            for window_index, window, fraction in active:
+                if window.fail_prob <= 0.0:
+                    continue
+                exposed = count * fraction
+                if exposed <= 0:
+                    continue
+                policy = window.retry or DEFAULT_RETRY
+                rng = random.Random(
+                    f"{self.seed}:{resource}:{thread}:"
+                    f"{slice_index}:{window_index}"
+                )
+                failed, attempts, gave_up, delay = _sample_failures(
+                    rng, exposed, window.fail_prob, policy)
+                if failed <= 0:
+                    continue
+                failures[thread] = failures.get(thread, 0.0) + failed
+                retries[thread] = retries.get(thread, 0.0) + attempts
+                if gave_up:
+                    dropped[thread] = dropped.get(thread, 0.0) + gave_up
+                if delay:
+                    backoff[thread] = backoff.get(thread, 0.0) + delay
+                new_demands[thread] = new_demands.get(thread, 0.0) + attempts
+
+        if not degraded and not failures:
+            return None
+        return SliceFaultEffect(
+            service_time=eff_service, ports=eff_ports,
+            demands=new_demands, backoff=backoff, failures=failures,
+            retries=retries, dropped=dropped, degraded=degraded)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {"seed": self.seed,
+                "windows": [w.to_dict() for w in self.windows]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultPlan":
+        """Build a plan from a plain mapping (e.g. parsed JSON)."""
+        allowed = {"seed", "windows"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan keys: {sorted(unknown)}"
+            )
+        windows = [FaultWindow.from_dict(w)
+                   for w in data.get("windows", ())]
+        return cls(windows=windows, seed=data.get("seed", 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultPlan({len(self.windows)} windows, "
+                f"seed={self.seed})")
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Load a :class:`FaultPlan` from a JSON file (see ``to_dict``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return FaultPlan.from_dict(data)
+
+
+def _sample_failures(rng: random.Random, exposed: float, fail_prob: float,
+                     policy: RetryPolicy):
+    """Sample failures/retries for ``exposed`` accesses in one window.
+
+    Returns ``(failed, retry_attempts, dropped, backoff_delay)``.  Small
+    counts use per-access Bernoulli draws from ``rng``; counts above
+    :data:`EXACT_SAMPLING_LIMIT` use the exact expectation (still
+    deterministic, and independent of the RNG stream).
+    """
+    whole = int(exposed)
+    fraction = exposed - whole
+    if whole > EXACT_SAMPLING_LIMIT:
+        return _expected_failures(exposed, fail_prob, policy)
+    failed = sum(1 for _ in range(whole) if rng.random() < fail_prob)
+    if fraction > _EPS and rng.random() < fail_prob * fraction:
+        failed += 1
+    attempts = 0
+    dropped = 0
+    delay = 0.0
+    for _ in range(failed):
+        for attempt in range(1, policy.max_retries + 1):
+            delay += policy.delay_of(attempt)
+            attempts += 1
+            if rng.random() >= fail_prob:
+                break
+        else:
+            dropped += 1
+    return float(failed), float(attempts), float(dropped), delay
+
+
+def _expected_failures(exposed: float, fail_prob: float,
+                       policy: RetryPolicy):
+    """Mean-value twin of :func:`_sample_failures` for huge counts."""
+    failed = exposed * fail_prob
+    attempts = 0.0
+    delay_per_failure = 0.0
+    reach = 1.0  # P(a failed access reaches retry k), k = 1..max
+    for attempt in range(1, policy.max_retries + 1):
+        attempts += reach
+        delay_per_failure += reach * policy.delay_of(attempt)
+        reach *= fail_prob
+    # ``reach`` is now fail_prob ** max_retries: the probability that
+    # every retry failed too, i.e. the access is dropped.
+    dropped = failed * reach
+    return failed, failed * attempts, dropped, failed * delay_per_failure

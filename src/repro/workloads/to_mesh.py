@@ -43,7 +43,9 @@ def build_kernel(workload: Workload,
                  annotation: str = "phase",
                  scheduler: Optional[ExecutionScheduler] = None,
                  trace: bool = False,
-                 sync_policy: str = "eager") -> HybridKernel:
+                 sync_policy: str = "eager",
+                 fault_plan=None,
+                 budget=None) -> HybridKernel:
     """Assemble a ready-to-run :class:`HybridKernel` for ``workload``.
 
     Parameters
@@ -58,6 +60,12 @@ def build_kernel(workload: Workload,
         Minimum analysis window (paper section 4.3).
     annotation:
         Placement policy, one of ``ANNOTATION_POLICIES``.
+    fault_plan:
+        Optional :class:`~repro.robustness.faults.FaultPlan` degrading
+        shared resources over virtual-time windows.
+    budget:
+        Optional :class:`~repro.robustness.budget.RunBudget` enforced
+        by the kernel run loop.
     """
     if annotation not in ANNOTATION_POLICIES:
         raise ValueError(
@@ -79,7 +87,8 @@ def build_kernel(workload: Workload,
     ]
     kernel = HybridKernel(processors, shared, scheduler=scheduler,
                           min_timeslice=min_timeslice, trace=trace,
-                          sync_policy=sync_policy)
+                          sync_policy=sync_policy,
+                          fault_plan=fault_plan, budget=budget)
     barriers = {
         name: Barrier(parties, name=name)
         for name, parties in workload.barrier_parties().items()

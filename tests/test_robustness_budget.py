@@ -1,0 +1,175 @@
+"""RunBudget guardrails on the hybrid kernel, cycle engines, and CLI."""
+
+import json
+
+import pytest
+
+from repro.core import (BudgetExceededError, ConfigurationError,
+                        SimulationError, consume)
+from repro.cycle import EventEngine, SteppedEngine
+from repro.robustness import RunBudget
+from repro.workloads.phm import phm_workload
+from repro.workloads.synthetic import uniform_workload
+from repro.workloads.to_mesh import run_hybrid
+
+from _helpers import make_kernel, simple_thread
+
+
+def _small_workload():
+    return uniform_workload(threads=2, phases=6, work=800.0, accesses=20,
+                            seed=3)
+
+
+class TestRunBudget:
+    def test_unlimited_by_default(self):
+        budget = RunBudget()
+        assert budget.unlimited
+        meter = budget.start()
+        assert meter.check(1e12, 10**9) is None
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunBudget(max_virtual_time=-1.0)
+        with pytest.raises(ConfigurationError):
+            RunBudget(max_regions=-5)
+
+    def test_error_is_simulation_error(self):
+        assert issubclass(BudgetExceededError, SimulationError)
+
+
+class TestHybridKernel:
+    def _populate(self, kernel, regions=10):
+        for name in ("a", "b"):
+            kernel.add_thread(simple_thread(name, [
+                consume(1_000.0, {"bus": 10}) for _ in range(regions)
+            ]))
+
+    def test_max_virtual_time_trips_with_partial_result(self):
+        kernel = make_kernel(budget=RunBudget(max_virtual_time=3_000.0))
+        self._populate(kernel)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            kernel.run()
+        exc = excinfo.value
+        assert "max_virtual_time" in str(exc)
+        partial = exc.partial_result
+        assert partial is not None
+        assert partial.makespan >= 3_000.0
+        assert 0 < partial.regions_committed < 20
+        assert partial.summary()  # usable, not a stub
+        assert exc.budget.max_virtual_time == 3_000.0
+
+    def test_max_regions_trips(self):
+        kernel = make_kernel(budget=RunBudget(max_regions=5))
+        self._populate(kernel)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            kernel.run()
+        assert excinfo.value.partial_result.regions_committed >= 5
+
+    def test_livelock_heuristic(self):
+        from repro.core import LogicalThread
+
+        kernel = make_kernel(budget=RunBudget(max_stalled_commits=20))
+
+        def spinner():
+            while True:  # infinite zero-width regions: time never moves
+                yield consume(0.0)
+
+        kernel.add_thread(LogicalThread("spin", spinner))
+        with pytest.raises(BudgetExceededError) as excinfo:
+            kernel.run()
+        assert "livelock" in str(excinfo.value)
+
+    def test_wall_clock_timeout(self):
+        kernel = make_kernel(budget=RunBudget(max_wall_seconds=0.0))
+        self._populate(kernel)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            kernel.run()
+        assert "wall-clock" in str(excinfo.value)
+
+    def test_generous_budget_never_trips(self):
+        plain = make_kernel()
+        self._populate(plain)
+        expected = plain.run()
+
+        kernel = make_kernel(budget=RunBudget(max_virtual_time=1e12,
+                                              max_regions=10**9))
+        self._populate(kernel)
+        assert kernel.run() == expected
+
+
+class TestCycleEngines:
+    @pytest.mark.parametrize("engine_cls", [SteppedEngine, EventEngine])
+    def test_virtual_time_trips_with_partial(self, engine_cls):
+        workload = _small_workload()
+        full = engine_cls(workload).run()
+        budget = RunBudget(max_virtual_time=full.makespan / 2)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            engine_cls(workload, budget=budget).run()
+        partial = excinfo.value.partial_result
+        assert partial is not None
+        assert partial.makespan <= full.makespan
+        assert partial.queueing_cycles <= full.queueing_cycles
+
+    @pytest.mark.parametrize("engine_cls", [SteppedEngine, EventEngine])
+    def test_wall_timeout_trips(self, engine_cls):
+        budget = RunBudget(max_wall_seconds=0.0)
+        with pytest.raises(BudgetExceededError):
+            engine_cls(_small_workload(), budget=budget).run()
+
+    @pytest.mark.parametrize("engine_cls", [SteppedEngine, EventEngine])
+    def test_unlimited_budget_matches_no_budget(self, engine_cls):
+        workload = _small_workload()
+        assert (engine_cls(workload, budget=RunBudget()).run()
+                == engine_cls(workload).run())
+
+
+class TestRunHybridPassthrough:
+    def test_budget_flows_through_run_hybrid(self):
+        workload = phm_workload(busy_cycles_target=20_000.0,
+                                idle_fractions=(0.06, 0.90),
+                                bus_service=8, seed=1)
+        with pytest.raises(BudgetExceededError):
+            run_hybrid(workload,
+                       budget=RunBudget(max_virtual_time=2_000.0))
+
+
+class TestCli:
+    SCENARIO = "examples/scenarios/set_top_box.json"
+
+    def test_simulate_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["simulate", self.SCENARIO, "--max-virtual-time", "100",
+             "--timeout", "5", "--model-fallback", "chenlin,mm1",
+             "--fault-plan", "plan.json"])
+        assert args.max_virtual_time == 100.0
+        assert args.timeout == 5.0
+        assert args.model_fallback == "chenlin,mm1"
+        assert args.fault_plan == "plan.json"
+
+    def test_budget_exceeded_exits_nonzero(self, capsys):
+        from repro.cli import main
+
+        code = main(["simulate", self.SCENARIO, "--estimator", "mesh",
+                     "--max-virtual-time", "10"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "run budget exceeded" in err
+        assert "partial result" in err
+
+    def test_fault_plan_and_fallback_flags(self, capsys, tmp_path):
+        from repro.cli import main
+
+        plan = {"seed": 1, "windows": [
+            {"resource": "bus", "start": 0.0, "end": 5_000.0,
+             "service_factor": 2.0, "fail_prob": 0.05},
+        ]}
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(plan))
+        code = main(["simulate", self.SCENARIO, "--estimator", "mesh",
+                     "--fault-plan", str(plan_path),
+                     "--model-fallback", "chenlin,mm1,constant"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mesh" in out

@@ -1,0 +1,83 @@
+"""Enriched DeadlockError diagnostics: the wait-for graph."""
+
+import pytest
+
+from repro.contention import NullModel
+from repro.core import (Barrier, DeadlockError, LogicalThread, Mutex,
+                        Semaphore, acquire, barrier_wait, consume,
+                        sem_acquire)
+
+from _helpers import make_kernel
+
+
+def _mutex_cycle_kernel():
+    m1, m2 = Mutex("m1"), Mutex("m2")
+
+    def ab():
+        yield acquire(m1)
+        yield consume(10)
+        yield acquire(m2)
+
+    def ba():
+        yield acquire(m2)
+        yield consume(10)
+        yield acquire(m1)
+
+    kernel = make_kernel(2, model=NullModel())
+    kernel.add_thread(LogicalThread("a", ab))
+    kernel.add_thread(LogicalThread("b", ba))
+    return kernel
+
+
+class TestWaitForGraph:
+    def test_mutex_cycle_names_primitives_and_holders(self):
+        with pytest.raises(DeadlockError) as excinfo:
+            _mutex_cycle_kernel().run()
+        exc = excinfo.value
+        assert set(exc.wait_for) == {"a", "b"}
+        kind_a, name_a, holders_a = exc.wait_for["a"]
+        kind_b, name_b, holders_b = exc.wait_for["b"]
+        assert kind_a == kind_b == "mutex"
+        assert {name_a, name_b} == {"m1", "m2"}
+        # each thread waits on the mutex the *other* thread holds
+        assert holders_a == ["b"]
+        assert holders_b == ["a"]
+
+    def test_message_describes_each_blocked_thread(self):
+        with pytest.raises(DeadlockError) as excinfo:
+            _mutex_cycle_kernel().run()
+        message = str(excinfo.value)
+        assert "a -> mutex" in message
+        assert "b -> mutex" in message
+        assert "held by" in message
+
+    def test_semaphore_and_barrier_waits_reported(self):
+        gate = Semaphore(0, name="gate")
+        rendezvous = Barrier(2, name="sync")
+
+        def stuck_on_sem():
+            yield sem_acquire(gate)
+
+        def stuck_on_barrier():
+            yield barrier_wait(rendezvous)
+
+        kernel = make_kernel(2, model=NullModel())
+        kernel.add_thread(LogicalThread("s", stuck_on_sem))
+        kernel.add_thread(LogicalThread("w", stuck_on_barrier))
+        with pytest.raises(DeadlockError) as excinfo:
+            kernel.run()
+        exc = excinfo.value
+        assert exc.wait_for["s"][0] == "semaphore"
+        assert exc.wait_for["w"][0] == "barrier"
+        assert "w" in exc.wait_for["w"][2]  # arrived parties are "holders"
+
+    def test_primitive_describe_helpers(self):
+        mutex = Mutex("m")
+        assert mutex.kind == "mutex"
+        assert "free" in mutex.describe()
+        sem = Semaphore(2, name="s")
+        assert sem.kind == "semaphore"
+        assert sem.holders() == []
+        barrier = Barrier(3, name="b")
+        assert barrier.kind == "barrier"
+        assert "0/3" in barrier.describe()

@@ -1,0 +1,281 @@
+"""Fault injection: retry policies, fault plans, kernel integration."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.core import ConfigurationError, consume
+from repro.robustness import (DEFAULT_RETRY, FaultPlan, FaultWindow,
+                              RetryPolicy, load_fault_plan)
+from repro.robustness.faults import (EXACT_SAMPLING_LIMIT,
+                                     _expected_failures, _sample_failures)
+from repro.workloads.phm import phm_workload
+from repro.workloads.to_mesh import run_hybrid
+
+from _helpers import make_kernel, simple_thread
+
+
+class TestRetryPolicy:
+    def test_fixed_delays(self):
+        policy = RetryPolicy(kind="fixed", delay=3.0, max_retries=5)
+        assert [policy.delay_of(k) for k in (1, 2, 5)] == [3.0, 3.0, 3.0]
+
+    def test_linear_delays(self):
+        policy = RetryPolicy(kind="linear", delay=2.0, max_retries=5)
+        assert [policy.delay_of(k) for k in (1, 2, 3)] == [2.0, 4.0, 6.0]
+
+    def test_exponential_delays_with_cap(self):
+        policy = RetryPolicy(kind="exponential", delay=1.0, factor=2.0,
+                             cap=5.0, max_retries=6)
+        assert [policy.delay_of(k) for k in (1, 2, 3, 4)] == \
+            [1.0, 2.0, 4.0, 5.0]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(kind="quadratic")
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(delay=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=0)
+        with pytest.raises(ValueError):
+            DEFAULT_RETRY.delay_of(0)
+
+    def test_round_trip(self):
+        policy = RetryPolicy(kind="linear", delay=2.5, cap=40.0,
+                             max_retries=7)
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+
+class TestFaultWindow:
+    def test_overlap_fraction(self):
+        window = FaultWindow(resource="bus", start=100.0, end=200.0)
+        assert window.overlap_fraction(0.0, 100.0) == 0.0
+        assert window.overlap_fraction(150.0, 250.0) == pytest.approx(0.5)
+        assert window.overlap_fraction(120.0, 180.0) == 1.0
+        # zero-width slice inside vs outside the window
+        assert window.overlap_fraction(150.0, 150.0) == 1.0
+        assert window.overlap_fraction(50.0, 50.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultWindow(resource="bus", start=5.0, end=5.0)
+        with pytest.raises(ConfigurationError):
+            FaultWindow(resource="bus", start=0.0, end=1.0,
+                        service_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            FaultWindow(resource="bus", start=0.0, end=1.0, fail_prob=1.5)
+
+    def test_round_trip(self):
+        window = FaultWindow(resource="bus", start=10.0, end=90.0,
+                             service_factor=3.0, ports=1,
+                             unavailable=True, fail_prob=0.2,
+                             retry=RetryPolicy(kind="fixed", delay=2.0))
+        assert FaultWindow.from_dict(window.to_dict()) == window
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy_noop(self):
+        plan = FaultPlan()
+        assert not plan
+        assert plan.resource_names() == []
+        assert plan.apply(resource="bus", start=0.0, end=100.0,
+                          service_time=4.0, ports=1,
+                          demands={"a": 10.0}, slice_index=0) is None
+
+    def test_no_overlap_returns_none(self):
+        plan = FaultPlan([FaultWindow(resource="bus", start=1_000.0,
+                                      end=2_000.0, service_factor=2.0)])
+        assert plan.apply(resource="bus", start=0.0, end=500.0,
+                          service_time=4.0, ports=1,
+                          demands={"a": 10.0}, slice_index=0) is None
+        assert plan.apply(resource="other", start=1_500.0, end=1_600.0,
+                          service_time=4.0, ports=1,
+                          demands={"a": 10.0}, slice_index=0) is None
+
+    def test_degradation_combines_overlap_weighted(self):
+        plan = FaultPlan([FaultWindow(resource="bus", start=0.0,
+                                      end=50.0, service_factor=3.0,
+                                      ports=1)])
+        # window covers half the slice: inflation 1 + 0.5 * 2 = 2.
+        effect = plan.apply(resource="bus", start=0.0, end=100.0,
+                            service_time=4.0, ports=4,
+                            demands={"a": 10.0}, slice_index=0)
+        assert effect is not None
+        assert effect.degraded
+        assert effect.service_time == pytest.approx(8.0)
+        assert effect.ports == 1
+        assert effect.demands == {"a": 10.0}  # no failures configured
+
+    def test_unavailability_squeezes_service(self):
+        plan = FaultPlan([FaultWindow(resource="bus", start=0.0,
+                                      end=100.0, unavailable=True)])
+        effect = plan.apply(resource="bus", start=0.0, end=50.0,
+                            service_time=4.0, ports=1,
+                            demands={"a": 2.0}, slice_index=0)
+        # fully covered slice: down capped at MAX_DOWN_FRACTION = 0.95
+        assert effect.service_time == pytest.approx(4.0 / 0.05)
+
+    def test_failures_are_deterministic(self):
+        plan = FaultPlan([FaultWindow(resource="bus", start=0.0,
+                                      end=100.0, fail_prob=0.3)], seed=11)
+        args = dict(resource="bus", start=0.0, end=100.0,
+                    service_time=4.0, ports=1,
+                    demands={"a": 50.0, "b": 30.0}, slice_index=3)
+        first = plan.apply(**args)
+        second = FaultPlan(plan.windows, seed=11).apply(**args)
+        assert first == second
+        assert first.total_failures > 0
+        # a different seed draws a different sample eventually
+        other = FaultPlan(plan.windows, seed=12).apply(**args)
+        assert other is not None
+
+    def test_retry_traffic_extends_demand(self):
+        plan = FaultPlan([FaultWindow(
+            resource="bus", start=0.0, end=100.0, fail_prob=0.5,
+            retry=RetryPolicy(kind="fixed", delay=2.0, max_retries=2),
+        )], seed=0)
+        effect = plan.apply(resource="bus", start=0.0, end=100.0,
+                            service_time=4.0, ports=1,
+                            demands={"a": 100.0}, slice_index=0)
+        assert effect.total_failures > 0
+        assert effect.demands["a"] == pytest.approx(
+            100.0 + effect.retries["a"])
+        assert effect.total_backoff > 0
+
+    def test_expected_value_path_matches_semantics(self):
+        policy = RetryPolicy(kind="fixed", delay=1.0, max_retries=2)
+        failed, attempts, dropped, delay = _expected_failures(
+            10_000.0, 0.1, policy)
+        assert failed == pytest.approx(1_000.0)
+        # attempts per failure: 1 + p = 1.1; drop prob p^2 = 0.01
+        assert attempts == pytest.approx(1_100.0)
+        assert dropped == pytest.approx(10.0)
+        assert delay == pytest.approx(1_100.0)
+
+    def test_large_counts_use_exact_path(self):
+        import random
+        exposed = float(EXACT_SAMPLING_LIMIT + 10)
+        policy = RetryPolicy(kind="fixed", delay=1.0, max_retries=2)
+        sampled = _sample_failures(random.Random(0), exposed, 0.1, policy)
+        assert sampled == _expected_failures(exposed, 0.1, policy)
+
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan([
+            FaultWindow(resource="bus", start=10.0, end=50.0,
+                        service_factor=2.0, fail_prob=0.1,
+                        retry=RetryPolicy(kind="exponential", delay=1.0,
+                                          cap=16.0)),
+            FaultWindow(resource="mem", start=0.0, end=5.0,
+                        unavailable=True),
+        ], seed=42)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        loaded = load_fault_plan(str(path))
+        assert loaded.seed == 42
+        assert loaded.windows == plan.windows
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict({"seed": 0, "typo": []})
+        with pytest.raises(ConfigurationError):
+            FaultWindow.from_dict({"resource": "bus", "start": 0,
+                                   "end": 1, "oops": True})
+
+
+class TestKernelIntegration:
+    def _threads(self, kernel):
+        for name in ("a", "b"):
+            kernel.add_thread(simple_thread(name, [
+                consume(1_000.0, {"bus": 50}) for _ in range(4)
+            ]))
+
+    def test_unknown_resource_rejected_at_construction(self):
+        plan = FaultPlan([FaultWindow(resource="nope", start=0.0,
+                                      end=10.0, service_factor=2.0)])
+        with pytest.raises(ConfigurationError):
+            make_kernel(fault_plan=plan)
+
+    def test_degraded_window_increases_queueing(self):
+        baseline_kernel = make_kernel()
+        self._threads(baseline_kernel)
+        baseline = baseline_kernel.run()
+
+        plan = FaultPlan([FaultWindow(resource="bus", start=0.0,
+                                      end=2_000.0, service_factor=4.0)])
+        faulted_kernel = make_kernel(fault_plan=plan)
+        self._threads(faulted_kernel)
+        faulted = faulted_kernel.run()
+
+        assert faulted.queueing_cycles > baseline.queueing_cycles
+        assert faulted.resources["bus"].degraded_slices > 0
+        assert faulted.makespan > baseline.makespan
+
+    def test_retry_feedback_recorded_in_result(self):
+        plan = FaultPlan([FaultWindow(
+            resource="bus", start=0.0, end=10_000.0, fail_prob=0.2,
+            retry=RetryPolicy(kind="exponential", delay=4.0, factor=2.0,
+                              cap=64.0, max_retries=4),
+        )], seed=3)
+        kernel = make_kernel(fault_plan=plan)
+        self._threads(kernel)
+        result = kernel.run()
+        bus = result.resources["bus"]
+        assert bus.faults_injected > 0
+        assert bus.retries_modeled > 0
+        assert bus.retry_backoff > 0
+        assert result.faults_injected == bus.faults_injected
+        assert "faults=" in result.summary()
+
+    def test_fig5_workload_fault_run_is_reproducible(self):
+        workload = phm_workload(busy_cycles_target=20_000.0,
+                                idle_fractions=(0.06, 0.90),
+                                bus_service=8, seed=1)
+        plan = FaultPlan([FaultWindow(
+            resource="bus", start=2_000.0, end=10_000.0,
+            service_factor=2.0, fail_prob=0.05,
+            retry=RetryPolicy(kind="exponential", delay=4.0),
+        )], seed=7)
+        first = run_hybrid(workload, fault_plan=plan)
+        second = run_hybrid(workload, fault_plan=plan)
+        assert first == second
+        assert first.resources["bus"].degraded_slices > 0
+
+
+class TestFaultInjectionDemo:
+    """The examples/ demo's three acceptance claims, asserted here."""
+
+    @pytest.fixture(scope="class")
+    def demo(self):
+        path = (pathlib.Path(__file__).resolve().parent.parent
+                / "examples" / "fault_injection_demo.py")
+        spec = importlib.util.spec_from_file_location(
+            "fault_injection_demo", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @pytest.fixture(scope="class")
+    def workload(self, demo):
+        return demo.build_workload(busy_cycles_target=20_000.0)
+
+    def test_degraded_window_raises_queueing(self, demo, workload):
+        baseline, degraded = demo.run_fault_demo(workload)
+        assert degraded.queueing_cycles > baseline.queueing_cycles
+        bus = degraded.resources["bus"]
+        assert bus.degraded_slices > 0
+        assert bus.faults_injected > 0
+
+    def test_nan_chenlin_falls_back_to_mm1(self, demo, workload):
+        result, health = demo.run_fallback_demo(workload)
+        assert result.makespan > 0  # the run completed
+        assert result.health is health and not health.ok
+        assert health.fallback_count > 0
+        assert all(r.model == "nan-chenlin" and r.fallback == "mm1"
+                   for r in health.records)
+
+    def test_budget_demo_returns_partial_result(self, demo, workload):
+        exc = demo.run_budget_demo(workload, max_virtual_time=2_000.0)
+        assert exc.partial_result is not None
+        assert exc.partial_result.makespan >= 2_000.0

@@ -1,0 +1,167 @@
+"""GuardedModel validation, fallback chains, and RunHealth reporting."""
+
+import pytest
+
+from repro.contention import (ChenLinModel, ConstantModel, ContentionModel,
+                              MM1Model, make_model)
+from repro.core import ConfigurationError, ModelValidationError, consume
+from repro.robustness import GuardedModel, RunHealth
+from repro.robustness.guard import model_name
+
+from _helpers import demand, make_kernel, simple_thread
+
+
+class _BadModel(ContentionModel):
+    """Configurable misbehaving model for guard tests."""
+
+    name = "bad"
+
+    def __init__(self, output=None, exception=None):
+        self.output = output
+        self.exception = exception
+
+    def penalties(self, slice_demand):
+        if self.exception is not None:
+            raise self.exception
+        if callable(self.output):
+            return self.output(slice_demand)
+        return self.output
+
+
+class TestValidation:
+    def test_passthrough_is_bit_identical(self):
+        inner = ChenLinModel()
+        guarded = GuardedModel([inner])
+        d = demand(a=10, b=20)
+        assert guarded.penalties(d) == inner.penalties(d)
+        assert guarded.health.ok
+        assert guarded.health.evaluations == 1
+
+    @pytest.mark.parametrize("bad_output,reason_part", [
+        ({"a": float("nan")}, "NaN"),
+        ({"a": float("inf")}, "infinite"),
+        ({"a": -1.0}, "negative"),
+        ({"c": 1.0}, "no accesses"),
+        ({"a": "lots"}, "not a number"),
+        ([1, 2], "instead of a dict"),
+    ])
+    def test_invalid_outputs_fall_back(self, bad_output, reason_part):
+        guarded = GuardedModel([_BadModel(output=bad_output),
+                                ConstantModel(0.5)])
+        result = guarded.penalties(demand(a=10, b=5))
+        assert all(v >= 0 for v in result.values())
+        assert guarded.health.fallback_count == 1
+        assert reason_part in guarded.health.records[0].reason
+
+    def test_runaway_magnitude_rejected(self):
+        # bound = factor * max(duration, demanded service, service time)
+        guarded = GuardedModel(
+            [_BadModel(output=lambda d: {"a": 1e12}), ConstantModel(0.5)],
+            max_penalty_factor=10.0)
+        guarded.penalties(demand(duration=1000.0, a=10))
+        assert guarded.health.fallback_count == 1
+        assert "exceeds" in guarded.health.records[0].reason
+
+    def test_exception_falls_back(self):
+        guarded = GuardedModel([_BadModel(exception=ZeroDivisionError("x")),
+                                MM1Model()])
+        result = guarded.penalties(demand(a=10, b=10))
+        assert set(result) <= {"a", "b"}
+        record = guarded.health.records[0]
+        assert "ZeroDivisionError" in record.reason
+        assert record.fallback == "mm1"
+
+    def test_chain_exhausted_raises(self):
+        guarded = GuardedModel([_BadModel(output={"a": float("nan")}),
+                                _BadModel(exception=RuntimeError("y"))])
+        with pytest.raises(ModelValidationError) as excinfo:
+            guarded.penalties(demand(a=5))
+        assert "fallback chain failed" in str(excinfo.value)
+        assert guarded.health.fallback_count == 2
+        assert guarded.health.records[-1].fallback is None
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            GuardedModel([])
+        with pytest.raises(ConfigurationError):
+            GuardedModel(["chenlin"])  # names need from_names
+        with pytest.raises(ConfigurationError):
+            GuardedModel([ChenLinModel()], max_penalty_factor=0.0)
+
+
+class TestFactories:
+    def test_from_names_and_comma_string(self):
+        by_tuple = GuardedModel.from_names(("chenlin", "mm1"))
+        by_string = GuardedModel.from_names("chenlin, mm1")
+        assert [model_name(m) for m in by_tuple.models] == \
+            [model_name(m) for m in by_string.models] == ["chenlin", "mm1"]
+
+    def test_registry_integration(self):
+        model = make_model("guarded")
+        assert isinstance(model, GuardedModel)
+        assert [model_name(m) for m in model.models] == \
+            ["chenlin", "mm1", "constant"]
+        custom = make_model("guarded", chain=("mm1", "constant"))
+        assert [model_name(m) for m in custom.models] == \
+            ["mm1", "constant"]
+
+
+class TestRunHealth:
+    def test_summary_and_counts(self):
+        health = RunHealth()
+        assert health.ok
+        assert "OK" in health.summary()
+        health.record_evaluation()
+        health.record_fallback("chenlin", "mm1", "penalty is NaN",
+                               (0.0, 10.0))
+        assert not health.ok
+        assert health.counts_by_model() == {"chenlin": 1}
+        text = health.summary()
+        assert "chenlin -> mm1" in text
+        assert "1 fallback(s)" in text
+
+    def test_extend_merges(self):
+        a, b = RunHealth(), RunHealth()
+        a.record_evaluation()
+        b.record_evaluation()
+        b.record_fallback("m", None, "r", (0.0, 1.0))
+        a.extend(b)
+        assert a.evaluations == 2
+        assert a.fallback_count == 1
+
+    def test_shared_health_across_resources(self):
+        shared = RunHealth()
+        first = GuardedModel([ChenLinModel()], health=shared)
+        second = GuardedModel([ChenLinModel()], health=shared)
+        first.penalties(demand(a=5))
+        second.penalties(demand(b=5))
+        assert shared.evaluations == 2
+
+
+class TestKernelIntegration:
+    def test_fallback_recorded_in_simulation_result(self):
+        guarded = GuardedModel([_BadModel(output={"a": float("nan")}),
+                                MM1Model(), ConstantModel()])
+
+        def nan_for_all(d):
+            return {t: float("nan") for t in d.demands}
+
+        guarded.models[0].output = nan_for_all
+        kernel = make_kernel(model=guarded)
+        for name in ("a", "b"):
+            kernel.add_thread(simple_thread(name, [
+                consume(500.0, {"bus": 20}) for _ in range(3)
+            ]))
+        result = kernel.run()
+        assert result.health is guarded.health
+        assert not result.health.ok
+        assert all(r.fallback == "mm1" for r in result.health.records)
+        assert "model health" in result.summary()
+
+    def test_clean_guarded_run_reports_ok_health(self):
+        kernel = make_kernel(model=GuardedModel([ChenLinModel()]))
+        kernel.add_thread(simple_thread("a", [consume(100.0, {"bus": 5})]))
+        result = kernel.run()
+        assert result.health is not None
+        assert result.health.ok
+        assert "model health" not in result.summary()

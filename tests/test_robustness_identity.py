@@ -1,0 +1,99 @@
+"""No-fault identity: inactive robustness machinery is a strict no-op.
+
+An empty :class:`FaultPlan`, a :class:`GuardedModel` whose first model
+never trips, and an unlimited :class:`RunBudget` must all leave the
+simulation bit-identical to the seed path — these tests pin that down on
+synthetic and Figure-4 (FFT) workloads, including a property-based
+sweep over random workloads.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.contention import ChenLinModel, MM1Model
+from repro.core import consume
+from repro.robustness import FaultPlan, GuardedModel, RunBudget
+from repro.workloads.fft import fft_workload
+from repro.workloads.synthetic import (bursty_workload, random_workload,
+                                       uniform_workload)
+from repro.workloads.to_mesh import run_hybrid
+
+from _helpers import make_kernel, simple_thread
+
+
+def _protected_kwargs(model=None):
+    """Robustness features wired in but guaranteed inactive."""
+    return dict(
+        model=GuardedModel([model or ChenLinModel()]),
+        fault_plan=FaultPlan(),
+        budget=RunBudget(),
+    )
+
+
+WORKLOADS = [
+    ("uniform", lambda: uniform_workload(threads=2, phases=6,
+                                         work=1_000.0, accesses=30,
+                                         seed=5)),
+    ("bursty", lambda: bursty_workload(threads=2, bursts=4, seed=2)),
+    ("fig4-fft", lambda: fft_workload(points=1_024, processors=2,
+                                     cache_kb=8, seed=0)),
+]
+
+
+class TestNoFaultIdentity:
+    @pytest.mark.parametrize("name,factory", WORKLOADS,
+                             ids=[n for n, _ in WORKLOADS])
+    def test_protected_run_is_bit_identical(self, name, factory):
+        workload = factory()
+        seed_result = run_hybrid(workload, model=ChenLinModel())
+        protected = run_hybrid(workload, **_protected_kwargs())
+        assert protected == seed_result
+        assert protected.makespan == seed_result.makespan
+        assert protected.queueing_cycles == seed_result.queueing_cycles
+        # the guard ran (health exists, clean) but changed nothing
+        assert protected.health is not None and protected.health.ok
+
+    def test_identity_holds_for_other_models(self):
+        workload = uniform_workload(threads=2, phases=4, work=500.0,
+                                    accesses=20, seed=9)
+        seed_result = run_hybrid(workload, model=MM1Model())
+        protected = run_hybrid(workload,
+                               **_protected_kwargs(model=MM1Model()))
+        assert protected == seed_result
+
+    def test_empty_plan_alone_is_noop(self):
+        workload = uniform_workload(seed=4)
+        assert (run_hybrid(workload, fault_plan=FaultPlan())
+                == run_hybrid(workload))
+
+    def test_unlimited_budget_alone_is_noop(self):
+        workload = uniform_workload(seed=4)
+        assert (run_hybrid(workload, budget=RunBudget())
+                == run_hybrid(workload))
+
+    def test_kernel_level_identity(self):
+        def populate(kernel):
+            for name in ("a", "b"):
+                kernel.add_thread(simple_thread(name, [
+                    consume(750.0, {"bus": 25}) for _ in range(5)
+                ]))
+
+        plain = make_kernel()
+        populate(plain)
+        protected = make_kernel(model=GuardedModel([ChenLinModel()]),
+                                fault_plan=FaultPlan(),
+                                budget=RunBudget())
+        populate(protected)
+        assert plain.run() == protected.run()
+
+
+class TestPropertyIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_workloads_identical(self, seed):
+        workload = random_workload(random.Random(seed))
+        seed_result = run_hybrid(workload, model=ChenLinModel())
+        protected = run_hybrid(workload, **_protected_kwargs())
+        assert protected == seed_result
