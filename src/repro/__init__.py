@@ -41,6 +41,7 @@ from .contention import (ChenLinModel, ConstantModel, ContentionModel,
                          MD1Model, MM1Model, NullModel, PriorityModel,
                          RoundRobinModel, SliceDemand, available_models,
                          make_model)
+from .perf import ParallelExecutor, SliceMemoCache
 from .robustness import (FaultPlan, FaultWindow, GuardedModel, RetryPolicy,
                          RunBudget, RunHealth)
 
@@ -54,11 +55,12 @@ __all__ = [
     "FifoScheduler", "GuardedModel", "HybridKernel",
     "LeastLoadedScheduler", "LogicalThread", "MD1Model", "MM1Model",
     "ModelValidationError",
-    "Mutex", "NullModel", "PinnedScheduler", "PriorityModel",
+    "Mutex", "NullModel", "ParallelExecutor", "PinnedScheduler",
+    "PriorityModel",
     "PriorityScheduler", "Processor", "ProtocolError", "RetryPolicy",
     "RoundRobinModel",
     "RoundRobinScheduler", "RunBudget", "RunHealth", "Semaphore",
-    "SharedResource", "SimulationError",
+    "SharedResource", "SimulationError", "SliceMemoCache",
     "SimulationResult", "SliceDemand", "SynchronizationError", "ThreadState",
     "acquire", "available_models", "barrier_wait", "cond_notify",
     "cond_wait", "consume", "make_model", "release", "sem_acquire",

@@ -67,15 +67,20 @@ class WholeRunEstimate:
 def estimate_queueing(workload: Workload,
                       model: Optional[ContentionModel] = None,
                       models: Optional[Dict[str, ContentionModel]] = None,
-                      ) -> WholeRunEstimate:
+                      profiles: Optional[Mapping[str, ThreadProfile]]
+                      = None) -> WholeRunEstimate:
     """Apply ``model`` once over the whole runtime of ``workload``.
 
     ``models`` optionally overrides the model per resource, mirroring
-    :func:`repro.workloads.to_mesh.build_kernel`.
+    :func:`repro.workloads.to_mesh.build_kernel`.  ``profiles`` lets a
+    caller that already characterized the workload (e.g. the comparison
+    runner, which needs the busy-cycle basis anyway) pass the result in
+    instead of paying for a second identical characterization.
     """
     default_model = model if model is not None else ChenLinModel()
     overrides = models or {}
-    profiles = characterize(workload)
+    if profiles is None:
+        profiles = characterize(workload)
     priorities = {t.name: t.priority for t in workload.threads}
     per_thread: Dict[str, float] = {name: 0.0 for name in profiles}
     per_resource: Dict[str, float] = {}

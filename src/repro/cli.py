@@ -33,7 +33,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    fig4 = sub.add_parser("fig4", help="FFT queueing vs processor count")
+    jobs = argparse.ArgumentParser(add_help=False)
+    jobs.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent grid cells "
+             "(default 1 = serial, 0 = one per CPU)")
+
+    fig4 = sub.add_parser("fig4", parents=[jobs],
+                          help="FFT queueing vs processor count")
     fig4.add_argument("--cache-kb", type=int, default=512,
                       choices=(512, 8))
     fig4.add_argument("--points", type=int, default=4096)
@@ -44,23 +51,26 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--points", type=int, default=4096)
     table1.add_argument("--procs", type=int, nargs="+", default=(2, 4, 8))
 
-    fig5 = sub.add_parser("fig5", help="PHM queueing vs bus delay")
+    fig5 = sub.add_parser("fig5", parents=[jobs],
+                          help="PHM queueing vs bus delay")
     fig5.add_argument("--bus-delays", type=float, nargs="+",
                       default=(2, 4, 6, 8, 10, 12, 16, 20))
     fig5.add_argument("--idle", type=float, default=0.90,
                       help="idle fraction of the second processor")
 
-    fig6 = sub.add_parser("fig6", help="model error vs unbalance")
+    fig6 = sub.add_parser("fig6", parents=[jobs],
+                          help="model error vs unbalance")
     fig6.add_argument("--quick", action="store_true",
                       help="single seed, fewer points")
 
-    sub.add_parser("all", help="run every experiment")
+    sub.add_parser("all", parents=[jobs], help="run every experiment")
 
     sub.add_parser("validate",
                    help="self-check the reproduction's claims (fast)")
 
     calibrate = sub.add_parser(
-        "calibrate", help="fit-check a contention model vs ground truth")
+        "calibrate", parents=[jobs],
+        help="fit-check a contention model vs ground truth")
     calibrate.add_argument("--model", default="chenlin",
                            choices=available_models())
     calibrate.add_argument("--threads", type=int, default=2)
@@ -96,7 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_fig4(args) -> str:
     rows = run_fig4(cache_kb=args.cache_kb,
-                    proc_counts=tuple(args.procs), points=args.points)
+                    proc_counts=tuple(args.procs), points=args.points,
+                    jobs=getattr(args, "jobs", 1))
     return render_fig4(rows)
 
 
@@ -107,16 +118,18 @@ def _run_table1(args) -> str:
 
 def _run_fig5(args) -> str:
     rows = run_fig5(bus_delays=tuple(args.bus_delays),
-                    idle_fractions=(0.06, args.idle))
+                    idle_fractions=(0.06, args.idle),
+                    jobs=getattr(args, "jobs", 1))
     return render_fig5(rows)
 
 
 def _run_fig6(args) -> str:
+    jobs = getattr(args, "jobs", 1)
     if args.quick:
         rows = run_fig6(idle_sweep=(0.0, 0.45, 0.90), bus_delays=(8,),
-                        seeds=(1,))
+                        seeds=(1,), jobs=jobs)
     else:
-        rows = run_fig6()
+        rows = run_fig6(jobs=jobs)
     return render_fig6(rows)
 
 
@@ -128,6 +141,7 @@ def _run_all(args) -> str:
         bus_delays = (2, 4, 6, 8, 10, 12, 16, 20)
         idle = 0.90
         quick = False
+        jobs = getattr(args, "jobs", 1)
 
     parts = []
     for cache_kb in (512, 8):
@@ -143,7 +157,8 @@ def _run_all(args) -> str:
 def _run_calibrate(args) -> str:
     model = make_model(args.model)
     points = calibrate_model(model, threads=args.threads,
-                             service_time=args.service)
+                             service_time=args.service,
+                             jobs=getattr(args, "jobs", 1))
     return render_calibration(model, points)
 
 

@@ -16,6 +16,7 @@ ContentionModel` before trusting hybrid simulations built on it::
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -48,6 +49,34 @@ class CalibrationPoint:
             self.measured_wait)
 
 
+def _calibration_cell(model: ContentionModel, threads: int,
+                      service_time: float, phase_work: float,
+                      phases: int, arbiter: str, seed: int,
+                      accesses: int) -> CalibrationPoint:
+    """Measure and predict one utilization candidate (parallelizable)."""
+    workload = uniform_workload(threads=threads, phases=phases,
+                                work=phase_work, accesses=accesses,
+                                bus_service=service_time, seed=seed)
+    result = EventEngine(workload, arbiter=arbiter).run()
+    total_accesses = sum(t.accesses for t in result.threads.values())
+    measured = (result.queueing_cycles / total_accesses
+                if total_accesses else 0.0)
+
+    span = phase_work + accesses * service_time
+    demand = SliceDemand(
+        start=0.0, end=span, service_time=service_time,
+        demands={f"u{i}": float(accesses) for i in range(threads)},
+    )
+    penalties = model.penalties(demand)
+    predicted_total = sum(penalties.values())
+    predicted = predicted_total / (threads * accesses)
+
+    rho = accesses * service_time / span
+    return CalibrationPoint(
+        rho_per_thread=rho, rho_total=threads * rho,
+        measured_wait=measured, model_wait=predicted)
+
+
 def calibrate_model(model: ContentionModel,
                     threads: int = 2,
                     service_time: float = 4.0,
@@ -55,39 +84,29 @@ def calibrate_model(model: ContentionModel,
                     access_sweep: Sequence[int] = DEFAULT_ACCESS_SWEEP,
                     phases: int = 6,
                     arbiter: str = "fifo",
-                    seed: int = 3) -> List[CalibrationPoint]:
+                    seed: int = 3,
+                    jobs: int = 1) -> List[CalibrationPoint]:
     """Sweep utilization and compare ``model`` to the cycle engine.
 
     Each sweep point builds a symmetric workload of ``threads`` uniform
     streams (random access placement), measures ground-truth mean wait,
     and evaluates the model on the matching aggregate demand.
+
+    The candidate grid is independent cell-by-cell; ``jobs > 1`` spreads
+    it over a process pool (``0`` = one worker per CPU).  Note the model
+    is evaluated in worker processes there, so a stateful wrapper's
+    call-site state (e.g. a ``GuardedModel`` health report) is not
+    updated in the caller — calibrate such wrappers serially.
     """
     if threads < 2:
         raise ValueError("calibration needs >= 2 contending threads")
-    points: List[CalibrationPoint] = []
-    for accesses in access_sweep:
-        workload = uniform_workload(threads=threads, phases=phases,
-                                    work=phase_work, accesses=accesses,
-                                    bus_service=service_time, seed=seed)
-        result = EventEngine(workload, arbiter=arbiter).run()
-        total_accesses = sum(t.accesses for t in result.threads.values())
-        measured = (result.queueing_cycles / total_accesses
-                    if total_accesses else 0.0)
+    from ..perf.parallel import ParallelExecutor
 
-        span = phase_work + accesses * service_time
-        demand = SliceDemand(
-            start=0.0, end=span, service_time=service_time,
-            demands={f"u{i}": float(accesses) for i in range(threads)},
-        )
-        penalties = model.penalties(demand)
-        predicted_total = sum(penalties.values())
-        predicted = predicted_total / (threads * accesses)
-
-        rho = accesses * service_time / span
-        points.append(CalibrationPoint(
-            rho_per_thread=rho, rho_total=threads * rho,
-            measured_wait=measured, model_wait=predicted))
-    return points
+    return ParallelExecutor(jobs).run(
+        functools.partial(_calibration_cell, model, threads,
+                          service_time, phase_work, phases, arbiter,
+                          seed),
+        list(access_sweep))
 
 
 def max_relative_error(points: Sequence[CalibrationPoint],

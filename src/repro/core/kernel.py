@@ -79,6 +79,12 @@ class HybridKernel:
         limit trips, :meth:`run`/:meth:`steps` raise
         :class:`~repro.core.errors.BudgetExceededError` carrying the
         partial :class:`~repro.core.stats.SimulationResult`.
+    memo_cache:
+        Optional :class:`~repro.perf.memo.SliceMemoCache` consulted by
+        the US scheduler before each analytical model call; hit/miss/
+        eviction counters surface on the
+        :class:`~repro.core.stats.SimulationResult`.  Sharing one cache
+        across kernels amortizes warm-up over a sweep.
     """
 
     SYNC_POLICIES = ("eager", "deferred")
@@ -90,7 +96,8 @@ class HybridKernel:
                  trace: bool = False,
                  sync_policy: str = "eager",
                  fault_plan=None,
-                 budget=None):
+                 budget=None,
+                 memo_cache=None):
         if sync_policy not in self.SYNC_POLICIES:
             raise ConfigurationError(
                 f"unknown sync_policy {sync_policy!r}; choose from "
@@ -109,7 +116,8 @@ class HybridKernel:
         self.scheduler.bind(self.processors)
         self.us = SharedResourceScheduler(self.shared_resources,
                                           min_timeslice=min_timeslice,
-                                          fault_plan=fault_plan)
+                                          fault_plan=fault_plan,
+                                          memo=memo_cache)
         self.fault_plan = fault_plan
         if fault_plan is not None:
             unknown = [name for name in fault_plan.resource_names()
@@ -120,6 +128,11 @@ class HybridKernel:
                     f"{unknown}"
                 )
         self.budget = budget
+        # Counter snapshot so a cache shared across kernels still
+        # reports per-run hit/miss/eviction deltas in the result.
+        self._memo_baseline = ((memo_cache.hits, memo_cache.misses,
+                                memo_cache.evictions)
+                               if memo_cache is not None else (0, 0, 0))
         self.trace: Optional[TraceLog] = TraceLog() if trace else None
 
         self.now: float = 0.0

@@ -101,6 +101,13 @@ class SimulationResult:
     #: Excluded from equality so guarded-but-clean runs compare equal
     #: to unguarded ones.
     health: object = field(default=None, compare=False)
+    #: Slice-penalty memoization counters (see
+    #: :class:`~repro.perf.memo.SliceMemoCache`); all zero when no cache
+    #: was attached.  Excluded from equality so memoized runs compare
+    #: equal to plain runs when the simulated physics agree.
+    memo_hits: int = field(default=0, compare=False)
+    memo_misses: int = field(default=0, compare=False)
+    memo_evictions: int = field(default=0, compare=False)
 
     @property
     def faults_injected(self) -> float:
@@ -144,6 +151,13 @@ class SimulationResult:
             f"slices analyzed    : {self.slices_analyzed} "
             f"(+{self.slices_merged} merged)",
         ]
+        if self.memo_hits or self.memo_misses:
+            consulted = self.memo_hits + self.memo_misses
+            rate = self.memo_hits / consulted if consulted else 0.0
+            lines.append(
+                f"memo cache         : {self.memo_hits} hits / "
+                f"{consulted} lookups ({rate:.0%}), "
+                f"{self.memo_evictions} evicted")
         for name in sorted(self.threads):
             t = self.threads[name]
             lines.append(
@@ -207,6 +221,9 @@ def build_result(kernel) -> SimulationResult:
         )
         for r in kernel.shared_resources
     }
+    memo = kernel.us.memo
+    base_hits, base_misses, base_evictions = getattr(
+        kernel, "_memo_baseline", (0, 0, 0))
     return SimulationResult(
         makespan=kernel.now,
         threads=threads,
@@ -216,6 +233,10 @@ def build_result(kernel) -> SimulationResult:
         slices_merged=kernel.us.slices_merged,
         regions_committed=kernel.regions_committed,
         health=_gather_health(kernel),
+        memo_hits=memo.hits - base_hits if memo is not None else 0,
+        memo_misses=memo.misses - base_misses if memo is not None else 0,
+        memo_evictions=(memo.evictions - base_evictions
+                        if memo is not None else 0),
     )
 
 

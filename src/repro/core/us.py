@@ -40,7 +40,8 @@ class SharedResourceScheduler:
 
     def __init__(self, resources: Iterable[SharedResource],
                  min_timeslice: float = 0.0,
-                 fault_plan=None):
+                 fault_plan=None,
+                 memo=None):
         if min_timeslice < 0:
             raise ValueError(
                 f"min_timeslice must be >= 0, got {min_timeslice!r}"
@@ -49,6 +50,10 @@ class SharedResourceScheduler:
             r.name: r for r in resources
         }
         self.fault_plan = fault_plan
+        #: Optional :class:`~repro.perf.memo.SliceMemoCache` consulted
+        #: before each model call; models that are not ``memo_safe``
+        #: (or carry un-keyable state) always see real calls.
+        self.memo = memo
         self.min_timeslice = float(min_timeslice)
         #: Left edge of the (possibly accumulated) analysis window.
         self.window_start = 0.0
@@ -156,11 +161,24 @@ class SharedResourceScheduler:
             if not demands:
                 continue
             units = self._window_units[name]
-            mean_service = {
-                thread: resource.service_time * units[thread] / count
-                for thread, count in demands.items()
-                if count > 0 and units.get(thread, count) != count
-            }
+            # A thread gets an explicit mean transaction service time
+            # whenever its accumulated beats deviate from its
+            # transaction count beyond float noise.  The comparison is
+            # relative-epsilon, not exact: exact equality both admitted
+            # spurious entries for accumulated rounding error and hinged
+            # real entries on bit-exact coincidence.  (Beats that truly
+            # average to one — e.g. bursts 0.5 and 1.5 — yield a mean of
+            # exactly ``service_time``, which is also what the model's
+            # ``service_of`` fallback supplies, so excluding them is
+            # value-identical.)
+            mean_service = {}
+            for thread, count in demands.items():
+                if count <= 0:
+                    continue
+                beats = units.get(thread, count)
+                if abs(beats - count) > _EPS * max(1.0, abs(count)):
+                    mean_service[thread] = (
+                        resource.service_time * beats / count)
             effect = None
             if self.fault_plan is not None:
                 effect = self.fault_plan.apply(
@@ -184,7 +202,17 @@ class SharedResourceScheduler:
                 ports=ports,
                 mean_service=mean_service,
             )
-            penalties = resource.model.penalties(slice_demand)
+            penalties = None
+            memo_key = None
+            if self.memo is not None:
+                memo_key = self.memo.fingerprint(resource.model,
+                                                 slice_demand)
+                if memo_key is not None:
+                    penalties = self.memo.get(memo_key)
+            if penalties is None:
+                penalties = resource.model.penalties(slice_demand)
+                if memo_key is not None:
+                    self.memo.put(memo_key, penalties)
             _check_penalties(penalties, model_demands, resource)
             if effect is not None:
                 # Retry backoff is queueing the thread really suffers:

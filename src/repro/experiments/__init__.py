@@ -14,10 +14,12 @@
 from .fig4 import Fig4Row, average_errors, render_fig4, run_fig4
 from .fig5 import Fig5Row, render_fig5, run_fig5
 from .fig6 import Fig6Row, render_fig6, run_fig6
-from .pareto import dominates, knee_point, pareto_front
+from .pareto import (dominates, evaluate_designs, knee_point,
+                     pareto_front)
 from .report import format_table, series_block, sparkline
 from .runner import (ESTIMATORS, Comparison, EstimatorRun, finite_mean,
-                     percent_error, run_comparison)
+                     percent_error, run_comparison,
+                     run_comparisons_parallel)
 from .sweep import (SweepPoint, SweepStat, aggregate, render_sweep,
                     run_sweep)
 from .table1 import Table1Row, render_table1, run_table1
@@ -25,10 +27,11 @@ from .table1 import Table1Row, render_table1, run_table1
 __all__ = [
     "Comparison", "ESTIMATORS", "EstimatorRun", "Fig4Row", "Fig5Row",
     "Fig6Row", "SweepPoint", "SweepStat", "Table1Row", "aggregate",
-    "average_errors", "dominates", "finite_mean", "format_table",
-    "knee_point",
+    "average_errors", "dominates", "evaluate_designs", "finite_mean",
+    "format_table", "knee_point",
     "pareto_front", "percent_error", "render_fig4",
     "render_fig5", "render_fig6", "render_sweep", "render_table1",
-    "run_comparison", "run_fig4", "run_fig5", "run_fig6", "run_sweep",
+    "run_comparison", "run_comparisons_parallel", "run_fig4",
+    "run_fig5", "run_fig6", "run_sweep",
     "run_table1", "series_block", "sparkline",
 ]

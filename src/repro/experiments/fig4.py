@@ -9,10 +9,12 @@ MESH ~14.5% (512KB) and analytical 44% / MESH 18% (8KB).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..contention.base import ContentionModel
+from ..perf.parallel import ParallelExecutor
 from ..workloads.fft import fft_workload
 from .report import series_block
 from .runner import finite_mean, run_comparison
@@ -39,27 +41,39 @@ class Fig4Row:
     analytical_error: float
 
 
+def _fig4_cell(cache_kb: int, points: int,
+               model: Optional[ContentionModel], seed: int,
+               processors: int) -> Fig4Row:
+    """Evaluate one processor-count configuration (parallelizable)."""
+    workload = fft_workload(points=points, processors=processors,
+                            cache_kb=cache_kb, seed=seed)
+    comparison = run_comparison(workload, model=model)
+    return Fig4Row(
+        processors=processors,
+        cache_kb=cache_kb,
+        iss=comparison.queueing("iss"),
+        mesh=comparison.queueing("mesh"),
+        analytical=comparison.queueing("analytical"),
+        mesh_error=comparison.error("mesh"),
+        analytical_error=comparison.error("analytical"),
+    )
+
+
 def run_fig4(cache_kb: int = 512,
              proc_counts: Sequence[int] = DEFAULT_PROCS,
              points: int = 4096,
              model: Optional[ContentionModel] = None,
-             seed: int = 0) -> List[Fig4Row]:
-    """Run the FFT sweep for one cache size."""
-    rows: List[Fig4Row] = []
-    for processors in proc_counts:
-        workload = fft_workload(points=points, processors=processors,
-                                cache_kb=cache_kb, seed=seed)
-        comparison = run_comparison(workload, model=model)
-        rows.append(Fig4Row(
-            processors=processors,
-            cache_kb=cache_kb,
-            iss=comparison.queueing("iss"),
-            mesh=comparison.queueing("mesh"),
-            analytical=comparison.queueing("analytical"),
-            mesh_error=comparison.error("mesh"),
-            analytical_error=comparison.error("analytical"),
-        ))
-    return rows
+             seed: int = 0,
+             jobs: int = 1) -> List[Fig4Row]:
+    """Run the FFT sweep for one cache size.
+
+    ``jobs > 1`` evaluates the independent processor-count
+    configurations on a process pool (``0`` = one worker per CPU) with
+    serial-identical row ordering.
+    """
+    return ParallelExecutor(jobs).run(
+        functools.partial(_fig4_cell, cache_kb, points, model, seed),
+        list(proc_counts))
 
 
 def average_errors(rows: Sequence[Fig4Row]) -> Dict[str, float]:

@@ -9,10 +9,12 @@ unbalanced workload, greatly overestimates queueing.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..contention.base import ContentionModel
+from ..perf.parallel import ParallelExecutor
 from ..workloads.phm import phm_workload
 from .report import series_block
 from .runner import finite_mean, run_comparison
@@ -33,27 +35,40 @@ class Fig5Row:
     analytical_error: float
 
 
+def _fig5_cell(idle_fractions: Tuple[float, float],
+               busy_cycles_target: float,
+               model: Optional[ContentionModel], seed: int,
+               bus_delay: float) -> Fig5Row:
+    """Evaluate one bus-delay configuration (parallelizable)."""
+    workload = phm_workload(busy_cycles_target=busy_cycles_target,
+                            idle_fractions=idle_fractions,
+                            bus_service=bus_delay, seed=seed)
+    comparison = run_comparison(workload, model=model)
+    return Fig5Row(
+        bus_delay=bus_delay,
+        iss_pct=comparison.runs["iss"].percent_queueing,
+        mesh_pct=comparison.runs["mesh"].percent_queueing,
+        analytical_pct=comparison.runs["analytical"].percent_queueing,
+        mesh_error=comparison.error("mesh"),
+        analytical_error=comparison.error("analytical"),
+    )
+
+
 def run_fig5(bus_delays: Sequence[float] = DEFAULT_BUS_DELAYS,
              idle_fractions: Tuple[float, float] = DEFAULT_IDLE,
              busy_cycles_target: float = 120_000.0,
              model: Optional[ContentionModel] = None,
-             seed: int = 1) -> List[Fig5Row]:
-    """Sweep the bus access latency on the 90%-idle PHM scenario."""
-    rows: List[Fig5Row] = []
-    for bus_delay in bus_delays:
-        workload = phm_workload(busy_cycles_target=busy_cycles_target,
-                                idle_fractions=idle_fractions,
-                                bus_service=bus_delay, seed=seed)
-        comparison = run_comparison(workload, model=model)
-        rows.append(Fig5Row(
-            bus_delay=bus_delay,
-            iss_pct=comparison.runs["iss"].percent_queueing,
-            mesh_pct=comparison.runs["mesh"].percent_queueing,
-            analytical_pct=comparison.runs["analytical"].percent_queueing,
-            mesh_error=comparison.error("mesh"),
-            analytical_error=comparison.error("analytical"),
-        ))
-    return rows
+             seed: int = 1,
+             jobs: int = 1) -> List[Fig5Row]:
+    """Sweep the bus access latency on the 90%-idle PHM scenario.
+
+    ``jobs > 1`` evaluates the independent bus-delay points on a
+    process pool (``0`` = one worker per CPU), preserving row order.
+    """
+    return ParallelExecutor(jobs).run(
+        functools.partial(_fig5_cell, tuple(idle_fractions),
+                          busy_cycles_target, model, seed),
+        list(bus_delays))
 
 
 def render_fig5(rows: Sequence[Fig5Row]) -> str:

@@ -13,10 +13,12 @@ paper's "average error" framing.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..contention.base import ContentionModel
+from ..perf.parallel import ParallelExecutor
 from ..workloads.phm import phm_workload
 from .report import series_block
 from .runner import finite_mean, run_comparison
@@ -34,34 +36,48 @@ class Fig6Row:
     analytical_error: float
 
 
+def _fig6_cell(busy_cycles_target: float,
+               model: Optional[ContentionModel],
+               cell: "Tuple[float, float, int]") -> "Tuple[float, float]":
+    """Evaluate one (idle, bus_delay, seed) cell's estimator errors."""
+    idle, bus_delay, seed = cell
+    workload = phm_workload(busy_cycles_target=busy_cycles_target,
+                            idle_fractions=(0.06, idle),
+                            bus_service=bus_delay, seed=seed)
+    comparison = run_comparison(workload, model=model)
+    return comparison.error("mesh"), comparison.error("analytical")
+
+
 def run_fig6(idle_sweep: Sequence[float] = DEFAULT_IDLE_SWEEP,
              bus_delays: Sequence[float] = DEFAULT_BUS_DELAYS,
              busy_cycles_target: float = 120_000.0,
              model: Optional[ContentionModel] = None,
-             seeds: Sequence[int] = (1, 2, 3)) -> List[Fig6Row]:
+             seeds: Sequence[int] = (1, 2, 3),
+             jobs: int = 1) -> List[Fig6Row]:
     """Sweep the second processor's idle fraction.
 
     Each point averages over ``bus_delays`` x ``seeds`` scenario
     instances; a single random kernel mix has enough variance to hide
-    the degradation trend the figure is about.
+    the degradation trend the figure is about.  ``jobs > 1`` spreads the
+    full idle x bus-delay x seed cross product over a process pool
+    (``0`` = one worker per CPU); per-point averages are accumulated in
+    the serial loop's exact order, so rows are bit-identical.
     """
+    cells = [(idle, bus_delay, seed)
+             for idle in idle_sweep
+             for bus_delay in bus_delays
+             for seed in seeds]
+    values = ParallelExecutor(jobs).run(
+        functools.partial(_fig6_cell, busy_cycles_target, model), cells)
+    per_point = len(bus_delays) * len(seeds)
     rows: List[Fig6Row] = []
-    for idle in idle_sweep:
-        mesh_errors: List[float] = []
-        analytical_errors: List[float] = []
-        for bus_delay in bus_delays:
-            for seed in seeds:
-                workload = phm_workload(
-                    busy_cycles_target=busy_cycles_target,
-                    idle_fractions=(0.06, idle),
-                    bus_service=bus_delay, seed=seed)
-                comparison = run_comparison(workload, model=model)
-                mesh_errors.append(comparison.error("mesh"))
-                analytical_errors.append(comparison.error("analytical"))
+    for offset, idle in enumerate(idle_sweep):
+        chunk = values[offset * per_point:(offset + 1) * per_point]
         rows.append(Fig6Row(
             idle_fraction=idle,
-            mesh_error=finite_mean(mesh_errors)[0],
-            analytical_error=finite_mean(analytical_errors)[0],
+            mesh_error=finite_mean([mesh for mesh, _ in chunk])[0],
+            analytical_error=finite_mean(
+                [analytical for _, analytical in chunk])[0],
         ))
     return rows
 

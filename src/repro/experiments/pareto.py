@@ -9,10 +9,30 @@ to maximize it).
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple, TypeVar
+from typing import Any, Callable, List, Sequence, Tuple, TypeVar
 
 Point = TypeVar("Point")
 Objective = Callable[[Point], float]
+Candidate = TypeVar("Candidate")
+
+
+def evaluate_designs(candidates: Sequence[Candidate],
+                     evaluator: Callable[[Candidate], Any],
+                     jobs: int = 1) -> List[Any]:
+    """Evaluate candidate design points, optionally in parallel.
+
+    Design-space exploration spends essentially all of its time in
+    ``evaluator`` (one hybrid simulation per candidate); the candidates
+    are independent, so ``jobs > 1`` maps them over a
+    :class:`~repro.perf.parallel.ParallelExecutor` process pool (``0`` =
+    one worker per CPU) and returns results in candidate order — ready
+    for :func:`pareto_front`/:func:`knee_point`.  A failed candidate
+    raises :class:`~repro.perf.parallel.CellError`; use the executor's
+    ``map`` directly when partial sweeps should survive.
+    """
+    from ..perf.parallel import ParallelExecutor
+
+    return ParallelExecutor(jobs).run(evaluator, candidates)
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:

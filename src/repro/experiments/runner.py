@@ -9,14 +9,16 @@ contestant against ground truth.
 
 from __future__ import annotations
 
+import functools
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analytical import characterize, estimate_queueing
 from ..contention.base import ContentionModel
 from ..cycle import EventEngine, SteppedEngine
+from ..perf.parallel import CellResult, ParallelExecutor
 from ..workloads.to_mesh import run_hybrid
 from ..workloads.trace import Workload
 
@@ -94,7 +96,8 @@ def run_comparison(workload: Workload,
                    iss_engine: str = "event",
                    include: Sequence[str] = ESTIMATORS,
                    fault_plan=None,
-                   budget=None) -> Comparison:
+                   budget=None,
+                   memo_cache=None) -> Comparison:
     """Evaluate ``workload`` with every requested estimator.
 
     Parameters
@@ -114,12 +117,19 @@ def run_comparison(workload: Workload,
     budget:
         Optional :class:`~repro.robustness.budget.RunBudget` enforced
         on the hybrid kernel and both cycle engines.
+    memo_cache:
+        Optional :class:`~repro.perf.memo.SliceMemoCache` attached to
+        the hybrid estimator's kernel (the cycle engines and the
+        whole-run model evaluate no per-slice models to memoize).
     """
     # One busy-time basis for every estimator's percentage: the
     # characterized zero-contention execution cycles (excluding idle),
-    # identical to the cycle engines' compute+service total.
-    busy_reference = sum(p.busy_cycles
-                         for p in characterize(workload).values())
+    # identical to the cycle engines' compute+service total.  The
+    # profiles are reused by the whole-run analytical estimator below —
+    # characterization is deterministic and was previously computed
+    # twice per comparison.
+    profiles = characterize(workload)
+    busy_reference = sum(p.busy_cycles for p in profiles.values())
 
     def as_percent(queueing: float) -> float:
         if busy_reference <= 0:
@@ -141,12 +151,14 @@ def run_comparison(workload: Workload,
                                 min_timeslice=min_timeslice,
                                 annotation=annotation,
                                 fault_plan=fault_plan,
-                                budget=budget)
+                                budget=budget,
+                                memo_cache=memo_cache)
             elapsed = time.perf_counter() - start
             queueing = result.queueing_cycles
         elif estimator == "analytical":
             start = time.perf_counter()
-            result = estimate_queueing(workload, model=model)
+            result = estimate_queueing(workload, model=model,
+                                       profiles=profiles)
             elapsed = time.perf_counter() - start
             queueing = result.queueing_cycles
         else:
@@ -158,3 +170,30 @@ def run_comparison(workload: Workload,
             percent_queueing=as_percent(queueing),
             wall_seconds=elapsed, detail=result)
     return Comparison(runs=runs)
+
+
+def run_comparisons_parallel(workloads: Sequence[Workload],
+                             jobs: int = 0,
+                             **kwargs) -> List[CellResult]:
+    """Batch :func:`run_comparison` over independent workloads.
+
+    Each workload is one cell on a
+    :class:`~repro.perf.parallel.ParallelExecutor` (``jobs=0`` = one
+    worker per CPU; default, since a batch call exists to go wide).
+    ``kwargs`` are forwarded to :func:`run_comparison` verbatim.
+
+    Returns one :class:`~repro.perf.parallel.CellResult` per workload in
+    input order: ``result.value`` is the :class:`Comparison`, and a
+    workload whose evaluation raised carries the error string instead of
+    aborting the batch.  Note that ``wall_seconds`` of cells run
+    concurrently include scheduling contention — use a serial run for
+    runtime *measurements* (Table 1), the parallel batch for accuracy
+    sweeps.
+    """
+    fn = functools.partial(_comparison_cell, kwargs)
+    return ParallelExecutor(jobs).map(fn, list(workloads))
+
+
+def _comparison_cell(kwargs: Dict, workload: Workload) -> Comparison:
+    """One batch cell: evaluate a single workload's comparison."""
+    return run_comparison(workload, **kwargs)

@@ -16,11 +16,13 @@ available for custom studies::
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..contention.base import ContentionModel
+from ..perf.parallel import ParallelExecutor
 from ..workloads.trace import Workload
 from .runner import ESTIMATORS, run_comparison
 
@@ -50,13 +52,25 @@ class SweepStat:
 
 
 def aggregate(values: Sequence[float]) -> SweepStat:
-    """Summarize a sample; infinities are dropped (and shrink ``count``)."""
+    """Summarize a sample; infinities are dropped (and shrink ``count``).
+
+    ``std`` is the *sample* (n-1, Bessel-corrected) standard deviation:
+    the seeds are a sample from the workload generator's distribution,
+    not the whole population, and with the 3-seed default the population
+    formula would understate the spread by ~18% and make every reported
+    ``ci95`` systematically narrow.  A single-value sample reports a
+    std (and hence CI) of 0.
+    """
     finite = [v for v in values if v == v and abs(v) != float("inf")]
     if not finite:
         return SweepStat(mean=0.0, std=0.0, minimum=0.0, maximum=0.0,
                          count=0)
     mean = sum(finite) / len(finite)
-    variance = sum((v - mean) ** 2 for v in finite) / len(finite)
+    if len(finite) > 1:
+        variance = (sum((v - mean) ** 2 for v in finite)
+                    / (len(finite) - 1))
+    else:
+        variance = 0.0
     return SweepStat(mean=mean, std=math.sqrt(variance),
                      minimum=min(finite), maximum=max(finite),
                      count=len(finite))
@@ -71,10 +85,32 @@ class SweepPoint:
     queueing: Dict[str, SweepStat] = field(default_factory=dict)
     #: estimator -> aggregated |error| vs the reference estimator.
     errors: Dict[str, SweepStat] = field(default_factory=dict)
+    #: Recorded per-seed failures (``"seed <s>: ExcType: ..."``); failed
+    #: cells are excluded from the aggregates instead of killing the
+    #: sweep.
+    failures: Tuple[str, ...] = ()
 
     def error(self, estimator: str) -> SweepStat:
         """Aggregated percent error of one estimator."""
         return self.errors[estimator]
+
+
+def _sweep_cell(workload_factory: Callable[[object, int], Workload],
+                model: Optional[ContentionModel],
+                include: Sequence[str], reference: str,
+                cell: "Tuple[object, int]"):
+    """Evaluate one (x, seed) cell into raw queueing/error samples.
+
+    Module-level (not a closure) so the parallel executor can ship it to
+    worker processes; returns plain dicts, the cheapest picklable form.
+    """
+    x, seed = cell
+    comparison = run_comparison(workload_factory(x, seed), model=model,
+                                include=include)
+    queueing = {name: comparison.queueing(name) for name in include}
+    errors = {name: comparison.error(name, reference)
+              for name in include if name != reference}
+    return queueing, errors
 
 
 def run_sweep(workload_factory: Callable[[object, int], Workload],
@@ -82,37 +118,55 @@ def run_sweep(workload_factory: Callable[[object, int], Workload],
               seeds: Sequence[int] = (1, 2, 3),
               model: Optional[ContentionModel] = None,
               include: Sequence[str] = ESTIMATORS,
-              reference: str = "iss") -> List[SweepPoint]:
+              reference: str = "iss",
+              jobs: int = 1) -> List[SweepPoint]:
     """Evaluate every estimator over an x-grid, aggregating over seeds.
 
     ``workload_factory(x, seed)`` builds one scenario instance.  Errors
     are computed against ``reference`` (which must be in ``include``).
+
+    Every (x, seed) cell is independent; ``jobs > 1`` evaluates them on
+    a process pool (``0`` = one worker per CPU) with deterministic,
+    serial-identical aggregation order.  Non-picklable factories (e.g.
+    closures) transparently fall back to the in-process path.  A cell
+    that raises is recorded on its point's ``failures`` instead of
+    killing the sweep, and its samples are simply absent.
     """
     if reference not in include:
         raise ValueError(
             f"reference {reference!r} must be included in {include!r}"
         )
+    cells = [(x, seed) for x in xs for seed in seeds]
+    results = ParallelExecutor(jobs).map(
+        functools.partial(_sweep_cell, workload_factory, model,
+                          tuple(include), reference),
+        cells)
     points: List[SweepPoint] = []
+    index = 0
     for x in xs:
         queueing_samples: Dict[str, List[float]] = {
             name: [] for name in include}
         error_samples: Dict[str, List[float]] = {
             name: [] for name in include if name != reference}
+        failures: List[str] = []
         for seed in seeds:
-            workload = workload_factory(x, seed)
-            comparison = run_comparison(workload, model=model,
-                                        include=include)
+            result = results[index]
+            index += 1
+            if not result.ok:
+                failures.append(f"seed {seed!r}: {result.error}")
+                continue
+            queueing, errors = result.value
             for name in include:
-                queueing_samples[name].append(comparison.queueing(name))
+                queueing_samples[name].append(queueing[name])
                 if name != reference:
-                    error_samples[name].append(
-                        comparison.error(name, reference))
+                    error_samples[name].append(errors[name])
         points.append(SweepPoint(
             x=x,
             queueing={name: aggregate(samples)
                       for name, samples in queueing_samples.items()},
             errors={name: aggregate(samples)
                     for name, samples in error_samples.items()},
+            failures=tuple(failures),
         ))
     return points
 

@@ -1,0 +1,191 @@
+"""Slice-penalty memoization: skip analytical calls already answered.
+
+The hybrid kernel evaluates ``resource.model.penalties(slice_demand)``
+once per analyzed timeslice.  Regular workloads (steady phase loops,
+symmetric threads, repetitive kernels) produce long runs of slices whose
+demand signatures are identical up to floating-point noise — and every
+shipped contention model is a pure function of the slice (see
+:class:`~repro.contention.base.ContentionModel`), so re-evaluating them
+is pure waste.
+
+:class:`SliceMemoCache` is a bounded LRU keyed on a fingerprint of the
+slice: window width (never absolute time — models only see
+``duration``), service time, port count, the sorted per-thread
+(demand, priority, mean-service) triples, and the model's identity plus
+parameters.  By default keys use exact float values, so a cache hit
+replays a bit-identical evaluation and memo on/off runs cannot diverge;
+pass ``digits`` to *quantize* the fingerprint (round floats before
+keying) so slices that differ only by accumulated float error share an
+entry — more hits, at the cost of penalties replayed from the slice
+that happened to be keyed first.
+
+Stateful models opt out: a model with ``memo_safe = False`` (or a
+:class:`~repro.robustness.guard.GuardedModel` whose health report shows
+fallbacks) is always called for real, and a model whose constructor
+parameters cannot be fingerprinted conservatively bypasses the cache
+rather than risking a key collision.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..contention.base import ContentionModel, SliceDemand
+
+#: Attribute value types that can appear in a model fingerprint.
+_KEYABLE = (bool, int, float, str, type(None))
+
+
+def model_memo_key(model: ContentionModel) -> Optional[Tuple]:
+    """Identity-plus-parameters fingerprint of a model, or ``None``.
+
+    A model may publish an explicit ``memo_token()`` — a hashable value
+    capturing everything its output depends on, or ``None`` to declare
+    itself un-keyable; otherwise the fingerprint is the class identity
+    plus every instance attribute of scalar type.  Any non-scalar
+    attribute makes the model un-keyable (``None``) — bypassing the
+    cache is always safe, a key collision never is.
+    """
+    identity = (type(model).__module__, type(model).__qualname__)
+    token = getattr(model, "memo_token", None)
+    if callable(token):
+        value = token()
+        if value is None:
+            return None
+        return identity + (value,)
+    params = []
+    for name, value in sorted(vars(model).items()):
+        if not isinstance(value, _KEYABLE):
+            return None
+        params.append((name, value))
+    return identity + (tuple(params),)
+
+
+@dataclass(frozen=True)
+class MemoStats:
+    """Counter snapshot of one :class:`SliceMemoCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    #: Lookups skipped because the model opted out or was un-keyable.
+    bypasses: int
+    #: Entries currently held.
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over consulted lookups (0.0 when never consulted)."""
+        consulted = self.hits + self.misses
+        return self.hits / consulted if consulted else 0.0
+
+
+class SliceMemoCache:
+    """Bounded LRU cache of per-slice model penalty mappings.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry bound; the least recently used entry is evicted beyond it.
+    digits:
+        ``None`` (default) keys on exact float values — hits replay
+        bit-identical evaluations.  An integer quantizes fingerprints
+        to that many decimal places, deliberately trading replay
+        exactness (float-noise-level drift) for more hits.
+    """
+
+    def __init__(self, maxsize: int = 4096,
+                 digits: Optional[int] = None):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize!r}")
+        if digits is not None and digits < 0:
+            raise ValueError(f"digits must be >= 0, got {digits!r}")
+        self.maxsize = int(maxsize)
+        self.digits = None if digits is None else int(digits)
+        self._entries: "OrderedDict[Hashable, Dict[str, float]]" = (
+            OrderedDict())
+        #: Lookups answered from the cache.
+        self.hits = 0
+        #: Consulted lookups that missed (and were then stored).
+        self.misses = 0
+        #: Entries dropped to respect ``maxsize``.
+        self.evictions = 0
+        #: Lookups bypassed for memo-unsafe or un-keyable models.
+        self.bypasses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def fingerprint(self, model: ContentionModel,
+                    demand: SliceDemand) -> Optional[Tuple]:
+        """Cache key for one (model, slice) evaluation, or ``None``.
+
+        ``None`` (counted as a bypass) means the evaluation must reach
+        the model for real: the model declared ``memo_safe = False``
+        (e.g. an unhealthy guarded chain) or carries un-keyable state.
+        Only the window *width* enters the key — models are pure in
+        ``duration`` — so identical slices at different absolute times
+        share an entry.
+        """
+        if not getattr(model, "memo_safe", True):
+            self.bypasses += 1
+            return None
+        model_key = model_memo_key(model)
+        if model_key is None:
+            self.bypasses += 1
+            return None
+        quantize = self._quantize
+        threads = tuple(sorted(
+            (name,
+             quantize(count),
+             demand.priorities.get(name, 0),
+             quantize(demand.service_of(name)))
+            for name, count in demand.demands.items()
+        ))
+        return (model_key,
+                quantize(demand.duration),
+                quantize(demand.service_time),
+                int(demand.ports),
+                threads)
+
+    def _quantize(self, value: float) -> float:
+        """One fingerprint float: exact, or rounded to ``digits``."""
+        value = float(value)
+        if self.digits is None:
+            return value
+        return round(value, self.digits)
+
+    def get(self, key: Tuple) -> Optional[Dict[str, float]]:
+        """Cached penalties for ``key`` (a copy), or ``None`` on miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return dict(entry)
+
+    def put(self, key: Tuple, penalties: Dict[str, float]) -> None:
+        """Store one evaluation's penalties (copied) under ``key``."""
+        self._entries[key] = dict(penalties)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry; counters are preserved."""
+        self._entries.clear()
+
+    def stats(self) -> MemoStats:
+        """Immutable snapshot of the cache counters."""
+        return MemoStats(hits=self.hits, misses=self.misses,
+                         evictions=self.evictions, bypasses=self.bypasses,
+                         size=len(self._entries), maxsize=self.maxsize)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SliceMemoCache(size={len(self)}/{self.maxsize}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,155 @@
+"""Parallel execution engine for independent simulation cells.
+
+The paper's whole pitch is speed: the hybrid model exists because
+cycle-accurate simulation is too slow for design-space exploration.  The
+exploration loops in this repository — seed sweeps, figure grids,
+calibration sweeps — evaluate *independent* cells (no cell reads another
+cell's output), which makes them embarrassingly parallel.
+
+:class:`ParallelExecutor` wraps
+:class:`concurrent.futures.ProcessPoolExecutor` with the three
+properties those loops need:
+
+* **deterministic result ordering** — results come back in submission
+  order regardless of completion order, so aggregation is bit-identical
+  to the serial loop;
+* **per-cell error capture** — a crashed cell becomes a recorded
+  :class:`CellResult` failure instead of killing the whole sweep;
+* **a transparent serial fallback** — ``jobs=1``, a single-item grid,
+  and non-picklable work functions (e.g. closure workload factories)
+  all run in-process through the *same* cell wrapper, so the two paths
+  cannot diverge.
+
+``jobs=0`` means "one worker per CPU".  Worker processes recompute each
+cell from its pickled inputs; mutable state on the work function's
+captured objects (model instances, health reports) does **not**
+propagate back to the parent — pass stateless inputs or run serially
+when call-site state matters.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``--jobs`` value: ``0`` -> CPU count, else ``jobs``."""
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs!r}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one mapped cell: a value or a recorded failure."""
+
+    #: Position of the cell in the input sequence.
+    index: int
+    #: The work function's return value (``None`` on failure).
+    value: Any = None
+    #: ``"ExcType: message"`` when the cell raised, else ``None``.
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell completed without raising."""
+        return self.error is None
+
+
+class CellError(RuntimeError):
+    """Raised by :meth:`ParallelExecutor.run` for a failed cell."""
+
+    def __init__(self, result: CellResult):
+        super().__init__(f"cell {result.index} failed: {result.error}")
+        #: The failed cell's :class:`CellResult`.
+        self.result = result
+
+
+def _call_cell(fn: Callable[[Any], Any], index: int,
+               item: Any) -> CellResult:
+    """Evaluate one cell, trapping exceptions into the result record."""
+    try:
+        return CellResult(index=index, value=fn(item))
+    except Exception as exc:  # deliberate: degrade, don't kill the sweep
+        return CellResult(index=index,
+                          error=f"{type(exc).__name__}: {exc}")
+
+
+def _picklable(*objects: Any) -> bool:
+    """Whether every object survives pickling (pool transport check)."""
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return False
+    return True
+
+
+class ParallelExecutor:
+    """Maps a work function over independent cells, serial or parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (default) runs in-process, ``0``
+        uses one worker per CPU.
+    """
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = resolve_jobs(jobs)
+
+    @property
+    def serial(self) -> bool:
+        """Whether this executor always runs in-process."""
+        return self.jobs == 1
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> List[CellResult]:
+        """Evaluate ``fn(item)`` for every item, capturing errors.
+
+        Returns one :class:`CellResult` per input, in input order.  The
+        process pool is used only when ``jobs > 1``, there is more than
+        one item, and ``fn`` plus the items pickle; otherwise the same
+        cells run serially in-process.
+        """
+        items = list(items)
+        if (self.jobs <= 1 or len(items) <= 1
+                or not _picklable(fn, items)):
+            return [_call_cell(fn, index, item)
+                    for index, item in enumerate(items)]
+        workers = min(self.jobs, len(items))
+        results: List[CellResult] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_call_cell, fn, index, item)
+                       for index, item in enumerate(items)]
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result())
+                except Exception as exc:  # broken pool / unpicklable value
+                    results.append(CellResult(
+                        index=index,
+                        error=f"{type(exc).__name__}: {exc}"))
+        return results
+
+    def run(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> List[Any]:
+        """Strict variant of :meth:`map`: unwrap values, raise on failure.
+
+        Raises :class:`CellError` for the first (lowest-index) failed
+        cell; use :meth:`map` when partial results should survive.
+        """
+        results = self.map(fn, items)
+        for result in results:
+            if not result.ok:
+                raise CellError(result)
+        return [result.value for result in results]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelExecutor(jobs={self.jobs})"

@@ -45,7 +45,8 @@ def build_kernel(workload: Workload,
                  trace: bool = False,
                  sync_policy: str = "eager",
                  fault_plan=None,
-                 budget=None) -> HybridKernel:
+                 budget=None,
+                 memo_cache=None) -> HybridKernel:
     """Assemble a ready-to-run :class:`HybridKernel` for ``workload``.
 
     Parameters
@@ -66,6 +67,10 @@ def build_kernel(workload: Workload,
     budget:
         Optional :class:`~repro.robustness.budget.RunBudget` enforced
         by the kernel run loop.
+    memo_cache:
+        Optional :class:`~repro.perf.memo.SliceMemoCache` consulted
+        before each analytical model call (may be shared across
+        kernels to amortize warm-up over a sweep).
     """
     if annotation not in ANNOTATION_POLICIES:
         raise ValueError(
@@ -88,7 +93,8 @@ def build_kernel(workload: Workload,
     kernel = HybridKernel(processors, shared, scheduler=scheduler,
                           min_timeslice=min_timeslice, trace=trace,
                           sync_policy=sync_policy,
-                          fault_plan=fault_plan, budget=budget)
+                          fault_plan=fault_plan, budget=budget,
+                          memo_cache=memo_cache)
     barriers = {
         name: Barrier(parties, name=name)
         for name, parties in workload.barrier_parties().items()

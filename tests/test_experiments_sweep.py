@@ -14,7 +14,13 @@ class TestAggregate:
         assert stat.minimum == 1.0
         assert stat.maximum == 3.0
         assert stat.count == 3
-        assert stat.std == pytest.approx((2.0 / 3.0) ** 0.5)
+        # Sample (n-1) standard deviation: sqrt(((1)^2 + 0 + 1^2) / 2).
+        assert stat.std == pytest.approx(1.0)
+
+    def test_single_sample_std_is_zero(self):
+        stat = aggregate([5.0])
+        assert stat.std == 0.0
+        assert stat.count == 1
 
     def test_ci95(self):
         stat = aggregate([1.0, 2.0, 3.0])

@@ -1,0 +1,262 @@
+"""Tests for the slice-penalty memoization layer (repro.perf.memo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contention import (ChenLinModel, ConstantModel, SliceDemand,
+                              make_model)
+from repro.contention.base import ContentionModel
+from repro.perf.memo import MemoStats, SliceMemoCache, model_memo_key
+from repro.robustness import GuardedModel
+from repro.workloads.synthetic import uniform_workload
+from repro.workloads.to_mesh import run_hybrid
+
+#: Stateless registry models whose memoized runs must be bit-identical.
+STATELESS_MODELS = ("chenlin", "constant", "md1", "mm1", "mmc", "null",
+                    "priority", "roundrobin")
+
+
+def _demand(start=0.0, duration=1000.0, service=4.0, ports=1,
+            priorities=None, **counts):
+    return SliceDemand(start=start, end=start + duration,
+                       service_time=service, ports=ports,
+                       demands=dict(counts),
+                       priorities=priorities or {})
+
+
+class _UnkeyableModel(ContentionModel):
+    """Model with non-scalar state: must never be fingerprinted."""
+
+    name = "unkeyable"
+
+    def __init__(self):
+        self.history = []
+
+    def penalties(self, demand):
+        """Zero penalties; the list attribute is the interesting part."""
+        return {name: 0.0 for name in demand.demands}
+
+
+class _TokenModel(ContentionModel):
+    """Model publishing an explicit memo token."""
+
+    name = "tokenized"
+
+    def __init__(self, gain):
+        self.gain = gain
+        self.scratch = {}  # would make the default fingerprint bail
+
+    def memo_token(self):
+        """Everything the output depends on: just the gain."""
+        return (self.gain,)
+
+    def penalties(self, demand):
+        """Flat penalty proportional to the gain."""
+        return {name: self.gain for name in demand.demands}
+
+
+class TestModelMemoKey:
+    def test_scalar_params_keyable(self):
+        key = model_memo_key(ChenLinModel())
+        assert key is not None
+        assert key == model_memo_key(ChenLinModel())
+
+    def test_param_change_changes_key(self):
+        assert (model_memo_key(ConstantModel(delay=1.0))
+                != model_memo_key(ConstantModel(delay=2.0)))
+
+    def test_class_identity_in_key(self):
+        assert (model_memo_key(make_model("mm1"))
+                != model_memo_key(make_model("md1")))
+
+    def test_non_scalar_attr_unkeyable(self):
+        assert model_memo_key(_UnkeyableModel()) is None
+
+    def test_explicit_token_wins(self):
+        assert model_memo_key(_TokenModel(2.0)) is not None
+        assert (model_memo_key(_TokenModel(2.0))
+                != model_memo_key(_TokenModel(3.0)))
+
+
+class TestFingerprint:
+    def test_absolute_time_ignored(self):
+        cache = SliceMemoCache()
+        model = ChenLinModel()
+        early = cache.fingerprint(model, _demand(start=0.0, a=10, b=20))
+        late = cache.fingerprint(model, _demand(start=9_000.0,
+                                                a=10, b=20))
+        assert early == late
+
+    def test_width_matters(self):
+        cache = SliceMemoCache()
+        model = ChenLinModel()
+        assert (cache.fingerprint(model, _demand(duration=500.0, a=10))
+                != cache.fingerprint(model, _demand(duration=900.0,
+                                                    a=10)))
+
+    def test_thread_order_irrelevant(self):
+        cache = SliceMemoCache()
+        model = ChenLinModel()
+        ab = cache.fingerprint(model, SliceDemand(
+            start=0.0, end=100.0, service_time=4.0,
+            demands={"a": 5.0, "b": 7.0}))
+        ba = cache.fingerprint(model, SliceDemand(
+            start=0.0, end=100.0, service_time=4.0,
+            demands={"b": 7.0, "a": 5.0}))
+        assert ab == ba
+
+    def test_exact_default_keeps_noise_distinct(self):
+        cache = SliceMemoCache()
+        model = ChenLinModel()
+        a = cache.fingerprint(model, _demand(a=10.0))
+        b = cache.fingerprint(model, _demand(a=10.0 + 1e-10))
+        assert a != b
+
+    def test_quantized_merges_float_noise(self):
+        cache = SliceMemoCache(digits=6)
+        model = ChenLinModel()
+        a = cache.fingerprint(model, _demand(a=10.0))
+        b = cache.fingerprint(model, _demand(a=10.0 + 1e-10))
+        assert a == b
+
+    def test_memo_unsafe_bypassed(self):
+        cache = SliceMemoCache()
+        model = ChenLinModel()
+        model.memo_safe = False
+        assert cache.fingerprint(model, _demand(a=10)) is None
+        assert cache.stats().bypasses == 1
+
+    def test_unkeyable_bypassed(self):
+        cache = SliceMemoCache()
+        assert cache.fingerprint(_UnkeyableModel(),
+                                 _demand(a=10)) is None
+        assert cache.stats().bypasses == 1
+
+
+class TestCacheMechanics:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SliceMemoCache(maxsize=0)
+        with pytest.raises(ValueError):
+            SliceMemoCache(digits=-1)
+
+    def test_hit_miss_counters(self):
+        cache = SliceMemoCache()
+        assert cache.get(("k",)) is None
+        cache.put(("k",), {"a": 1.0})
+        assert cache.get(("k",)) == {"a": 1.0}
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = SliceMemoCache(maxsize=2)
+        cache.put(("a",), {})
+        cache.put(("b",), {})
+        cache.get(("a",))  # refresh "a"; "b" is now the LRU entry
+        cache.put(("c",), {})
+        assert cache.get(("a",)) is not None
+        assert cache.get(("b",)) is None
+        assert cache.stats().evictions == 1
+        assert len(cache) == 2
+
+    def test_copies_in_and_out(self):
+        cache = SliceMemoCache()
+        stored = {"a": 1.0}
+        cache.put(("k",), stored)
+        stored["a"] = 99.0
+        fetched = cache.get(("k",))
+        assert fetched == {"a": 1.0}
+        fetched["a"] = -1.0
+        assert cache.get(("k",)) == {"a": 1.0}
+
+    def test_clear_keeps_counters(self):
+        cache = SliceMemoCache()
+        cache.put(("k",), {})
+        cache.get(("k",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_stats_snapshot_immutable(self):
+        stats = SliceMemoCache().stats()
+        assert isinstance(stats, MemoStats)
+        with pytest.raises(AttributeError):
+            stats.hits = 5
+
+
+class TestMemoizedRuns:
+    @pytest.mark.parametrize("name", STATELESS_MODELS)
+    def test_memo_on_off_identical(self, name):
+        workload = uniform_workload(threads=2, phases=3, work=400.0,
+                                    accesses=6, bus_service=2.0, seed=5)
+        plain = run_hybrid(workload, model=make_model(name))
+        memo = SliceMemoCache()
+        cached = run_hybrid(workload, model=make_model(name),
+                            memo_cache=memo)
+        assert cached.queueing_cycles == plain.queueing_cycles
+        assert cached == plain  # memo counters are compare=False
+
+    def test_repetitive_workload_hits(self):
+        workload = uniform_workload(threads=2, phases=4, work=400.0,
+                                    accesses=6, bus_service=2.0, seed=5)
+        memo = SliceMemoCache()
+        result = run_hybrid(workload, model=ChenLinModel(),
+                            memo_cache=memo)
+        assert result.memo_hits > 0
+        assert result.memo_misses > 0
+        assert memo.stats().hit_rate > 0.0
+
+    def test_shared_cache_reports_per_run_deltas(self):
+        workload = uniform_workload(threads=2, phases=3, work=400.0,
+                                    accesses=6, bus_service=2.0, seed=5)
+        memo = SliceMemoCache()
+        first = run_hybrid(workload, model=ChenLinModel(),
+                           memo_cache=memo)
+        second = run_hybrid(workload, model=ChenLinModel(),
+                            memo_cache=memo)
+        # The second run answers everything from the warm cache, and its
+        # counters cover only its own lookups (not the first run's).
+        assert second.memo_misses == 0
+        assert second.memo_hits == first.memo_hits + first.memo_misses
+        assert second.queueing_cycles == first.queueing_cycles
+
+    def test_summary_mentions_cache(self):
+        workload = uniform_workload(threads=2, phases=3, work=400.0,
+                                    accesses=6, bus_service=2.0, seed=5)
+        result = run_hybrid(workload, model=ChenLinModel(),
+                            memo_cache=SliceMemoCache())
+        assert "memo" in result.summary()
+
+    def test_no_cache_means_zero_counters(self):
+        workload = uniform_workload(threads=2, phases=2, work=400.0,
+                                    accesses=6, seed=5)
+        result = run_hybrid(workload, model=ChenLinModel())
+        assert result.memo_hits == 0
+        assert result.memo_misses == 0
+
+
+class TestGuardedModelMemo:
+    def test_healthy_chain_is_memo_safe(self):
+        guarded = GuardedModel([ChenLinModel(), ConstantModel()])
+        assert guarded.memo_safe
+        assert model_memo_key(guarded) is not None
+
+    def test_fallback_disables_memoization(self):
+        guarded = GuardedModel([ChenLinModel(), ConstantModel()])
+        guarded.health.record_fallback("chenlin", "constant",
+                                       "synthetic", (0.0, 1.0))
+        assert not guarded.memo_safe
+        cache = SliceMemoCache()
+        assert cache.fingerprint(guarded, _demand(a=10)) is None
+
+    def test_unkeyable_inner_model_propagates(self):
+        guarded = GuardedModel([_UnkeyableModel()])
+        assert guarded.memo_token() is None
+        assert model_memo_key(guarded) is None
+
+    def test_token_covers_chain_and_factor(self):
+        a = GuardedModel([ChenLinModel()], max_penalty_factor=10.0)
+        b = GuardedModel([ChenLinModel()], max_penalty_factor=5.0)
+        assert model_memo_key(a) != model_memo_key(b)

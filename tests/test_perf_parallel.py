@@ -1,0 +1,180 @@
+"""Tests for the parallel experiment engine (repro.perf.parallel)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.contention import ChenLinModel
+from repro.experiments.runner import run_comparisons_parallel
+from repro.experiments.pareto import evaluate_designs
+from repro.experiments.sweep import run_sweep
+from repro.contention.calibrate import calibrate_model
+from repro.perf.parallel import (CellError, CellResult, ParallelExecutor,
+                                 _picklable, resolve_jobs)
+from repro.workloads.synthetic import uniform_workload
+
+
+def _square(x):
+    """Module-level (picklable) work function for pool tests."""
+    return x * x
+
+
+def _explode_on_three(x):
+    """Work function that fails for exactly one cell."""
+    if x == 3:
+        raise ValueError("three is right out")
+    return x + 1
+
+
+def _tiny_factory(x, seed):
+    """Small deterministic sweep workload (picklable factory)."""
+    return uniform_workload(threads=2, phases=2, work=300.0,
+                            accesses=int(x), bus_service=2.0, seed=seed)
+
+
+def _flaky_factory(x, seed):
+    """Factory whose seed-2 instance always fails."""
+    if seed == 2:
+        raise RuntimeError("bad seed")
+    return _tiny_factory(x, seed)
+
+
+class TestResolveJobs:
+    def test_passthrough(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestCellResult:
+    def test_ok_flag(self):
+        assert CellResult(index=0, value=5).ok
+        assert not CellResult(index=1, error="ValueError: x").ok
+
+    def test_cell_error_carries_result(self):
+        failed = CellResult(index=3, error="ValueError: x")
+        err = CellError(failed)
+        assert err.result is failed
+        assert "cell 3" in str(err)
+
+
+class TestSerialPath:
+    def test_jobs_one_is_serial(self):
+        assert ParallelExecutor(1).serial
+        assert not ParallelExecutor(2).serial
+
+    def test_map_preserves_order(self):
+        results = ParallelExecutor(1).map(_square, [3, 1, 2])
+        assert [r.value for r in results] == [9, 1, 4]
+        assert [r.index for r in results] == [0, 1, 2]
+        assert all(r.ok for r in results)
+
+    def test_map_captures_errors_per_cell(self):
+        results = ParallelExecutor(1).map(_explode_on_three, [1, 3, 5])
+        assert results[0].value == 2
+        assert results[2].value == 6
+        assert not results[1].ok
+        assert "ValueError" in results[1].error
+
+    def test_run_raises_on_first_failure(self):
+        with pytest.raises(CellError) as info:
+            ParallelExecutor(1).run(_explode_on_three, [1, 3, 5])
+        assert info.value.result.index == 1
+
+    def test_run_unwraps_values(self):
+        assert ParallelExecutor(1).run(_square, [2, 3]) == [4, 9]
+
+    def test_non_picklable_falls_back_to_serial(self):
+        bonus = 10
+        results = ParallelExecutor(4).map(lambda x: x + bonus, [1, 2])
+        assert [r.value for r in results] == [11, 12]
+
+    def test_picklable_probe(self):
+        assert _picklable(_square, [1, 2])
+        assert not _picklable(lambda x: x)
+
+
+class TestParallelPath:
+    def test_map_matches_serial(self):
+        serial = ParallelExecutor(1).map(_square, list(range(8)))
+        pooled = ParallelExecutor(4).map(_square, list(range(8)))
+        assert serial == pooled
+
+    def test_errors_captured_in_workers(self):
+        results = ParallelExecutor(2).map(_explode_on_three, [1, 3, 5])
+        assert results[0].value == 2
+        assert not results[1].ok
+        assert "ValueError" in results[1].error
+
+    def test_single_item_stays_in_process(self):
+        results = ParallelExecutor(4).map(_square, [6])
+        assert results == [CellResult(index=0, value=36)]
+
+
+class TestSweepEquivalence:
+    def test_parallel_sweep_bit_identical(self):
+        kwargs = dict(xs=[3, 6], seeds=(1, 2), model=ChenLinModel(),
+                      include=("iss", "mesh"), reference="iss")
+        serial = run_sweep(_tiny_factory, jobs=1, **kwargs)
+        pooled = run_sweep(_tiny_factory, jobs=4, **kwargs)
+        assert serial == pooled
+
+    def test_failed_cells_recorded_not_fatal(self):
+        points = run_sweep(_flaky_factory, xs=[3], seeds=(1, 2, 3),
+                           include=("iss", "mesh"), jobs=1)
+        (point,) = points
+        assert len(point.failures) == 1
+        assert "seed 2" in point.failures[0]
+        assert "RuntimeError" in point.failures[0]
+        # The surviving seeds still aggregate.
+        assert point.queueing["iss"].count == 2
+
+    def test_closure_factory_still_works_parallel(self):
+        accesses = 4
+        points = run_sweep(
+            lambda x, seed: uniform_workload(threads=2, phases=2,
+                                             work=300.0,
+                                             accesses=accesses,
+                                             seed=seed),
+            xs=[0], seeds=(1,), include=("iss", "mesh"), jobs=4)
+        assert points[0].queueing["iss"].count == 1
+
+
+class TestBatchComparisons:
+    def test_results_in_workload_order(self):
+        workloads = [_tiny_factory(3, 1), _tiny_factory(6, 1)]
+        results = run_comparisons_parallel(workloads, jobs=2,
+                                           include=("iss", "mesh"))
+        assert len(results) == 2
+        assert all(r.ok for r in results)
+        serial = run_comparisons_parallel(workloads, jobs=1,
+                                          include=("iss", "mesh"))
+        for pooled_cell, serial_cell in zip(results, serial):
+            for name in ("iss", "mesh"):
+                assert (pooled_cell.value.queueing(name)
+                        == serial_cell.value.queueing(name))
+
+
+class TestDesignEvaluation:
+    def test_evaluate_designs_matches_serial(self):
+        candidates = [2, 3, 4]
+        assert (evaluate_designs(candidates, _square, jobs=2)
+                == evaluate_designs(candidates, _square, jobs=1))
+
+
+class TestCalibrationParallel:
+    def test_calibrate_matches_serial(self):
+        model = ChenLinModel()
+        kwargs = dict(threads=2, phase_work=1_000.0,
+                      access_sweep=(10, 40, 80), phases=2)
+        serial = calibrate_model(model, jobs=1, **kwargs)
+        pooled = calibrate_model(model, jobs=2, **kwargs)
+        assert serial == pooled
