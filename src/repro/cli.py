@@ -47,7 +47,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig4.add_argument("--procs", type=int, nargs="+",
                       default=(2, 4, 8, 16))
 
-    table1 = sub.add_parser("table1", help="MESH vs ISS runtimes")
+    table1 = sub.add_parser("table1", parents=[jobs],
+                            help="MESH vs ISS runtimes")
     table1.add_argument("--points", type=int, default=4096)
     table1.add_argument("--procs", type=int, nargs="+", default=(2, 4, 8))
 
@@ -112,7 +113,8 @@ def _run_fig4(args) -> str:
 
 
 def _run_table1(args) -> str:
-    rows = run_table1(proc_counts=tuple(args.procs), points=args.points)
+    rows = run_table1(proc_counts=tuple(args.procs), points=args.points,
+                      jobs=getattr(args, "jobs", 1))
     return render_table1(rows)
 
 

@@ -19,9 +19,16 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class SliceDemand:
     """Access demands observed on one shared resource in one time window.
+
+    Treat instances as immutable: one is constructed per resource per
+    analyzed timeslice on the kernel's hottest path, so immutability is
+    a convention (documented here) rather than ``frozen=True`` — the
+    frozen machinery routes every constructor field store through
+    ``object.__setattr__``, which is measurable at that call rate.
+    Models must never mutate the demand they are handed.
 
     Attributes
     ----------
@@ -97,6 +104,13 @@ class ContentionModel(abc.ABC):
     #: chains, fault-coupled models) must set/compute this ``False`` so
     #: they keep seeing real calls.
     memo_safe: bool = True
+
+    #: Whether :meth:`penalties` consults ``demand.priorities``.  The
+    #: kernel's slice-analysis loop skips building the trimmed priority
+    #: mapping entirely for models that declare ``False`` (hot-path
+    #: savings); the conservative default keeps third-party subclasses
+    #: correct without opting in.
+    uses_priorities: bool = True
 
     @abc.abstractmethod
     def penalties(self, demand: SliceDemand) -> Dict[str, float]:

@@ -72,6 +72,7 @@ class ChenLinModel(ContentionModel):
     """
 
     name = "chenlin"
+    uses_priorities = False
 
     def __init__(self, rho_max: float = 0.98, residual: bool = False,
                  knee: float = None):

@@ -19,6 +19,7 @@ class NullModel(ContentionModel):
     """No contention: every access proceeds unimpeded."""
 
     name = "null"
+    uses_priorities = False
 
     def penalties(self, demand: SliceDemand) -> Dict[str, float]:
         return {}
@@ -35,6 +36,7 @@ class ConstantModel(ContentionModel):
     """
 
     name = "constant"
+    uses_priorities = False
 
     def __init__(self, delay: float = 1.0):
         if delay < 0:
@@ -42,11 +44,12 @@ class ConstantModel(ContentionModel):
         self.delay = float(delay)
 
     def penalties(self, demand: SliceDemand) -> Dict[str, float]:
-        active = [name for name, count in demand.demands.items()
-                  if count > 0]
-        if len(active) < 2:
+        delay = self.delay
+        result = {name: count * delay
+                  for name, count in demand.demands.items() if count > 0}
+        if len(result) < 2:
             return {}
-        return {name: demand.demands[name] * self.delay for name in active}
+        return result
 
     def __repr__(self) -> str:
         return f"ConstantModel(delay={self.delay})"

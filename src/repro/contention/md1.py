@@ -23,6 +23,7 @@ class MD1Model(ContentionModel):
     """Single-server deterministic-service queue model."""
 
     name = "md1"
+    uses_priorities = False
 
     def __init__(self, rho_max: float = 0.98, exclude_self: bool = True):
         if not 0.0 < rho_max < 1.0:

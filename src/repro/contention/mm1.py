@@ -37,6 +37,7 @@ class MM1Model(ContentionModel):
     """
 
     name = "mm1"
+    uses_priorities = False
 
     def __init__(self, rho_max: float = 0.98, exclude_self: bool = True):
         if not 0.0 < rho_max < 1.0:

@@ -47,6 +47,7 @@ class MMcModel(ContentionModel):
     """Multi-server (multi-port) queueing contention model."""
 
     name = "mmc"
+    uses_priorities = False
 
     def __init__(self, rho_max: float = 0.98):
         if not 0.0 < rho_max < 1.0:

@@ -36,6 +36,7 @@ class RoundRobinModel(ContentionModel):
     """
 
     name = "roundrobin"
+    uses_priorities = False
 
     def penalties(self, demand: SliceDemand) -> Dict[str, float]:
         rho = per_thread_utilization(demand)

@@ -41,7 +41,7 @@ class Event:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Consume(Event):
     """The MESH annotation tuple: complexity plus shared-resource accesses.
 
@@ -96,35 +96,35 @@ class Consume(Event):
                 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Acquire(Event):
     """Acquire a mutex, blocking if it is held by another thread."""
 
     mutex: "Mutex"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Release(Event):
     """Release a mutex held by the yielding thread."""
 
     mutex: "Mutex"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SemAcquire(Event):
     """Decrement a semaphore, blocking while its value is zero."""
 
     semaphore: "Semaphore"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SemRelease(Event):
     """Increment a semaphore, waking one blocked thread if any."""
 
     semaphore: "Semaphore"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CondWait(Event):
     """Atomically release ``mutex`` and block on ``cond``.
 
@@ -137,7 +137,7 @@ class CondWait(Event):
     mutex: "Mutex"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CondNotify(Event):
     """Wake one (or all) threads blocked on a condition variable."""
 
@@ -145,14 +145,14 @@ class CondNotify(Event):
     all: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BarrierWait(Event):
     """Block until every participant of the barrier has arrived."""
 
     barrier: "Barrier"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Spawn(Event):
     """Dynamically add a new logical thread to the running simulation."""
 

@@ -85,9 +85,18 @@ class HybridKernel:
         eviction counters surface on the
         :class:`~repro.core.stats.SimulationResult`.  Sharing one cache
         across kernels amortizes warm-up over a sweep.
+    slice_accounting:
+        How window demand is gathered per commit.  ``"incremental"``
+        (default) registers each region with the US scheduler when it
+        starts and advances the collection horizon over only the still-
+        open registrations — amortized O(changed) per commit.
+        ``"rescan"`` is the legacy reference path that re-walks every
+        in-flight region each commit; both produce bit-identical
+        results (enforced by the golden equivalence suite).
     """
 
     SYNC_POLICIES = ("eager", "deferred")
+    SLICE_ACCOUNTING = ("incremental", "rescan")
 
     def __init__(self, processors: Sequence[Processor],
                  shared_resources: Iterable[SharedResource] = (),
@@ -97,12 +106,20 @@ class HybridKernel:
                  sync_policy: str = "eager",
                  fault_plan=None,
                  budget=None,
-                 memo_cache=None):
+                 memo_cache=None,
+                 slice_accounting: str = "incremental"):
         if sync_policy not in self.SYNC_POLICIES:
             raise ConfigurationError(
                 f"unknown sync_policy {sync_policy!r}; choose from "
                 f"{self.SYNC_POLICIES}"
             )
+        if slice_accounting not in self.SLICE_ACCOUNTING:
+            raise ConfigurationError(
+                f"unknown slice_accounting {slice_accounting!r}; choose "
+                f"from {self.SLICE_ACCOUNTING}"
+            )
+        self.slice_accounting = slice_accounting
+        self._incremental = slice_accounting == "incremental"
         self.sync_policy = sync_policy
         self.processors: List[Processor] = list(processors)
         if not self.processors:
@@ -186,9 +203,48 @@ class HybridKernel:
 
         Returns the :class:`~repro.core.stats.SimulationResult`.  Raises
         :class:`DeadlockError` if blocked threads can never be woken.
+
+        Semantically equivalent to draining :meth:`steps`, but runs the
+        commit loop directly — no generator suspension per region — so
+        batch experiments (sweeps, benchmarks) pay no observer overhead.
         """
-        for _ in self.steps(until=until):
-            pass
+        if self._ran:
+            raise SimulationError("kernel instances are single-shot; "
+                                  "build a new kernel to run again")
+        self._ran = True
+        meter = self.budget.start() if self.budget is not None else None
+        queue = self._queue
+        scheduler = self.scheduler
+        unbounded = meter is None and until is None
+        while True:
+            if not unbounded:
+                if meter is not None:
+                    reason = meter.check(self.now, self.regions_committed)
+                    if reason is not None:
+                        raise BudgetExceededError(
+                            reason, partial_result=build_result(self),
+                            budget=self.budget)
+                if until is not None and self.now >= until:
+                    break
+            self._fill_processors()
+            if queue:
+                self._commit(self._pop_with_penalties())
+                continue
+            # No in-flight regions: either idle-jump, deadlock, or done.
+            if scheduler.has_waiting():
+                next_release = scheduler.earliest_release()
+                if next_release is not None and next_release > self.now + _EPS:
+                    self.now = next_release
+                    continue
+                raise SimulationError(
+                    "internal error: eligible threads could not be placed "
+                    "on an idle platform"
+                )
+            if self._blocked:
+                raise DeadlockError(self._blocked)
+            break
+        self._flush_final_slice()
+        self._finished = True
         return self.result()
 
     def steps(self, until: Optional[float] = None):
@@ -257,12 +313,25 @@ class HybridKernel:
         # A thread advanced on a later processor can wake threads (via
         # sync events) that only fit an earlier processor, so iterate to
         # a fixpoint rather than making a single pass.
+        scheduler = self.scheduler
+        # The base-class ready list backs has_waiting(); testing it
+        # directly skips a method call on the per-commit common case
+        # (every thread in flight).  Schedulers built outside the
+        # ExecutionScheduler hierarchy fall back to the method.
+        ready = getattr(scheduler, "_ready", None)
+        has_waiting = scheduler.has_waiting if ready is None else None
         placed = 1
         while placed:
+            # pick() cannot succeed with an empty ready set.
+            if ready is not None:
+                if not ready:
+                    return
+            elif not has_waiting():
+                return
             placed = 0
             for processor in self.processors:
-                while processor.available:
-                    thread = self.scheduler.pick(processor, self.now)
+                while processor._current_region is None:  # inline .available
+                    thread = scheduler.pick(processor, self.now)
                     if thread is None:
                         break
                     placed += 1
@@ -285,12 +354,23 @@ class HybridKernel:
                     thread.finish_time = self.now
                     self._flush_pending_wakes(thread)
                     return
-                if isinstance(event, Consume):
+                # Exact-type checks cover the built-in event classes
+                # without an isinstance chain; subclasses fall through
+                # to the isinstance slow path below.
+                cls = event.__class__
+                if cls is Consume:
                     self._start_region(thread, processor, event)
                     return
-                if isinstance(event, Spawn):
+                if cls is Spawn:
                     self.add_thread(event.thread, start_time=self.now)
                     continue
+                if cls not in _SYNC_DISPATCH:
+                    if isinstance(event, Consume):
+                        self._start_region(thread, processor, event)
+                        return
+                    if isinstance(event, Spawn):
+                        self.add_thread(event.thread, start_time=self.now)
+                        continue
                 if not self._handle_sync(thread, event):
                     # Blocked and shelved; any wakes it performed cannot
                     # attach to a future region of its own.
@@ -301,30 +381,32 @@ class HybridKernel:
 
     def _start_region(self, thread: LogicalThread, processor: Processor,
                       annotation: Consume) -> None:
+        known = self.us.resources
         for resource_name in annotation.accesses:
-            if resource_name not in self.us.resources:
+            if resource_name not in known:
                 raise ConfigurationError(
                     f"thread {thread.name!r} consumed accesses to unknown "
                     f"shared resource {resource_name!r}"
                 )
         self._seq += 1
+        # Inline of thread.take_carry_penalty() on the region hot path.
+        carried = thread.carry_penalty
+        thread.carry_penalty = 0.0
         region = AnnotationRegion(
-            thread=thread, processor=processor,
-            complexity=annotation.complexity,
-            accesses=annotation.accesses,
-            start=self.now,
-            carried_penalty=thread.take_carry_penalty(),
-            seq=self._seq,
-            extra_time=annotation.extra_time,
-            burst=annotation.burst,
+            thread, processor, annotation.complexity,
+            annotation.accesses, self.now, carried, self._seq,
+            annotation.extra_time, annotation.burst,
         )
-        pending = self._pending_wakes.pop(thread.name, None)
-        if pending:
-            region.deferred_wakes = pending
+        if self._pending_wakes:
+            pending = self._pending_wakes.pop(thread.name, None)
+            if pending:
+                region.deferred_wakes = pending
         processor._current_region = region
         self._inflight[thread.name] = region
         self._queue.push(region)
-        if self.trace:
+        if self._incremental:
+            self.us.register(region)
+        if self.trace is not None:
             self.trace.record("start", self.now, thread.name,
                               processor.name,
                               complexity=annotation.complexity)
@@ -333,16 +415,18 @@ class HybridKernel:
 
     def _pop_with_penalties(self) -> AnnotationRegion:
         """Pop the earliest region, lazily folding pending penalties."""
+        queue = self._queue
+        trace = self.trace
         while True:
-            region = self._queue.pop()
+            region = queue.pop()
             if region.pending_penalty > _EPS:
                 amount = region.apply_pending_penalty()
-                if self.trace:
-                    self.trace.record("penalty", region.end_time,
-                                      region.thread.name,
-                                      region.processor.name, amount=amount,
-                                      lazy=True)
-                self._queue.push(region)
+                if trace is not None:
+                    trace.record("penalty", region.end_time,
+                                 region.thread.name,
+                                 region.processor.name, amount=amount,
+                                 lazy=True)
+                queue.push(region)
                 continue
             region.pending_penalty = 0.0
             return region
@@ -353,18 +437,23 @@ class HybridKernel:
             raise SimulationError(
                 f"non-monotonic commit: {t_i} < {self.now}"
             )
-        self.now = max(self.now, t_i)
+        if t_i > self.now:
+            self.now = t_i
         # Post-access arbitration over the just-closed slice (lines 15-16).
-        live = self._queue.regions()
-        live.append(region)
-        self.us.collect(self.now, live)
-        penalties = self.us.analyze(self._priorities)
-        if self.trace and penalties:
-            self.trace.record("slice", self.now,
-                              detail_penalties=dict(penalties))
-        reinserted = self._distribute_penalties(penalties, region)
-        if reinserted:
-            return
+        us = self.us
+        if self._incremental:
+            us.advance(self.now, self._queue, region)
+        else:
+            live = self._queue.regions()
+            live.append(region)
+            us.collect(self.now, live)
+        penalties = us.analyze(self._priorities)
+        if penalties:
+            if self.trace is not None:
+                self.trace.record("slice", self.now,
+                                  detail_penalties=dict(penalties))
+            if self._distribute_penalties(penalties, region):
+                return
         self._finalize_region(region)
 
     def _distribute_penalties(self, penalties: Dict[str, float],
@@ -375,23 +464,28 @@ class HybridKernel:
         and therefore re-inserted instead of finalized.
         """
         reinserted = False
+        by_name = self._by_name
+        inflight_get = self._inflight.get
+        committed_thread = committed.thread
         for thread_name, penalty in penalties.items():
-            thread = self._by_name[thread_name]
+            thread = by_name[thread_name]
             thread.total_penalty += penalty
-            if thread is committed.thread:
+            if thread is committed_thread:
                 committed.add_penalty(penalty)
                 committed.apply_pending_penalty()
                 self._queue.push(committed)
                 reinserted = True
-                if self.trace:
+                if self.trace is not None:
                     self.trace.record("penalty", committed.end_time,
                                       thread_name,
                                       committed.processor.name,
                                       amount=penalty, lazy=False)
             else:
-                target = self._inflight.get(thread_name)
+                target = inflight_get(thread_name)
                 if target is not None:
-                    target.add_penalty(penalty)
+                    # Inline of region.add_penalty(); the model's output
+                    # was already validated non-negative.
+                    target.pending_penalty += penalty
                 else:
                     thread.carry_penalty += penalty
         return reinserted
@@ -407,7 +501,7 @@ class HybridKernel:
         processor._current_region = None
         self.regions_committed += 1
         self._inflight.pop(thread.name, None)
-        if self.trace:
+        if self.trace is not None:
             self.trace.record("commit", region.end_time, thread.name,
                               processor.name, base_end=region.base_end)
         thread.state = ThreadState.READY
@@ -426,61 +520,80 @@ class HybridKernel:
         """Resolve a sync event in zero time.
 
         Returns ``True`` when the thread may continue, ``False`` when it
-        blocked and was shelved.
+        blocked and was shelved.  Dispatch is keyed on the event's exact
+        type; subclasses of the built-in events take the isinstance
+        fallback.
         """
-        if isinstance(event, Acquire):
-            if event.mutex.try_acquire(thread):
-                return True
-            event.mutex.enqueue(thread)
-            return self._shelve(thread, on=event.mutex)
-        if isinstance(event, Release):
-            woken = event.mutex.release(thread)
-            if woken is not None:
-                self._wake(woken)
-            return True
-        if isinstance(event, SemAcquire):
-            if event.semaphore.try_acquire(thread):
-                return True
-            event.semaphore.enqueue(thread)
-            return self._shelve(thread, on=event.semaphore)
-        if isinstance(event, SemRelease):
-            woken = event.semaphore.release()
-            if woken is not None:
-                self._wake(woken)
-            return True
-        if isinstance(event, CondWait):
-            if event.mutex.owner is not thread:
-                from .errors import SynchronizationError
+        handler = _SYNC_DISPATCH.get(event.__class__)
+        if handler is None:
+            return self._handle_sync_fallback(thread, event)
+        return handler(self, thread, event)
 
-                raise SynchronizationError(
-                    f"thread {thread.name!r} waited on condition "
-                    f"{event.cond.name!r} without holding mutex "
-                    f"{event.mutex.name!r}"
-                )
-            next_owner = event.mutex.release(thread)
-            if next_owner is not None:
-                self._wake(next_owner)
-            event.cond.enqueue(thread, event.mutex)
-            return self._shelve(thread, on=event.cond)
-        if isinstance(event, CondNotify):
-            for waiter, mutex in event.cond.pop_waiters(event.all):
-                if mutex.try_acquire(waiter):
-                    self._wake(waiter)
-                else:
-                    mutex.enqueue(waiter)  # stays blocked, now on the mutex
-                    waiter.blocked_on = mutex
-            return True
-        if isinstance(event, BarrierWait):
-            woken = event.barrier.arrive(thread)
-            if woken is None:
-                return self._shelve(thread, on=event.barrier)
-            for waiter in woken:
-                self._wake(waiter)
-            return True
+    def _handle_sync_fallback(self, thread: LogicalThread, event) -> bool:
+        """isinstance-based dispatch for subclasses of built-in events."""
+        for event_type, handler in _SYNC_DISPATCH.items():
+            if isinstance(event, event_type):
+                return handler(self, thread, event)
         raise ProtocolError(
             f"thread {thread.name!r} yielded unsupported event "
             f"{type(event).__name__}"
         )
+
+    def _sync_acquire(self, thread: LogicalThread, event) -> bool:
+        if event.mutex.try_acquire(thread):
+            return True
+        event.mutex.enqueue(thread)
+        return self._shelve(thread, on=event.mutex)
+
+    def _sync_release(self, thread: LogicalThread, event) -> bool:
+        woken = event.mutex.release(thread)
+        if woken is not None:
+            self._wake(woken)
+        return True
+
+    def _sync_sem_acquire(self, thread: LogicalThread, event) -> bool:
+        if event.semaphore.try_acquire(thread):
+            return True
+        event.semaphore.enqueue(thread)
+        return self._shelve(thread, on=event.semaphore)
+
+    def _sync_sem_release(self, thread: LogicalThread, event) -> bool:
+        woken = event.semaphore.release()
+        if woken is not None:
+            self._wake(woken)
+        return True
+
+    def _sync_cond_wait(self, thread: LogicalThread, event) -> bool:
+        if event.mutex.owner is not thread:
+            from .errors import SynchronizationError
+
+            raise SynchronizationError(
+                f"thread {thread.name!r} waited on condition "
+                f"{event.cond.name!r} without holding mutex "
+                f"{event.mutex.name!r}"
+            )
+        next_owner = event.mutex.release(thread)
+        if next_owner is not None:
+            self._wake(next_owner)
+        event.cond.enqueue(thread, event.mutex)
+        return self._shelve(thread, on=event.cond)
+
+    def _sync_cond_notify(self, thread: LogicalThread, event) -> bool:
+        for waiter, mutex in event.cond.pop_waiters(event.all):
+            if mutex.try_acquire(waiter):
+                self._wake(waiter)
+            else:
+                mutex.enqueue(waiter)  # stays blocked, now on the mutex
+                waiter.blocked_on = mutex
+        return True
+
+    def _sync_barrier_wait(self, thread: LogicalThread, event) -> bool:
+        woken = event.barrier.arrive(thread)
+        if woken is None:
+            return self._shelve(thread, on=event.barrier)
+        for waiter in woken:
+            self._wake(waiter)
+        return True
 
     def _shelve(self, thread: LogicalThread, on=None) -> bool:
         """Park a thread on a primitive; its processor stays available.
@@ -491,7 +604,7 @@ class HybridKernel:
         thread.state = ThreadState.BLOCKED
         thread.blocked_on = on
         self._blocked.add(thread)
-        if self.trace:
+        if self.trace is not None:
             self.trace.record("block", self.now, thread.name)
         return False
 
@@ -505,7 +618,7 @@ class HybridKernel:
         waker = self._waking_thread
         if self.sync_policy == "deferred" and waker is not None:
             self._pending_wakes.setdefault(waker.name, []).append(thread)
-            if self.trace:
+            if self.trace is not None:
                 self.trace.record("wake-deferred", self.now, thread.name,
                                   waker=waker.name)
             return
@@ -519,7 +632,7 @@ class HybridKernel:
         thread.state = ThreadState.READY
         thread.release_time = max(thread.release_time, release_time)
         self.scheduler.add(thread)
-        if self.trace:
+        if self.trace is not None:
             self.trace.record("wake", release_time, thread.name)
 
     def _flush_pending_wakes(self, thread: LogicalThread) -> None:
@@ -537,10 +650,25 @@ class HybridKernel:
 
     def _flush_final_slice(self) -> None:
         """Analyze whatever demand the min-timeslice knob still holds."""
-        live = self._queue.regions()
-        self.us.collect(self.now, live)
+        if self._incremental:
+            self.us.advance(self.now, self._queue)
+        else:
+            self.us.collect(self.now, self._queue.regions())
         penalties = self.us.analyze(self._priorities, force=True)
         for thread_name, penalty in penalties.items():
             # Simulation is over: count the queueing estimate but do not
             # extend any end time.
             self._by_name[thread_name].total_penalty += penalty
+
+
+# Exact-type sync dispatch table; insertion order mirrors the original
+# isinstance chain so the subclass fallback resolves identically.
+_SYNC_DISPATCH = {
+    Acquire: HybridKernel._sync_acquire,
+    Release: HybridKernel._sync_release,
+    SemAcquire: HybridKernel._sync_sem_acquire,
+    SemRelease: HybridKernel._sync_sem_release,
+    CondWait: HybridKernel._sync_cond_wait,
+    CondNotify: HybridKernel._sync_cond_notify,
+    BarrierWait: HybridKernel._sync_barrier_wait,
+}

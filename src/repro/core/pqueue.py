@@ -20,6 +20,12 @@ from .region import AnnotationRegion
 class RegionQueue:
     """Min-heap of :class:`AnnotationRegion` keyed by ``end_time``."""
 
+    #: Compaction never triggers below this heap size; tiny heaps are
+    #: cheap to scan and compacting them would just churn.
+    COMPACT_MIN = 64
+
+    __slots__ = ("_heap", "_counter", "_live")
+
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, AnnotationRegion]] = []
         self._counter = itertools.count()
@@ -29,14 +35,35 @@ class RegionQueue:
         """Insert (or re-insert) a region keyed by its current end time."""
         count = next(self._counter)
         self._live[id(region)] = count
-        heapq.heappush(self._heap, (region.end_time, count, region))
+        region.queue_tag = count
+        heap = self._heap
+        if len(heap) >= self.COMPACT_MIN and len(heap) > 2 * len(self._live):
+            self._compact()
+            heap = self._heap
+        heapq.heappush(heap, (region.end_time, count, region))
+
+    def _compact(self) -> None:
+        """Drop stale entries and re-heapify.
+
+        Heavily-penalized runs re-push regions repeatedly, so stale
+        entries can come to dominate the heap, bloating every array scan
+        (``regions()``, incremental-accounting walks) without bound.
+        Rebuilding from the live entries alone is safe for pop order:
+        entries are totally ordered by their unique tie-break counter,
+        so a heap holds exactly one ordering regardless of layout.
+        """
+        live = self._live
+        self._heap = [entry for entry in self._heap
+                      if live.get(id(entry[2])) == entry[1]]
+        heapq.heapify(self._heap)
 
     def pop(self) -> AnnotationRegion:
         """Remove and return the region with the earliest end time."""
         while self._heap:
             end_time, count, region = heapq.heappop(self._heap)
-            if self._live.get(id(region)) == count:
+            if region.queue_tag == count:
                 del self._live[id(region)]
+                region.queue_tag = -1
                 return region
         raise IndexError("pop from empty RegionQueue")
 
@@ -44,7 +71,7 @@ class RegionQueue:
         """Return the earliest-ending region without removing it."""
         while self._heap:
             end_time, count, region = self._heap[0]
-            if self._live.get(id(region)) == count:
+            if region.queue_tag == count:
                 return region
             heapq.heappop(self._heap)
         return None
@@ -52,6 +79,7 @@ class RegionQueue:
     def remove(self, region: AnnotationRegion) -> None:
         """Lazily remove ``region`` (used when a region is shelved)."""
         self._live.pop(id(region), None)
+        region.queue_tag = -1
 
     def __len__(self) -> int:
         return len(self._live)

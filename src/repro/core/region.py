@@ -33,10 +33,11 @@ _EPS = 1e-12
 class AnnotationRegion:
     """One annotation region of a logical thread in flight on a processor."""
 
-    __slots__ = ("thread", "processor", "complexity", "accesses",
-                 "base_start", "base_end", "end_time", "pending_penalty",
-                 "applied_penalty", "seq", "committed", "zero_collected",
-                 "deferred_wakes", "burst")
+    __slots__ = ("thread", "thread_name", "processor", "complexity",
+                 "accesses", "base_start", "base_end", "end_time",
+                 "pending_penalty", "applied_penalty", "seq", "committed",
+                 "zero_collected", "deferred_wakes", "burst", "us_done",
+                 "queue_tag")
 
     def __init__(self, thread: "LogicalThread", processor: "Processor",
                  complexity: float, accesses: Mapping[str, float],
@@ -45,6 +46,8 @@ class AnnotationRegion:
                  burst: Mapping[str, float] = None):
         duration = processor.duration_of(complexity) + float(extra_time)
         self.thread = thread
+        #: Cached ``thread.name`` — read on every slice-accounting walk.
+        self.thread_name = thread.name
         self.processor = processor
         self.complexity = float(complexity)
         #: Total accesses per shared resource within the region.
@@ -68,6 +71,17 @@ class AnnotationRegion:
         #: Threads to release at this region's committed end time (the
         #: kernel's "deferred" sync policy — paper section 4.3).
         self.deferred_wakes = None
+        #: Incremental-accounting retirement flag: set by
+        #: :meth:`~repro.core.us.SharedResourceScheduler.register` for
+        #: accessless regions and by ``advance()`` once the base span is
+        #: fully collected; retired regions are skipped in O(1).
+        self.us_done = False
+        #: Tie-break counter of this region's live entry in its
+        #: :class:`~repro.core.pqueue.RegionQueue` (-1 while not
+        #: enqueued).  Mirrors the queue's live map so hot walks can
+        #: test liveness with one attribute load instead of an
+        #: ``id()`` + dict lookup.
+        self.queue_tag = -1
 
     @property
     def base_duration(self) -> float:

@@ -78,10 +78,18 @@ class FifoScheduler(ExecutionScheduler):
 
     def pick(self, processor: Processor,
              now: float) -> Optional[LogicalThread]:
-        eligible = self._eligible(processor, now)
-        if not eligible:
-            return None
-        return self._take(eligible[0])
+        # First eligible thread in ready order, located and removed in
+        # one scan (no eligible-list snapshot; pick runs per placement).
+        ready = self._ready
+        deadline = now + _EPS
+        pname = processor.name
+        for index, thread in enumerate(ready):
+            if (thread.release_time <= deadline
+                    and (thread.affinity is None
+                         or thread.affinity == pname)):
+                del ready[index]
+                return thread
+        return None
 
 
 class RoundRobinScheduler(ExecutionScheduler):

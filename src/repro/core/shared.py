@@ -84,10 +84,19 @@ class SharedResource:
         self.total_accesses += accesses
         if accesses > 0:
             self.active_slices += 1
+        if not penalties:
+            return
+        # Accumulate through a local; the adds happen in the same order
+        # (and therefore round identically) as per-item += on the field.
+        total = self.total_penalty
+        by_thread = self.penalty_by_thread
         for thread_name, penalty in penalties.items():
-            self.total_penalty += penalty
-            previous = self.penalty_by_thread.get(thread_name, 0.0)
-            self.penalty_by_thread[thread_name] = previous + penalty
+            total += penalty
+            if thread_name in by_thread:
+                by_thread[thread_name] = by_thread[thread_name] + penalty
+            else:
+                by_thread[thread_name] = penalty
+        self.total_penalty = total
 
     def record_faults(self, effect) -> None:
         """Accumulate one slice's fault-injection statistics.

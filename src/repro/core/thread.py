@@ -55,6 +55,11 @@ class LogicalThread:
         execution scheduler place the thread on any processor.
     """
 
+    __slots__ = ("name", "_body", "_gen", "priority", "affinity", "state",
+                 "release_time", "carry_penalty", "held_mutexes",
+                 "blocked_on", "total_penalty", "total_base_time",
+                 "regions_committed", "finish_time")
+
     def __init__(self, name: str, body: Body, priority: int = 0,
                  affinity: Optional[str] = None):
         self.name = str(name)
@@ -106,7 +111,9 @@ class LogicalThread:
         Returns ``None`` when the generator is exhausted.  Raises
         :class:`ProtocolError` if the body yields a non-event.
         """
-        gen = self._materialize()
+        gen = self._gen
+        if gen is None:
+            gen = self._materialize()
         try:
             event = next(gen)
         except StopIteration:

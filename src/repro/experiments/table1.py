@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..cycle import SteppedEngine
+from ..perf.parallel import ParallelExecutor
 from ..workloads.fft import fft_workload
 from ..workloads.to_mesh import run_hybrid
 from .report import format_table
@@ -40,29 +41,44 @@ class Table1Row:
         return self.iss_seconds / self.mesh_seconds
 
 
+def _table1_cell(spec: tuple) -> Table1Row:
+    """Time one (processors, cache) configuration — picklable cell fn.
+
+    Both engines are timed inside the same cell, so their *ratio* stays
+    meaningful even when several cells share the machine under
+    ``jobs > 1``; absolute seconds are then only indicative.
+    """
+    processors, cache_kb, points, repeats = spec
+    workload = fft_workload(points=points, processors=processors,
+                            cache_kb=cache_kb)
+    mesh_seconds = min(
+        _timed(lambda: run_hybrid(workload))
+        for _ in range(repeats))
+    iss_seconds = min(
+        _timed(lambda: SteppedEngine(workload).run())
+        for _ in range(repeats))
+    return Table1Row(processors=processors, cache_kb=cache_kb,
+                     mesh_seconds=mesh_seconds,
+                     iss_seconds=iss_seconds)
+
+
 def run_table1(proc_counts: Sequence[int] = DEFAULT_PROCS,
                cache_kbs: Sequence[int] = (512, 8),
                points: int = 4096,
-               repeats: int = 1) -> List[Table1Row]:
+               repeats: int = 1,
+               jobs: int = 1) -> List[Table1Row]:
     """Measure hybrid vs cycle-stepped wall-clock on the FFT workloads.
 
-    ``repeats`` takes the best of N to damp scheduler noise.
+    ``repeats`` takes the best of N to damp scheduler noise.  ``jobs``
+    overlaps grid cells via :class:`~repro.perf.parallel.
+    ParallelExecutor` (``0`` = one worker per CPU); rows come back in
+    grid order regardless.
     """
-    rows: List[Table1Row] = []
-    for cache_kb in cache_kbs:
-        for processors in proc_counts:
-            workload = fft_workload(points=points, processors=processors,
-                                    cache_kb=cache_kb)
-            mesh_seconds = min(
-                _timed(lambda: run_hybrid(workload))
-                for _ in range(repeats))
-            iss_seconds = min(
-                _timed(lambda: SteppedEngine(workload).run())
-                for _ in range(repeats))
-            rows.append(Table1Row(processors=processors, cache_kb=cache_kb,
-                                  mesh_seconds=mesh_seconds,
-                                  iss_seconds=iss_seconds))
-    return rows
+    specs = [(processors, cache_kb, points, repeats)
+             for cache_kb in cache_kbs
+             for processors in proc_counts]
+    executor = ParallelExecutor(jobs=jobs)
+    return list(executor.run(_table1_cell, specs))
 
 
 def render_table1(rows: Sequence[Table1Row]) -> str:

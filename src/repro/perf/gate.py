@@ -1,0 +1,138 @@
+"""Perf-regression gate: compare a bench record against a baseline.
+
+CI runs ``python -m repro.perf.profile --quick`` and then::
+
+    python -m repro.perf.gate \
+        --current benchmarks/out/BENCH_hotpath.json \
+        --baseline benchmarks/baseline/BENCH_hotpath.json \
+        --max-regression 0.25
+
+The gate compares every *gated metric* — by default the metric paths
+listed under ``results.gate_metrics`` in the **baseline** record (the
+committed contract), plus any ``--metric`` additions — and exits
+non-zero when a metric regressed by more than ``--max-regression``
+(fractional drop relative to the baseline value; higher is always
+better for gated metrics).
+
+Only ratio-style metrics are gated by default (see
+:data:`repro.perf.profile.GATE_METRICS`): absolute throughputs depend
+on the runner hardware, while a ratio of two code paths measured on the
+same machine is comparable across runs.  Metrics missing from either
+record are reported and skipped rather than failed, so freshly added
+scenarios do not break older baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """Outcome of gating one metric path."""
+
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    #: Fractional drop vs baseline (negative = improvement); ``None``
+    #: when either side is missing or the baseline is non-positive.
+    regression: Optional[float]
+    failed: bool
+
+    def describe(self, max_regression: float) -> str:
+        """One human-readable ``ok``/``FAIL``/``SKIP`` verdict line."""
+        if self.baseline is None or self.current is None:
+            side = "baseline" if self.baseline is None else "current"
+            return f"SKIP {self.metric}: missing from {side} record"
+        if self.regression is None:
+            return (f"SKIP {self.metric}: non-positive baseline "
+                    f"{self.baseline}")
+        verdict = "FAIL" if self.failed else "ok"
+        return (f"{verdict} {self.metric}: baseline {self.baseline} -> "
+                f"current {self.current} "
+                f"({self.regression:+.1%} vs allowed -{max_regression:.0%})")
+
+
+def _load_results(path: pathlib.Path) -> Dict[str, Any]:
+    record = json.loads(path.read_text(encoding="utf-8"))
+    # record_bench wraps measurements under "results".
+    return record.get("results", record)
+
+
+def _lookup(results: Dict[str, Any], metric: str) -> Optional[float]:
+    """Resolve ``scenario.metric[.deeper]`` inside the scenarios map."""
+    node: Any = results.get("scenarios", results)
+    for part in metric.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def gate(current: Dict[str, Any], baseline: Dict[str, Any],
+         max_regression: float,
+         metrics: Optional[Sequence[str]] = None) -> List[MetricCheck]:
+    """Check every gated metric; ``failed`` marks breaches."""
+    gated = list(baseline.get("gate_metrics", []))
+    for extra in metrics or []:
+        if extra not in gated:
+            gated.append(extra)
+    checks: List[MetricCheck] = []
+    for metric in gated:
+        base_value = _lookup(baseline, metric)
+        cur_value = _lookup(current, metric)
+        if base_value is None or cur_value is None or base_value <= 0:
+            checks.append(MetricCheck(metric, base_value, cur_value,
+                                      None, False))
+            continue
+        regression = (base_value - cur_value) / base_value
+        checks.append(MetricCheck(metric, base_value, cur_value,
+                                  regression,
+                                  regression > max_regression))
+    return checks
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; exit 1 when any gated metric breaches."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.gate",
+        description="Fail when bench metrics regress past a threshold")
+    parser.add_argument("--current", required=True, type=pathlib.Path,
+                        help="freshly recorded BENCH_<name>.json")
+    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+                        help="committed baseline BENCH_<name>.json")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        metavar="FRACTION",
+                        help="allowed fractional drop per metric "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--metric", action="append", dest="metrics",
+                        metavar="PATH",
+                        help="gate an additional scenario.metric path "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+    if args.max_regression < 0:
+        parser.error("--max-regression must be >= 0")
+
+    checks = gate(_load_results(args.current),
+                  _load_results(args.baseline),
+                  args.max_regression, metrics=args.metrics)
+    if not checks:
+        print("perf gate: no gated metrics found in baseline; nothing "
+              "to check")
+        return 0
+    failed = False
+    for check in checks:
+        print("perf gate:", check.describe(args.max_regression))
+        failed = failed or check.failed
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

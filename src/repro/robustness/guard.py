@@ -164,6 +164,11 @@ class GuardedModel(ContentionModel):
         self.health = health if health is not None else RunHealth()
 
     @property
+    def uses_priorities(self) -> bool:
+        """Whether any model in the fallback chain consults priorities."""
+        return any(model.uses_priorities for model in self.models)
+
+    @property
     def memo_safe(self) -> bool:
         """Memoizable only while the chain has never fallen back.
 

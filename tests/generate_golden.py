@@ -1,0 +1,43 @@
+"""Regenerate the golden kernel snapshots (``data/golden_kernel.json``).
+
+Run from the repository root::
+
+    PYTHONPATH=src:tests python tests/generate_golden.py
+
+The committed snapshot file pins the *seed* kernel's bit-exact behavior
+(results, trace stream, memo counters) across the full configuration
+matrix in :mod:`golden_scenarios`.  Only regenerate it when kernel
+behavior is *intentionally* changed — the equivalence suite exists to
+prove that performance work does **not** change behavior, so a diff in
+this file on a perf PR is a regression, not an update.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from golden_scenarios import config_key, iter_configs, run_config  # noqa: E402
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent / "data" / (
+    "golden_kernel.json")
+
+
+def main() -> None:
+    snapshots = {}
+    for scenario, policy, mts, fault, memo in iter_configs():
+        key = config_key(scenario, policy, mts, fault, memo)
+        snapshots[key] = run_config(scenario, policy, mts, fault, memo)
+        print(f"  {key}: makespan={snapshots[key]['makespan']}")
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(snapshots, indent=1, sort_keys=True)
+                        + "\n", encoding="utf-8")
+    print(f"wrote {len(snapshots)} snapshots to {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()
