@@ -7,7 +7,8 @@ built around.
 """
 
 from .characterize import ThreadProfile, characterize
-from .whole_run import WholeRunEstimate, estimate_queueing
+from .whole_run import (WholeRunEstimate, estimate_queueing,
+                        estimate_queueing_batch)
 
 __all__ = ["ThreadProfile", "WholeRunEstimate", "characterize",
-           "estimate_queueing"]
+           "estimate_queueing", "estimate_queueing_batch"]

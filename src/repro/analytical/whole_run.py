@@ -23,9 +23,10 @@ mispredicts in exactly the ways the paper's Figures 4-6 show.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..contention.base import ContentionModel, SliceDemand
+from ..contention.batch import analyze_grouped
 from ..contention.chenlin import ChenLinModel
 from .characterize import ThreadProfile, characterize
 from ..workloads.trace import Workload
@@ -64,6 +65,83 @@ class WholeRunEstimate:
         return 100.0 * self.queueing_cycles / denominator
 
 
+def _resource_demands(workload: Workload,
+                      profiles: Mapping[str, ThreadProfile],
+                      default_model: ContentionModel,
+                      overrides: Dict[str, ContentionModel]):
+    """Build each resource's whole-run :class:`SliceDemand`.
+
+    Returns one ``(spec, slice_demand, model)`` triple per resource, in
+    resource order; ``slice_demand`` is ``None`` for resources nothing
+    accesses (they estimate to zero without a model call).
+    """
+    priorities = {t.name: t.priority for t in workload.threads}
+    entries = []
+    for spec in workload.resources:
+        service = max(1, int(round(spec.service_time)))
+        resource_model = overrides.get(spec.name, default_model)
+        # Common interval over which all rates are assumed to be
+        # simultaneously sustained.
+        horizon = max((p.busy_cycles for p in profiles.values()
+                       if p.accesses.get(spec.name, 0.0) > 0),
+                      default=0.0)
+        if horizon <= _EPS:
+            entries.append((spec, None, resource_model))
+            continue
+        demands: Dict[str, float] = {}
+        mean_service: Dict[str, float] = {}
+        for name, profile in profiles.items():
+            rho = profile.access_rate(spec.name, service)
+            if rho > _EPS:
+                per_transaction = profile.mean_service(spec.name, service)
+                demands[name] = rho * horizon / per_transaction
+                if per_transaction != service:
+                    mean_service[name] = per_transaction
+        if len(demands) == 0:
+            entries.append((spec, None, resource_model))
+            continue
+        slice_demand = SliceDemand(
+            start=0.0, end=horizon, service_time=service,
+            demands=demands, priorities=priorities, ports=spec.ports,
+            mean_service=mean_service,
+        )
+        entries.append((spec, slice_demand, resource_model))
+    return entries
+
+
+def _assemble_estimate(profiles: Mapping[str, ThreadProfile],
+                       entries,
+                       penalty_maps) -> WholeRunEstimate:
+    """Fold batched penalties back into the per-thread/-resource sums.
+
+    Iterates resources and threads in the same order as the historical
+    per-resource loop, so every float accumulates identically.
+    """
+    per_thread: Dict[str, float] = {name: 0.0 for name in profiles}
+    per_resource: Dict[str, float] = {}
+    result_iter = iter(penalty_maps)
+    for spec, slice_demand, _ in entries:
+        if slice_demand is None:
+            per_resource[spec.name] = 0.0
+            continue
+        penalties = next(result_iter)
+        demands = slice_demand.demands
+        total = 0.0
+        for name, profile in profiles.items():
+            synthetic = demands.get(name, 0.0)
+            if synthetic <= _EPS:
+                continue
+            wait_per_access = penalties.get(name, 0.0) / synthetic
+            actual = profile.accesses.get(spec.name, 0.0)
+            estimate = actual * wait_per_access
+            per_thread[name] += estimate
+            total += estimate
+        per_resource[spec.name] = total
+    return WholeRunEstimate(per_thread=per_thread,
+                            per_resource=per_resource,
+                            profiles=profiles)
+
+
 def estimate_queueing(workload: Workload,
                       model: Optional[ContentionModel] = None,
                       models: Optional[Dict[str, ContentionModel]] = None,
@@ -76,56 +154,65 @@ def estimate_queueing(workload: Workload,
     caller that already characterized the workload (e.g. the comparison
     runner, which needs the busy-cycle basis anyway) pass the result in
     instead of paying for a second identical characterization.
+
+    All resources sharing one model instance are evaluated in a single
+    ``analyze_batch`` call (bit-identical to per-resource evaluation;
+    see :mod:`repro.contention.batch`).
     """
     default_model = model if model is not None else ChenLinModel()
     overrides = models or {}
     if profiles is None:
         profiles = characterize(workload)
-    priorities = {t.name: t.priority for t in workload.threads}
-    per_thread: Dict[str, float] = {name: 0.0 for name in profiles}
-    per_resource: Dict[str, float] = {}
+    entries = _resource_demands(workload, profiles, default_model,
+                                overrides)
+    penalty_maps = analyze_grouped(
+        [(resource_model, slice_demand)
+         for _, slice_demand, resource_model in entries
+         if slice_demand is not None])
+    return _assemble_estimate(profiles, entries, penalty_maps)
 
-    for spec in workload.resources:
-        service = max(1, int(round(spec.service_time)))
-        resource_model = overrides.get(spec.name, default_model)
-        # Common interval over which all rates are assumed to be
-        # simultaneously sustained.
-        horizon = max((p.busy_cycles for p in profiles.values()
-                       if p.accesses.get(spec.name, 0.0) > 0),
-                      default=0.0)
-        if horizon <= _EPS:
-            per_resource[spec.name] = 0.0
-            continue
-        demands: Dict[str, float] = {}
-        mean_service: Dict[str, float] = {}
-        for name, profile in profiles.items():
-            rho = profile.access_rate(spec.name, service)
-            if rho > _EPS:
-                per_transaction = profile.mean_service(spec.name, service)
-                demands[name] = rho * horizon / per_transaction
-                if per_transaction != service:
-                    mean_service[name] = per_transaction
-        if len(demands) == 0:
-            per_resource[spec.name] = 0.0
-            continue
-        slice_demand = SliceDemand(
-            start=0.0, end=horizon, service_time=service,
-            demands=demands, priorities=priorities, ports=spec.ports,
-            mean_service=mean_service,
-        )
-        penalties = resource_model.penalties(slice_demand)
-        total = 0.0
-        for name, profile in profiles.items():
-            synthetic = demands.get(name, 0.0)
-            if synthetic <= _EPS:
-                continue
-            wait_per_access = penalties.get(name, 0.0) / synthetic
-            actual = profile.accesses.get(spec.name, 0.0)
-            estimate = actual * wait_per_access
-            per_thread[name] += estimate
-            total += estimate
-        per_resource[spec.name] = total
 
-    return WholeRunEstimate(per_thread=per_thread,
-                            per_resource=per_resource,
-                            profiles=profiles)
+def estimate_queueing_batch(
+        workloads: Sequence[Workload],
+        model: Optional[ContentionModel] = None,
+        models: Optional[Dict[str, ContentionModel]] = None,
+        profiles_list: Optional[Sequence[Mapping[str, ThreadProfile]]]
+        = None) -> List[WholeRunEstimate]:
+    """Whole-run estimates for many design points in one batched pass.
+
+    The grid-evaluation twin of :func:`estimate_queueing`: every
+    resource demand of every workload is gathered first, then each
+    model instance evaluates *all* of its demands — across the whole
+    grid — in one ``analyze_batch`` call.  Results are identical to
+    calling :func:`estimate_queueing` per workload; the win is
+    amortizing Python/NumPy dispatch over the design space (the
+    design-exploration loop the paper motivates).
+    """
+    default_model = model if model is not None else ChenLinModel()
+    overrides = models or {}
+    if profiles_list is None:
+        profiles_list = [characterize(workload) for workload in workloads]
+    elif len(profiles_list) != len(workloads):
+        raise ValueError(
+            f"profiles_list has {len(profiles_list)} entries for "
+            f"{len(workloads)} workloads")
+    all_entries = [
+        _resource_demands(workload, profiles, default_model, overrides)
+        for workload, profiles in zip(workloads, profiles_list)
+    ]
+    pairs: List[Tuple[ContentionModel, SliceDemand]] = [
+        (resource_model, slice_demand)
+        for entries in all_entries
+        for _, slice_demand, resource_model in entries
+        if slice_demand is not None
+    ]
+    penalty_maps = analyze_grouped(pairs)
+    estimates: List[WholeRunEstimate] = []
+    offset = 0
+    for profiles, entries in zip(profiles_list, all_entries):
+        live = sum(1 for _, slice_demand, _ in entries
+                   if slice_demand is not None)
+        estimates.append(_assemble_estimate(
+            profiles, entries, penalty_maps[offset:offset + live]))
+        offset += live
+    return estimates

@@ -8,6 +8,8 @@ Examples::
     python -m repro table1
     python -m repro all
     python -m repro calibrate --model chenlin --threads 4
+    python -m repro report examples/scenarios/*.json --jobs 0
+    python -m repro pareto --points 1024 --jobs 0
 """
 
 from __future__ import annotations
@@ -101,6 +103,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated fallback chain of model names (e.g. "
              "'chenlin,mm1,constant'); wraps --model in a GuardedModel "
              "that falls back when an evaluation misbehaves")
+
+    report = sub.add_parser(
+        "report", parents=[jobs],
+        help="compare all estimators across several JSON scenarios")
+    report.add_argument("scenarios", nargs="+", metavar="SCENARIO_JSON",
+                        help="paths to scenario .json files")
+    report.add_argument("--model", default="chenlin",
+                        choices=available_models())
+
+    pareto = sub.add_parser(
+        "pareto", parents=[jobs],
+        help="design-space sweep (FFT procs x bus delay) with Pareto "
+             "front")
+    pareto.add_argument("--points", type=int, default=1024,
+                        help="FFT size per design point")
+    pareto.add_argument("--procs", type=int, nargs="+",
+                        default=(2, 4, 8, 16),
+                        help="processor counts to sweep")
+    pareto.add_argument("--bus-delays", type=float, nargs="+",
+                        default=(2.0, 4.0, 8.0),
+                        help="bus service times to sweep")
+    pareto.add_argument("--model", default="chenlin",
+                        choices=available_models())
 
     return parser
 
@@ -217,6 +242,111 @@ def _run_simulate(args) -> str:
     return "\n".join(lines)
 
 
+def _run_report(args) -> str:
+    from .experiments.report import format_table
+    from .experiments.runner import run_comparisons_parallel
+    from .workloads.io import load_workload
+
+    model = make_model(args.model)
+    workloads = {}
+    load_errors = {}
+    for path in args.scenarios:
+        try:
+            workloads[path] = load_workload(path)
+        except Exception as exc:  # a bad file is one failed row, not a crash
+            load_errors[path] = f"{type(exc).__name__}: {exc}"
+    cells = run_comparisons_parallel(list(workloads.values()),
+                                     jobs=getattr(args, "jobs", 1),
+                                     model=model)
+    by_path = dict(zip(workloads, cells))
+    rows = []
+    for path in args.scenarios:
+        error = (load_errors.get(path)
+                 or (None if by_path[path].ok else by_path[path].error))
+        if error is not None:
+            rows.append([path, "-", "-", "-", "-", f"error: {error}"])
+            continue
+        comparison = by_path[path].value
+        mesh = comparison.runs["mesh"]
+        iss = comparison.runs["iss"]
+        analytical = comparison.runs["analytical"]
+        rows.append([
+            path,
+            f"{iss.queueing_cycles:,.0f}",
+            f"{mesh.queueing_cycles:,.0f}",
+            f"{analytical.queueing_cycles:,.0f}",
+            f"{comparison.error('mesh'):+.1f}% / "
+            f"{comparison.error('analytical'):+.1f}%",
+            f"{comparison.speedup():.1f}x",
+        ])
+    return format_table(
+        ["scenario", "iss Q", "mesh Q", "analytical Q",
+         "err mesh/analytical", "mesh speedup"],
+        rows,
+        title=f"Estimator comparison ({args.model} model)")
+
+
+def _pareto_cell(points: int, design):
+    """One design point: build the workload and characterize it."""
+    from .analytical import characterize
+    from .workloads.fft import fft_workload
+
+    procs, bus = design
+    workload = fft_workload(points=points, processors=procs,
+                            bus_service=bus, cache_kb=8)
+    return workload, characterize(workload)
+
+
+def _run_pareto(args) -> str:
+    import functools
+
+    from .analytical import estimate_queueing_batch
+    from .experiments.pareto import evaluate_designs, knee_point, \
+        pareto_front
+    from .experiments.report import format_table
+
+    designs = [(procs, bus)
+               for procs in args.procs for bus in args.bus_delays]
+    # Workload construction + characterization parallelize per design;
+    # the analytical model then evaluates the *whole grid* in one
+    # batched pass in this process.
+    cells = evaluate_designs(designs,
+                             functools.partial(_pareto_cell, args.points),
+                             jobs=getattr(args, "jobs", 1))
+    workloads = [workload for workload, _ in cells]
+    profiles_list = [profiles for _, profiles in cells]
+    estimates = estimate_queueing_batch(workloads,
+                                        model=make_model(args.model),
+                                        profiles_list=profiles_list)
+    rows_data = []
+    for (procs, bus), profiles, estimate in zip(designs, profiles_list,
+                                                estimates):
+        makespan = max(
+            profile.busy_cycles + estimate.per_thread.get(name, 0.0)
+            for name, profile in profiles.items())
+        rows_data.append({"procs": procs, "bus": bus,
+                          "makespan": makespan,
+                          "queueing": estimate.queueing_cycles})
+    objectives = [
+        lambda d: d["makespan"],      # time
+        lambda d: float(d["procs"]),  # area cost
+        lambda d: 1.0 / d["bus"],     # bus speed cost (faster = dearer)
+    ]
+    front = pareto_front(rows_data, objectives)
+    knee = knee_point(rows_data, objectives)
+    front_ids = {id(d) for d in front}
+    rows = [[d["procs"], f"{d['bus']:g}", f"{d['makespan']:,.0f}",
+             f"{d['queueing']:,.0f}",
+             ("knee" if d is knee else
+              "front" if id(d) in front_ids else "")]
+            for d in rows_data]
+    return format_table(
+        ["procs", "bus", "est. makespan", "est. queueing", "pareto"],
+        rows,
+        title=(f"FFT-{args.points} design sweep "
+               f"({args.model} whole-run model)"))
+
+
 _COMMANDS = {
     "fig4": _run_fig4,
     "table1": _run_table1,
@@ -226,6 +356,8 @@ _COMMANDS = {
     "calibrate": _run_calibrate,
     "validate": _run_validate,
     "simulate": _run_simulate,
+    "report": _run_report,
+    "pareto": _run_pareto,
 }
 
 

@@ -1,0 +1,499 @@
+"""Batched (vectorized) evaluation of closed-form contention models.
+
+The hybrid kernel, the whole-run analytical baseline, and the
+calibration harness all evaluate closed-form queueing formulas many
+times with different :class:`~repro.contention.base.SliceDemand`
+inputs.  Each evaluation is elementwise arithmetic — exactly the shape
+of work NumPy executes orders of magnitude faster than a Python loop.
+This module provides:
+
+* :class:`SliceDemandBatch` — an ordered collection of slice demands;
+* :func:`dispatch_batch` — the engine behind
+  :meth:`ContentionModel.analyze_batch`: routes a batch to a
+  NumPy-vectorized kernel when one is registered for the model's exact
+  class and NumPy is importable, and otherwise falls back to the scalar
+  ``penalties()`` loop (NumPy stays an *optional* accelerator);
+* :func:`analyze_grouped` — convenience for call sites holding
+  ``(model, demand)`` pairs spanning several model instances.
+
+Exactness contract
+------------------
+Batched results are **bit-identical** to the scalar path.  Every kernel
+replays the scalar formula operation by operation, in the same order,
+on float64 arrays — elementwise IEEE-754 arithmetic (``+ - * /``,
+``min``/``max``) produces the same bits whether applied to one scalar
+or a lane of an array.  Three rules keep that true:
+
+* reductions over threads are sequential Python loops over per-thread
+  *column* arrays (``total = total + rho[j]``), never ``np.sum`` —
+  NumPy's pairwise summation would reassociate the adds;
+* inactive threads (zero demand) contribute exact no-op terms
+  (``+ 0.0``, ``* 1.0``) instead of being filtered out, because all
+  intermediate values here are non-negative (no ``-0.0`` to flip);
+* demands are grouped by their ordered thread-name tuple so each
+  group's columns line up and per-thread dict iteration order is
+  reproduced exactly.
+
+Only *same-formula* evaluations are batched: a batch is a set of
+independent slices, and kernels are keyed by exact model type, so a
+subclass overriding ``penalties()`` transparently gets the scalar loop.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Callable, Dict, Iterable, Iterator, List,
+                    Optional, Sequence, Tuple)
+
+from .base import ContentionModel, SliceDemand
+
+try:  # NumPy is an optional accelerator, never a hard dependency.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+_EPS = 1e-12
+
+#: Below this many demands the scalar loop wins (array setup overhead).
+MIN_VECTOR_BATCH = 2
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized fast path can run in this interpreter."""
+    return _np is not None
+
+
+class SliceDemandBatch:
+    """Ordered collection of independent slice demands.
+
+    The container is intentionally dumb: batching carries no semantics
+    beyond "evaluate each of these, in order".  Demands in one batch may
+    target different resources, windows, and thread sets — each element
+    is analyzed exactly as a standalone :meth:`ContentionModel.penalties`
+    call would analyze it (same-slice batching in the kernel preserves
+    the hybrid feedback loop because a batch never spans timeslices).
+    """
+
+    __slots__ = ("demands",)
+
+    def __init__(self, demands: Iterable[SliceDemand] = ()):
+        self.demands: List[SliceDemand] = list(demands)
+
+    def __len__(self) -> int:
+        return len(self.demands)
+
+    def __iter__(self) -> Iterator[SliceDemand]:
+        return iter(self.demands)
+
+    def __getitem__(self, index: int) -> SliceDemand:
+        return self.demands[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SliceDemandBatch({len(self.demands)} demands)"
+
+
+def dispatch_batch(model: ContentionModel,
+                   batch: Iterable[SliceDemand]) -> List[Dict[str, float]]:
+    """Evaluate ``model`` over every demand in ``batch``.
+
+    Returns one penalties dict per demand, in batch order, bit-identical
+    to ``[model.penalties(d) for d in batch]``.  The vector kernel is
+    used only when registered for the model's *exact* type, NumPy is
+    importable, and the batch has at least :data:`MIN_VECTOR_BATCH`
+    elements; every other case runs the scalar loop.
+    """
+    demands = (batch.demands if isinstance(batch, SliceDemandBatch)
+               else list(batch))
+    if not demands:
+        return []
+    kernel = _VECTOR_KERNELS.get(type(model))
+    if kernel is None or _np is None or len(demands) < MIN_VECTOR_BATCH:
+        return [model.penalties(demand) for demand in demands]
+    # Masked lanes may divide by zero before np.where discards them.
+    with _np.errstate(divide="ignore", invalid="ignore"):
+        return kernel(model, demands)
+
+
+def analyze_grouped(
+        pairs: Sequence[Tuple[ContentionModel, SliceDemand]],
+) -> List[Dict[str, float]]:
+    """Evaluate ``(model, demand)`` pairs, batching per model instance.
+
+    Groups by model identity (the common case — e.g. every resource in a
+    workload sharing one default model — becomes a single batch), calls
+    ``analyze_batch`` per group, and scatters results back into input
+    order.  Single-demand groups take the direct scalar call.
+    """
+    out: List[Optional[Dict[str, float]]] = [None] * len(pairs)
+    order: List[int] = []
+    groups: Dict[int, Tuple[ContentionModel, List[int]]] = {}
+    for index, (model, _) in enumerate(pairs):
+        key = id(model)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = (model, [index])
+            order.append(key)
+        else:
+            bucket[1].append(index)
+    for key in order:
+        model, indices = groups[key]
+        if len(indices) == 1:
+            out[indices[0]] = model.penalties(pairs[indices[0]][1])
+            continue
+        results = model.analyze_batch(
+            SliceDemandBatch(pairs[i][1] for i in indices))
+        for i, penalties in zip(indices, results):
+            out[i] = penalties
+    return out  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Vectorized kernels.  Private: reached only through dispatch_batch.
+# ---------------------------------------------------------------------------
+
+
+def _grouped(demands: Sequence[SliceDemand],
+             subkey: Optional[Callable[[SliceDemand], Any]] = None):
+    """Yield ``(names, sub, indices)`` groups of column-compatible demands.
+
+    Demands are grouped by their *ordered* thread-name tuple (plus an
+    optional extra key, e.g. the port count for M/M/c) so that each
+    group shares column layout and dict iteration order.
+    """
+    order: List[Any] = []
+    groups: Dict[Any, List[int]] = {}
+    for index, demand in enumerate(demands):
+        key: Any = tuple(demand.demands.keys())
+        if subkey is not None:
+            key = (key, subkey(demand))
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [index]
+            order.append(key)
+        else:
+            bucket.append(index)
+    for key in order:
+        if subkey is not None:
+            yield key[0], key[1], groups[key]
+        else:
+            yield key, None, groups[key]
+
+
+class _Columns:
+    """Column-major float64 views of one group of demands.
+
+    One array per scalar field, one array *per thread* for counts,
+    service times, and utilization — reductions over threads then run as
+    sequential Python loops over these columns, reproducing the scalar
+    helpers' float accumulation order exactly.
+    """
+
+    __slots__ = ("names", "size", "duration", "service_time", "counts",
+                 "svc", "active", "active_f", "rho", "total")
+
+    def __init__(self, names: Tuple[str, ...],
+                 demands: Sequence[SliceDemand]):
+        np = _np
+        self.names = names
+        self.size = len(demands)
+        self.duration = np.array([d.end - d.start for d in demands],
+                                 dtype=float)
+        self.service_time = np.array([d.service_time for d in demands],
+                                     dtype=float)
+        counts, svc, active, active_f = [], [], [], []
+        for name in names:
+            count = np.array([float(d.demands[name]) for d in demands])
+            service = np.array([float(d.service_of(name))
+                                for d in demands])
+            mask = count > 0.0
+            counts.append(count)
+            svc.append(service)
+            active.append(mask)
+            active_f.append(mask.astype(float))
+        self.counts, self.svc = counts, svc
+        self.active, self.active_f = active, active_f
+        # per_thread_utilization: a_i * S_i / T, or 1.0 for a degenerate
+        # (zero-width) window; inactive threads pinned to 0.0 so they
+        # are exact no-ops in every downstream sum.
+        degenerate = self.duration <= _EPS
+        safe_duration = np.where(degenerate, 1.0, self.duration)
+        self.rho = [
+            np.where(mask,
+                     np.where(degenerate, 1.0,
+                              count * service / safe_duration),
+                     0.0)
+            for count, service, mask in zip(counts, svc, active)
+        ]
+        total = np.zeros(self.size)
+        for value in self.rho:
+            total = total + value
+        self.total = total
+
+
+def _open_wait_for(cols: _Columns, me: int, rho_max: float,
+                   deterministic: bool):
+    """Vector twin of :func:`repro.contention.util.open_wait_for`."""
+    np = _np
+    interference = np.zeros(cols.size)
+    for j, value in enumerate(cols.rho):
+        if j != me:
+            interference = interference + value
+    residual = np.zeros(cols.size)
+    for j, value in enumerate(cols.rho):
+        if j != me:
+            residual = residual + value * cols.svc[j]
+    residual = residual / 2.0
+    if not deterministic:
+        residual = residual * 2.0
+    loaded = np.minimum(interference, rho_max)
+    clipped = interference > loaded
+    scale = loaded / np.where(clipped, interference, 1.0)
+    residual = residual * np.where(clipped, scale, 1.0)
+    wait = residual / (1.0 - loaded)
+    return np.where(interference <= _EPS, 0.0, wait)
+
+
+def _closed_wait_for(cols: _Columns, me: int):
+    """Vector twin of :func:`repro.contention.util.closed_wait_for`."""
+    np = _np
+    wait = np.zeros(cols.size)
+    for j, value in enumerate(cols.rho):
+        if j != me:
+            wait = wait + np.minimum(1.0, value) * cols.svc[j]
+    return wait
+
+
+def _saturation_floors(cols: _Columns, knee: Optional[float]):
+    """Vector twin of :func:`repro.contention.util.saturation_floor`."""
+    np = _np
+    if knee is None:
+        from .util import SATURATION_KNEE
+        knee = SATURATION_KNEE
+    saturated = (cols.total > knee) & (cols.duration > _EPS)
+    stretch = (cols.total - knee) * cols.duration
+    floors = []
+    for i in range(len(cols.names)):
+        cap = np.zeros(cols.size)
+        for j in range(len(cols.names)):
+            if j != i:
+                cap = cap + cols.svc[j] * cols.active_f[j]
+        floors.append(np.minimum(stretch, cols.counts[i] * cap))
+    return saturated, floors
+
+
+def _assemble(cols: _Columns, masks, values, floors, saturated,
+              out: List[Optional[Dict[str, float]]],
+              indices: Sequence[int]) -> None:
+    """Scatter per-thread columns back into scalar-identical dicts.
+
+    Main entries first in thread order, then saturation floors applied
+    in thread order (raising existing entries in place, appending new
+    ones) — matching ``apply_saturation_floor``'s dict insertion order.
+    """
+    names = cols.names
+    width = len(names)
+    for pos, index in enumerate(indices):
+        row: Dict[str, float] = {}
+        for i in range(width):
+            if masks[i][pos]:
+                row[names[i]] = float(values[i][pos])
+        if saturated is not None and saturated[pos]:
+            for i in range(width):
+                if not cols.active[i][pos]:
+                    continue
+                floor = floors[i][pos]
+                if floor > row.get(names[i], 0.0):
+                    row[names[i]] = float(floor)
+        out[index] = row
+
+
+def _chenlin_kernel(model: ContentionModel,
+                    demands: Sequence[SliceDemand]):
+    np = _np
+    out: List[Optional[Dict[str, float]]] = [None] * len(demands)
+    for names, _, indices in _grouped(demands):
+        cols = _Columns(names, [demands[i] for i in indices])
+        masks, values = [], []
+        for i in range(len(names)):
+            interference = cols.total - cols.rho[i]
+            wait = _open_wait_for(cols, i, model.rho_max,
+                                  deterministic=True)
+            if model.residual:
+                wait = wait + (cols.service_time
+                               * np.minimum(interference, 1.0) / 2.0)
+            wait = np.minimum(wait, _closed_wait_for(cols, i))
+            penalty = cols.counts[i] * wait
+            masks.append(cols.active[i] & (interference > _EPS)
+                         & (penalty > 0))
+            values.append(penalty)
+        saturated, floors = _saturation_floors(cols, model.knee)
+        _assemble(cols, masks, values, floors, saturated, out, indices)
+    return out
+
+
+def _mm1_like_kernel(model: ContentionModel,
+                     demands: Sequence[SliceDemand],
+                     deterministic: bool):
+    """Shared body of the M/M/1 and M/D/1 kernels.
+
+    The two models differ only in the open-wait variant and the
+    self-residual divisor — exactly as their scalar twins do.
+    """
+    np = _np
+    out: List[Optional[Dict[str, float]]] = [None] * len(demands)
+    for names, _, indices in _grouped(demands):
+        cols = _Columns(names, [demands[i] for i in indices])
+        masks, values = [], []
+        for i in range(len(names)):
+            if model.exclude_self:
+                load = cols.total - cols.rho[i]
+            else:
+                load = cols.total
+            wait = _open_wait_for(cols, i, model.rho_max,
+                                  deterministic=deterministic)
+            if not model.exclude_self:
+                self_residual = cols.rho[i] * cols.svc[i]
+                if deterministic:
+                    self_residual = self_residual / 2.0
+                wait = wait + (self_residual
+                               / np.maximum(1.0 - np.minimum(
+                                   load, model.rho_max), 0.02))
+            wait = np.minimum(wait, _closed_wait_for(cols, i))
+            penalty = cols.counts[i] * wait
+            masks.append(cols.active[i] & (load > _EPS) & (penalty > 0))
+            values.append(penalty)
+        saturated, floors = _saturation_floors(cols, None)
+        _assemble(cols, masks, values, floors, saturated, out, indices)
+    return out
+
+
+def _mm1_kernel(model, demands):
+    return _mm1_like_kernel(model, demands, deterministic=False)
+
+
+def _md1_kernel(model, demands):
+    return _mm1_like_kernel(model, demands, deterministic=True)
+
+
+def _roundrobin_kernel(model: ContentionModel,
+                       demands: Sequence[SliceDemand]):
+    out: List[Optional[Dict[str, float]]] = [None] * len(demands)
+    for names, _, indices in _grouped(demands):
+        cols = _Columns(names, [demands[i] for i in indices])
+        masks, values = [], []
+        for i in range(len(names)):
+            wait = _closed_wait_for(cols, i)
+            penalty = cols.counts[i] * wait
+            masks.append(cols.active[i] & (wait > _EPS) & (penalty > 0))
+            values.append(penalty)
+        saturated, floors = _saturation_floors(cols, None)
+        _assemble(cols, masks, values, floors, saturated, out, indices)
+    return out
+
+
+def _constant_kernel(model: ContentionModel,
+                     demands: Sequence[SliceDemand]):
+    np = _np
+    out: List[Optional[Dict[str, float]]] = [None] * len(demands)
+    delay = model.delay
+    for names, _, indices in _grouped(demands):
+        sub = [demands[i] for i in indices]
+        counts = [np.array([float(d.demands[name]) for d in sub])
+                  for name in names]
+        active = [count > 0.0 for count in counts]
+        contenders = np.zeros(len(sub), dtype=int)
+        for mask in active:
+            contenders = contenders + mask
+        shared = contenders >= 2
+        penalties = [count * delay for count in counts]
+        for pos, index in enumerate(indices):
+            row: Dict[str, float] = {}
+            if shared[pos]:
+                for i, name in enumerate(names):
+                    if active[i][pos]:
+                        row[name] = float(penalties[i][pos])
+            out[index] = row
+    return out
+
+
+def _erlang_c_batch(servers: int, load):
+    """Vector twin of :func:`repro.contention.mmc.erlang_c`."""
+    np = _np
+    load_pow = np.ones(load.shape)
+    partial_sum = np.zeros(load.shape)
+    for k in range(servers):
+        partial_sum = partial_sum + load_pow
+        load_pow = load_pow * load / (k + 1)
+    tail = load_pow * servers / (servers - load)
+    result = tail / (partial_sum + tail)
+    result = np.where(load >= servers, 1.0, result)
+    return np.where(load <= _EPS, 0.0, result)
+
+
+def _mmc_kernel(model: ContentionModel,
+                demands: Sequence[SliceDemand]):
+    np = _np
+    out: List[Optional[Dict[str, float]]] = [None] * len(demands)
+    for names, servers, indices in _grouped(
+            demands, subkey=lambda d: max(1, int(d.ports))):
+        cols = _Columns(names, [demands[i] for i in indices])
+        active_count = np.zeros(cols.size, dtype=int)
+        for mask in cols.active:
+            active_count = active_count + mask
+        masks, values = [], []
+        for i in range(len(names)):
+            interference = cols.total - cols.rho[i]
+            load = np.minimum(interference, servers * model.rho_max)
+            utilization = load / servers
+            wait_probability = _erlang_c_batch(servers, load)
+            wait = (wait_probability * cols.service_time
+                    / (servers * np.maximum(1.0 - utilization,
+                                            1.0 - model.rho_max)))
+            in_flight = np.zeros(cols.size)
+            for j, value in enumerate(cols.rho):
+                if j != i:
+                    in_flight = in_flight + np.minimum(1.0, value)
+            closed = (cols.service_time
+                      * np.maximum(0.0, in_flight - (servers - 1))
+                      / servers)
+            wait = np.minimum(wait, closed)
+            penalty = cols.counts[i] * wait
+            masks.append(cols.active[i] & (penalty > 0))
+            values.append(penalty)
+        # MMcModel applies its own flow-balance floor against the
+        # aggregate capacity c/s rather than the shared helper.
+        saturated = ((cols.total > servers * 0.95)
+                     & (cols.duration > _EPS))
+        stretch = ((cols.total - servers * 0.95) / servers
+                   * cols.duration)
+        others = active_count - 1
+        floors = [
+            np.minimum(stretch,
+                       cols.counts[i] * cols.service_time * others
+                       / servers)
+            for i in range(len(names))
+        ]
+        _assemble(cols, masks, values, floors, saturated, out, indices)
+    return out
+
+
+def _register_kernels():
+    from .chenlin import ChenLinModel
+    from .constant import ConstantModel
+    from .md1 import MD1Model
+    from .mm1 import MM1Model
+    from .mmc import MMcModel
+    from .roundrobin import RoundRobinModel
+    return {
+        ChenLinModel: _chenlin_kernel,
+        ConstantModel: _constant_kernel,
+        MD1Model: _md1_kernel,
+        MM1Model: _mm1_kernel,
+        MMcModel: _mmc_kernel,
+        RoundRobinModel: _roundrobin_kernel,
+    }
+
+
+#: Exact model type -> vector kernel.  Exact-type dispatch is a safety
+#: property: a subclass overriding ``penalties()`` must not inherit a
+#: kernel derived from the parent's formula.
+_VECTOR_KERNELS: Dict[type, Callable] = _register_kernels()

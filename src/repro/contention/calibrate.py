@@ -23,6 +23,7 @@ from typing import List, Sequence
 from ..cycle import EventEngine
 from ..workloads.synthetic import uniform_workload
 from .base import ContentionModel, SliceDemand
+from .batch import SliceDemandBatch
 
 DEFAULT_ACCESS_SWEEP = (10, 30, 60, 100, 160, 240, 320, 420)
 
@@ -49,32 +50,22 @@ class CalibrationPoint:
             self.measured_wait)
 
 
-def _calibration_cell(model: ContentionModel, threads: int,
-                      service_time: float, phase_work: float,
-                      phases: int, arbiter: str, seed: int,
-                      accesses: int) -> CalibrationPoint:
-    """Measure and predict one utilization candidate (parallelizable)."""
+def _measure_cell(threads: int, service_time: float, phase_work: float,
+                  phases: int, arbiter: str, seed: int,
+                  accesses: int) -> float:
+    """Cycle-accurate mean per-access wait for one sweep candidate.
+
+    Pure measurement, no model involved — so it parallelizes without
+    shipping (possibly stateful, possibly unpicklable) model objects to
+    worker processes.
+    """
     workload = uniform_workload(threads=threads, phases=phases,
                                 work=phase_work, accesses=accesses,
                                 bus_service=service_time, seed=seed)
     result = EventEngine(workload, arbiter=arbiter).run()
     total_accesses = sum(t.accesses for t in result.threads.values())
-    measured = (result.queueing_cycles / total_accesses
-                if total_accesses else 0.0)
-
-    span = phase_work + accesses * service_time
-    demand = SliceDemand(
-        start=0.0, end=span, service_time=service_time,
-        demands={f"u{i}": float(accesses) for i in range(threads)},
-    )
-    penalties = model.penalties(demand)
-    predicted_total = sum(penalties.values())
-    predicted = predicted_total / (threads * accesses)
-
-    rho = accesses * service_time / span
-    return CalibrationPoint(
-        rho_per_thread=rho, rho_total=threads * rho,
-        measured_wait=measured, model_wait=predicted)
+    return (result.queueing_cycles / total_accesses
+            if total_accesses else 0.0)
 
 
 def calibrate_model(model: ContentionModel,
@@ -92,21 +83,44 @@ def calibrate_model(model: ContentionModel,
     streams (random access placement), measures ground-truth mean wait,
     and evaluates the model on the matching aggregate demand.
 
-    The candidate grid is independent cell-by-cell; ``jobs > 1`` spreads
-    it over a process pool (``0`` = one worker per CPU).  Note the model
-    is evaluated in worker processes there, so a stateful wrapper's
-    call-site state (e.g. a ``GuardedModel`` health report) is not
-    updated in the caller — calibrate such wrappers serially.
+    The cycle-engine measurements are independent cell-by-cell;
+    ``jobs > 1`` spreads them over a process pool (``0`` = one worker
+    per CPU).  The model itself is evaluated in the *caller's* process,
+    over the whole sweep in one ``analyze_batch`` call — so stateful
+    wrappers (e.g. a ``GuardedModel`` health report) see every
+    evaluation regardless of ``jobs``, and the closed-form models take
+    their vectorized fast path across the grid.
     """
     if threads < 2:
         raise ValueError("calibration needs >= 2 contending threads")
     from ..perf.parallel import ParallelExecutor
 
-    return ParallelExecutor(jobs).run(
-        functools.partial(_calibration_cell, model, threads,
-                          service_time, phase_work, phases, arbiter,
-                          seed),
-        list(access_sweep))
+    sweep = list(access_sweep)
+    with ParallelExecutor(jobs) as executor:
+        measured_waits = executor.run(
+            functools.partial(_measure_cell, threads, service_time,
+                              phase_work, phases, arbiter, seed),
+            sweep)
+    demands = [
+        SliceDemand(
+            start=0.0, end=phase_work + accesses * service_time,
+            service_time=service_time,
+            demands={f"u{i}": float(accesses) for i in range(threads)},
+        )
+        for accesses in sweep
+    ]
+    penalty_maps = model.analyze_batch(SliceDemandBatch(demands))
+    points: List[CalibrationPoint] = []
+    for accesses, measured, demand, penalties in zip(
+            sweep, measured_waits, demands, penalty_maps):
+        predicted_total = sum(penalties.values())
+        predicted = predicted_total / (threads * accesses)
+        span = demand.end
+        rho = accesses * service_time / span
+        points.append(CalibrationPoint(
+            rho_per_thread=rho, rho_total=threads * rho,
+            measured_wait=measured, model_wait=predicted))
+    return points
 
 
 def max_relative_error(points: Sequence[CalibrationPoint],

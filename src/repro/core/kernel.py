@@ -93,6 +93,12 @@ class HybridKernel:
         ``"rescan"`` is the legacy reference path that re-walks every
         in-flight region each commit; both produce bit-identical
         results (enforced by the golden equivalence suite).
+    batch_analysis:
+        Whether the US scheduler groups same-model resources of one
+        analyzed timeslice into a single vectorized ``analyze_batch``
+        call (default; bit-identical to the per-resource loop — see
+        :mod:`repro.contention.batch`).  ``False`` forces the legacy
+        one-call-per-resource path.
     """
 
     SYNC_POLICIES = ("eager", "deferred")
@@ -107,7 +113,8 @@ class HybridKernel:
                  fault_plan=None,
                  budget=None,
                  memo_cache=None,
-                 slice_accounting: str = "incremental"):
+                 slice_accounting: str = "incremental",
+                 batch_analysis: bool = True):
         if sync_policy not in self.SYNC_POLICIES:
             raise ConfigurationError(
                 f"unknown sync_policy {sync_policy!r}; choose from "
@@ -134,7 +141,8 @@ class HybridKernel:
         self.us = SharedResourceScheduler(self.shared_resources,
                                           min_timeslice=min_timeslice,
                                           fault_plan=fault_plan,
-                                          memo=memo_cache)
+                                          memo=memo_cache,
+                                          batch_analysis=batch_analysis)
         self.fault_plan = fault_plan
         if fault_plan is not None:
             unknown = [name for name in fault_plan.resource_names()

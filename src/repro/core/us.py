@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional
 
 from ..contention.base import SliceDemand
+from ..contention.batch import MIN_VECTOR_BATCH, SliceDemandBatch
 from .region import AnnotationRegion
 from .shared import SharedResource
 
@@ -60,7 +61,8 @@ class SharedResourceScheduler:
     def __init__(self, resources: Iterable[SharedResource],
                  min_timeslice: float = 0.0,
                  fault_plan=None,
-                 memo=None):
+                 memo=None,
+                 batch_analysis: bool = True):
         if min_timeslice < 0:
             raise ValueError(
                 f"min_timeslice must be >= 0, got {min_timeslice!r}"
@@ -76,6 +78,11 @@ class SharedResourceScheduler:
         #: before each model call; models that are not ``memo_safe``
         #: (or carry un-keyable state) always see real calls.
         self.memo = memo
+        #: Whether :meth:`analyze` groups same-model resources of one
+        #: timeslice into a single ``analyze_batch`` call (bit-identical
+        #: results; see :mod:`repro.contention.batch`).  ``False`` runs
+        #: the legacy one-model-call-per-resource loop.
+        self.batch_analysis = bool(batch_analysis)
         self.min_timeslice = float(min_timeslice)
         #: Left edge of the (possibly accumulated) analysis window.
         self.window_start = 0.0
@@ -371,144 +378,265 @@ class SharedResourceScheduler:
             return {}
         totals: Dict[str, float] = {}
         units_map = self._window_units
-        fault_plan = self.fault_plan
         memo = self.memo
+        if self.batch_analysis:
+            self._analyze_batched(priorities, start, end, totals)
+        else:
+            # Legacy path: one model call per resource, in order.
+            for name, resource in self._resource_items:
+                demands = demand_map[name]
+                if not demands:
+                    continue
+                slice_demand, effect = self._build_slice(
+                    name, resource, demands, priorities, start, end)
+                penalties = None
+                memo_key = None
+                if memo is not None:
+                    memo_key = memo.fingerprint(resource.model,
+                                                slice_demand)
+                    if memo_key is not None:
+                        penalties = memo.get(memo_key)
+                if penalties is None:
+                    penalties = resource.model.penalties(slice_demand)
+                    if memo_key is not None:
+                        memo.put(memo_key, penalties)
+                self._finish_resource(totals, resource, demands, effect,
+                                      penalties)
+                # The window dicts were handed to the SliceDemand (no
+                # copy); start the next window with fresh ones instead
+                # of clearing.
+                demand_map[name] = {}
+                units_map[name] = None
+        self.window_start = end
+        self.slices_analyzed += 1
+        return totals
+
+    def _analyze_batched(self, priorities: Mapping[str, int],
+                         start: float, end: float,
+                         totals: Dict[str, float]) -> None:
+        """Analyze the window with same-model resources batched.
+
+        Three phases, all confined to this one timeslice (cross-slice
+        batching would break the hybrid feedback loop — a slice's
+        penalties reshape the regions the *next* slice collects):
+
+        1. build each demanding resource's :class:`SliceDemand` and
+           consult the memo cache (duplicate fingerprints within the
+           slice are *deferred* rather than looked up, so the scalar
+           path's miss-then-hit counter sequence is reproduced);
+        2. group resources still needing a live evaluation by model
+           instance and evaluate each group in one ``analyze_batch``
+           call — bit-identical to per-resource calls by the batch
+           layer's exactness contract;
+        3. replay the scalar per-resource pipeline in resource order:
+           memo stores, fault folding, validation, statistics, totals.
+        """
+        demand_map = self._window_demand
+        units_map = self._window_units
+        memo = self.memo
+        pending = []
+        seen_keys = set()
         for name, resource in self._resource_items:
             demands = demand_map[name]
             if not demands:
                 continue
-            units = units_map[name]
-            # A thread gets an explicit mean transaction service time
-            # whenever its accumulated beats deviate from its
-            # transaction count beyond float noise.  The comparison is
-            # relative-epsilon, not exact: exact equality both admitted
-            # spurious entries for accumulated rounding error and hinged
-            # real entries on bit-exact coincidence.  (Beats that truly
-            # average to one — e.g. bursts 0.5 and 1.5 — yield a mean of
-            # exactly ``service_time``, which is also what the model's
-            # ``service_of`` fallback supplies, so excluding them is
-            # value-identical.)  A window with no burst contribution at
-            # all (lazy units never materialized) has beats == counts
-            # bit for bit, so the whole scan is skipped.
-            if units is not None:
-                mean_service = {}
-                for thread, count in demands.items():
-                    if count <= 0:
-                        continue
-                    beats = units.get(thread, count)
-                    if abs(beats - count) > _EPS * max(1.0, abs(count)):
-                        mean_service[thread] = (
-                            resource.service_time * beats / count)
-            else:
-                # No burst contribution this window: every thread's mean
-                # service equals ``service_time``, which is also the
-                # model fallback, so hand out the shared empty mapping
-                # instead of allocating one per resource per slice.
-                mean_service = _EMPTY_MEAN
-            effect = None
-            if fault_plan is not None:
-                effect = fault_plan.apply(
-                    resource=name, start=start, end=end,
-                    service_time=resource.service_time,
-                    ports=resource.ports, demands=demands,
-                    slice_index=self.slices_analyzed)
-            if effect is not None:
-                service_time = effect.service_time
-                ports = effect.ports
-                model_demands = effect.demands
-            else:
-                service_time = resource.service_time
-                ports = resource.ports
-                model_demands = demands
-            # Priorities are trimmed to the threads actually present in
-            # the slice: models only consult competitors that made
-            # accesses, so unrelated threads would only bloat the
-            # SliceDemand (and every memo fingerprint derived from it).
-            # Models that declare ``uses_priorities = False`` skip the
-            # trim altogether and share one empty mapping — because the
-            # trim is a pure function of the demand's thread set (thread
-            # priorities are fixed at spawn), this collapses no memo
-            # fingerprints that the trimmed mapping would have kept
-            # distinct.  When every known thread has demand the trim is
-            # an identity and the live mapping is passed as-is
-            # (SliceDemands are ephemeral, so they never observe later
-            # priority updates).
-            if not resource.model.uses_priorities:
-                trimmed = _EMPTY_PRIORITIES
-            elif priorities.keys() <= model_demands.keys():
-                trimmed = priorities
-            else:
-                trimmed = {thread: priorities[thread]
-                           for thread in model_demands
-                           if thread in priorities}
-            slice_demand = SliceDemand(
-                start, end, service_time, model_demands,
-                trimmed, ports, mean_service,
-            )
+            slice_demand, effect = self._build_slice(
+                name, resource, demands, priorities, start, end)
             penalties = None
             memo_key = None
+            deferred = False
             if memo is not None:
                 memo_key = memo.fingerprint(resource.model, slice_demand)
                 if memo_key is not None:
-                    penalties = memo.get(memo_key)
-            if penalties is None:
+                    if memo_key in seen_keys:
+                        # An identical evaluation is already pending in
+                        # this slice: resolve in phase 3, after the twin
+                        # has stored its result, exactly as the scalar
+                        # path's later lookup would hit the earlier put.
+                        deferred = True
+                    else:
+                        penalties = memo.get(memo_key)
+                        if penalties is None:
+                            seen_keys.add(memo_key)
+            pending.append([name, resource, demands, slice_demand,
+                            effect, memo_key, penalties, deferred])
+        # Phase 2: one batch call per model instance.  Groups smaller
+        # than MIN_VECTOR_BATCH stay on phase 3's direct scalar call
+        # (a batch of one only adds dispatch overhead).
+        groups: Dict[int, list] = {}
+        order = []
+        for entry in pending:
+            if entry[6] is None and not entry[7]:
+                key = id(entry[1].model)
+                bucket = groups.get(key)
+                if bucket is None:
+                    groups[key] = [entry]
+                    order.append(key)
+                else:
+                    bucket.append(entry)
+        for key in order:
+            entries = groups[key]
+            if len(entries) < MIN_VECTOR_BATCH:
+                continue
+            results = entries[0][1].model.analyze_batch(
+                SliceDemandBatch(entry[3] for entry in entries))
+            for entry, result in zip(entries, results):
+                entry[6] = result
+                entry.append(True)  # computed live: store in the memo
+        # Phase 3: per-resource bookkeeping, in resource order.
+        for entry in pending:
+            (name, resource, demands, slice_demand, effect, memo_key,
+             penalties, deferred) = entry[:8]
+            store = len(entry) > 8  # batch-computed in phase 2
+            if deferred:
+                penalties = memo.get(memo_key)
+                if penalties is None:
+                    # The twin's entry was evicted between its put and
+                    # now (tiny cache); recompute, as the scalar path's
+                    # missed lookup would.
+                    penalties = resource.model.penalties(slice_demand)
+                    store = True
+            elif penalties is None:
                 penalties = resource.model.penalties(slice_demand)
-                if memo_key is not None:
-                    memo.put(memo_key, penalties)
-            if effect is not None:
-                _check_penalties(penalties, model_demands, resource)
-                # Retry backoff is queueing the thread really suffers:
-                # merge it into the penalties the kernel distributes.
-                penalties = dict(penalties)
-                for thread_name, delay in effect.backoff.items():
-                    penalties[thread_name] = (
-                        penalties.get(thread_name, 0.0) + delay)
-                resource.record_faults(effect)
-                resource.record(penalties, sum(demands.values()))
-                for thread_name, penalty in penalties.items():
-                    if penalty > 0:
-                        totals[thread_name] = (
-                            totals.get(thread_name, 0.0) + penalty
-                        )
-            else:
-                # Healthy fast path: validate the model's output in the
-                # same pass that folds it into the per-thread totals
-                # (``totals`` is discarded if validation raises) and
-                # accumulates the resource statistics — an inline of
-                # ``resource.record()`` fused into the same items walk.
-                # Per-target accumulation order matches the unfused
-                # loops item for item, so every float rounds the same.
-                accesses = sum(demands.values())
-                resource.total_accesses += accesses
-                if accesses > 0:
-                    resource.active_slices += 1
-                if penalties:
-                    rtotal = resource.total_penalty
-                    by_thread = resource.penalty_by_thread
-                    for thread_name, penalty in penalties.items():
-                        if (thread_name not in demands
-                                or not (penalty >= 0.0)):
-                            _check_penalties(penalties, demands, resource)
-                        if penalty > 0:
-                            if thread_name in totals:
-                                totals[thread_name] = (
-                                    totals[thread_name] + penalty)
-                            else:
-                                totals[thread_name] = penalty
-                        rtotal += penalty
-                        if thread_name in by_thread:
-                            by_thread[thread_name] = (
-                                by_thread[thread_name] + penalty)
-                        else:
-                            by_thread[thread_name] = penalty
-                    resource.total_penalty = rtotal
-            # The window dicts were handed to the SliceDemand (no copy);
-            # start the next window with fresh ones instead of clearing.
+                store = True
+            if store and memo_key is not None:
+                memo.put(memo_key, penalties)
+            self._finish_resource(totals, resource, demands, effect,
+                                  penalties)
             demand_map[name] = {}
             units_map[name] = None
-        self.window_start = end
-        self.slices_analyzed += 1
-        return totals
+
+    def _build_slice(self, name: str, resource: SharedResource,
+                     demands: Dict[str, float],
+                     priorities: Mapping[str, int],
+                     start: float, end: float):
+        """Build one resource's :class:`SliceDemand` for the window.
+
+        Returns ``(slice_demand, effect)`` where ``effect`` is the
+        fault plan's resolved effect for the window (``None`` healthy).
+        """
+        units = self._window_units[name]
+        # A thread gets an explicit mean transaction service time
+        # whenever its accumulated beats deviate from its
+        # transaction count beyond float noise.  The comparison is
+        # relative-epsilon, not exact: exact equality both admitted
+        # spurious entries for accumulated rounding error and hinged
+        # real entries on bit-exact coincidence.  (Beats that truly
+        # average to one — e.g. bursts 0.5 and 1.5 — yield a mean of
+        # exactly ``service_time``, which is also what the model's
+        # ``service_of`` fallback supplies, so excluding them is
+        # value-identical.)  A window with no burst contribution at
+        # all (lazy units never materialized) has beats == counts
+        # bit for bit, so the whole scan is skipped.
+        if units is not None:
+            mean_service = {}
+            for thread, count in demands.items():
+                if count <= 0:
+                    continue
+                beats = units.get(thread, count)
+                if abs(beats - count) > _EPS * max(1.0, abs(count)):
+                    mean_service[thread] = (
+                        resource.service_time * beats / count)
+        else:
+            # No burst contribution this window: every thread's mean
+            # service equals ``service_time``, which is also the
+            # model fallback, so hand out the shared empty mapping
+            # instead of allocating one per resource per slice.
+            mean_service = _EMPTY_MEAN
+        effect = None
+        if self.fault_plan is not None:
+            effect = self.fault_plan.apply(
+                resource=name, start=start, end=end,
+                service_time=resource.service_time,
+                ports=resource.ports, demands=demands,
+                slice_index=self.slices_analyzed)
+        if effect is not None:
+            service_time = effect.service_time
+            ports = effect.ports
+            model_demands = effect.demands
+        else:
+            service_time = resource.service_time
+            ports = resource.ports
+            model_demands = demands
+        # Priorities are trimmed to the threads actually present in
+        # the slice: models only consult competitors that made
+        # accesses, so unrelated threads would only bloat the
+        # SliceDemand (and every memo fingerprint derived from it).
+        # Models that declare ``uses_priorities = False`` skip the
+        # trim altogether and share one empty mapping — because the
+        # trim is a pure function of the demand's thread set (thread
+        # priorities are fixed at spawn), this collapses no memo
+        # fingerprints that the trimmed mapping would have kept
+        # distinct.  When every known thread has demand the trim is
+        # an identity and the live mapping is passed as-is
+        # (SliceDemands are ephemeral, so they never observe later
+        # priority updates).
+        if not resource.model.uses_priorities:
+            trimmed = _EMPTY_PRIORITIES
+        elif priorities.keys() <= model_demands.keys():
+            trimmed = priorities
+        else:
+            trimmed = {thread: priorities[thread]
+                       for thread in model_demands
+                       if thread in priorities}
+        slice_demand = SliceDemand(
+            start, end, service_time, model_demands,
+            trimmed, ports, mean_service,
+        )
+        return slice_demand, effect
+
+    def _finish_resource(self, totals: Dict[str, float],
+                         resource: SharedResource,
+                         demands: Dict[str, float],
+                         effect, penalties: Dict[str, float]) -> None:
+        """Fold one resource's penalties into stats and ``totals``."""
+        if effect is not None:
+            _check_penalties(penalties, effect.demands, resource)
+            # Retry backoff is queueing the thread really suffers:
+            # merge it into the penalties the kernel distributes.
+            penalties = dict(penalties)
+            for thread_name, delay in effect.backoff.items():
+                penalties[thread_name] = (
+                    penalties.get(thread_name, 0.0) + delay)
+            resource.record_faults(effect)
+            resource.record(penalties, sum(demands.values()))
+            for thread_name, penalty in penalties.items():
+                if penalty > 0:
+                    totals[thread_name] = (
+                        totals.get(thread_name, 0.0) + penalty
+                    )
+        else:
+            # Healthy fast path: validate the model's output in the
+            # same pass that folds it into the per-thread totals
+            # (``totals`` is discarded if validation raises) and
+            # accumulates the resource statistics — an inline of
+            # ``resource.record()`` fused into the same items walk.
+            # Per-target accumulation order matches the unfused
+            # loops item for item, so every float rounds the same.
+            accesses = sum(demands.values())
+            resource.total_accesses += accesses
+            if accesses > 0:
+                resource.active_slices += 1
+            if penalties:
+                rtotal = resource.total_penalty
+                by_thread = resource.penalty_by_thread
+                for thread_name, penalty in penalties.items():
+                    if (thread_name not in demands
+                            or not (penalty >= 0.0)):
+                        _check_penalties(penalties, demands, resource)
+                    if penalty > 0:
+                        if thread_name in totals:
+                            totals[thread_name] = (
+                                totals[thread_name] + penalty)
+                        else:
+                            totals[thread_name] = penalty
+                    rtotal += penalty
+                    if thread_name in by_thread:
+                        by_thread[thread_name] = (
+                            by_thread[thread_name] + penalty)
+                    else:
+                        by_thread[thread_name] = penalty
+                resource.total_penalty = rtotal
 
     def pending_demand(self) -> Dict[str, Dict[str, float]]:
         """Snapshot of not-yet-analyzed accesses (for tests/inspection)."""

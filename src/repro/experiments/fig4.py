@@ -71,9 +71,10 @@ def run_fig4(cache_kb: int = 512,
     configurations on a process pool (``0`` = one worker per CPU) with
     serial-identical row ordering.
     """
-    return ParallelExecutor(jobs).run(
-        functools.partial(_fig4_cell, cache_kb, points, model, seed),
-        list(proc_counts))
+    with ParallelExecutor(jobs) as executor:
+        return executor.run(
+            functools.partial(_fig4_cell, cache_kb, points, model, seed),
+            list(proc_counts))
 
 
 def average_errors(rows: Sequence[Fig4Row]) -> Dict[str, float]:

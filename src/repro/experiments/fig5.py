@@ -65,10 +65,11 @@ def run_fig5(bus_delays: Sequence[float] = DEFAULT_BUS_DELAYS,
     ``jobs > 1`` evaluates the independent bus-delay points on a
     process pool (``0`` = one worker per CPU), preserving row order.
     """
-    return ParallelExecutor(jobs).run(
-        functools.partial(_fig5_cell, tuple(idle_fractions),
-                          busy_cycles_target, model, seed),
-        list(bus_delays))
+    with ParallelExecutor(jobs) as executor:
+        return executor.run(
+            functools.partial(_fig5_cell, tuple(idle_fractions),
+                              busy_cycles_target, model, seed),
+            list(bus_delays))
 
 
 def render_fig5(rows: Sequence[Fig5Row]) -> str:

@@ -67,8 +67,10 @@ def run_fig6(idle_sweep: Sequence[float] = DEFAULT_IDLE_SWEEP,
              for idle in idle_sweep
              for bus_delay in bus_delays
              for seed in seeds]
-    values = ParallelExecutor(jobs).run(
-        functools.partial(_fig6_cell, busy_cycles_target, model), cells)
+    with ParallelExecutor(jobs) as executor:
+        values = executor.run(
+            functools.partial(_fig6_cell, busy_cycles_target, model),
+            cells)
     per_point = len(bus_delays) * len(seeds)
     rows: List[Fig6Row] = []
     for offset, idle in enumerate(idle_sweep):

@@ -32,7 +32,8 @@ def evaluate_designs(candidates: Sequence[Candidate],
     """
     from ..perf.parallel import ParallelExecutor
 
-    return ParallelExecutor(jobs).run(evaluator, candidates)
+    with ParallelExecutor(jobs) as executor:
+        return executor.run(evaluator, candidates)
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:

@@ -191,7 +191,8 @@ def run_comparisons_parallel(workloads: Sequence[Workload],
     sweeps.
     """
     fn = functools.partial(_comparison_cell, kwargs)
-    return ParallelExecutor(jobs).map(fn, list(workloads))
+    with ParallelExecutor(jobs) as executor:
+        return executor.map(fn, list(workloads))
 
 
 def _comparison_cell(kwargs: Dict, workload: Workload) -> Comparison:

@@ -137,10 +137,11 @@ def run_sweep(workload_factory: Callable[[object, int], Workload],
             f"reference {reference!r} must be included in {include!r}"
         )
     cells = [(x, seed) for x in xs for seed in seeds]
-    results = ParallelExecutor(jobs).map(
-        functools.partial(_sweep_cell, workload_factory, model,
-                          tuple(include), reference),
-        cells)
+    with ParallelExecutor(jobs) as executor:
+        results = executor.map(
+            functools.partial(_sweep_cell, workload_factory, model,
+                              tuple(include), reference),
+            cells)
     points: List[SweepPoint] = []
     index = 0
     for x in xs:

@@ -77,8 +77,8 @@ def run_table1(proc_counts: Sequence[int] = DEFAULT_PROCS,
     specs = [(processors, cache_kb, points, repeats)
              for cache_kb in cache_kbs
              for processors in proc_counts]
-    executor = ParallelExecutor(jobs=jobs)
-    return list(executor.run(_table1_cell, specs))
+    with ParallelExecutor(jobs=jobs) as executor:
+        return list(executor.run(_table1_cell, specs))
 
 
 def render_table1(rows: Sequence[Table1Row]) -> str:

@@ -20,6 +20,17 @@ on the runner hardware, while a ratio of two code paths measured on the
 same machine is comparable across runs.  Metrics missing from either
 record are reported and skipped rather than failed, so freshly added
 scenarios do not break older baselines.
+
+``--write-baseline`` promotes the ``--current`` record to the baseline
+path instead of gating — the supported way to refresh
+``benchmarks/baseline/BENCH_hotpath.json`` after an intentional
+performance change (run the *full* profile first, not ``--quick``)::
+
+    python -m repro.perf.profile
+    python -m repro.perf.gate \
+        --current benchmarks/out/BENCH_hotpath.json \
+        --baseline benchmarks/baseline/BENCH_hotpath.json \
+        --write-baseline
 """
 
 from __future__ import annotations
@@ -116,9 +127,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="PATH",
                         help="gate an additional scenario.metric path "
                              "(repeatable)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="copy --current over --baseline instead of "
+                             "gating (baseline refresh after an "
+                             "intentional perf change)")
     args = parser.parse_args(argv)
     if args.max_regression < 0:
         parser.error("--max-regression must be >= 0")
+
+    if args.write_baseline:
+        record = args.current.read_text(encoding="utf-8")
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(record, encoding="utf-8")
+        gated = list(_load_results(args.baseline).get("gate_metrics", []))
+        print(f"perf gate: wrote baseline {args.baseline} "
+              f"({len(gated)} gated metric(s))")
+        return 0
 
     checks = gate(_load_results(args.current),
                   _load_results(args.baseline),

@@ -95,6 +95,15 @@ def _picklable(*objects: Any) -> bool:
 class ParallelExecutor:
     """Maps a work function over independent cells, serial or parallel.
 
+    The worker pool is created lazily on the first parallel :meth:`map`
+    and **kept warm** for subsequent calls on the same instance —
+    repeated grids (iterated calibration, multi-workload comparison
+    batches) pay process spawn plus interpreter warm-up once instead of
+    per call.  Use the executor as a context manager (or call
+    :meth:`close`) to shut the pool down deterministically; a pool left
+    open is reaped by ``ProcessPoolExecutor``'s finalizer at garbage
+    collection, so forgetting is safe but unpunctual.
+
     Parameters
     ----------
     jobs:
@@ -104,11 +113,30 @@ class ParallelExecutor:
 
     def __init__(self, jobs: int = 1):
         self.jobs = resolve_jobs(jobs)
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     @property
     def serial(self) -> bool:
         """Whether this executor always runs in-process."""
         return self.jobs == 1
+
+    def close(self) -> None:
+        """Shut down the warm worker pool (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _acquire_pool(self) -> ProcessPoolExecutor:
+        """Return the warm pool, creating it on first parallel use."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
 
     def map(self, fn: Callable[[Any], Any],
             items: Sequence[Any]) -> List[CellResult]:
@@ -117,25 +145,31 @@ class ParallelExecutor:
         Returns one :class:`CellResult` per input, in input order.  The
         process pool is used only when ``jobs > 1``, there is more than
         one item, and ``fn`` plus the items pickle; otherwise the same
-        cells run serially in-process.
+        cells run serially in-process (without spawning the pool).
         """
         items = list(items)
         if (self.jobs <= 1 or len(items) <= 1
                 or not _picklable(fn, items)):
             return [_call_cell(fn, index, item)
                     for index, item in enumerate(items)]
-        workers = min(self.jobs, len(items))
+        pool = self._acquire_pool()
         results: List[CellResult] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_call_cell, fn, index, item)
-                       for index, item in enumerate(items)]
-            for index, future in enumerate(futures):
-                try:
-                    results.append(future.result())
-                except Exception as exc:  # broken pool / unpicklable value
-                    results.append(CellResult(
-                        index=index,
-                        error=f"{type(exc).__name__}: {exc}"))
+        broken = False
+        futures = [pool.submit(_call_cell, fn, index, item)
+                   for index, item in enumerate(items)]
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:  # broken pool / unpicklable value
+                broken = True
+                results.append(CellResult(
+                    index=index,
+                    error=f"{type(exc).__name__}: {exc}"))
+        if broken:
+            # A worker died mid-batch (or a result failed transport);
+            # discard the pool so the next call starts from a healthy
+            # one instead of reusing a broken executor.
+            self.close()
         return results
 
     def run(self, fn: Callable[[Any], Any],

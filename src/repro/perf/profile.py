@@ -9,6 +9,11 @@ numbers as a benchmark trajectory (see :mod:`repro.perf.bench`):
   regression gate (:mod:`repro.perf.gate`) watches.
 * ``slice_analysis`` — timeslice analyses per second when driving the
   US scheduler directly (collect + analyze, no kernel around it).
+* ``slice_analysis_batch`` — the same drive at 64 shared resources
+  sharing one Chen-Lin model, batched (``batch_analysis=True``) vs the
+  legacy per-resource loop; the batch/scalar *ratio* is gated.
+* ``calibration_grid`` — a calibration-style grid of slice demands
+  evaluated scalar-loop vs one ``analyze_batch`` call; ratio gated.
 * ``cycle_engine`` — simulated cycles per second of the cycle-stepped
   reference engine on the FFT workload.
 * ``sweep_cell`` — experiment sweep cells (one hybrid FFT run each)
@@ -141,6 +146,130 @@ def slice_analysis(quick: bool = False) -> Dict[str, Any]:
     }
 
 
+def slice_analysis_batch(quick: bool = False) -> Dict[str, Any]:
+    """Batched vs per-resource slice analysis at 64 shared resources.
+
+    Every resource shares one Chen-Lin model instance (the standard
+    ``build_kernel`` shape), so the batched scheduler folds each
+    timeslice's 64 model calls into a single vectorized
+    ``analyze_batch``.  Only the ``analyze()`` calls are timed —
+    collection is identical on both sides — and both sides' accumulated
+    penalties are compared to re-assert bit-identity in the record.
+    """
+    from ..contention.batch import numpy_available
+    from ..contention.chenlin import ChenLinModel
+
+    # Quick mode trims repeats, not the batch shape: the gated ratio
+    # depends on per-call amortization, so shrinking the workload would
+    # shift the metric the gate compares against the full-run baseline.
+    resource_count = 64
+    slices = 60 if quick else 120
+    repeats = 2
+
+    def run_side(batch_on: bool):
+        model = ChenLinModel()
+        resources = [SharedResource(f"r{i}", model, service_time=2.0)
+                     for i in range(resource_count)]
+        scheduler = SharedResourceScheduler(resources,
+                                            batch_analysis=batch_on)
+        processor = Processor("p0", power=1.0)
+        threads = [LogicalThread(f"t{t}", lambda: iter(()))
+                   for t in range(THREADS)]
+        priorities = {thread.name: 0 for thread in threads}
+        elapsed = 0.0
+        now = 0.0
+        for index in range(slices):
+            regions = [
+                AnnotationRegion(
+                    thread, processor, 10.0,
+                    {f"r{i}": 1 + (index + t + i) % 4
+                     for i in range(resource_count)}, now)
+                for t, thread in enumerate(threads)
+            ]
+            now += 10.0
+            scheduler.collect(now, regions)
+            t0 = time.perf_counter()
+            scheduler.analyze(priorities)
+            elapsed += time.perf_counter() - t0
+        checksum = sum(r.total_penalty for r in resources)
+        return elapsed, checksum
+
+    scalar_best = batch_best = None
+    scalar_sum = batch_sum = 0.0
+    for _ in range(repeats):
+        # Alternate sides so both see the same stretch of machine time.
+        scalar_elapsed, scalar_sum = run_side(False)
+        batch_elapsed, batch_sum = run_side(True)
+        if scalar_best is None or scalar_elapsed < scalar_best:
+            scalar_best = scalar_elapsed
+        if batch_best is None or batch_elapsed < batch_best:
+            batch_best = batch_elapsed
+    return {
+        "resources": resource_count,
+        "threads": THREADS,
+        "slices": slices,
+        "numpy": numpy_available(),
+        "penalties_match": scalar_sum == batch_sum,
+        "scalar_slices_per_sec": round(slices / scalar_best, 1),
+        "batch_slices_per_sec": round(slices / batch_best, 1),
+        "ratio_batch_over_scalar": round(scalar_best / batch_best, 4),
+    }
+
+
+def calibration_grid(quick: bool = False) -> Dict[str, Any]:
+    """Scalar loop vs one ``analyze_batch`` over a calibration grid.
+
+    The grid mirrors :func:`repro.contention.calibrate.calibrate_model`
+    demand construction (symmetric uniform streams) swept across thread
+    counts and access densities — the model-evaluation half of a
+    calibration sweep, with the cycle-engine half removed so the ratio
+    isolates the batch layer.
+    """
+    from ..contention.base import SliceDemand
+    from ..contention.batch import SliceDemandBatch, numpy_available
+    from ..contention.chenlin import ChenLinModel
+
+    # Same grid in quick and full mode (it is cheap either way) — the
+    # gated ratio moves with grid size, so quick CI runs must measure
+    # the same shape the committed baseline was recorded at.
+    model = ChenLinModel()
+    thread_counts = (2, 4, 8)
+    points_per_count = 512
+    repeats = 2 if quick else 3
+    service_time = 4.0
+    demands = []
+    for threads in thread_counts:
+        for step in range(points_per_count):
+            accesses = 10.0 + step * 490.0 / points_per_count
+            span = 5_000.0 + accesses * service_time
+            demands.append(SliceDemand(
+                start=0.0, end=span, service_time=service_time,
+                demands={f"u{i}": accesses for i in range(threads)}))
+    batch = SliceDemandBatch(demands)
+    scalar_best = batch_best = None
+    scalar_maps = batch_maps = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        scalar_maps = [model.penalties(demand) for demand in demands]
+        scalar_elapsed = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        batch_maps = model.analyze_batch(batch)
+        batch_elapsed = time.perf_counter() - t0
+        if scalar_best is None or scalar_elapsed < scalar_best:
+            scalar_best = scalar_elapsed
+        if batch_best is None or batch_elapsed < batch_best:
+            batch_best = batch_elapsed
+    return {
+        "cells": len(demands),
+        "thread_counts": list(thread_counts),
+        "numpy": numpy_available(),
+        "results_match": batch_maps == scalar_maps,
+        "scalar_cells_per_sec": round(len(demands) / scalar_best, 1),
+        "batch_cells_per_sec": round(len(demands) / batch_best, 1),
+        "ratio_batch_over_scalar": round(scalar_best / batch_best, 4),
+    }
+
+
 def cycle_engine(quick: bool = False) -> Dict[str, Any]:
     """Simulated cycles/second of the stepped reference engine."""
     from ..cycle import SteppedEngine
@@ -180,16 +309,20 @@ def sweep_cell(quick: bool = False) -> Dict[str, Any]:
 SCENARIOS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "commit_throughput": commit_throughput,
     "slice_analysis": slice_analysis,
+    "slice_analysis_batch": slice_analysis_batch,
+    "calibration_grid": calibration_grid,
     "cycle_engine": cycle_engine,
     "sweep_cell": sweep_cell,
 }
 
 #: Metrics the CI regression gate watches by default.  Only ratios are
-#: gated: absolute throughputs vary with the runner hardware, while the
-#: incremental/rescan ratio compares two code paths on the same machine
-#: in the same process and is therefore stable enough to alarm on.
+#: gated: absolute throughputs vary with the runner hardware, while a
+#: ratio of two code paths measured on the same machine in the same
+#: process is stable enough to alarm on.
 GATE_METRICS: List[str] = [
     "commit_throughput.ratio_incremental_over_rescan",
+    "slice_analysis_batch.ratio_batch_over_scalar",
+    "calibration_grid.ratio_batch_over_scalar",
 ]
 
 # Runner executed (with a foreign src on sys.path) for --compare-src.

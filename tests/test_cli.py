@@ -54,3 +54,47 @@ class TestCommands:
         code = main(["calibrate", "--model", "md1", "--threads", "2"])
         assert code == 0
         assert "Calibration" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        code = main(["report", "examples/scenarios/set_top_box.json",
+                     "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Estimator comparison" in out
+        assert "set_top_box" in out
+        assert "speedup" in out
+
+    def test_report_missing_scenario_reports_cell_error(self, capsys):
+        code = main(["report", "examples/scenarios/set_top_box.json",
+                     "no_such_scenario.json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "set_top_box" in out
+        assert "error:" in out
+
+    def test_pareto_tiny(self, capsys):
+        code = main(["pareto", "--points", "256", "--procs", "2", "4",
+                     "--bus-delays", "2", "8", "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "design sweep" in out
+        assert "knee" in out
+        assert "front" in out
+
+
+class TestNewParsers:
+    def test_report_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_report_and_pareto_take_jobs(self):
+        args = build_parser().parse_args(
+            ["report", "x.json", "--jobs", "0"])
+        assert args.jobs == 0
+        args = build_parser().parse_args(["pareto", "--jobs", "3"])
+        assert args.jobs == 3
+        assert args.points == 1024
+
+    def test_pareto_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pareto", "--model", "magic"])

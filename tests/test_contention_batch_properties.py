@@ -1,0 +1,125 @@
+"""Property-based bit-identity of ``analyze_batch`` vs scalar loops.
+
+The batched analysis layer's whole contract (see
+:mod:`repro.contention.batch`) is that for every registered closed-form
+model, every batch size, and every demand shape::
+
+    model.analyze_batch(SliceDemandBatch(demands))
+        == [model.penalties(d) for d in demands]
+
+with ``==`` meaning *exact float equality and exact dict key order* —
+not approximate agreement.  These properties hammer that contract with
+randomized demand grids, on both the NumPy kernels and the pure-Python
+scalar fallback.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.contention.batch as batch_mod
+from repro.contention import SliceDemand, SliceDemandBatch
+from repro.contention.chenlin import ChenLinModel
+from repro.contention.constant import ConstantModel
+from repro.contention.md1 import MD1Model
+from repro.contention.mm1 import MM1Model
+from repro.contention.mmc import MMcModel
+from repro.contention.roundrobin import RoundRobinModel
+
+# One instance per closed-form model that ships a vector kernel.  The
+# variant rows exercise non-default knobs (the kernels must honour them,
+# not just the defaults).
+MODELS = [
+    ConstantModel(0.5),
+    ConstantModel(3.25),
+    MM1Model(),
+    MM1Model(rho_max=0.7),
+    MD1Model(),
+    MD1Model(rho_max=0.5),
+    MMcModel(),
+    RoundRobinModel(),
+    ChenLinModel(),
+    ChenLinModel(rho_max=0.9),
+]
+
+MODEL_IDS = [f"{type(m).__name__}-{i}" for i, m in enumerate(MODELS)]
+
+
+def _demand(duration, service, counts, ports, with_mean_service):
+    demands = {f"t{i}": c for i, c in enumerate(counts)}
+    mean_service = {}
+    if with_mean_service and counts:
+        # Give the first thread a non-default per-transaction service.
+        mean_service["t0"] = service * 1.5
+    return SliceDemand(start=100.0, end=100.0 + duration,
+                       service_time=service, demands=demands,
+                       ports=ports, mean_service=mean_service)
+
+
+demand_strategy = st.builds(
+    _demand,
+    duration=st.one_of(
+        st.just(0.0),  # zero-width window edge case
+        st.floats(min_value=1.0, max_value=50_000.0, allow_nan=False)),
+    service=st.floats(min_value=0.5, max_value=32.0, allow_nan=False),
+    counts=st.lists(
+        st.one_of(st.just(0.0),  # inactive thread edge case
+                  st.floats(min_value=0.0, max_value=3_000.0,
+                            allow_nan=False)),
+        min_size=0, max_size=5),
+    ports=st.integers(min_value=1, max_value=4),
+    with_mean_service=st.booleans(),
+)
+
+batch_strategy = st.lists(demand_strategy, min_size=0, max_size=8)
+
+
+def _assert_bit_identical(model, demands):
+    scalar = [model.penalties(d) for d in demands]
+    batched = model.analyze_batch(SliceDemandBatch(demands))
+    assert len(batched) == len(scalar)
+    for got, want in zip(batched, scalar):
+        assert list(got.keys()) == list(want.keys())
+        for key in want:
+            assert got[key] == want[key], (
+                f"{type(model).__name__}[{key}]: "
+                f"{got[key].hex()} != {want[key].hex()}")
+            assert isinstance(got[key], float)
+
+
+@pytest.mark.parametrize("model", MODELS, ids=MODEL_IDS)
+@settings(max_examples=60, deadline=None)
+@given(demands=batch_strategy)
+def test_batch_equals_scalar_loop(model, demands):
+    _assert_bit_identical(model, demands)
+
+
+@pytest.mark.parametrize("model", MODELS, ids=MODEL_IDS)
+@settings(max_examples=30, deadline=None)
+@given(demands=batch_strategy)
+def test_batch_equals_scalar_loop_without_numpy(model, demands):
+    saved = batch_mod._np
+    batch_mod._np = None
+    try:
+        assert not batch_mod.numpy_available()
+        _assert_bit_identical(model, demands)
+    finally:
+        batch_mod._np = saved
+
+
+@pytest.mark.parametrize("model", MODELS, ids=MODEL_IDS)
+def test_empty_and_single_batches(model):
+    assert model.analyze_batch(SliceDemandBatch([])) == []
+    demand = SliceDemand(start=0.0, end=1_000.0, service_time=4.0,
+                         demands={"a": 40.0, "b": 60.0})
+    _assert_bit_identical(model, [demand])
+
+
+@settings(max_examples=40, deadline=None)
+@given(demands=st.lists(demand_strategy, min_size=2, max_size=10))
+def test_analyze_grouped_matches_per_model_loops(demands):
+    """Mixed-model grouped dispatch scatters results to input order."""
+    models = [ChenLinModel(), MM1Model(), ConstantModel(1.0)]
+    pairs = [(models[i % len(models)], d) for i, d in enumerate(demands)]
+    grouped = batch_mod.analyze_grouped(pairs)
+    scalar = [model.penalties(d) for model, d in pairs]
+    assert grouped == scalar

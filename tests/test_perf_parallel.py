@@ -178,3 +178,43 @@ class TestCalibrationParallel:
         serial = calibrate_model(model, jobs=1, **kwargs)
         pooled = calibrate_model(model, jobs=2, **kwargs)
         assert serial == pooled
+
+
+class TestWarmPool:
+    def test_pool_reused_across_map_calls(self):
+        with ParallelExecutor(jobs=2) as executor:
+            assert executor._pool is None  # lazy: no pool before use
+            executor.map(_square, [1, 2, 3])
+            pool = executor._pool
+            assert pool is not None
+            executor.map(_square, [4, 5, 6])
+            assert executor._pool is pool  # warm: same pool, not respawned
+        assert executor._pool is None  # context exit closes it
+
+    def test_close_is_idempotent(self):
+        executor = ParallelExecutor(jobs=2)
+        executor.map(_square, [1, 2])
+        executor.close()
+        assert executor._pool is None
+        executor.close()  # second close is a no-op
+
+    def test_map_after_close_respawns(self):
+        executor = ParallelExecutor(jobs=2)
+        executor.map(_square, [1, 2])
+        executor.close()
+        results = executor.map(_square, [3, 4])
+        assert [r.value for r in results] == [9, 16]
+        executor.close()
+
+    def test_serial_executor_never_spawns_pool(self):
+        with ParallelExecutor(jobs=1) as executor:
+            executor.map(_square, [1, 2, 3])
+            assert executor._pool is None
+
+    def test_warm_pool_matches_serial_results(self):
+        with ParallelExecutor(jobs=2) as executor:
+            first = [r.value for r in executor.map(_square, [1, 2, 3])]
+            second = [r.value for r in
+                      executor.map(_explode_on_three, [1, 2, 3])]
+        assert first == [1, 4, 9]
+        assert second[:2] == [2, 3]

@@ -20,8 +20,10 @@ class TestRunProfile:
         assert metrics["incremental_regions_per_sec"] > 0
         assert metrics["rescan_regions_per_sec"] > 0
         assert metrics["ratio_incremental_over_rescan"] > 0
-        # The ratio metric must be gated when its scenario ran.
-        assert payload["gate_metrics"] == profile_mod.GATE_METRICS
+        # The ratio metric must be gated when its scenario ran (other
+        # gated metrics drop out with their scenarios absent).
+        assert payload["gate_metrics"] == [
+            "commit_throughput.ratio_incremental_over_rescan"]
         recorded = tmp_path / "BENCH_hotpath.json"
         assert recorded.exists()
         assert payload["recorded_to"] == str(recorded)
@@ -43,6 +45,28 @@ class TestRunProfile:
     def test_scenario_registry_covers_gate_metrics(self):
         for metric in profile_mod.GATE_METRICS:
             assert metric.split(".", 1)[0] in profile_mod.SCENARIOS
+
+    def test_slice_analysis_batch_scenario(self, tmp_path):
+        payload = profile_mod.run_profile(
+            scenarios=["slice_analysis_batch"], quick=True, record=False)
+        metrics = payload["scenarios"]["slice_analysis_batch"]
+        assert metrics["resources"] == 64
+        assert metrics["penalties_match"] is True
+        assert metrics["scalar_slices_per_sec"] > 0
+        assert metrics["batch_slices_per_sec"] > 0
+        assert metrics["ratio_batch_over_scalar"] > 0
+        assert payload["gate_metrics"] == [
+            "slice_analysis_batch.ratio_batch_over_scalar"]
+
+    def test_calibration_grid_scenario(self, tmp_path):
+        payload = profile_mod.run_profile(
+            scenarios=["calibration_grid"], quick=True, record=False)
+        metrics = payload["scenarios"]["calibration_grid"]
+        assert metrics["cells"] > 0
+        assert metrics["results_match"] is True
+        assert metrics["ratio_batch_over_scalar"] > 0
+        assert payload["gate_metrics"] == [
+            "calibration_grid.ratio_batch_over_scalar"]
 
     def test_cli_no_record_prints_metrics(self, tmp_path, capsys):
         code = profile_mod.main(["--quick", "--no-record",
@@ -181,6 +205,33 @@ class TestGateCli:
             gate_mod.main(["--current", str(current),
                            "--baseline", str(baseline),
                            "--max-regression", "-0.1"])
+
+    def test_write_baseline_copies_current(self, tmp_path, capsys):
+        current = _write(tmp_path / "current.json",
+                         _record({"s": {"m": 2.0}}, gate_metrics=["s.m"]))
+        baseline = tmp_path / "nested" / "baseline.json"
+        code = gate_mod.main(["--current", str(current),
+                              "--baseline", str(baseline),
+                              "--write-baseline"])
+        assert code == 0
+        assert "wrote baseline" in capsys.readouterr().out
+        assert (json.loads(baseline.read_text(encoding="utf-8"))
+                == json.loads(current.read_text(encoding="utf-8")))
+        # The refreshed baseline must gate cleanly against the record
+        # it was written from.
+        code = gate_mod.main(["--current", str(current),
+                              "--baseline", str(baseline)])
+        assert code == 0
+
+    def test_write_baseline_overwrites_stale_baseline(self, tmp_path,
+                                                      capsys):
+        baseline, current = self._paths(tmp_path, 1.0, 0.5)
+        code = gate_mod.main(["--current", str(current),
+                              "--baseline", str(baseline),
+                              "--write-baseline"])
+        assert code == 0
+        assert (json.loads(baseline.read_text(encoding="utf-8"))
+                == json.loads(current.read_text(encoding="utf-8")))
 
 
 class TestCommittedBaseline:
