@@ -44,6 +44,8 @@ from .contention import (ChenLinModel, ConstantModel, ContentionModel,
 from .perf import ParallelExecutor, SliceMemoCache
 from .robustness import (FaultPlan, FaultWindow, GuardedModel, RetryPolicy,
                          RunBudget, RunHealth)
+from .scenario import (ModelSpec, RunStore, ScenarioSpec, load_spec,
+                       register_generator, save_spec)
 
 __version__ = "1.0.0"
 
@@ -54,15 +56,17 @@ __all__ = [
     "DeadlockError", "ExecutionScheduler", "FaultPlan", "FaultWindow",
     "FifoScheduler", "GuardedModel", "HybridKernel",
     "LeastLoadedScheduler", "LogicalThread", "MD1Model", "MM1Model",
-    "ModelValidationError",
+    "ModelSpec", "ModelValidationError",
     "Mutex", "NullModel", "ParallelExecutor", "PinnedScheduler",
     "PriorityModel",
     "PriorityScheduler", "Processor", "ProtocolError", "RetryPolicy",
     "RoundRobinModel",
-    "RoundRobinScheduler", "RunBudget", "RunHealth", "Semaphore",
+    "RoundRobinScheduler", "RunBudget", "RunHealth", "RunStore",
+    "ScenarioSpec", "Semaphore",
     "SharedResource", "SimulationError", "SliceMemoCache",
     "SimulationResult", "SliceDemand", "SynchronizationError", "ThreadState",
     "acquire", "available_models", "barrier_wait", "cond_notify",
-    "cond_wait", "consume", "make_model", "release", "sem_acquire",
-    "sem_release", "spawn", "__version__",
+    "cond_wait", "consume", "load_spec", "make_model",
+    "register_generator", "release", "sem_acquire",
+    "sem_release", "save_spec", "spawn", "__version__",
 ]

@@ -2,7 +2,7 @@
 
 Examples::
 
-    python -m repro fig4 --cache-kb 512
+    python -m repro fig4 --cache-kb 512 --cache-dir benchmarks/out/store
     python -m repro fig5 --bus-delays 4 8 12
     python -m repro fig6 --quick
     python -m repro table1
@@ -10,6 +10,14 @@ Examples::
     python -m repro calibrate --model chenlin --threads 4
     python -m repro report examples/scenarios/*.json --jobs 0
     python -m repro pareto --points 1024 --jobs 0
+    python -m repro spec dump fft --params '{"points": 1024}' -o f.json
+    python -m repro spec hash f.json
+    python -m repro run --spec f.json --cache-dir benchmarks/out/store
+
+``--cache-dir`` points any spec-driven command at a content-addressed
+:class:`~repro.scenario.store.RunStore`: the first invocation simulates
+and stores per-estimator artifacts, repeat invocations replay them
+without running a single kernel.
 """
 
 from __future__ import annotations
@@ -41,7 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for independent grid cells "
              "(default 1 = serial, 0 = one per CPU)")
 
-    fig4 = sub.add_parser("fig4", parents=[jobs],
+    cache = argparse.ArgumentParser(add_help=False)
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed run-store directory; estimator results "
+             "are reused across invocations (keyed by spec hash and "
+             "code version)")
+
+    fig4 = sub.add_parser("fig4", parents=[jobs, cache],
                           help="FFT queueing vs processor count")
     fig4.add_argument("--cache-kb", type=int, default=512,
                       choices=(512, 8))
@@ -54,19 +69,20 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--points", type=int, default=4096)
     table1.add_argument("--procs", type=int, nargs="+", default=(2, 4, 8))
 
-    fig5 = sub.add_parser("fig5", parents=[jobs],
+    fig5 = sub.add_parser("fig5", parents=[jobs, cache],
                           help="PHM queueing vs bus delay")
     fig5.add_argument("--bus-delays", type=float, nargs="+",
                       default=(2, 4, 6, 8, 10, 12, 16, 20))
     fig5.add_argument("--idle", type=float, default=0.90,
                       help="idle fraction of the second processor")
 
-    fig6 = sub.add_parser("fig6", parents=[jobs],
+    fig6 = sub.add_parser("fig6", parents=[jobs, cache],
                           help="model error vs unbalance")
     fig6.add_argument("--quick", action="store_true",
                       help="single seed, fewer points")
 
-    sub.add_parser("all", parents=[jobs], help="run every experiment")
+    sub.add_parser("all", parents=[jobs, cache],
+                   help="run every experiment")
 
     sub.add_parser("validate",
                    help="self-check the reproduction's claims (fast)")
@@ -105,12 +121,44 @@ def build_parser() -> argparse.ArgumentParser:
              "that falls back when an evaluation misbehaves")
 
     report = sub.add_parser(
-        "report", parents=[jobs],
+        "report", parents=[jobs, cache],
         help="compare all estimators across several JSON scenarios")
     report.add_argument("scenarios", nargs="+", metavar="SCENARIO_JSON",
-                        help="paths to scenario .json files")
+                        help="paths to scenario .json files (workload "
+                             "documents or scenario specs)")
     report.add_argument("--model", default="chenlin",
                         choices=available_models())
+
+    run = sub.add_parser(
+        "run", parents=[cache],
+        help="run a serialized scenario spec through the estimators")
+    run.add_argument("--spec", required=True, metavar="SPEC_JSON",
+                     help="path to a ScenarioSpec .json file")
+    run.add_argument("--estimator", default="all",
+                     choices=("all", "mesh", "iss", "analytical"))
+
+    spec = sub.add_parser(
+        "spec", help="author, inspect, and hash scenario specs")
+    spec_sub = spec.add_subparsers(dest="spec_command", required=True)
+    dump = spec_sub.add_parser(
+        "dump", help="write the spec JSON for a generator configuration")
+    dump.add_argument("generator",
+                      help="registered workload generator name")
+    dump.add_argument("--params", default="{}", metavar="JSON",
+                      help="generator parameters as a JSON object")
+    dump.add_argument("--model", default=None,
+                      choices=available_models())
+    dump.add_argument("--min-timeslice", type=float, default=0.0)
+    dump.add_argument("--sync-policy", default="eager",
+                      choices=("eager", "deferred"))
+    dump.add_argument("--annotation", default="phase",
+                      choices=("phase", "barrier"))
+    dump.add_argument("-o", "--output", default=None, metavar="FILE",
+                      help="write to FILE instead of stdout")
+    spec_hash = spec_sub.add_parser(
+        "hash", help="print a spec file's content address")
+    spec_hash.add_argument("spec_file", metavar="SPEC_JSON",
+                           help="path to a ScenarioSpec .json file")
 
     pareto = sub.add_parser(
         "pareto", parents=[jobs],
@@ -133,7 +181,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_fig4(args) -> str:
     rows = run_fig4(cache_kb=args.cache_kb,
                     proc_counts=tuple(args.procs), points=args.points,
-                    jobs=getattr(args, "jobs", 1))
+                    jobs=getattr(args, "jobs", 1),
+                    store=getattr(args, "cache_dir", None))
     return render_fig4(rows)
 
 
@@ -146,17 +195,19 @@ def _run_table1(args) -> str:
 def _run_fig5(args) -> str:
     rows = run_fig5(bus_delays=tuple(args.bus_delays),
                     idle_fractions=(0.06, args.idle),
-                    jobs=getattr(args, "jobs", 1))
+                    jobs=getattr(args, "jobs", 1),
+                    store=getattr(args, "cache_dir", None))
     return render_fig5(rows)
 
 
 def _run_fig6(args) -> str:
     jobs = getattr(args, "jobs", 1)
+    store = getattr(args, "cache_dir", None)
     if args.quick:
         rows = run_fig6(idle_sweep=(0.0, 0.45, 0.90), bus_delays=(8,),
-                        seeds=(1,), jobs=jobs)
+                        seeds=(1,), jobs=jobs, store=store)
     else:
-        rows = run_fig6(jobs=jobs)
+        rows = run_fig6(jobs=jobs, store=store)
     return render_fig6(rows)
 
 
@@ -169,6 +220,7 @@ def _run_all(args) -> str:
         idle = 0.90
         quick = False
         jobs = getattr(args, "jobs", 1)
+        cache_dir = getattr(args, "cache_dir", None)
 
     parts = []
     for cache_kb in (512, 8):
@@ -242,31 +294,62 @@ def _run_simulate(args) -> str:
     return "\n".join(lines)
 
 
+def _spec_for_scenario_file(path: str, model_name: str):
+    """Load a scenario file as a :class:`ScenarioSpec`.
+
+    Accepts either a serialized spec (a JSON object with a
+    ``"generator"`` key — taken verbatim, including its own model) or a
+    plain workload document, which is wrapped as an ``inline`` spec so
+    its content — every phase and access count — becomes the spec hash.
+    """
+    import json
+
+    from .scenario import ModelSpec, ScenarioSpec
+
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, dict) and "generator" in document:
+        return ScenarioSpec.from_dict(document)
+    spec = ScenarioSpec(generator="inline",
+                        params={"document": document},
+                        model=ModelSpec(name=model_name))
+    # Validate eagerly so a malformed file fails at load time (one bad
+    # row) with its path, not later inside a worker process.
+    spec.build_workload()
+    return spec
+
+
 def _run_report(args) -> str:
     from .experiments.report import format_table
     from .experiments.runner import run_comparisons_parallel
-    from .workloads.io import load_workload
 
-    model = make_model(args.model)
-    workloads = {}
+    specs = {}
     load_errors = {}
     for path in args.scenarios:
         try:
-            workloads[path] = load_workload(path)
+            specs[path] = _spec_for_scenario_file(path, args.model)
         except Exception as exc:  # a bad file is one failed row, not a crash
             load_errors[path] = f"{type(exc).__name__}: {exc}"
-    cells = run_comparisons_parallel(list(workloads.values()),
+    cache_dir = getattr(args, "cache_dir", None)
+    cells = run_comparisons_parallel(list(specs.values()),
                                      jobs=getattr(args, "jobs", 1),
-                                     model=model)
-    by_path = dict(zip(workloads, cells))
+                                     store=cache_dir)
+    by_path = dict(zip(specs, cells))
     rows = []
+    cached_runs = 0
+    total_runs = 0
     for path in args.scenarios:
+        cell = by_path.get(path)
         error = (load_errors.get(path)
-                 or (None if by_path[path].ok else by_path[path].error))
+                 or (None if cell.ok else cell.error))
         if error is not None:
+            if cell is not None and cell.spec_hash:
+                error += f" [spec {cell.spec_hash[:12]}]"
             rows.append([path, "-", "-", "-", "-", f"error: {error}"])
             continue
-        comparison = by_path[path].value
+        comparison = cell.value
+        cached_runs += comparison.cached_runs
+        total_runs += len(comparison.runs)
         mesh = comparison.runs["mesh"]
         iss = comparison.runs["iss"]
         analytical = comparison.runs["analytical"]
@@ -279,21 +362,87 @@ def _run_report(args) -> str:
             f"{comparison.error('analytical'):+.1f}%",
             f"{comparison.speedup():.1f}x",
         ])
-    return format_table(
+    table = format_table(
         ["scenario", "iss Q", "mesh Q", "analytical Q",
          "err mesh/analytical", "mesh speedup"],
         rows,
         title=f"Estimator comparison ({args.model} model)")
+    if cache_dir is not None:
+        table += (f"\nrun store: {cached_runs} of {total_runs} "
+                  f"estimator runs replayed from cache "
+                  f"({cache_dir})")
+    return table
+
+
+def _run_run(args) -> str:
+    from .experiments.runner import ESTIMATORS, run_comparison
+    from .scenario import load_spec
+
+    spec = load_spec(args.spec)
+    include = (ESTIMATORS if args.estimator == "all"
+               else (args.estimator,))
+    comparison = run_comparison(spec, include=include,
+                                store=getattr(args, "cache_dir", None))
+    lines = [f"spec: {args.spec}",
+             f"spec hash: {comparison.spec_hash}"]
+    for name in include:
+        run = comparison.runs[name]
+        suffix = "  [cached]" if run.cached else ""
+        lines.append(
+            f"  {name:<10s} queueing={run.queueing_cycles:12,.1f}  "
+            f"({run.percent_queueing:5.2f}% of busy)  "
+            f"wall={run.wall_seconds * 1e3:8.2f}ms{suffix}")
+    if "iss" in include:
+        for name in include:
+            if name != "iss":
+                lines.append(f"  {name} error vs iss: "
+                             f"{comparison.error(name):.1f}%")
+    if getattr(args, "cache_dir", None) is not None:
+        lines.append(f"run store: {comparison.cached_runs} of "
+                     f"{len(comparison.runs)} estimator runs replayed "
+                     f"from cache")
+    return "\n".join(lines)
+
+
+def _run_spec(args) -> str:
+    import json
+
+    from .scenario import (ModelSpec, ScenarioSpec, code_version,
+                           load_spec, save_spec)
+
+    if args.spec_command == "hash":
+        spec = load_spec(args.spec_file)
+        return (f"spec hash   : {spec.spec_hash()}\n"
+                f"code version: {code_version()}")
+    from .scenario import resolve_generator
+
+    resolve_generator(args.generator)  # fail fast on unknown names
+    params = json.loads(args.params)
+    spec = ScenarioSpec(
+        generator=args.generator,
+        params=params,
+        model=(ModelSpec(name=args.model) if args.model else None),
+        min_timeslice=args.min_timeslice,
+        sync_policy=args.sync_policy,
+        annotation=args.annotation,
+    )
+    if args.output:
+        save_spec(spec, args.output)
+        return (f"wrote {args.output} "
+                f"(spec hash {spec.spec_hash()[:12]})")
+    return json.dumps(spec.to_dict(), indent=2, sort_keys=True)
 
 
 def _pareto_cell(points: int, design):
     """One design point: build the workload and characterize it."""
     from .analytical import characterize
-    from .workloads.fft import fft_workload
+    from .scenario import ScenarioSpec
 
     procs, bus = design
-    workload = fft_workload(points=points, processors=procs,
-                            bus_service=bus, cache_kb=8)
+    spec = ScenarioSpec(generator="fft",
+                        params={"points": points, "processors": procs,
+                                "bus_service": bus, "cache_kb": 8})
+    workload = spec.build_workload()
     return workload, characterize(workload)
 
 
@@ -358,6 +507,8 @@ _COMMANDS = {
     "simulate": _run_simulate,
     "report": _run_report,
     "pareto": _run_pareto,
+    "run": _run_run,
+    "spec": _run_spec,
 }
 
 

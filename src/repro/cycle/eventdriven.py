@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Set
 from ..core.errors import BudgetExceededError
 from ..workloads.trace import Workload, access_target
 from .arbiter import Request, make_arbiter
+from .program import coerce_workload as _coerce_workload
 from .program import lower_workload
 from .stats import CycleResult, StatsBuilder
 
@@ -79,6 +80,7 @@ class EventEngine:
                  max_events: int = 200_000_000,
                  record_grants: bool = False,
                  budget=None):
+        workload, budget = _coerce_workload(workload, budget)
         self.workload = workload
         self.programs = lower_workload(workload)
         self._arbiter_name = arbiter

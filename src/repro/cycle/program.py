@@ -111,3 +111,26 @@ def lower_workload(workload: Workload) -> List[Program]:
         programs.append(Program(thread_name=thread.name, processor=spec,
                                 ops=ops, priority=thread.priority))
     return programs
+
+
+def coerce_workload(workload, budget):
+    """Resolve an engine's first argument to ``(workload, budget)``.
+
+    Both cycle engines accept a :class:`Workload` or a
+    :class:`~repro.scenario.spec.ScenarioSpec`; a spec is materialized
+    here, and its serialized budget applies when the caller passed
+    none.  Lazy import keeps ``repro.cycle`` free of a module-level
+    dependency on the scenario layer.
+    """
+    if isinstance(workload, Workload):
+        return workload, budget
+    from ..scenario.spec import ScenarioSpec
+
+    if isinstance(workload, ScenarioSpec):
+        if budget is None:
+            budget = workload.build_budget()
+        return workload.build_workload(), budget
+    raise TypeError(
+        f"expected a Workload or ScenarioSpec, "
+        f"got {type(workload).__name__}"
+    )

@@ -29,6 +29,7 @@ from ..core.errors import BudgetExceededError
 from ..workloads.trace import Workload, access_target
 from .arbiter import Arbiter, Request, make_arbiter
 from .program import Program, lower_workload
+from .program import coerce_workload as _coerce_workload
 from .stats import CycleResult, StatsBuilder
 
 # Processor states.
@@ -117,6 +118,7 @@ class SteppedEngine:
                  max_cycles: int = 200_000_000,
                  record_grants: bool = False,
                  budget=None):
+        workload, budget = _coerce_workload(workload, budget)
         self.workload = workload
         self.programs = lower_workload(workload)
         priorities = {p.thread_name: p.priority for p in self.programs}

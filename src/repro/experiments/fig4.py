@@ -9,15 +9,13 @@ MESH ~14.5% (512KB) and analytical 44% / MESH 18% (8KB).
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..contention.base import ContentionModel
-from ..perf.parallel import ParallelExecutor
-from ..workloads.fft import fft_workload
 from .report import series_block
-from .runner import finite_mean, run_comparison
+from .runner import finite_mean
+from .specutil import comparisons_for_specs, scenario_spec
 
 #: Paper-reported average errors, for EXPERIMENTS.md bookkeeping.
 PAPER_AVG_ERRORS = {
@@ -41,22 +39,19 @@ class Fig4Row:
     analytical_error: float
 
 
-def _fig4_cell(cache_kb: int, points: int,
-               model: Optional[ContentionModel], seed: int,
-               processors: int) -> Fig4Row:
-    """Evaluate one processor-count configuration (parallelizable)."""
-    workload = fft_workload(points=points, processors=processors,
-                            cache_kb=cache_kb, seed=seed)
-    comparison = run_comparison(workload, model=model)
-    return Fig4Row(
-        processors=processors,
-        cache_kb=cache_kb,
-        iss=comparison.queueing("iss"),
-        mesh=comparison.queueing("mesh"),
-        analytical=comparison.queueing("analytical"),
-        mesh_error=comparison.error("mesh"),
-        analytical_error=comparison.error("analytical"),
-    )
+def fig4_specs(cache_kb: int = 512,
+               proc_counts: Sequence[int] = DEFAULT_PROCS,
+               points: int = 4096,
+               model: Optional[ContentionModel] = None,
+               seed: int = 0):
+    """One :class:`ScenarioSpec` per processor-count configuration."""
+    return [
+        scenario_spec("fft",
+                      {"points": points, "processors": processors,
+                       "cache_kb": cache_kb, "seed": seed},
+                      model=model)
+        for processors in proc_counts
+    ]
 
 
 def run_fig4(cache_kb: int = 512,
@@ -64,17 +59,32 @@ def run_fig4(cache_kb: int = 512,
              points: int = 4096,
              model: Optional[ContentionModel] = None,
              seed: int = 0,
-             jobs: int = 1) -> List[Fig4Row]:
+             jobs: int = 1,
+             store=None) -> List[Fig4Row]:
     """Run the FFT sweep for one cache size.
 
-    ``jobs > 1`` evaluates the independent processor-count
-    configurations on a process pool (``0`` = one worker per CPU) with
-    serial-identical row ordering.
+    Each configuration is a :class:`ScenarioSpec` evaluated through
+    :func:`~repro.experiments.specutil.comparisons_for_specs` —
+    ``jobs > 1`` ships spec dicts to a process pool (``0`` = one worker
+    per CPU) with serial-identical row ordering, and ``store`` (a
+    :class:`~repro.scenario.store.RunStore` or path) makes re-runs warm
+    cache hits.
     """
-    with ParallelExecutor(jobs) as executor:
-        return executor.run(
-            functools.partial(_fig4_cell, cache_kb, points, model, seed),
-            list(proc_counts))
+    specs = fig4_specs(cache_kb=cache_kb, proc_counts=proc_counts,
+                       points=points, model=model, seed=seed)
+    comparisons = comparisons_for_specs(specs, jobs=jobs, store=store)
+    return [
+        Fig4Row(
+            processors=processors,
+            cache_kb=cache_kb,
+            iss=comparison.queueing("iss"),
+            mesh=comparison.queueing("mesh"),
+            analytical=comparison.queueing("analytical"),
+            mesh_error=comparison.error("mesh"),
+            analytical_error=comparison.error("analytical"),
+        )
+        for processors, comparison in zip(proc_counts, comparisons)
+    ]
 
 
 def average_errors(rows: Sequence[Fig4Row]) -> Dict[str, float]:

@@ -9,15 +9,13 @@ unbalanced workload, greatly overestimates queueing.
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..contention.base import ContentionModel
-from ..perf.parallel import ParallelExecutor
-from ..workloads.phm import phm_workload
 from .report import series_block
-from .runner import finite_mean, run_comparison
+from .runner import finite_mean
+from .specutil import comparisons_for_specs, scenario_spec
 
 DEFAULT_BUS_DELAYS = (2, 4, 6, 8, 10, 12, 16, 20)
 DEFAULT_IDLE = (0.06, 0.90)
@@ -35,23 +33,20 @@ class Fig5Row:
     analytical_error: float
 
 
-def _fig5_cell(idle_fractions: Tuple[float, float],
-               busy_cycles_target: float,
-               model: Optional[ContentionModel], seed: int,
-               bus_delay: float) -> Fig5Row:
-    """Evaluate one bus-delay configuration (parallelizable)."""
-    workload = phm_workload(busy_cycles_target=busy_cycles_target,
-                            idle_fractions=idle_fractions,
-                            bus_service=bus_delay, seed=seed)
-    comparison = run_comparison(workload, model=model)
-    return Fig5Row(
-        bus_delay=bus_delay,
-        iss_pct=comparison.runs["iss"].percent_queueing,
-        mesh_pct=comparison.runs["mesh"].percent_queueing,
-        analytical_pct=comparison.runs["analytical"].percent_queueing,
-        mesh_error=comparison.error("mesh"),
-        analytical_error=comparison.error("analytical"),
-    )
+def fig5_specs(bus_delays: Sequence[float] = DEFAULT_BUS_DELAYS,
+               idle_fractions: Tuple[float, float] = DEFAULT_IDLE,
+               busy_cycles_target: float = 120_000.0,
+               model: Optional[ContentionModel] = None,
+               seed: int = 1):
+    """One :class:`ScenarioSpec` per bus-delay configuration."""
+    return [
+        scenario_spec("phm",
+                      {"busy_cycles_target": busy_cycles_target,
+                       "idle_fractions": list(idle_fractions),
+                       "bus_service": bus_delay, "seed": seed},
+                      model=model)
+        for bus_delay in bus_delays
+    ]
 
 
 def run_fig5(bus_delays: Sequence[float] = DEFAULT_BUS_DELAYS,
@@ -59,17 +54,30 @@ def run_fig5(bus_delays: Sequence[float] = DEFAULT_BUS_DELAYS,
              busy_cycles_target: float = 120_000.0,
              model: Optional[ContentionModel] = None,
              seed: int = 1,
-             jobs: int = 1) -> List[Fig5Row]:
+             jobs: int = 1,
+             store=None) -> List[Fig5Row]:
     """Sweep the bus access latency on the 90%-idle PHM scenario.
 
-    ``jobs > 1`` evaluates the independent bus-delay points on a
-    process pool (``0`` = one worker per CPU), preserving row order.
+    Configurations are :class:`ScenarioSpec` cells: ``jobs > 1``
+    evaluates them on a process pool (``0`` = one worker per CPU),
+    preserving row order, and ``store`` replays cached estimator runs.
     """
-    with ParallelExecutor(jobs) as executor:
-        return executor.run(
-            functools.partial(_fig5_cell, tuple(idle_fractions),
-                              busy_cycles_target, model, seed),
-            list(bus_delays))
+    specs = fig5_specs(bus_delays=bus_delays,
+                       idle_fractions=idle_fractions,
+                       busy_cycles_target=busy_cycles_target,
+                       model=model, seed=seed)
+    comparisons = comparisons_for_specs(specs, jobs=jobs, store=store)
+    return [
+        Fig5Row(
+            bus_delay=bus_delay,
+            iss_pct=comparison.runs["iss"].percent_queueing,
+            mesh_pct=comparison.runs["mesh"].percent_queueing,
+            analytical_pct=comparison.runs["analytical"].percent_queueing,
+            mesh_error=comparison.error("mesh"),
+            analytical_error=comparison.error("analytical"),
+        )
+        for bus_delay, comparison in zip(bus_delays, comparisons)
+    ]
 
 
 def render_fig5(rows: Sequence[Fig5Row]) -> str:

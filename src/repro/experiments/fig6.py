@@ -13,15 +13,13 @@ paper's "average error" framing.
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..contention.base import ContentionModel
-from ..perf.parallel import ParallelExecutor
-from ..workloads.phm import phm_workload
 from .report import series_block
-from .runner import finite_mean, run_comparison
+from .runner import finite_mean
+from .specutil import comparisons_for_specs, scenario_spec
 
 DEFAULT_IDLE_SWEEP = (0.0, 0.15, 0.30, 0.45, 0.60, 0.75, 0.90)
 DEFAULT_BUS_DELAYS = (4, 8, 12)
@@ -36,16 +34,22 @@ class Fig6Row:
     analytical_error: float
 
 
-def _fig6_cell(busy_cycles_target: float,
-               model: Optional[ContentionModel],
-               cell: "Tuple[float, float, int]") -> "Tuple[float, float]":
-    """Evaluate one (idle, bus_delay, seed) cell's estimator errors."""
-    idle, bus_delay, seed = cell
-    workload = phm_workload(busy_cycles_target=busy_cycles_target,
-                            idle_fractions=(0.06, idle),
-                            bus_service=bus_delay, seed=seed)
-    comparison = run_comparison(workload, model=model)
-    return comparison.error("mesh"), comparison.error("analytical")
+def fig6_specs(idle_sweep: Sequence[float] = DEFAULT_IDLE_SWEEP,
+               bus_delays: Sequence[float] = DEFAULT_BUS_DELAYS,
+               busy_cycles_target: float = 120_000.0,
+               model: Optional[ContentionModel] = None,
+               seeds: Sequence[int] = (1, 2, 3)):
+    """One :class:`ScenarioSpec` per (idle, bus_delay, seed) cell."""
+    return [
+        scenario_spec("phm",
+                      {"busy_cycles_target": busy_cycles_target,
+                       "idle_fractions": [0.06, idle],
+                       "bus_service": bus_delay, "seed": seed},
+                      model=model)
+        for idle in idle_sweep
+        for bus_delay in bus_delays
+        for seed in seeds
+    ]
 
 
 def run_fig6(idle_sweep: Sequence[float] = DEFAULT_IDLE_SWEEP,
@@ -53,24 +57,25 @@ def run_fig6(idle_sweep: Sequence[float] = DEFAULT_IDLE_SWEEP,
              busy_cycles_target: float = 120_000.0,
              model: Optional[ContentionModel] = None,
              seeds: Sequence[int] = (1, 2, 3),
-             jobs: int = 1) -> List[Fig6Row]:
+             jobs: int = 1,
+             store=None) -> List[Fig6Row]:
     """Sweep the second processor's idle fraction.
 
     Each point averages over ``bus_delays`` x ``seeds`` scenario
     instances; a single random kernel mix has enough variance to hide
-    the degradation trend the figure is about.  ``jobs > 1`` spreads the
-    full idle x bus-delay x seed cross product over a process pool
-    (``0`` = one worker per CPU); per-point averages are accumulated in
-    the serial loop's exact order, so rows are bit-identical.
+    the degradation trend the figure is about.  The full idle x
+    bus-delay x seed cross product is a grid of :class:`ScenarioSpec`
+    cells: ``jobs > 1`` spreads them over a process pool (``0`` = one
+    worker per CPU) and ``store`` replays cached estimator runs;
+    per-point averages are accumulated in the serial loop's exact
+    order, so rows are bit-identical.
     """
-    cells = [(idle, bus_delay, seed)
-             for idle in idle_sweep
-             for bus_delay in bus_delays
-             for seed in seeds]
-    with ParallelExecutor(jobs) as executor:
-        values = executor.run(
-            functools.partial(_fig6_cell, busy_cycles_target, model),
-            cells)
+    specs = fig6_specs(idle_sweep=idle_sweep, bus_delays=bus_delays,
+                       busy_cycles_target=busy_cycles_target,
+                       model=model, seeds=seeds)
+    comparisons = comparisons_for_specs(specs, jobs=jobs, store=store)
+    values = [(comparison.error("mesh"), comparison.error("analytical"))
+              for comparison in comparisons]
     per_point = len(bus_delays) * len(seeds)
     rows: List[Fig6Row] = []
     for offset, idle in enumerate(idle_sweep):

@@ -5,6 +5,15 @@ ground truth; the hybrid (MESH) kernel and the whole-run analytical
 model are the contestants; the figures report queueing cycles (or the
 percentage of execution time spent queueing) and the error of each
 contestant against ground truth.
+
+A comparison can be described either by a live
+:class:`~repro.workloads.trace.Workload` plus kwargs (the legacy path)
+or by a :class:`~repro.scenario.spec.ScenarioSpec`.  Spec-driven
+comparisons carry the spec's content hash and can flow through a
+:class:`~repro.scenario.store.RunStore`: estimator results already in
+the store are replayed without building the workload or running any
+engine, which is what makes repeated figure and report invocations
+warm cache hits.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analytical import characterize, estimate_queueing
 from ..contention.base import ContentionModel
+from ..core.errors import ConfigurationError
 from ..cycle import EventEngine, SteppedEngine
 from ..perf.parallel import CellResult, ParallelExecutor
 from ..workloads.to_mesh import run_hybrid
@@ -62,8 +72,13 @@ class EstimatorRun:
     percent_queueing: float
     wall_seconds: float
     #: Engine-specific result object (CycleResult / SimulationResult /
-    #: WholeRunEstimate) for deeper inspection.
+    #: WholeRunEstimate) for deeper inspection; a plain payload mapping
+    #: when the run was replayed from a store.
     detail: object = field(repr=False, default=None)
+    #: Whether this run was replayed from a
+    #: :class:`~repro.scenario.store.RunStore` instead of simulated.
+    #: Excluded from equality: a cached replay reports the same physics.
+    cached: bool = field(default=False, compare=False)
 
 
 @dataclass(frozen=True)
@@ -71,6 +86,9 @@ class Comparison:
     """All estimators on one workload, with errors vs ground truth."""
 
     runs: Dict[str, EstimatorRun]
+    #: Content hash of the scenario spec this comparison evaluated
+    #: (``None`` for legacy workload-object comparisons).
+    spec_hash: Optional[str] = None
 
     def queueing(self, estimator: str) -> float:
         """Queueing cycles reported by one estimator."""
@@ -88,8 +106,29 @@ class Comparison:
             return float("inf")
         return self.runs[slow].wall_seconds / fast_time
 
+    @property
+    def cached_runs(self) -> int:
+        """Number of estimator runs replayed from the run store."""
+        return sum(1 for run in self.runs.values() if run.cached)
 
-def run_comparison(workload: Workload,
+
+def _detail_payload(estimator: str, result) -> Optional[Dict]:
+    """Flatten an engine result for storage (best effort, may be None)."""
+    try:
+        if estimator == "mesh":
+            from ..core.export import result_to_dict
+
+            return result_to_dict(result)
+        if estimator == "iss":
+            from ..core.export import cycle_result_to_dict
+
+            return cycle_result_to_dict(result)
+    except Exception:  # storage detail is optional, never fatal
+        return None
+    return None
+
+
+def run_comparison(workload,
                    model: Optional[ContentionModel] = None,
                    min_timeslice: float = 0.0,
                    annotation: str = "phase",
@@ -97,11 +136,19 @@ def run_comparison(workload: Workload,
                    include: Sequence[str] = ESTIMATORS,
                    fault_plan=None,
                    budget=None,
-                   memo_cache=None) -> Comparison:
-    """Evaluate ``workload`` with every requested estimator.
+                   memo_cache=None,
+                   store=None) -> Comparison:
+    """Evaluate a workload or scenario spec with every estimator.
 
     Parameters
     ----------
+    workload:
+        A :class:`~repro.workloads.trace.Workload`, or a
+        :class:`~repro.scenario.spec.ScenarioSpec` naming a
+        ``"workload"``-kind generator.  With a spec, the scenario knobs
+        (model, timeslice, annotation, fault plan, budget, memo) come
+        from the spec; passing them here too raises — a spec is the
+        single source of scenario identity.
     model:
         Contention model shared by the hybrid and analytical estimators
         (the paper applies the *same* Chen-Lin model both ways).
@@ -119,82 +166,174 @@ def run_comparison(workload: Workload,
         on the hybrid kernel and both cycle engines.
     memo_cache:
         Optional :class:`~repro.perf.memo.SliceMemoCache` attached to
-        the hybrid estimator's kernel (the cycle engines and the
-        whole-run model evaluate no per-slice models to memoize).
+        the hybrid estimator's kernel; may be passed alongside a spec
+        to share one cache across a sweep's cells.
+    store:
+        Optional :class:`~repro.scenario.store.RunStore` (or its root
+        path).  Requires a spec: estimator results are looked up by
+        ``(spec_hash, estimator)`` before running anything and written
+        back after a miss.  When every requested estimator hits, the
+        comparison completes without building the workload at all.
     """
-    # One busy-time basis for every estimator's percentage: the
-    # characterized zero-contention execution cycles (excluding idle),
-    # identical to the cycle engines' compute+service total.  The
-    # profiles are reused by the whole-run analytical estimator below —
-    # characterization is deterministic and was previously computed
-    # twice per comparison.
-    profiles = characterize(workload)
-    busy_reference = sum(p.busy_cycles for p in profiles.values())
+    spec = None
+    if not isinstance(workload, Workload):
+        from ..scenario.spec import ScenarioSpec
+
+        if not isinstance(workload, ScenarioSpec):
+            raise TypeError(
+                f"expected a Workload or ScenarioSpec, "
+                f"got {type(workload).__name__}"
+            )
+        spec = workload
+        for name, value, default in (
+                ("model", model, None), ("fault_plan", fault_plan, None),
+                ("budget", budget, None),
+                ("min_timeslice", min_timeslice, 0.0),
+                ("annotation", annotation, "phase")):
+            if value != default:
+                raise ConfigurationError(
+                    f"pass {name!r} inside the scenario spec, not "
+                    f"alongside it — the spec is the scenario's "
+                    f"identity"
+                )
+        model = spec.build_model()
+        min_timeslice = spec.min_timeslice
+        annotation = spec.annotation
+        fault_plan = spec.build_fault_plan()
+        budget = spec.build_budget()
+        if memo_cache is None:
+            memo_cache = spec.build_memo()
+    if store is not None:
+        from ..scenario.store import as_store
+
+        store = as_store(store) if spec is not None else None
+    spec_hash = spec.spec_hash() if spec is not None else None
+
+    # The workload and its characterization profiles are built lazily:
+    # a comparison whose every estimator hits the store finishes with
+    # zero workload builds and zero kernel runs.
+    state: Dict[str, object] = {}
+
+    def get_workload() -> Workload:
+        if "workload" not in state:
+            state["workload"] = (spec.build_workload()
+                                 if spec is not None else workload)
+        return state["workload"]
+
+    def get_profiles():
+        if "profiles" not in state:
+            # One busy-time basis for every estimator's percentage: the
+            # characterized zero-contention execution cycles (excluding
+            # idle), identical to the cycle engines' compute+service
+            # total.  The profiles are shared with the whole-run
+            # analytical estimator below.
+            state["profiles"] = characterize(get_workload())
+        return state["profiles"]
 
     def as_percent(queueing: float) -> float:
+        busy_reference = sum(p.busy_cycles
+                             for p in get_profiles().values())
         if busy_reference <= 0:
             return 0.0
         return 100.0 * queueing / busy_reference
 
     runs: Dict[str, EstimatorRun] = {}
     for estimator in include:
+        if store is not None:
+            payload = store.get(spec_hash, estimator)
+            if payload is not None:
+                runs[estimator] = EstimatorRun(
+                    estimator=estimator,
+                    queueing_cycles=payload["queueing_cycles"],
+                    percent_queueing=payload["percent_queueing"],
+                    wall_seconds=payload.get("wall_seconds", 0.0),
+                    detail=payload.get("detail"),
+                    cached=True)
+                continue
         if estimator == "iss":
             engine_cls = (SteppedEngine if iss_engine == "stepped"
                           else EventEngine)
             start = time.perf_counter()
-            result = engine_cls(workload, budget=budget).run()
+            result = engine_cls(get_workload(), budget=budget).run()
             elapsed = time.perf_counter() - start
             queueing = float(result.queueing_cycles)
         elif estimator == "mesh":
             start = time.perf_counter()
-            result = run_hybrid(workload, model=model,
-                                min_timeslice=min_timeslice,
-                                annotation=annotation,
-                                fault_plan=fault_plan,
-                                budget=budget,
-                                memo_cache=memo_cache)
+            if spec is not None:
+                result = spec.run(memo_cache=memo_cache)
+            else:
+                result = run_hybrid(get_workload(), model=model,
+                                    min_timeslice=min_timeslice,
+                                    annotation=annotation,
+                                    fault_plan=fault_plan,
+                                    budget=budget,
+                                    memo_cache=memo_cache)
             elapsed = time.perf_counter() - start
             queueing = result.queueing_cycles
         elif estimator == "analytical":
             start = time.perf_counter()
-            result = estimate_queueing(workload, model=model,
-                                       profiles=profiles)
+            result = estimate_queueing(get_workload(), model=model,
+                                       models=(spec.build_models()
+                                               if spec is not None
+                                               else None),
+                                       profiles=get_profiles())
             elapsed = time.perf_counter() - start
             queueing = result.queueing_cycles
         else:
             raise ValueError(f"unknown estimator {estimator!r}; "
                              f"choose from {ESTIMATORS}")
-        runs[estimator] = EstimatorRun(
+        run = EstimatorRun(
             estimator=estimator,
             queueing_cycles=queueing,
             percent_queueing=as_percent(queueing),
             wall_seconds=elapsed, detail=result)
-    return Comparison(runs=runs)
+        runs[estimator] = run
+        if store is not None:
+            store.put(spec_hash, estimator, {
+                "spec_hash": spec_hash,
+                "estimator": estimator,
+                "queueing_cycles": run.queueing_cycles,
+                "percent_queueing": run.percent_queueing,
+                "wall_seconds": run.wall_seconds,
+                "detail": _detail_payload(estimator, result),
+            })
+    return Comparison(runs=runs, spec_hash=spec_hash)
 
 
-def run_comparisons_parallel(workloads: Sequence[Workload],
+def run_comparisons_parallel(workloads: Sequence,
                              jobs: int = 0,
                              **kwargs) -> List[CellResult]:
-    """Batch :func:`run_comparison` over independent workloads.
+    """Batch :func:`run_comparison` over independent scenarios.
 
-    Each workload is one cell on a
+    Each entry — a :class:`~repro.workloads.trace.Workload` or a
+    :class:`~repro.scenario.spec.ScenarioSpec` — is one cell on a
     :class:`~repro.perf.parallel.ParallelExecutor` (``jobs=0`` = one
     worker per CPU; default, since a batch call exists to go wide).
-    ``kwargs`` are forwarded to :func:`run_comparison` verbatim.
+    ``kwargs`` are forwarded to :func:`run_comparison` verbatim (pass
+    ``store=`` to flow spec cells through a run store — workers write
+    artifacts to the shared directory, but hit/miss counters stay in
+    the worker processes; use the results' ``cached_runs`` instead).
 
-    Returns one :class:`~repro.perf.parallel.CellResult` per workload in
+    Returns one :class:`~repro.perf.parallel.CellResult` per scenario in
     input order: ``result.value`` is the :class:`Comparison`, and a
-    workload whose evaluation raised carries the error string instead of
-    aborting the batch.  Note that ``wall_seconds`` of cells run
-    concurrently include scheduling contention — use a serial run for
-    runtime *measurements* (Table 1), the parallel batch for accuracy
-    sweeps.
+    scenario whose evaluation raised carries the error string instead of
+    aborting the batch.  When every entry is a spec, cells ship to the
+    workers as small spec dicts (never pickled workload objects) and
+    each cell records its ``spec_hash``, so a failed cell is exactly
+    reproducible from the error report.  Note that ``wall_seconds`` of
+    cells run concurrently include scheduling contention — use a serial
+    run for runtime *measurements* (Table 1), the parallel batch for
+    accuracy sweeps.
     """
+    items = list(workloads)
     fn = functools.partial(_comparison_cell, kwargs)
     with ParallelExecutor(jobs) as executor:
-        return executor.map(fn, list(workloads))
+        if items and not any(isinstance(item, Workload)
+                             for item in items):
+            return executor.map_specs(fn, items)
+        return executor.map(fn, items)
 
 
-def _comparison_cell(kwargs: Dict, workload: Workload) -> Comparison:
-    """One batch cell: evaluate a single workload's comparison."""
+def _comparison_cell(kwargs: Dict, workload) -> Comparison:
+    """One batch cell: evaluate a single scenario's comparison."""
     return run_comparison(workload, **kwargs)

@@ -85,32 +85,53 @@ class SweepPoint:
     queueing: Dict[str, SweepStat] = field(default_factory=dict)
     #: estimator -> aggregated |error| vs the reference estimator.
     errors: Dict[str, SweepStat] = field(default_factory=dict)
-    #: Recorded per-seed failures (``"seed <s>: ExcType: ..."``); failed
-    #: cells are excluded from the aggregates instead of killing the
-    #: sweep.
+    #: Recorded per-seed failures (``"seed <s>: ExcType: ..."``,
+    #: suffixed with the cell's spec hash when the factory produced
+    #: scenario specs); failed cells are excluded from the aggregates
+    #: instead of killing the sweep.
     failures: Tuple[str, ...] = ()
+    #: Content hashes of this point's spec-driven cells (one per seed,
+    #: in seed order; empty for workload-object factories), so any cell
+    #: — including a failed one — is reproducible from the report.
+    spec_hashes: Tuple[str, ...] = ()
 
     def error(self, estimator: str) -> SweepStat:
         """Aggregated percent error of one estimator."""
         return self.errors[estimator]
 
 
+#: First element of a cell result marking a trapped in-cell failure.
+_CELL_FAILED = "__sweep-cell-failed__"
+
+
 def _sweep_cell(workload_factory: Callable[[object, int], Workload],
                 model: Optional[ContentionModel],
-                include: Sequence[str], reference: str,
+                include: Sequence[str], reference: str, store,
                 cell: "Tuple[object, int]"):
     """Evaluate one (x, seed) cell into raw queueing/error samples.
 
     Module-level (not a closure) so the parallel executor can ship it to
     worker processes; returns plain dicts, the cheapest picklable form.
+    The factory may produce a :class:`~repro.scenario.spec.ScenarioSpec`
+    instead of a workload; the cell then records the spec's content
+    hash — on failure too, so the error report names the exact scenario
+    to replay (``(_CELL_FAILED, message, spec_hash)``).
     """
     x, seed = cell
-    comparison = run_comparison(workload_factory(x, seed), model=model,
-                                include=include)
-    queueing = {name: comparison.queueing(name) for name in include}
-    errors = {name: comparison.error(name, reference)
-              for name in include if name != reference}
-    return queueing, errors
+    scenario = workload_factory(x, seed)
+    spec_hash = (scenario.spec_hash()
+                 if hasattr(scenario, "spec_hash") else None)
+    try:
+        comparison = run_comparison(scenario, model=model,
+                                    include=include, store=store)
+        queueing = {name: comparison.queueing(name) for name in include}
+        errors = {name: comparison.error(name, reference)
+                  for name in include if name != reference}
+    except Exception as exc:
+        if spec_hash is None:
+            raise
+        return (_CELL_FAILED, f"{type(exc).__name__}: {exc}", spec_hash)
+    return queueing, errors, spec_hash
 
 
 def run_sweep(workload_factory: Callable[[object, int], Workload],
@@ -119,11 +140,17 @@ def run_sweep(workload_factory: Callable[[object, int], Workload],
               model: Optional[ContentionModel] = None,
               include: Sequence[str] = ESTIMATORS,
               reference: str = "iss",
-              jobs: int = 1) -> List[SweepPoint]:
+              jobs: int = 1,
+              store=None) -> List[SweepPoint]:
     """Evaluate every estimator over an x-grid, aggregating over seeds.
 
-    ``workload_factory(x, seed)`` builds one scenario instance.  Errors
-    are computed against ``reference`` (which must be in ``include``).
+    ``workload_factory(x, seed)`` builds one scenario instance — a
+    :class:`~repro.workloads.trace.Workload` or a
+    :class:`~repro.scenario.spec.ScenarioSpec` (spec factories record
+    each cell's content hash on the point and may flow through
+    ``store``; with a spec factory, pass the model inside the specs,
+    not as ``model=``).  Errors are computed against ``reference``
+    (which must be in ``include``).
 
     Every (x, seed) cell is independent; ``jobs > 1`` evaluates them on
     a process pool (``0`` = one worker per CPU) with deterministic,
@@ -140,7 +167,7 @@ def run_sweep(workload_factory: Callable[[object, int], Workload],
     with ParallelExecutor(jobs) as executor:
         results = executor.map(
             functools.partial(_sweep_cell, workload_factory, model,
-                              tuple(include), reference),
+                              tuple(include), reference, store),
             cells)
     points: List[SweepPoint] = []
     index = 0
@@ -150,13 +177,22 @@ def run_sweep(workload_factory: Callable[[object, int], Workload],
         error_samples: Dict[str, List[float]] = {
             name: [] for name in include if name != reference}
         failures: List[str] = []
+        hashes: List[str] = []
         for seed in seeds:
             result = results[index]
             index += 1
             if not result.ok:
                 failures.append(f"seed {seed!r}: {result.error}")
                 continue
-            queueing, errors = result.value
+            if result.value[0] == _CELL_FAILED:
+                _, message, spec_hash = result.value
+                hashes.append(spec_hash)
+                failures.append(
+                    f"seed {seed!r}: {message} [spec {spec_hash[:12]}]")
+                continue
+            queueing, errors, spec_hash = result.value
+            if spec_hash is not None:
+                hashes.append(spec_hash)
             for name in include:
                 queueing_samples[name].append(queueing[name])
                 if name != reference:
@@ -168,6 +204,7 @@ def run_sweep(workload_factory: Callable[[object, int], Workload],
             errors={name: aggregate(samples)
                     for name, samples in error_samples.items()},
             failures=tuple(failures),
+            spec_hashes=tuple(hashes),
         ))
     return points
 

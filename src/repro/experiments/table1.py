@@ -17,8 +17,7 @@ from typing import List, Sequence
 
 from ..cycle import SteppedEngine
 from ..perf.parallel import ParallelExecutor
-from ..workloads.fft import fft_workload
-from ..workloads.to_mesh import run_hybrid
+from ..scenario.spec import ScenarioSpec
 from .report import format_table
 
 DEFAULT_PROCS = (2, 4, 8)
@@ -41,25 +40,48 @@ class Table1Row:
         return self.iss_seconds / self.mesh_seconds
 
 
-def _table1_cell(spec: tuple) -> Table1Row:
-    """Time one (processors, cache) configuration — picklable cell fn.
+def _table1_cell(cell: tuple) -> Table1Row:
+    """Time one (spec dict, repeats) configuration — picklable cell fn.
 
-    Both engines are timed inside the same cell, so their *ratio* stays
-    meaningful even when several cells share the machine under
-    ``jobs > 1``; absolute seconds are then only indicative.
+    The scenario crosses the process boundary as its serialized
+    :class:`ScenarioSpec` dict.  Both engines are timed inside the same
+    cell, so their *ratio* stays meaningful even when several cells
+    share the machine under ``jobs > 1``; absolute seconds are then
+    only indicative.  Runtimes are measured fresh every call — wall
+    clock is a property of this machine right now, never a cacheable
+    artifact.
     """
-    processors, cache_kb, points, repeats = spec
-    workload = fft_workload(points=points, processors=processors,
-                            cache_kb=cache_kb)
+    from ..workloads.to_mesh import run_hybrid
+
+    spec_dict, repeats = cell
+    spec = ScenarioSpec.from_dict(spec_dict)
+    # The workload is generated once outside the timers: Table 1
+    # measures *simulation* runtime, and both engines consume the same
+    # pre-built workload object.
+    workload = spec.build_workload()
     mesh_seconds = min(
-        _timed(lambda: run_hybrid(workload))
+        _timed(lambda: run_hybrid(workload, **spec.kernel_kwargs()))
         for _ in range(repeats))
     iss_seconds = min(
         _timed(lambda: SteppedEngine(workload).run())
         for _ in range(repeats))
-    return Table1Row(processors=processors, cache_kb=cache_kb,
+    return Table1Row(processors=spec.params["processors"],
+                     cache_kb=spec.params["cache_kb"],
                      mesh_seconds=mesh_seconds,
                      iss_seconds=iss_seconds)
+
+
+def table1_specs(proc_counts: Sequence[int] = DEFAULT_PROCS,
+                 cache_kbs: Sequence[int] = (512, 8),
+                 points: int = 4096) -> List[ScenarioSpec]:
+    """One :class:`ScenarioSpec` per (cache, processors) grid cell."""
+    return [
+        ScenarioSpec(generator="fft",
+                     params={"points": points, "processors": processors,
+                             "cache_kb": cache_kb})
+        for cache_kb in cache_kbs
+        for processors in proc_counts
+    ]
 
 
 def run_table1(proc_counts: Sequence[int] = DEFAULT_PROCS,
@@ -74,11 +96,11 @@ def run_table1(proc_counts: Sequence[int] = DEFAULT_PROCS,
     ParallelExecutor` (``0`` = one worker per CPU); rows come back in
     grid order regardless.
     """
-    specs = [(processors, cache_kb, points, repeats)
-             for cache_kb in cache_kbs
-             for processors in proc_counts]
+    specs = table1_specs(proc_counts=proc_counts, cache_kbs=cache_kbs,
+                         points=points)
+    cells = [(spec.to_dict(), repeats) for spec in specs]
     with ParallelExecutor(jobs=jobs) as executor:
-        return list(executor.run(_table1_cell, specs))
+        return list(executor.run(_table1_cell, cells))
 
 
 def render_table1(rows: Sequence[Table1Row]) -> str:

@@ -29,10 +29,11 @@ when call-site state matters.
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, List, Optional, Sequence
 
 
@@ -56,6 +57,11 @@ class CellResult:
     value: Any = None
     #: ``"ExcType: message"`` when the cell raised, else ``None``.
     error: Optional[str] = None
+    #: Content hash of the scenario spec the cell evaluated (set by
+    #: :meth:`ParallelExecutor.map_specs`), so a failed cell in an
+    #: error report is exactly reproducible: ``repro run`` any spec
+    #: file whose hash matches.
+    spec_hash: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -67,7 +73,10 @@ class CellError(RuntimeError):
     """Raised by :meth:`ParallelExecutor.run` for a failed cell."""
 
     def __init__(self, result: CellResult):
-        super().__init__(f"cell {result.index} failed: {result.error}")
+        suffix = (f" [spec {result.spec_hash[:12]}]"
+                  if result.spec_hash else "")
+        super().__init__(
+            f"cell {result.index} failed: {result.error}{suffix}")
         #: The failed cell's :class:`CellResult`.
         self.result = result
 
@@ -80,6 +89,18 @@ def _call_cell(fn: Callable[[Any], Any], index: int,
     except Exception as exc:  # deliberate: degrade, don't kill the sweep
         return CellResult(index=index,
                           error=f"{type(exc).__name__}: {exc}")
+
+
+def _spec_cell(fn: Callable[[Any], Any], payload: Any) -> Any:
+    """Rebuild a :class:`ScenarioSpec` from its dict and evaluate it.
+
+    Module-level so worker processes can import it; the lazy import
+    keeps :mod:`repro.perf` free of a module-level dependency on the
+    scenario layer.
+    """
+    from ..scenario.spec import ScenarioSpec
+
+    return fn(ScenarioSpec.from_dict(payload))
 
 
 def _picklable(*objects: Any) -> bool:
@@ -171,6 +192,24 @@ class ParallelExecutor:
             # one instead of reusing a broken executor.
             self.close()
         return results
+
+    def map_specs(self, fn: Callable[[Any], Any],
+                  specs: Sequence[Any]) -> List[CellResult]:
+        """Like :meth:`map` over scenario specs, shipped as dicts.
+
+        Each spec crosses the process boundary as its ``to_dict()``
+        form — a small JSON-plain dict — instead of a pickled workload
+        object, and is rebuilt in the worker before ``fn(spec)`` runs.
+        Every returned :class:`CellResult` carries its cell's
+        ``spec_hash``, failed cells included, so error reports identify
+        the exact scenario to replay.
+        """
+        specs = list(specs)
+        hashes = [spec.spec_hash() for spec in specs]
+        results = self.map(functools.partial(_spec_cell, fn),
+                           [spec.to_dict() for spec in specs])
+        return [replace(result, spec_hash=spec_hash)
+                for result, spec_hash in zip(results, hashes)]
 
     def run(self, fn: Callable[[Any], Any],
             items: Sequence[Any]) -> List[Any]:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 from ..core.errors import ConfigurationError
 
@@ -72,6 +72,34 @@ class RunBudget:
     def start(self) -> "BudgetMeter":
         """Begin metering a run (arms the wall-clock deadline)."""
         return BudgetMeter(self)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (inverse of :meth:`from_dict`).
+
+        Unset (unlimited) fields are omitted, so the serialized form of
+        a budget is stable under future additive evolution — the shape
+        scenario specs rely on for content hashing.
+        """
+        data: Dict[str, object] = {}
+        for name in ("max_virtual_time", "max_regions",
+                     "max_wall_seconds", "max_stalled_commits"):
+            value = getattr(self, name)
+            if value is not None:
+                data[name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunBudget":
+        """Build a budget from a plain mapping (e.g. parsed JSON)."""
+        allowed = {"max_virtual_time", "max_regions",
+                   "max_wall_seconds", "max_stalled_commits"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"unknown RunBudget key(s): "
+                f"{', '.join(sorted(unknown))}"
+            )
+        return cls(**dict(data))
 
 
 class BudgetMeter:

@@ -1,0 +1,154 @@
+"""Content-addressed, on-disk store of simulation artifacts.
+
+A design-space exploration evaluates the same scenarios over and over —
+across figure scripts, report invocations, CI jobs, and machines.  The
+:class:`RunStore` makes each evaluation a durable artifact addressed by
+``(spec_hash, estimator, code_version)``:
+
+* ``spec_hash`` — the scenario's content address
+  (:meth:`~repro.scenario.spec.ScenarioSpec.spec_hash`), so a hit is
+  guaranteed to describe the *same* inputs;
+* ``estimator`` — which engine produced the numbers (``"iss"``,
+  ``"mesh"``, ``"analytical"``);
+* ``code_version`` — a digest of the whole ``repro`` package source, so
+  editing any model or kernel file silently invalidates every cached
+  artifact instead of replaying stale physics.
+
+Artifacts are plain JSON payloads written atomically (temp file +
+rename), so concurrent sweep workers sharing one store directory never
+observe a torn file; a corrupt or unreadable artifact counts as a miss
+and is recomputed.  Hit/miss/store counters live on the instance —
+note that worker *processes* count on their own copies, so cross-process
+proof of cache effectiveness should use the ``cached`` flag carried on
+results instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Environment variable overriding :func:`code_version` (useful in CI to
+#: key caches on the commit instead of rehashing the tree).
+CODE_VERSION_ENV = "REPRO_CODE_VERSION"
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """12-hex digest of the entire ``repro`` package source.
+
+    Hashes every ``*.py`` file under the package root (sorted relative
+    paths and contents), so *any* source edit yields a new version and
+    therefore a disjoint store namespace.  Set ``REPRO_CODE_VERSION``
+    to pin the value (e.g. to a commit hash) without rehashing.
+    """
+    global _code_version_cache
+    override = os.environ.get(CODE_VERSION_ENV)
+    if override:
+        return override
+    if _code_version_cache is None:
+        package_root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version_cache = digest.hexdigest()[:12]
+    return _code_version_cache
+
+
+class RunStore:
+    """Keyed JSON artifacts under ``root/<code_version>/<hash>-<est>.json``.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first write).
+    version:
+        Code-version namespace; defaults to :func:`code_version`.
+    """
+
+    def __init__(self, root, version: Optional[str] = None):
+        self.root = Path(root)
+        self.version = version or code_version()
+        #: Successful :meth:`get` lookups.
+        self.hits = 0
+        #: Failed :meth:`get` lookups (absent or unreadable artifact).
+        self.misses = 0
+        #: Artifacts written by :meth:`put`.
+        self.stores = 0
+
+    def path_for(self, spec_hash: str, estimator: str) -> Path:
+        """Artifact path for one ``(spec_hash, estimator)`` pair."""
+        return (self.root / self.version / spec_hash[:2]
+                / f"{spec_hash}-{estimator}.json")
+
+    def get(self, spec_hash: str, estimator: str) -> Optional[Dict]:
+        """Load a cached payload, or ``None`` on a miss.
+
+        A payload that exists but fails to parse counts as a miss —
+        recomputing is always correct, trusting a torn file never is.
+        """
+        path = self.path_for(spec_hash, estimator)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, spec_hash: str, estimator: str,
+            payload: Dict) -> Path:
+        """Atomically write one artifact; returns its path."""
+        path = self.path_for(spec_hash, estimator)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def __contains__(self, key) -> bool:
+        """Whether a ``(spec_hash, estimator)`` artifact exists on disk."""
+        spec_hash, estimator = key
+        return self.path_for(spec_hash, estimator).exists()
+
+    def count(self) -> int:
+        """Number of artifacts stored under the current code version."""
+        base = self.root / self.version
+        if not base.exists():
+            return 0
+        return sum(1 for _ in base.rglob("*.json"))
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: hits, misses, stores, artifacts on disk."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "artifacts": self.count()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RunStore(root={str(self.root)!r}, "
+                f"version={self.version!r})")
+
+
+def as_store(store) -> Optional[RunStore]:
+    """Coerce ``None`` / path string / :class:`RunStore` to a store."""
+    if store is None or isinstance(store, RunStore):
+        return store
+    return RunStore(store)

@@ -46,8 +46,15 @@ def build_kernel(workload: Workload,
                  sync_policy: str = "eager",
                  fault_plan=None,
                  budget=None,
-                 memo_cache=None) -> HybridKernel:
+                 memo_cache=None,
+                 **kernel_options) -> HybridKernel:
     """Assemble a ready-to-run :class:`HybridKernel` for ``workload``.
+
+    ``workload`` may also be a
+    :class:`~repro.scenario.spec.ScenarioSpec`, in which case the
+    spec's serialized configuration supplies every knob and keyword
+    arguments explicitly set here override it (arguments left at their
+    defaults defer to the spec).
 
     Parameters
     ----------
@@ -71,7 +78,26 @@ def build_kernel(workload: Workload,
         Optional :class:`~repro.perf.memo.SliceMemoCache` consulted
         before each analytical model call (may be shared across
         kernels to amortize warm-up over a sweep).
+    kernel_options:
+        Extra :class:`HybridKernel` keyword arguments
+        (``slice_accounting``, ``batch_analysis``, ...), forwarded
+        verbatim.
     """
+    if not isinstance(workload, Workload):
+        spec = _as_scenario_spec(workload)
+        overrides = dict(kernel_options)
+        for key, value, default in (
+                ("model", model, None), ("models", models, None),
+                ("min_timeslice", min_timeslice, 0.0),
+                ("annotation", annotation, "phase"),
+                ("scheduler", scheduler, None), ("trace", trace, False),
+                ("sync_policy", sync_policy, "eager"),
+                ("fault_plan", fault_plan, None),
+                ("budget", budget, None),
+                ("memo_cache", memo_cache, None)):
+            if value != default:
+                overrides[key] = value
+        return spec.build_kernel(**overrides)
     if annotation not in ANNOTATION_POLICIES:
         raise ValueError(
             f"unknown annotation policy {annotation!r}; choose from "
@@ -94,7 +120,7 @@ def build_kernel(workload: Workload,
                           min_timeslice=min_timeslice, trace=trace,
                           sync_policy=sync_policy,
                           fault_plan=fault_plan, budget=budget,
-                          memo_cache=memo_cache)
+                          memo_cache=memo_cache, **kernel_options)
     barriers = {
         name: Barrier(parties, name=name)
         for name, parties in workload.barrier_parties().items()
@@ -114,8 +140,30 @@ def build_kernel(workload: Workload,
 
 
 def run_hybrid(workload: Workload, **kwargs) -> SimulationResult:
-    """Build and run the hybrid simulation in one call."""
+    """Build and run the hybrid simulation in one call.
+
+    Accepts a :class:`~repro.workloads.trace.Workload` or a
+    :class:`~repro.scenario.spec.ScenarioSpec` (see
+    :func:`build_kernel`).
+    """
     return build_kernel(workload, **kwargs).run()
+
+
+def _as_scenario_spec(obj):
+    """Coerce a non-``Workload`` first argument to a scenario spec.
+
+    Imported lazily so ``repro.workloads`` does not depend on the
+    scenario layer at import time (the scenario layer imports the
+    workload generators, and module cycles must stay one-way).
+    """
+    from ..scenario.spec import ScenarioSpec
+
+    if isinstance(obj, ScenarioSpec):
+        return obj
+    raise TypeError(
+        f"expected a Workload or ScenarioSpec, "
+        f"got {type(obj).__name__}"
+    )
 
 
 def _make_body(thread_trace: ThreadTrace, barriers: Dict[str, Barrier],

@@ -82,7 +82,94 @@ class TestCommands:
         assert "front" in out
 
 
+class TestSpecCommands:
+    def dump_spec(self, path):
+        code = main(["spec", "dump", "uniform", "--params",
+                     '{"threads": 2, "phases": 2, "accesses": 30}',
+                     "--model", "mm1", "-o", str(path)])
+        assert code == 0
+
+    def test_spec_dump_prints_json(self, capsys):
+        code = main(["spec", "dump", "uniform", "--params",
+                     '{"threads": 2}'])
+        assert code == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert data["generator"] == "uniform"
+        assert data["params"] == {"threads": 2}
+
+    def test_spec_dump_rejects_unknown_generator(self, capsys):
+        with pytest.raises(KeyError):
+            main(["spec", "dump", "no_such_generator"])
+
+    def test_spec_dump_and_hash(self, tmp_path, capsys):
+        path = tmp_path / "s.json"
+        self.dump_spec(path)
+        capsys.readouterr()
+        assert main(["spec", "hash", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "spec hash" in out
+        assert "code version" in out
+
+    def test_run_spec_cold_then_warm(self, tmp_path, capsys):
+        path = tmp_path / "s.json"
+        self.dump_spec(path)
+        cache = str(tmp_path / "store")
+        assert main(["run", "--spec", str(path),
+                     "--cache-dir", cache]) == 0
+        cold = capsys.readouterr().out
+        assert "0 of 3 estimator runs replayed" in cold
+        assert main(["run", "--spec", str(path),
+                     "--cache-dir", cache]) == 0
+        warm = capsys.readouterr().out
+        assert "3 of 3 estimator runs replayed" in warm
+        assert warm.count("[cached]") == 3
+
+    def test_run_single_estimator(self, tmp_path, capsys):
+        path = tmp_path / "s.json"
+        self.dump_spec(path)
+        capsys.readouterr()
+        assert main(["run", "--spec", str(path),
+                     "--estimator", "analytical"]) == 0
+        out = capsys.readouterr().out
+        assert "analytical" in out
+        assert "mesh" not in out
+
+    def test_report_warm_cache_replays_every_run(self, tmp_path,
+                                                 capsys):
+        spec_path = tmp_path / "s.json"
+        self.dump_spec(spec_path)
+        cache = str(tmp_path / "store")
+        scenario = "examples/scenarios/set_top_box.json"
+        assert main(["report", scenario, str(spec_path),
+                     "--cache-dir", cache]) == 0
+        cold = capsys.readouterr().out
+        assert "0 of 6" in cold or "of 6 estimator runs" in cold
+        assert main(["report", scenario, str(spec_path),
+                     "--cache-dir", cache]) == 0
+        warm = capsys.readouterr().out
+        # Every estimator run of the second report is a store replay:
+        # zero kernel executions happen on the warm pass.
+        assert "6 of 6 estimator runs replayed from cache" in warm
+
+
 class TestNewParsers:
+    def test_run_requires_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_spec_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["spec"])
+
+    def test_cache_dir_default_none(self):
+        args = build_parser().parse_args(["report", "x.json"])
+        assert args.cache_dir is None
+        args = build_parser().parse_args(
+            ["fig5", "--cache-dir", "benchmarks/out/store"])
+        assert args.cache_dir == "benchmarks/out/store"
+
     def test_report_requires_scenario(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["report"])

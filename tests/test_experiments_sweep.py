@@ -73,3 +73,63 @@ class TestRunSweep:
 
     def test_render_empty(self):
         assert render_sweep([]) == "(empty sweep)"
+
+    def test_single_seed_point_aggregates_with_zero_ci(self):
+        # Regression: a 1-seed sweep must not divide by zero in the
+        # sample-std (n-1) aggregation; it reports spread 0 instead.
+        points = run_sweep(self.factory, xs=(60,), seeds=(7,))
+        stat = points[0].queueing["iss"]
+        assert stat.count == 1
+        assert stat.std == 0.0
+        assert stat.ci95 == 0.0
+
+
+class TestSweepSpecFactories:
+    @staticmethod
+    def spec_factory(accesses, seed):
+        from repro.scenario import ScenarioSpec
+
+        return ScenarioSpec(generator="uniform",
+                            params={"threads": 2, "phases": 3,
+                                    "work": 4_000, "accesses": accesses,
+                                    "seed": seed})
+
+    def test_points_record_spec_hashes(self):
+        points = run_sweep(self.spec_factory, xs=(30,), seeds=(1, 2))
+        assert len(points[0].spec_hashes) == 2
+        assert all(len(h) == 64 for h in points[0].spec_hashes)
+        assert points[0].spec_hashes[0] != points[0].spec_hashes[1]
+
+    def test_workload_factories_record_no_hashes(self):
+        points = run_sweep(TestRunSweep.factory, xs=(30,), seeds=(1,))
+        assert points[0].spec_hashes == ()
+
+    def test_failed_cell_reports_spec_hash(self):
+        def broken(accesses, seed):
+            from repro.scenario import ScenarioSpec
+
+            return ScenarioSpec(generator="uniform",
+                                params={"accesses": accesses,
+                                        "seed": seed,
+                                        "no_such_param": True})
+
+        points = run_sweep(broken, xs=(30,), seeds=(1,))
+        point = points[0]
+        assert len(point.failures) == 1
+        assert "[spec " in point.failures[0]
+        # The failing cell's full hash is still on the point, so the
+        # exact scenario can be replayed from the error report.
+        assert point.spec_hashes[0][:12] in point.failures[0]
+
+    def test_spec_sweep_replays_from_store(self, tmp_path):
+        from repro.scenario import RunStore
+
+        store = RunStore(tmp_path)
+        cold = run_sweep(self.spec_factory, xs=(30,), seeds=(1,),
+                         store=store)
+        assert store.stats()["hits"] == 0
+        warm = run_sweep(self.spec_factory, xs=(30,), seeds=(1,),
+                         store=store)
+        assert store.stats()["hits"] == 3  # all three estimators
+        assert (warm[0].queueing["iss"].mean
+                == cold[0].queueing["iss"].mean)

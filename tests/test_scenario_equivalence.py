@@ -1,0 +1,104 @@
+"""Spec-path vs legacy-kwargs equivalence for every shipped generator.
+
+The declarative layer must be a pure re-expression: building a workload
+through ``ScenarioSpec(generator=..., params=...)`` has to produce the
+bit-identical workload — and hence bit-identical estimator results — as
+calling the generator function directly.  Every workload-kind generator
+in the registry is covered; a new registration without a case here
+fails the completeness test.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_comparison
+from repro.scenario import ScenarioSpec, available_generators
+from repro.workloads.fft import fft_workload
+from repro.workloads.io import workload_to_dict
+from repro.workloads.lu import lu_workload
+from repro.workloads.noc import noc_workload
+from repro.workloads.phm import phm_workload
+from repro.workloads.smp import smp_workload
+from repro.workloads.synthetic import (bursty_workload,
+                                       critical_section_workload,
+                                       dma_workload, uniform_workload)
+from repro.workloads.to_mesh import run_hybrid
+
+#: generator name -> (factory, params kept small for test speed).
+CASES = {
+    "fft": (fft_workload,
+            {"points": 256, "processors": 2, "cache_kb": 8, "seed": 3}),
+    "phm": (phm_workload,
+            {"busy_cycles_target": 20_000.0,
+             "idle_fractions": (0.06, 0.9), "bus_service": 6.0,
+             "seed": 3}),
+    "lu": (lu_workload,
+           {"matrix_blocks": 4, "block_size": 8, "processors": 2,
+            "cache_kb": 16, "seed": 3}),
+    "noc": (noc_workload,
+            {"width": 2, "height": 2, "phases": 2, "seed": 3}),
+    "smp": (smp_workload,
+            {"threads": 2, "phases": 2, "accesses_per_phase": 400,
+             "seed": 3}),
+    "uniform": (uniform_workload,
+                {"threads": 2, "phases": 3, "accesses": 40, "seed": 3}),
+    "bursty": (bursty_workload,
+               {"threads": 2, "bursts": 3, "seed": 3}),
+    "critical_section": (critical_section_workload,
+                         {"threads": 2, "rounds": 3, "seed": 3}),
+    "dma": (dma_workload,
+            {"cpu_threads": 2, "cpu_phases": 3, "seed": 3}),
+}
+
+
+def spec_for(name):
+    return ScenarioSpec(generator=name, params=CASES[name][1])
+
+
+class TestGeneratorCompleteness:
+    def test_every_workload_generator_has_a_case(self):
+        registered = set(available_generators("workload"))
+        covered = set(CASES) | {"inline"}  # inline tested separately
+        assert registered == covered, (
+            "registry and equivalence cases diverged; add a CASES "
+            f"entry for: {sorted(registered - covered)}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+class TestWorkloadIdentity:
+    def test_spec_workload_is_bit_identical(self, name):
+        factory, params = CASES[name]
+        direct = workload_to_dict(factory(**params))
+        via_spec = workload_to_dict(spec_for(name).build_workload())
+        assert via_spec == direct
+
+    def test_spec_hash_is_deterministic(self, name):
+        assert spec_for(name).spec_hash() == spec_for(name).spec_hash()
+
+
+@pytest.mark.parametrize("name", ["uniform", "phm", "fft"])
+class TestEstimatorIdentity:
+    """Full three-estimator bit-identity on representative generators."""
+
+    def test_comparison_matches_legacy_path(self, name):
+        factory, params = CASES[name]
+        legacy = run_comparison(factory(**params))
+        via_spec = run_comparison(spec_for(name))
+        for estimator in legacy.runs:
+            assert (via_spec.runs[estimator].queueing_cycles
+                    == legacy.runs[estimator].queueing_cycles)
+            assert (via_spec.runs[estimator].percent_queueing
+                    == legacy.runs[estimator].percent_queueing)
+
+
+class TestInlineEquivalence:
+    def test_inline_spec_reproduces_document_run(self):
+        factory, params = CASES["uniform"]
+        workload = factory(**params)
+        spec = ScenarioSpec(
+            generator="inline",
+            params={"document": workload_to_dict(workload)})
+        direct = run_hybrid(workload)
+        via_spec = run_hybrid(spec.build_workload())
+        assert via_spec.queueing_cycles == direct.queueing_cycles
+        assert via_spec.makespan == direct.makespan

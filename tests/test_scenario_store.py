@@ -1,0 +1,152 @@
+"""Tests for the content-addressed run store and code versioning."""
+
+import os
+
+import pytest
+
+from repro.scenario import (CODE_VERSION_ENV, RunStore, ScenarioSpec,
+                            as_store, code_version)
+
+
+def spec(seed=1):
+    return ScenarioSpec(generator="uniform",
+                        params={"threads": 2, "phases": 2,
+                                "accesses": 30, "seed": seed})
+
+
+PAYLOAD = {"estimator": "mesh", "queueing_cycles": 123.5,
+           "percent_queueing": 1.5, "wall_seconds": 0.01}
+
+
+class TestCodeVersion:
+    def test_shape(self):
+        version = code_version()
+        assert len(version) == 12
+        assert all(c in "0123456789abcdef" for c in version)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(CODE_VERSION_ENV, "pinned-v1")
+        assert RunStore.__module__  # keep import referenced
+        # code_version() caches the computed digest but must honor the
+        # env override on every call — CI pins it across jobs.
+        assert code_version() == "pinned-v1"
+
+    def test_stable_within_process(self):
+        assert code_version() == code_version()
+
+
+class TestRunStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = spec().spec_hash()
+        assert store.get(key, "mesh") is None
+        store.put(key, "mesh", PAYLOAD)
+        assert store.get(key, "mesh") == PAYLOAD
+        stats = store.stats()
+        assert (stats["hits"], stats["misses"], stats["stores"]) == \
+            (1, 1, 1)
+
+    def test_contains_and_count(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = spec().spec_hash()
+        assert (key, "mesh") not in store
+        store.put(key, "mesh", PAYLOAD)
+        store.put(key, "iss", PAYLOAD)
+        assert (key, "mesh") in store
+        assert store.count() == 2
+
+    def test_estimators_are_separate_artifacts(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = spec().spec_hash()
+        store.put(key, "mesh", PAYLOAD)
+        assert store.get(key, "iss") is None
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = spec().spec_hash()
+        store.put(key, "mesh", PAYLOAD)
+        path = store.path_for(key, "mesh")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert store.get(key, "mesh") is None
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put(spec().spec_hash(), "mesh", PAYLOAD)
+        leftovers = [name for _, _, names in os.walk(tmp_path)
+                     for name in names if not name.endswith(".json")]
+        assert leftovers == []
+
+    def test_code_versions_isolate_artifacts(self, tmp_path):
+        key = spec().spec_hash()
+        old = RunStore(tmp_path, version="v-old")
+        new = RunStore(tmp_path, version="v-new")
+        old.put(key, "mesh", PAYLOAD)
+        assert new.get(key, "mesh") is None
+        assert old.get(key, "mesh") == PAYLOAD
+
+    def test_path_partitions_by_hash_prefix(self, tmp_path):
+        store = RunStore(tmp_path, version="v1")
+        key = spec().spec_hash()
+        path = str(store.path_for(key, "mesh"))
+        assert str(tmp_path) in path
+        assert "v1" in path
+        assert key[:2] in path.split(os.sep)
+
+
+class TestAsStore:
+    def test_none_passthrough(self):
+        assert as_store(None) is None
+
+    def test_store_passthrough(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert as_store(store) is store
+
+    def test_path_coercion(self, tmp_path):
+        store = as_store(str(tmp_path))
+        assert isinstance(store, RunStore)
+        store.put(spec().spec_hash(), "mesh", PAYLOAD)
+        assert store.count() == 1
+
+
+class TestRunnerIntegration:
+    def test_comparison_replays_from_store(self, tmp_path):
+        from repro.experiments.runner import run_comparison
+
+        store = RunStore(tmp_path)
+        cold = run_comparison(spec(), store=store)
+        assert cold.cached_runs == 0
+        assert store.stats()["stores"] == 3
+        warm = run_comparison(spec(), store=store)
+        assert warm.cached_runs == 3
+        assert all(run.cached for run in warm.runs.values())
+        for name in cold.runs:
+            assert (warm.runs[name].queueing_cycles
+                    == cold.runs[name].queueing_cycles)
+
+    def test_spec_hash_recorded_on_comparison(self, tmp_path):
+        from repro.experiments.runner import run_comparison
+
+        comparison = run_comparison(spec())
+        assert comparison.spec_hash == spec().spec_hash()
+
+    def test_conflicting_kwargs_rejected_with_spec(self):
+        from repro.contention import make_model
+        from repro.core.errors import ConfigurationError
+        from repro.experiments.runner import run_comparison
+
+        with pytest.raises(ConfigurationError):
+            run_comparison(spec(), model=make_model("mm1"))
+
+    def test_store_ignored_for_plain_workloads(self, tmp_path):
+        # A workload object has no content hash, so the store is
+        # silently skipped (sweeps pass store= for every cell kind).
+        from repro.experiments.runner import run_comparison
+        from repro.workloads.synthetic import uniform_workload
+
+        store = RunStore(tmp_path)
+        workload = uniform_workload(threads=2, phases=2, accesses=30)
+        comparison = run_comparison(workload, store=store)
+        assert comparison.spec_hash is None
+        assert comparison.cached_runs == 0
+        assert store.stats()["stores"] == 0
