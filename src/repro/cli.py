@@ -10,6 +10,7 @@ Examples::
     python -m repro calibrate --model chenlin --threads 4
     python -m repro report examples/scenarios/*.json --jobs 0
     python -m repro pareto --points 1024 --jobs 0
+    python -m repro sweep --grid fig5 --shards 4 --jobs 0 --resume
     python -m repro spec dump fft --params '{"points": 1024}' -o f.json
     python -m repro spec hash f.json
     python -m repro run --spec f.json --cache-dir benchmarks/out/store
@@ -174,6 +175,50 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bus service times to sweep")
     pareto.add_argument("--model", default="chenlin",
                         choices=available_models())
+
+    sweep = sub.add_parser(
+        "sweep", parents=[jobs, cache],
+        help="fault-tolerant sharded sweep of a named spec grid "
+             "(resumable via manifest + run store)")
+    sweep.add_argument("--grid", default="fig5",
+                       choices=("fig5", "pareto", "calibration"),
+                       help="which standing grid to sweep")
+    sweep.add_argument("--shards", type=int, default=4,
+                       help="number of content-addressed shards")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="shard-assignment seed (reshuffles cells "
+                            "across shards without changing cell "
+                            "identity)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue a killed sweep from its manifest "
+                            "and the run store (completed cells replay, "
+                            "never recompute)")
+    sweep.add_argument("--manifest", default=None, metavar="FILE",
+                       help="manifest checkpoint path (default: "
+                            "derived from the plan hash inside the "
+                            "store)")
+    sweep.add_argument("--estimators", default="all",
+                       choices=("all", "iss", "mesh", "analytical"),
+                       help="which estimator(s) each cell runs")
+    sweep.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-cell wall-clock timeout (hung workers "
+                            "become retryable timeouts; needs --jobs "
+                            "!= 1)")
+    sweep.add_argument("--shard-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-shard wall-clock budget; a shard that "
+                            "exceeds it stops retrying locally and its "
+                            "leftovers are work-stolen")
+    sweep.add_argument("--max-retries", type=int, default=3,
+                       help="retry rounds for transient failures "
+                            "before a shard is quarantined")
+    sweep.add_argument("--quick", action="store_true",
+                       help="small subgrid (smoke tests, chaos drills)")
+    sweep.add_argument("--chaos-kill", type=int, default=0, metavar="N",
+                       help="testing: SIGKILL the worker evaluating "
+                            "each of the first N cells, once per cell "
+                            "(requires --jobs != 1)")
 
     return parser
 
@@ -436,14 +481,41 @@ def _run_spec(args) -> str:
 def _pareto_cell(points: int, design):
     """One design point: build the workload and characterize it."""
     from .analytical import characterize
-    from .scenario import ScenarioSpec
+    from .sweepfabric.grids import pareto_design_spec
 
     procs, bus = design
-    spec = ScenarioSpec(generator="fft",
-                        params={"points": points, "processors": procs,
-                                "bus_service": bus, "cache_kb": 8})
+    # The same content-addressed cell `repro sweep --grid pareto`
+    # evaluates, so the two commands share store artifacts.
+    spec = pareto_design_spec(points, procs, bus)
     workload = spec.build_workload()
     return workload, characterize(workload)
+
+
+def _run_sweep(args) -> str:
+    from .experiments.runner import ESTIMATORS
+    from .robustness.faults import RetryPolicy
+    from .scenario.store import RunStore
+    from .sweepfabric import ChaosPlan, make_grid, run_sharded_sweep
+
+    specs = make_grid(args.grid, quick=args.quick)
+    store = RunStore(args.cache_dir or "benchmarks/out/sweepstore")
+    include = (ESTIMATORS if args.estimators == "all"
+               else (args.estimators,))
+    chaos = None
+    if args.chaos_kill:
+        chaos = ChaosPlan.kill_first(
+            specs, args.chaos_kill,
+            marker_dir=store.root / "chaos-markers")
+    retry = RetryPolicy(kind="exponential", delay=0.1, factor=2.0,
+                        cap=2.0, max_retries=args.max_retries,
+                        jitter=0.5, jitter_seed=args.seed)
+    result = run_sharded_sweep(
+        specs, store, shards=args.shards, seed=args.seed,
+        jobs=args.jobs, resume=args.resume,
+        manifest_path=args.manifest, include=include, retry=retry,
+        shard_budget=args.shard_timeout,
+        cell_timeout=args.cell_timeout, chaos=chaos)
+    return result.summary()
 
 
 def _run_pareto(args) -> str:
@@ -507,6 +579,7 @@ _COMMANDS = {
     "simulate": _run_simulate,
     "report": _run_report,
     "pareto": _run_pareto,
+    "sweep": _run_sweep,
     "run": _run_run,
     "spec": _run_spec,
 }

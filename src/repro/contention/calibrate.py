@@ -68,6 +68,33 @@ def _measure_cell(threads: int, service_time: float, phase_work: float,
             if total_accesses else 0.0)
 
 
+def calibration_specs(threads: int = 2,
+                      service_time: float = 4.0,
+                      phase_work: float = 5_000.0,
+                      access_sweep: Sequence[int] = DEFAULT_ACCESS_SWEEP,
+                      phases: int = 6,
+                      seed: int = 3) -> List:
+    """The calibration sweep as content-addressed scenario specs.
+
+    One :class:`~repro.scenario.spec.ScenarioSpec` per utilization
+    point, mirroring the ``uniform_workload`` cells
+    :func:`calibrate_model` measures — so a sharded sweep (``repro
+    sweep --grid calibration``) can evaluate and cache the same grid
+    through the run store.  Defaults match :func:`calibrate_model`.
+    """
+    from ..scenario.spec import ScenarioSpec
+
+    if threads < 2:
+        raise ValueError("calibration needs >= 2 contending threads")
+    return [
+        ScenarioSpec(generator="uniform",
+                     params={"threads": threads, "phases": phases,
+                             "work": phase_work, "accesses": accesses,
+                             "bus_service": service_time, "seed": seed})
+        for accesses in access_sweep
+    ]
+
+
 def calibrate_model(model: ContentionModel,
                     threads: int = 2,
                     service_time: float = 4.0,

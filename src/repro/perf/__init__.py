@@ -22,8 +22,8 @@ the hardware allows"):
 
 from .bench import DEFAULT_OUT_DIR, environment_info, record_bench
 from .memo import MemoStats, SliceMemoCache, model_memo_key
-from .parallel import (CellError, CellResult, ParallelExecutor,
-                       resolve_jobs)
+from .parallel import (TIMEOUT_TAG, CellError, CellResult,
+                       ParallelExecutor, resolve_jobs)
 
 # repro.perf.profile and repro.perf.gate are runnable modules
 # (``python -m repro.perf.profile``); import them directly rather than
@@ -31,6 +31,7 @@ from .parallel import (CellError, CellResult, ParallelExecutor,
 
 __all__ = [
     "CellError", "CellResult", "DEFAULT_OUT_DIR", "MemoStats",
-    "ParallelExecutor", "SliceMemoCache", "environment_info",
-    "model_memo_key", "record_bench", "resolve_jobs",
+    "ParallelExecutor", "SliceMemoCache", "TIMEOUT_TAG",
+    "environment_info", "model_memo_key", "record_bench",
+    "resolve_jobs",
 ]

@@ -33,8 +33,14 @@ import functools
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, replace
 from typing import Any, Callable, List, Optional, Sequence
+
+#: Error-string prefix tagging a cell that hit its per-cell timeout, so
+#: supervisors can tell a hung worker (transient: retry elsewhere) from
+#: a cell that raised (possibly deterministic: quarantine).
+TIMEOUT_TAG = "CellTimeout"
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -67,6 +73,12 @@ class CellResult:
     def ok(self) -> bool:
         """Whether the cell completed without raising."""
         return self.error is None
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether the cell failed by exceeding its per-cell timeout."""
+        return (self.error is not None
+                and self.error.startswith(TIMEOUT_TAG))
 
 
 class CellError(RuntimeError):
@@ -147,6 +159,25 @@ class ParallelExecutor:
         if pool is not None:
             pool.shutdown(wait=True)
 
+    def _abort(self) -> None:
+        """Tear the pool down without waiting for hung workers.
+
+        A cell that exceeded its timeout still occupies its worker —
+        ``shutdown(wait=True)`` would join that process and inherit the
+        hang.  Terminate the workers first, then shut down without
+        waiting; the next :meth:`map` spawns a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for process in list((getattr(pool, "_processes", None)
+                             or {}).values()):
+            try:
+                process.terminate()
+            except Exception:  # racing a normal exit is fine
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def __enter__(self) -> "ParallelExecutor":
         return self
 
@@ -160,14 +191,26 @@ class ParallelExecutor:
         return self._pool
 
     def map(self, fn: Callable[[Any], Any],
-            items: Sequence[Any]) -> List[CellResult]:
+            items: Sequence[Any],
+            timeout: Optional[float] = None) -> List[CellResult]:
         """Evaluate ``fn(item)`` for every item, capturing errors.
 
         Returns one :class:`CellResult` per input, in input order.  The
         process pool is used only when ``jobs > 1``, there is more than
         one item, and ``fn`` plus the items pickle; otherwise the same
         cells run serially in-process (without spawning the pool).
+
+        ``timeout`` bounds the wall-clock wait for each cell (seconds,
+        measured from when its result is awaited): a cell that exceeds
+        it is recorded as a :data:`TIMEOUT_TAG`-tagged failure
+        (``result.timed_out``) instead of stalling the map call
+        forever, and the pool — whose worker may still be hung on the
+        cell — is torn down so the next call starts healthy.  The
+        serial in-process path cannot preempt a running cell, so
+        ``timeout`` only applies when the pool is used.
         """
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout!r}")
         items = list(items)
         if (self.jobs <= 1 or len(items) <= 1
                 or not _picklable(fn, items)):
@@ -176,17 +219,27 @@ class ParallelExecutor:
         pool = self._acquire_pool()
         results: List[CellResult] = []
         broken = False
+        timed_out = False
         futures = [pool.submit(_call_cell, fn, index, item)
                    for index, item in enumerate(items)]
         for index, future in enumerate(futures):
             try:
-                results.append(future.result())
+                results.append(future.result(timeout=timeout))
+            except _FutureTimeout:
+                timed_out = True
+                results.append(CellResult(
+                    index=index,
+                    error=(f"{TIMEOUT_TAG}: cell did not finish within "
+                           f"{timeout:g}s")))
             except Exception as exc:  # broken pool / unpicklable value
                 broken = True
                 results.append(CellResult(
                     index=index,
                     error=f"{type(exc).__name__}: {exc}"))
-        if broken:
+        if timed_out:
+            # The hung worker would make a graceful shutdown hang too.
+            self._abort()
+        elif broken:
             # A worker died mid-batch (or a result failed transport);
             # discard the pool so the next call starts from a healthy
             # one instead of reusing a broken executor.
@@ -194,7 +247,8 @@ class ParallelExecutor:
         return results
 
     def map_specs(self, fn: Callable[[Any], Any],
-                  specs: Sequence[Any]) -> List[CellResult]:
+                  specs: Sequence[Any],
+                  timeout: Optional[float] = None) -> List[CellResult]:
         """Like :meth:`map` over scenario specs, shipped as dicts.
 
         Each spec crosses the process boundary as its ``to_dict()``
@@ -207,7 +261,8 @@ class ParallelExecutor:
         specs = list(specs)
         hashes = [spec.spec_hash() for spec in specs]
         results = self.map(functools.partial(_spec_cell, fn),
-                           [spec.to_dict() for spec in specs])
+                           [spec.to_dict() for spec in specs],
+                           timeout=timeout)
         return [replace(result, spec_hash=spec_hash)
                 for result, spec_hash in zip(results, hashes)]
 

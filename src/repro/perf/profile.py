@@ -306,6 +306,50 @@ def sweep_cell(quick: bool = False) -> Dict[str, Any]:
     }
 
 
+def sweep_fabric(quick: bool = False) -> Dict[str, Any]:
+    """Sharded-sweep fabric: cold sweep vs warm resume replay.
+
+    Runs the calibration grid through
+    :func:`~repro.sweepfabric.supervisor.run_sharded_sweep` twice
+    against one store: the cold pass computes and stores every cell,
+    the resume pass must replay everything.  The replay ratio is
+    reported but not gated — it measures store I/O against simulation
+    cost, which shifts legitimately as either side gets faster.
+    """
+    import shutil
+    import tempfile
+
+    from ..contention.calibrate import calibration_specs
+    from ..scenario.store import RunStore
+    from ..sweepfabric import run_sharded_sweep
+
+    sweep = (10, 100, 240) if quick else (10, 60, 160, 320)
+    specs = calibration_specs(access_sweep=sweep)
+    root = tempfile.mkdtemp(prefix="repro-sweep-fabric-")
+    try:
+        store = RunStore(root)
+        start = time.perf_counter()
+        cold = run_sharded_sweep(specs, store, shards=2, jobs=1)
+        cold_elapsed = time.perf_counter() - start
+        store = RunStore(root)  # fresh counters for the resume pass
+        start = time.perf_counter()
+        warm = run_sharded_sweep(specs, store, shards=2, jobs=1,
+                                 resume=True)
+        warm_elapsed = time.perf_counter() - start
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "cells": len(specs),
+        "cold_recomputed_runs":
+            cold.counters["estimator_runs_recomputed"],
+        "warm_recomputed_runs":
+            warm.counters["estimator_runs_recomputed"],
+        "cold_cells_per_sec": round(len(specs) / cold_elapsed, 2),
+        "warm_cells_per_sec": round(len(specs) / warm_elapsed, 2),
+        "ratio_cold_over_warm": round(cold_elapsed / warm_elapsed, 2),
+    }
+
+
 SCENARIOS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "commit_throughput": commit_throughput,
     "slice_analysis": slice_analysis,
@@ -313,6 +357,7 @@ SCENARIOS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "calibration_grid": calibration_grid,
     "cycle_engine": cycle_engine,
     "sweep_cell": sweep_cell,
+    "sweep_fabric": sweep_fabric,
 }
 
 #: Metrics the CI regression gate watches by default.  Only ratios are

@@ -20,6 +20,7 @@ bit-identical results, with no wall-clock randomness anywhere.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import random
 from dataclasses import dataclass, field
@@ -61,6 +62,18 @@ class RetryPolicy:
     max_retries:
         Attempts after the initial failure before the access is counted
         as dropped.
+    jitter:
+        Fraction (0..1) of each capped delay that deterministic seeded
+        jitter may subtract.  Without jitter, every retrier sharing a
+        policy backs off in lockstep, so a burst of synchronized
+        failures re-arrives as a synchronized retry spike; with it,
+        retry ``k`` waits ``capped * (1 - jitter * u_k)`` where ``u_k``
+        is a hash-derived fraction in ``[0, 1)`` keyed on
+        ``(jitter_seed, k)``.  ``0.0`` (the default) reproduces the
+        exact un-jittered schedule.
+    jitter_seed:
+        Seed for the jitter hash; give contending retriers different
+        seeds so their schedules decorrelate deterministically.
     """
 
     kind: str = "exponential"
@@ -68,6 +81,8 @@ class RetryPolicy:
     factor: float = 2.0
     cap: float = float("inf")
     max_retries: int = 3
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self):
         """Validate the schedule parameters."""
@@ -92,9 +107,24 @@ class RetryPolicy:
             raise ConfigurationError(
                 f"max_retries must be >= 1, got {self.max_retries!r}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be within [0, 1], got {self.jitter!r}"
+            )
+
+    def _jitter_fraction(self, attempt: int) -> float:
+        """Deterministic uniform-ish fraction in [0, 1) for one attempt."""
+        digest = hashlib.sha256(
+            f"{self.jitter_seed}:{attempt}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
 
     def delay_of(self, attempt: int) -> float:
-        """Backoff delay (cycles) before retry number ``attempt`` (1-based)."""
+        """Backoff delay (cycles) before retry number ``attempt`` (1-based).
+
+        With ``jitter`` set, the capped schedule delay is shrunk by a
+        deterministic seeded fraction — same policy, same attempt, same
+        delay, forever — so jittered fault plans stay bit-reproducible.
+        """
         if attempt < 1:
             raise ValueError(f"attempt must be >= 1, got {attempt!r}")
         if self.kind == "fixed":
@@ -103,7 +133,10 @@ class RetryPolicy:
             raw = self.delay * attempt
         else:  # exponential
             raw = self.delay * self.factor ** (attempt - 1)
-        return min(raw, self.cap)
+        capped = min(raw, self.cap)
+        if self.jitter:
+            capped *= 1.0 - self.jitter * self._jitter_fraction(attempt)
+        return capped
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (inverse of :meth:`from_dict`)."""
@@ -113,12 +146,17 @@ class RetryPolicy:
         }
         if self.cap != float("inf"):
             data["cap"] = self.cap
+        if self.jitter:
+            data["jitter"] = self.jitter
+            if self.jitter_seed:
+                data["jitter_seed"] = self.jitter_seed
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RetryPolicy":
         """Build a policy from a plain mapping (e.g. parsed JSON)."""
-        allowed = {"kind", "delay", "factor", "cap", "max_retries"}
+        allowed = {"kind", "delay", "factor", "cap", "max_retries",
+                   "jitter", "jitter_seed"}
         unknown = set(data) - allowed
         if unknown:
             raise ConfigurationError(

@@ -29,6 +29,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -72,9 +73,18 @@ class RunStore:
         Store directory (created on first write).
     version:
         Code-version namespace; defaults to :func:`code_version`.
+    tmp_max_age:
+        On open, ``*.tmp`` files older than this many seconds — debris
+        left by writers that crashed (or were SIGKILLed) between
+        ``mkstemp`` and ``os.replace`` — are deleted by
+        :meth:`sweep_tmp`.  The default (60s) never races a live
+        writer, whose temp file is at most one JSON dump old.  Pass
+        ``None`` to skip the sweep (e.g. short-lived worker-process
+        handles that open the store per cell).
     """
 
-    def __init__(self, root, version: Optional[str] = None):
+    def __init__(self, root, version: Optional[str] = None,
+                 tmp_max_age: Optional[float] = 60.0):
         self.root = Path(root)
         self.version = version or code_version()
         #: Successful :meth:`get` lookups.
@@ -83,6 +93,14 @@ class RunStore:
         self.misses = 0
         #: Artifacts written by :meth:`put`.
         self.stores = 0
+        #: Subset of ``misses`` where the artifact *existed* but was
+        #: unreadable or failed to parse (torn/corrupted file) — the
+        #: signal a chaos run or crashed writer left damage behind.
+        self.corrupt = 0
+        #: Orphaned ``*.tmp`` files deleted by :meth:`sweep_tmp`.
+        self.tmp_swept = 0
+        if tmp_max_age is not None:
+            self.sweep_tmp(max_age=tmp_max_age)
 
     def path_for(self, spec_hash: str, estimator: str) -> Path:
         """Artifact path for one ``(spec_hash, estimator)`` pair."""
@@ -99,7 +117,13 @@ class RunStore:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except (OSError, ValueError):
+            # Present but unreadable: count separately so sweeps can
+            # report healed corruption, then recompute as usual.
+            self.corrupt += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -137,10 +161,45 @@ class RunStore:
             return 0
         return sum(1 for _ in base.rglob("*.json"))
 
+    def orphan_tmp(self) -> int:
+        """Number of ``*.tmp`` files currently present under the root.
+
+        A non-zero count with no writer running means a crashed writer
+        left debris behind; :meth:`sweep_tmp` cleans it up.
+        """
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.tmp"))
+
+    def sweep_tmp(self, max_age: float = 0.0) -> int:
+        """Delete orphaned ``*.tmp`` files older than ``max_age`` seconds.
+
+        Returns the number removed (also accumulated on
+        ``self.tmp_swept``).  Called automatically on store open with a
+        conservative age threshold; pass ``0.0`` to sweep everything
+        (only safe when no writer is running).
+        """
+        if not self.root.exists():
+            return 0
+        removed = 0
+        now = time.time()
+        for path in self.root.rglob("*.tmp"):
+            try:
+                if now - path.stat().st_mtime >= max_age:
+                    path.unlink()
+                    removed += 1
+            except OSError:  # racing another sweeper or a writer
+                pass
+        self.tmp_swept += removed
+        return removed
+
     def stats(self) -> Dict[str, int]:
-        """Counter snapshot: hits, misses, stores, artifacts on disk."""
+        """Counter snapshot: lookups, writes, and on-disk hygiene."""
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "artifacts": self.count()}
+                "stores": self.stores, "corrupt": self.corrupt,
+                "tmp_swept": self.tmp_swept,
+                "orphan_tmp": self.orphan_tmp(),
+                "artifacts": self.count()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RunStore(root={str(self.root)!r}, "

@@ -1,0 +1,31 @@
+"""Fault-tolerant sharded sweep fabric.
+
+Builds on the scenario layer's content addressing (PR 5): a sweep grid
+is deterministically partitioned into spec-hash-addressed shards
+(:mod:`~repro.sweepfabric.plan`), checkpointed in an atomic manifest
+(:mod:`~repro.sweepfabric.manifest`), and driven by a supervisor
+(:mod:`~repro.sweepfabric.supervisor`) that retries transient worker
+failures with jittered backoff, quarantines poison shards instead of
+dying, steals work from stragglers, and resumes a killed sweep from
+the manifest plus the run store with zero recomputation of completed
+cells.  :mod:`~repro.sweepfabric.chaos` is the adversary the test
+suite and CI use to prove all of that actually holds.
+"""
+
+from .chaos import (ChaosPlan, corrupt_artifacts, maybe_kill_worker,
+                    orphan_tmp_file)
+from .grids import GRIDS, make_grid, pareto_design_spec
+from .manifest import SHARD_STATES, ShardManifest, ShardRecord
+from .plan import Shard, ShardPlan, shard_index_of
+from .supervisor import (DEFAULT_RETRY, CellOutcome, SweepResult,
+                         SweepSupervisor, is_transient,
+                         run_sharded_sweep)
+
+__all__ = [
+    "ChaosPlan", "CellOutcome", "DEFAULT_RETRY", "GRIDS",
+    "SHARD_STATES", "Shard", "ShardManifest", "ShardPlan",
+    "ShardRecord", "SweepResult", "SweepSupervisor",
+    "corrupt_artifacts", "is_transient", "make_grid",
+    "maybe_kill_worker", "orphan_tmp_file", "pareto_design_spec",
+    "run_sharded_sweep", "shard_index_of",
+]

@@ -1,0 +1,115 @@
+"""Named spec grids the sweep fabric knows how to build.
+
+The sharded sweep engine is grid-agnostic — it takes any list of
+:class:`~repro.scenario.spec.ScenarioSpec` cells.  This module names
+the repo's standing exploration grids so ``repro sweep --grid NAME``
+(and the chaos-smoke CI job) can build them reproducibly:
+
+``fig5``
+    The Figure 5 bus-delay sweep across several workload seeds — the
+    accuracy grid the figure scripts evaluate, widened to sweep scale.
+``pareto``
+    The FFT design-space grid (processor count x bus delay) behind
+    ``repro pareto``, as full estimator-comparison cells.
+``calibration``
+    The utilization sweep :func:`~repro.contention.calibrate.
+    calibrate_model` measures, as content-addressed cells.
+
+Every grid factory takes ``quick`` (a small subgrid for smoke tests
+and chaos drills) plus keyword overrides, and returns specs in a
+deterministic assembly order — the order shard plans, manifests, and
+result rows all agree on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..core.errors import ConfigurationError
+from ..scenario.spec import ScenarioSpec
+
+#: Workload seeds the full fig5 grid sweeps (the figure itself uses
+#: seed 1; the sweep adds replicates for seed sensitivity).
+FIG5_SEEDS = (1, 2, 3)
+
+#: Quick-mode subgrids keep a chaos drill (kill, resume, verify) under
+#: a few seconds of compute while still spanning several shards.
+QUICK_BUS_DELAYS = (4, 8, 12)
+
+
+def fig5_grid(quick: bool = False,
+              seeds: Sequence[int] = FIG5_SEEDS,
+              bus_delays: Sequence[float] = None) -> List[ScenarioSpec]:
+    """Figure 5 bus-delay sweep, replicated across workload seeds."""
+    from ..experiments.fig5 import DEFAULT_BUS_DELAYS, fig5_specs
+
+    if quick:
+        seeds = seeds[:1]
+        bus_delays = (bus_delays or QUICK_BUS_DELAYS)
+    elif bus_delays is None:
+        bus_delays = DEFAULT_BUS_DELAYS
+    specs: List[ScenarioSpec] = []
+    for seed in seeds:
+        specs.extend(fig5_specs(bus_delays=bus_delays, seed=seed))
+    return specs
+
+
+def pareto_design_spec(points: int, procs: int, bus: float,
+                       cache_kb: int = 8) -> ScenarioSpec:
+    """One FFT design point of the ``repro pareto`` sweep as a spec.
+
+    Shared with :mod:`repro.cli` so the interactive pareto command and
+    the sharded ``pareto`` grid address identical cells — artifacts
+    cached by one are replayed by the other.
+    """
+    return ScenarioSpec(generator="fft",
+                        params={"points": points, "processors": procs,
+                                "bus_service": bus,
+                                "cache_kb": cache_kb})
+
+
+def pareto_grid(quick: bool = False,
+                points: int = 1024,
+                procs: Sequence[int] = (2, 4, 8, 16),
+                bus_delays: Sequence[float] = (2.0, 4.0, 8.0)
+                ) -> List[ScenarioSpec]:
+    """The FFT design-space grid (processors x bus delay)."""
+    if quick:
+        points = min(points, 256)
+        procs = tuple(procs)[:2]
+        bus_delays = tuple(bus_delays)[:2]
+    return [pareto_design_spec(points, p, bus)
+            for p in procs for bus in bus_delays]
+
+
+def calibration_grid(quick: bool = False,
+                     threads: int = 2,
+                     **overrides) -> List[ScenarioSpec]:
+    """The model-calibration utilization sweep as spec cells."""
+    from ..contention.calibrate import (DEFAULT_ACCESS_SWEEP,
+                                        calibration_specs)
+
+    if quick and "access_sweep" not in overrides:
+        overrides["access_sweep"] = DEFAULT_ACCESS_SWEEP[::3]
+    return calibration_specs(threads=threads, **overrides)
+
+
+#: name -> grid factory (``quick=..., **overrides -> [ScenarioSpec]``).
+GRIDS: Dict[str, Callable[..., List[ScenarioSpec]]] = {
+    "fig5": fig5_grid,
+    "pareto": pareto_grid,
+    "calibration": calibration_grid,
+}
+
+
+def make_grid(name: str, quick: bool = False,
+              **overrides) -> List[ScenarioSpec]:
+    """Build a named grid (raises on unknown names, listing them)."""
+    try:
+        factory = GRIDS[name]
+    except KeyError:
+        known = ", ".join(sorted(GRIDS))
+        raise ConfigurationError(
+            f"unknown sweep grid {name!r}; known grids: {known}"
+        ) from None
+    return factory(quick=quick, **overrides)

@@ -185,3 +185,38 @@ class TestNewParsers:
     def test_pareto_rejects_unknown_model(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["pareto", "--model", "magic"])
+
+
+class TestSweepCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.grid == "fig5"
+        assert args.shards == 4
+        assert not args.resume
+        assert args.chaos_kill == 0
+        assert args.max_retries == 3
+
+    def test_rejects_unknown_grid(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--grid", "mystery"])
+
+    def test_quick_sweep_and_resume(self, tmp_path, capsys):
+        base = ["sweep", "--grid", "calibration", "--quick",
+                "--shards", "2", "--cache-dir", str(tmp_path / "store"),
+                "--manifest", str(tmp_path / "m.json")]
+        assert main(base) == 0
+        cold = capsys.readouterr().out
+        assert "sharded sweep" in cold
+        assert "0 quarantined" in cold
+        assert main(base + ["--resume"]) == 0
+        warm = capsys.readouterr().out
+        # The CI chaos-smoke gate greps for this exact line.
+        assert "recomputed estimator runs: 0" in warm
+        assert "replayed from store" in warm
+
+    def test_estimator_subset_flag(self, tmp_path, capsys):
+        assert main(["sweep", "--grid", "calibration", "--quick",
+                     "--shards", "1", "--estimators", "mesh",
+                     "--cache-dir", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "3 total" in out  # 3 cells x 1 estimator

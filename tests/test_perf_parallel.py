@@ -218,3 +218,66 @@ class TestWarmPool:
                       executor.map(_explode_on_three, [1, 2, 3])]
         assert first == [1, 4, 9]
         assert second[:2] == [2, 3]
+
+
+def _sleepy(seconds):
+    """Module-level cell that sleeps (picklable hang stand-in)."""
+    import time
+
+    time.sleep(seconds)
+    return seconds
+
+
+class TestPerCellTimeout:
+    def test_hung_cell_tagged_and_rest_survive(self):
+        with ParallelExecutor(jobs=2) as executor:
+            results = executor.map(_sleepy, [0.01, 30.0, 0.01],
+                                   timeout=0.5)
+            assert [r.ok for r in results] == [True, False, True]
+            hung = results[1]
+            assert hung.timed_out
+            assert hung.error.startswith("CellTimeout")
+            # The pool (with its hung worker) was discarded...
+            assert executor._pool is None
+            # ...and the next map starts from a healthy one.
+            again = executor.map(_square, [2, 3])
+            assert [r.value for r in again] == [4, 9]
+
+    def test_timeout_not_triggered_by_fast_cells(self):
+        with ParallelExecutor(jobs=2) as executor:
+            results = executor.map(_sleepy, [0.0, 0.0, 0.0],
+                                   timeout=30.0)
+            assert all(r.ok for r in results)
+            assert executor._pool is not None  # pool kept warm
+
+    def test_serial_path_ignores_timeout(self):
+        # In-process cells cannot be preempted; documented behavior is
+        # to run them to completion regardless of the timeout value.
+        with ParallelExecutor(jobs=1) as executor:
+            results = executor.map(_sleepy, [0.05], timeout=0.001)
+        assert results[0].ok
+
+    def test_invalid_timeout_rejected(self):
+        with ParallelExecutor(jobs=2) as executor:
+            with pytest.raises(ValueError):
+                executor.map(_square, [1, 2], timeout=0.0)
+            with pytest.raises(ValueError):
+                executor.map(_square, [1, 2], timeout=-1.0)
+
+    def test_map_specs_passes_timeout_through(self):
+        from repro.scenario.spec import ScenarioSpec
+
+        specs = [ScenarioSpec(generator="uniform",
+                              params={"accesses": 10, "seed": s})
+                 for s in (1, 2)]
+        with ParallelExecutor(jobs=2) as executor:
+            results = executor.map_specs(
+                lambda spec: spec.spec_hash(), specs, timeout=60.0)
+        # Non-picklable lambda falls back to serial; results intact.
+        assert [r.value for r in results] == [s.spec_hash()
+                                              for s in specs]
+
+    def test_timed_out_flag_only_for_timeout_errors(self):
+        assert CellResult(index=0, error="CellTimeout: slow").timed_out
+        assert not CellResult(index=0, error="ValueError: x").timed_out
+        assert not CellResult(index=0, value=1).timed_out

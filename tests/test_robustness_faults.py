@@ -279,3 +279,62 @@ class TestFaultInjectionDemo:
         exc = demo.run_budget_demo(workload, max_virtual_time=2_000.0)
         assert exc.partial_result is not None
         assert exc.partial_result.makespan >= 2_000.0
+
+
+class TestRetryJitter:
+    def test_zero_jitter_reproduces_plain_schedule(self):
+        plain = RetryPolicy(kind="exponential", delay=2.0, factor=2.0,
+                            cap=40.0, max_retries=5)
+        explicit = RetryPolicy(kind="exponential", delay=2.0,
+                               factor=2.0, cap=40.0, max_retries=5,
+                               jitter=0.0)
+        for attempt in range(1, 6):
+            assert (plain.delay_of(attempt)
+                    == explicit.delay_of(attempt))
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(kind="exponential", delay=2.0,
+                             jitter=0.5, jitter_seed=7)
+        clone = RetryPolicy(kind="exponential", delay=2.0,
+                            jitter=0.5, jitter_seed=7)
+        for attempt in range(1, 10):
+            assert (policy.delay_of(attempt)
+                    == clone.delay_of(attempt))
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(kind="exponential", delay=2.0, factor=2.0,
+                             cap=40.0, max_retries=8, jitter=0.5,
+                             jitter_seed=3)
+        base = RetryPolicy(kind="exponential", delay=2.0, factor=2.0,
+                           cap=40.0, max_retries=8)
+        for attempt in range(1, 9):
+            capped = base.delay_of(attempt)
+            jittered = policy.delay_of(attempt)
+            assert (1.0 - policy.jitter) * capped <= jittered <= capped
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(delay=8.0, jitter=1.0, jitter_seed=1)
+        b = RetryPolicy(delay=8.0, jitter=1.0, jitter_seed=2)
+        assert any(a.delay_of(k) != b.delay_of(k)
+                   for k in range(1, 6))
+
+    def test_roundtrip_through_dict(self):
+        policy = RetryPolicy(kind="exponential", delay=2.0, cap=16.0,
+                             jitter=0.25, jitter_seed=11)
+        clone = RetryPolicy.from_dict(policy.to_dict())
+        assert clone == policy
+        for attempt in range(1, 6):
+            assert clone.delay_of(attempt) == policy.delay_of(attempt)
+
+    def test_zero_jitter_serialized_form_unchanged(self):
+        # Hash stability: policies without jitter must serialize
+        # exactly as they did before the jitter fields existed.
+        policy = RetryPolicy(kind="fixed", delay=3.0, max_retries=2)
+        assert "jitter" not in policy.to_dict()
+        assert "jitter_seed" not in policy.to_dict()
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)

@@ -150,3 +150,71 @@ class TestRunnerIntegration:
         assert comparison.spec_hash is None
         assert comparison.cached_runs == 0
         assert store.stats()["stores"] == 0
+
+
+class TestCorruptionCounters:
+    def test_missing_artifact_is_plain_miss(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.get("0" * 64, "mesh") is None
+        assert store.misses == 1
+        assert store.corrupt == 0
+
+    def test_torn_artifact_counts_corrupt_and_miss(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put("0" * 64, "mesh", PAYLOAD)
+        store.path_for("0" * 64, "mesh").write_bytes(b"{torn json")
+        assert store.get("0" * 64, "mesh") is None
+        assert store.corrupt == 1
+        assert store.misses == 1
+        # Healing: a fresh put makes the artifact readable again.
+        store.put("0" * 64, "mesh", PAYLOAD)
+        assert store.get("0" * 64, "mesh") == PAYLOAD
+
+    def test_stats_report_corruption_fields(self, tmp_path):
+        store = RunStore(tmp_path)
+        stats = store.stats()
+        assert stats["corrupt"] == 0
+        assert stats["tmp_swept"] == 0
+        assert stats["orphan_tmp"] == 0
+
+
+class TestTmpSweep:
+    def _orphan(self, root, age_seconds):
+        import os
+        import time as _time
+
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / "tmpdebris.tmp"
+        path.write_text("{")
+        stamp = _time.time() - age_seconds
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_open_sweeps_stale_tmp(self, tmp_path):
+        orphan = self._orphan(tmp_path, age_seconds=3600)
+        store = RunStore(tmp_path)
+        assert store.tmp_swept == 1
+        assert not orphan.exists()
+
+    def test_open_spares_fresh_tmp(self, tmp_path):
+        fresh = self._orphan(tmp_path, age_seconds=0)
+        store = RunStore(tmp_path)
+        assert store.tmp_swept == 0
+        assert fresh.exists()
+        # Explicit zero-age sweep (no writers running) removes it.
+        assert store.sweep_tmp(max_age=0.0) == 1
+        assert not fresh.exists()
+
+    def test_worker_handles_can_skip_sweep(self, tmp_path):
+        orphan = self._orphan(tmp_path, age_seconds=3600)
+        store = RunStore(tmp_path, tmp_max_age=None)
+        assert store.tmp_swept == 0
+        assert orphan.exists()
+        assert store.orphan_tmp() == 1
+        assert store.stats()["orphan_tmp"] == 1
+
+    def test_sweep_ignores_real_artifacts(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.put("0" * 64, "mesh", PAYLOAD)
+        assert store.sweep_tmp(max_age=0.0) == 0
+        assert store.get("0" * 64, "mesh") == PAYLOAD

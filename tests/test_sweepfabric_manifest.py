@@ -1,0 +1,106 @@
+"""Tests for the atomic shard manifest (repro.sweepfabric.manifest)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.scenario.spec import ScenarioSpec
+from repro.sweepfabric.manifest import (MANIFEST_VERSION, ShardManifest,
+                                        ShardRecord)
+from repro.sweepfabric.plan import ShardPlan
+
+
+def _plan(n: int = 4, shards: int = 2, seed: int = 0) -> ShardPlan:
+    specs = [ScenarioSpec(generator="uniform",
+                          params={"accesses": 10 + i, "seed": 1})
+             for i in range(n)]
+    return ShardPlan(specs, shards=shards, seed=seed)
+
+
+class TestRoundTrip:
+    def test_for_plan_then_save_load(self, tmp_path):
+        plan = _plan()
+        path = tmp_path / "m.json"
+        manifest = ShardManifest.for_plan(path, plan)
+        assert manifest.states()["pending"] == plan.shard_count
+        manifest.record(plan.shards[0].shard_id).attempts = 2
+        manifest.mark(plan.shards[0].shard_id, "running")
+        manifest.save()
+        loaded = ShardManifest.load(path)
+        assert loaded.plan_hash == plan.plan_hash
+        assert loaded.matches(plan)
+        record = loaded.record(plan.shards[0].shard_id)
+        assert record.state == "running"
+        assert record.attempts == 2
+
+    def test_record_fields_survive(self, tmp_path):
+        plan = _plan()
+        path = tmp_path / "m.json"
+        manifest = ShardManifest.for_plan(path, plan)
+        record = manifest.record(plan.shards[1].shard_id)
+        record.cells_done = 1
+        record.cells_stolen = 1
+        record.errors = ["abc: BrokenProcessPool: boom"]
+        manifest.save()
+        loaded = ShardManifest.load(path).record(plan.shards[1].shard_id)
+        assert loaded.cells_done == 1
+        assert loaded.cells_stolen == 1
+        assert loaded.errors == ["abc: BrokenProcessPool: boom"]
+
+    def test_save_leaves_no_tmp_debris(self, tmp_path):
+        plan = _plan()
+        manifest = ShardManifest.for_plan(tmp_path / "m.json", plan)
+        for _ in range(3):
+            manifest.save()
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert (tmp_path / "m.json").exists()
+
+    def test_saved_file_is_valid_json_with_version(self, tmp_path):
+        plan = _plan()
+        manifest = ShardManifest.for_plan(tmp_path / "m.json", plan)
+        manifest.save()
+        data = json.loads((tmp_path / "m.json").read_text())
+        assert data["version"] == MANIFEST_VERSION
+        assert data["plan_hash"] == plan.plan_hash
+        assert len(data["shards"]) == plan.shard_count
+
+
+class TestRecovery:
+    def test_reset_running_demotes_only_running(self, tmp_path):
+        plan = _plan(n=6, shards=3)
+        manifest = ShardManifest.for_plan(tmp_path / "m.json", plan)
+        ids = [s.shard_id for s in plan.shards]
+        manifest.mark(ids[0], "done")
+        manifest.mark(ids[1], "running")
+        manifest.mark(ids[2], "quarantined")
+        assert manifest.reset_running() == 1
+        assert manifest.record(ids[0]).state == "done"
+        assert manifest.record(ids[1]).state == "pending"
+        assert manifest.record(ids[2]).state == "quarantined"
+
+    def test_mismatched_plan_detected(self, tmp_path):
+        manifest = ShardManifest.for_plan(tmp_path / "m.json", _plan())
+        assert not manifest.matches(_plan(seed=9))
+        assert not manifest.matches(_plan(shards=3))
+        assert not manifest.matches(_plan(n=3))
+
+
+class TestValidation:
+    def test_unknown_state_rejected_by_mark(self, tmp_path):
+        manifest = ShardManifest.for_plan(tmp_path / "m.json", _plan())
+        with pytest.raises(ConfigurationError):
+            manifest.mark(_plan().shards[0].shard_id, "exploded")
+
+    def test_unknown_state_rejected_on_load(self):
+        with pytest.raises(ConfigurationError):
+            ShardRecord.from_dict({"shard_id": "x", "state": "weird"})
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"version": 99, "plan_hash": "x",
+                                    "shards": []}))
+        with pytest.raises(ConfigurationError):
+            ShardManifest.load(path)

@@ -1,0 +1,128 @@
+"""Property-based invariants of the shard plan (repro.sweepfabric.plan)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.scenario.spec import ScenarioSpec
+from repro.sweepfabric.plan import Shard, ShardPlan, shard_index_of
+
+
+def _spec(accesses: int, seed: int) -> ScenarioSpec:
+    """Cheap content-addressed cell (hashing never builds workloads)."""
+    return ScenarioSpec(generator="uniform",
+                        params={"accesses": accesses, "seed": seed})
+
+
+# Duplicate (accesses, seed) pairs are deliberately allowed: identical
+# cells are legal grid members and must stay distinct plan entries.
+grids = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=500),
+              st.integers(min_value=0, max_value=50)),
+    min_size=1, max_size=30,
+).map(lambda pairs: [_spec(a, s) for a, s in pairs])
+
+shard_counts = st.integers(min_value=1, max_value=8)
+seeds = st.integers(min_value=0, max_value=2**32)
+
+
+class TestExactPartition:
+    @settings(max_examples=50, deadline=None)
+    @given(specs=grids, shards=shard_counts, seed=seeds)
+    def test_every_cell_in_exactly_one_shard(self, specs, shards, seed):
+        plan = ShardPlan(specs, shards=shards, seed=seed)
+        owned = [i for shard in plan.shards for i in shard.cell_indices]
+        assert sorted(owned) == list(range(len(specs)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(specs=grids, shards=shard_counts, seed=seeds)
+    def test_membership_matches_hash_assignment(self, specs, shards,
+                                                seed):
+        plan = ShardPlan(specs, shards=shards, seed=seed)
+        for shard in plan.shards:
+            for cell_index, spec_hash in zip(shard.cell_indices,
+                                             shard.spec_hashes):
+                assert plan.spec_hashes[cell_index] == spec_hash
+                assert shard_index_of(spec_hash, shards,
+                                      seed) == shard.index
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=grids, shards=shard_counts, seed=seeds)
+    def test_grid_order_preserved_within_shards(self, specs, shards,
+                                                seed):
+        plan = ShardPlan(specs, shards=shards, seed=seed)
+        for shard in plan.shards:
+            assert list(shard.cell_indices) == sorted(shard.cell_indices)
+
+
+class TestDeterminism:
+    @settings(max_examples=30, deadline=None)
+    @given(specs=grids, shards=shard_counts, seed=seeds)
+    def test_rebuild_is_identical(self, specs, shards, seed):
+        """Resume safety: same inputs -> same plan, ids, and hash."""
+        first = ShardPlan(specs, shards=shards, seed=seed)
+        second = ShardPlan(list(specs), shards=shards, seed=seed)
+        assert first.plan_hash == second.plan_hash
+        assert ([s.shard_id for s in first.shards]
+                == [s.shard_id for s in second.shards])
+        assert ([s.cell_indices for s in first.shards]
+                == [s.cell_indices for s in second.shards])
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=grids, shards=shard_counts, seed=seeds)
+    def test_shard_of_agrees_with_plan(self, specs, shards, seed):
+        plan = ShardPlan(specs, shards=shards, seed=seed)
+        for index in range(plan.cells):
+            assert index in plan.shard_of(index).cell_indices
+
+    @settings(max_examples=20, deadline=None)
+    @given(specs=grids, shards=st.integers(min_value=2, max_value=8),
+           seed=seeds)
+    def test_seed_only_moves_cells_between_shards(self, specs, shards,
+                                                  seed):
+        """Reseeding reshuffles ownership without changing identity."""
+        base = ShardPlan(specs, shards=shards, seed=seed)
+        moved = ShardPlan(specs, shards=shards, seed=seed + 1)
+        assert base.spec_hashes == moved.spec_hashes
+        assert base.plan_hash != moved.plan_hash
+
+
+class TestPlanHashSensitivity:
+    def test_hash_changes_with_grid_count_and_seed(self):
+        specs = [_spec(10, 1), _spec(20, 1)]
+        base = ShardPlan(specs, shards=2, seed=0)
+        assert (ShardPlan(specs[:1], shards=2, seed=0).plan_hash
+                != base.plan_hash)
+        assert (ShardPlan(specs, shards=3, seed=0).plan_hash
+                != base.plan_hash)
+        assert (ShardPlan(specs, shards=2, seed=1).plan_hash
+                != base.plan_hash)
+
+    def test_duplicate_cells_stay_distinct_entries(self):
+        specs = [_spec(10, 1)] * 3
+        plan = ShardPlan(specs, shards=2, seed=0)
+        owned = [i for shard in plan.shards for i in shard.cell_indices]
+        assert sorted(owned) == [0, 1, 2]
+        # Identical content hashes to the same shard.
+        assert len({shard_index_of(h, 2, 0)
+                    for h in plan.spec_hashes}) == 1
+
+
+class TestValidation:
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardPlan([_spec(1, 1)], shards=0)
+
+    def test_empty_shards_are_legal(self):
+        plan = ShardPlan([_spec(1, 1)], shards=5, seed=0)
+        assert sum(len(s) for s in plan.shards) == 1
+        assert len(plan.shards) == 5
+        empties = [s for s in plan.shards if len(s) == 0]
+        assert len({s.shard_id for s in empties}) == len(empties)
+
+    def test_shard_len(self):
+        shard = Shard(index=0, shard_id="x", cell_indices=(1, 2),
+                      spec_hashes=("a", "b"))
+        assert len(shard) == 2
