@@ -57,7 +57,16 @@ def build_parser() -> argparse.ArgumentParser:
              "are reused across invocations (keyed by spec hash and "
              "code version)")
 
-    fig4 = sub.add_parser("fig4", parents=[jobs, cache],
+    engine = argparse.ArgumentParser(add_help=False)
+    engine.add_argument(
+        "--engine", default=None, choices=("object", "soa"),
+        help="hybrid execution engine: 'soa' compiles specs to the "
+             "structure-of-arrays kernel program (falling back to the "
+             "object engine, with a recorded reason, for unsupported "
+             "features); execution-only — never changes spec hashes "
+             "or results")
+
+    fig4 = sub.add_parser("fig4", parents=[jobs, cache, engine],
                           help="FFT queueing vs processor count")
     fig4.add_argument("--cache-kb", type=int, default=512,
                       choices=(512, 8))
@@ -70,19 +79,19 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--points", type=int, default=4096)
     table1.add_argument("--procs", type=int, nargs="+", default=(2, 4, 8))
 
-    fig5 = sub.add_parser("fig5", parents=[jobs, cache],
+    fig5 = sub.add_parser("fig5", parents=[jobs, cache, engine],
                           help="PHM queueing vs bus delay")
     fig5.add_argument("--bus-delays", type=float, nargs="+",
                       default=(2, 4, 6, 8, 10, 12, 16, 20))
     fig5.add_argument("--idle", type=float, default=0.90,
                       help="idle fraction of the second processor")
 
-    fig6 = sub.add_parser("fig6", parents=[jobs, cache],
+    fig6 = sub.add_parser("fig6", parents=[jobs, cache, engine],
                           help="model error vs unbalance")
     fig6.add_argument("--quick", action="store_true",
                       help="single seed, fewer points")
 
-    sub.add_parser("all", parents=[jobs, cache],
+    sub.add_parser("all", parents=[jobs, cache, engine],
                    help="run every experiment")
 
     sub.add_parser("validate",
@@ -122,7 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
              "that falls back when an evaluation misbehaves")
 
     report = sub.add_parser(
-        "report", parents=[jobs, cache],
+        "report", parents=[jobs, cache, engine],
         help="compare all estimators across several JSON scenarios")
     report.add_argument("scenarios", nargs="+", metavar="SCENARIO_JSON",
                         help="paths to scenario .json files (workload "
@@ -131,7 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=available_models())
 
     run = sub.add_parser(
-        "run", parents=[cache],
+        "run", parents=[cache, engine],
         help="run a serialized scenario spec through the estimators")
     run.add_argument("--spec", required=True, metavar="SPEC_JSON",
                      help="path to a ScenarioSpec .json file")
@@ -177,7 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=available_models())
 
     sweep = sub.add_parser(
-        "sweep", parents=[jobs, cache],
+        "sweep", parents=[jobs, cache, engine],
         help="fault-tolerant sharded sweep of a named spec grid "
              "(resumable via manifest + run store)")
     sweep.add_argument("--grid", default="fig5",
@@ -227,7 +236,8 @@ def _run_fig4(args) -> str:
     rows = run_fig4(cache_kb=args.cache_kb,
                     proc_counts=tuple(args.procs), points=args.points,
                     jobs=getattr(args, "jobs", 1),
-                    store=getattr(args, "cache_dir", None))
+                    store=getattr(args, "cache_dir", None),
+                    engine=getattr(args, "engine", None))
     return render_fig4(rows)
 
 
@@ -241,18 +251,21 @@ def _run_fig5(args) -> str:
     rows = run_fig5(bus_delays=tuple(args.bus_delays),
                     idle_fractions=(0.06, args.idle),
                     jobs=getattr(args, "jobs", 1),
-                    store=getattr(args, "cache_dir", None))
+                    store=getattr(args, "cache_dir", None),
+                    engine=getattr(args, "engine", None))
     return render_fig5(rows)
 
 
 def _run_fig6(args) -> str:
     jobs = getattr(args, "jobs", 1)
     store = getattr(args, "cache_dir", None)
+    engine = getattr(args, "engine", None)
     if args.quick:
         rows = run_fig6(idle_sweep=(0.0, 0.45, 0.90), bus_delays=(8,),
-                        seeds=(1,), jobs=jobs, store=store)
+                        seeds=(1,), jobs=jobs, store=store,
+                        engine=engine)
     else:
-        rows = run_fig6(jobs=jobs, store=store)
+        rows = run_fig6(jobs=jobs, store=store, engine=engine)
     return render_fig6(rows)
 
 
@@ -266,6 +279,7 @@ def _run_all(args) -> str:
         quick = False
         jobs = getattr(args, "jobs", 1)
         cache_dir = getattr(args, "cache_dir", None)
+        engine = getattr(args, "engine", None)
 
     parts = []
     for cache_kb in (512, 8):
@@ -378,7 +392,9 @@ def _run_report(args) -> str:
     cache_dir = getattr(args, "cache_dir", None)
     cells = run_comparisons_parallel(list(specs.values()),
                                      jobs=getattr(args, "jobs", 1),
-                                     store=cache_dir)
+                                     store=cache_dir,
+                                     engine=getattr(args, "engine",
+                                                    None))
     by_path = dict(zip(specs, cells))
     rows = []
     cached_runs = 0
@@ -427,7 +443,8 @@ def _run_run(args) -> str:
     include = (ESTIMATORS if args.estimator == "all"
                else (args.estimator,))
     comparison = run_comparison(spec, include=include,
-                                store=getattr(args, "cache_dir", None))
+                                store=getattr(args, "cache_dir", None),
+                                engine=getattr(args, "engine", None))
     lines = [f"spec: {args.spec}",
              f"spec hash: {comparison.spec_hash}"]
     for name in include:
@@ -514,7 +531,8 @@ def _run_sweep(args) -> str:
         jobs=args.jobs, resume=args.resume,
         manifest_path=args.manifest, include=include, retry=retry,
         shard_budget=args.shard_timeout,
-        cell_timeout=args.cell_timeout, chaos=chaos)
+        cell_timeout=args.cell_timeout, chaos=chaos,
+        engine=getattr(args, "engine", None))
     return result.summary()
 
 

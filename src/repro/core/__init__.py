@@ -11,9 +11,11 @@ Public surface::
     )
 """
 
+from .compile import (SoAProgram, compile_kernel, numpy_available,
+                      soa_spec_fallback_reason)
 from .errors import (BudgetExceededError, ConfigurationError, DeadlockError,
                      ModelValidationError, ProtocolError, SimulationError,
-                     SynchronizationError)
+                     SynchronizationError, UnsupportedFeatureError)
 from .events import (Acquire, BarrierWait, CondNotify, CondWait, Consume,
                      Event, Release, SemAcquire, SemRelease, Spawn, acquire,
                      barrier_wait, cond_notify, cond_wait, consume, release,
@@ -27,6 +29,7 @@ from .scheduler import (ExecutionScheduler, FifoScheduler,
                         LeastLoadedScheduler, PinnedScheduler,
                         PriorityScheduler, RoundRobinScheduler)
 from .shared import SharedResource
+from .soa import SoAKernelEngine
 from .stats import (ProcessorStats, ResourceStats, SimulationResult,
                     ThreadStats)
 from .sync import Barrier, ConditionVariable, Mutex, Semaphore
@@ -41,14 +44,15 @@ __all__ = [
     "Barrier", "ConditionVariable", "Mutex", "Semaphore",
     "BudgetExceededError", "ConfigurationError", "DeadlockError",
     "ModelValidationError", "ProtocolError",
-    "SimulationError", "SynchronizationError",
+    "SimulationError", "SynchronizationError", "UnsupportedFeatureError",
     "ExecutionScheduler", "FifoScheduler", "LeastLoadedScheduler",
     "PinnedScheduler", "PriorityScheduler", "RoundRobinScheduler",
     "HybridKernel", "LogicalThread", "Processor", "SharedResource",
-    "SharedResourceScheduler",
+    "SharedResourceScheduler", "SoAKernelEngine", "SoAProgram",
     "ProcessorStats", "ResourceStats", "SimulationResult", "ThreadStats",
     "ThreadState", "TraceEvent", "TraceLog",
-    "acquire", "barrier_wait", "cond_notify", "cond_wait", "consume",
-    "cycle_result_to_dict", "gantt_rows", "release", "result_to_dict",
-    "save_json", "sem_acquire", "sem_release", "spawn", "trace_to_events",
+    "acquire", "barrier_wait", "cond_notify", "cond_wait", "compile_kernel",
+    "consume", "cycle_result_to_dict", "gantt_rows", "numpy_available",
+    "release", "result_to_dict", "save_json", "sem_acquire", "sem_release",
+    "soa_spec_fallback_reason", "spawn", "trace_to_events",
 ]

@@ -82,6 +82,27 @@ class BudgetExceededError(SimulationError):
         super().__init__(f"run budget exceeded: {reason}")
 
 
+class UnsupportedFeatureError(SimulationError):
+    """A kernel configuration falls outside an engine's compiled subset.
+
+    Raised by the structure-of-arrays compiler
+    (:mod:`repro.core.compile`) when a scenario uses a feature the SoA
+    engine does not lower — tracing, fault plans, budgets, memoization,
+    synchronization events, non-FIFO scheduling, or a missing NumPy.
+    :class:`~repro.core.kernel.HybridKernel` catches it and falls back
+    to the object engine, recording :attr:`feature` as the routing
+    reason on the result (GuardedModel-style graceful degradation —
+    never silent divergence).
+    """
+
+    def __init__(self, feature: str):
+        self.feature = feature
+        super().__init__(
+            f"soa engine does not support {feature}; "
+            f"routing to the object engine"
+        )
+
+
 class ProtocolError(SimulationError):
     """A logical thread yielded something the kernel does not understand."""
 

@@ -10,7 +10,7 @@ output, alongside the usual makespan and utilization numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 
 @dataclass(frozen=True)
@@ -108,6 +108,14 @@ class SimulationResult:
     memo_hits: int = field(default=0, compare=False)
     memo_misses: int = field(default=0, compare=False)
     memo_evictions: int = field(default=0, compare=False)
+    #: Execution engine that produced the run (``"object"`` or
+    #: ``"soa"``).  Excluded from equality — the engines are
+    #: bit-identical, so runs compare on physics alone.
+    engine_used: str = field(default="object", compare=False)
+    #: Why an ``engine="soa"`` request was routed to the object engine
+    #: (``None`` when no fallback happened).  Excluded from equality.
+    engine_fallback_reason: Optional[str] = field(default=None,
+                                                  compare=False)
 
     @property
     def faults_injected(self) -> float:
@@ -237,6 +245,9 @@ def build_result(kernel) -> SimulationResult:
         memo_misses=memo.misses - base_misses if memo is not None else 0,
         memo_evictions=(memo.evictions - base_evictions
                         if memo is not None else 0),
+        engine_used=getattr(kernel, "engine_used", "object"),
+        engine_fallback_reason=getattr(kernel, "engine_fallback_reason",
+                                       None),
     )
 
 

@@ -18,6 +18,7 @@ warm cache hits.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import math
 import time
@@ -137,6 +138,7 @@ def run_comparison(workload,
                    fault_plan=None,
                    budget=None,
                    memo_cache=None,
+                   engine: Optional[str] = None,
                    store=None) -> Comparison:
     """Evaluate a workload or scenario spec with every estimator.
 
@@ -168,6 +170,18 @@ def run_comparison(workload,
         Optional :class:`~repro.perf.memo.SliceMemoCache` attached to
         the hybrid estimator's kernel; may be passed alongside a spec
         to share one cache across a sweep's cells.
+    engine:
+        Hybrid-kernel execution engine (``"object"`` or ``"soa"``; see
+        :class:`~repro.core.kernel.HybridKernel`).  An execution knob
+        like ``iss_engine``, not scenario identity: it may be passed
+        alongside a spec, never changes the spec hash, and both
+        engines produce bit-identical results.  With ``"soa"`` and a
+        spec, a pure spec-level compile probe
+        (:func:`~repro.core.compile.soa_spec_fallback_reason`) routes
+        spec-visible unsupported features to the object engine before
+        any workload materialization, so the fallback costs zero extra
+        builds — and a comparison whose estimators all hit the run
+        store still performs zero workload builds, probe included.
     store:
         Optional :class:`~repro.scenario.store.RunStore` (or its root
         path).  Requires a spec: estimator results are looked up by
@@ -258,17 +272,37 @@ def run_comparison(workload,
             elapsed = time.perf_counter() - start
             queueing = float(result.queueing_cycles)
         elif estimator == "mesh":
+            mesh_engine = engine
+            spec_reason = None
+            if engine == "soa" and spec is not None:
+                from ..core.compile import soa_spec_fallback_reason
+
+                # Probe the spec itself (never materializes the
+                # workload): a spec-visible unsupported feature routes
+                # to the object engine here instead of paying a doomed
+                # compile attempt against the assembled kernel.
+                spec_reason = soa_spec_fallback_reason(spec)
+                if spec_reason is not None:
+                    mesh_engine = "object"
             start = time.perf_counter()
+            engine_kwargs = ({} if mesh_engine is None
+                             else {"engine": mesh_engine})
             if spec is not None:
-                result = spec.run(memo_cache=memo_cache)
+                result = spec.run(memo_cache=memo_cache, **engine_kwargs)
             else:
                 result = run_hybrid(get_workload(), model=model,
                                     min_timeslice=min_timeslice,
                                     annotation=annotation,
                                     fault_plan=fault_plan,
                                     budget=budget,
-                                    memo_cache=memo_cache)
+                                    memo_cache=memo_cache,
+                                    **engine_kwargs)
             elapsed = time.perf_counter() - start
+            if spec_reason is not None:
+                # Keep the routing visible on the result, exactly as a
+                # kernel-level fallback would have recorded it.
+                result = dataclasses.replace(
+                    result, engine_fallback_reason=spec_reason)
             queueing = result.queueing_cycles
         elif estimator == "analytical":
             start = time.perf_counter()

@@ -40,7 +40,9 @@ def comparisons_for_specs(specs: Sequence[ScenarioSpec],
     :func:`~repro.experiments.runner.run_comparisons_parallel`: any
     failed cell raises :class:`~repro.perf.parallel.CellError` (whose
     message carries the cell's spec hash), matching the behavior the
-    figure scripts had with ``ParallelExecutor.run``.
+    figure scripts had with ``ParallelExecutor.run``.  Extra keyword
+    arguments (``engine="soa"``, ``include=...``, ...) are forwarded
+    verbatim to :func:`~repro.experiments.runner.run_comparison`.
     """
     from ..perf.parallel import CellError
 

@@ -22,11 +22,24 @@ DEFAULT_OUT_DIR = (pathlib.Path(__file__).resolve().parents[3]
 
 
 def environment_info() -> Dict[str, Any]:
-    """Machine context stamped into every bench record."""
+    """Machine context stamped into every bench record.
+
+    Records both the machine's processor count and the count this
+    process may actually use (``sched_getaffinity``) — CI runners and
+    containers routinely pin processes to a subset, and throughput
+    numbers are only comparable between records with the same effective
+    parallelism.  ``cpu_affinity`` is ``None`` on platforms without
+    processor affinity (e.g. macOS).
+    """
+    try:
+        affinity: Optional[int] = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        affinity = None
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count() or 1,
+        "cpu_affinity": affinity,
     }
 
 

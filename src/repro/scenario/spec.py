@@ -262,7 +262,14 @@ class ScenarioSpec:
         Slice-memoization configuration (``None`` disables memoization).
     kernel_options:
         Extra :class:`~repro.core.kernel.HybridKernel` keyword
-        arguments (e.g. ``slice_accounting``, ``batch_analysis``).
+        arguments (e.g. ``slice_accounting``, ``batch_analysis``,
+        ``engine``).  Note that kernel options are part of the spec and
+        therefore of :meth:`spec_hash`; for knobs that are pure
+        execution choices with bit-identical results — ``engine`` above
+        all — prefer passing overrides at run time
+        (``spec.run(engine="soa")``, or ``engine=`` on
+        :func:`~repro.experiments.runner.run_comparison`) so the
+        scenario's content address stays engine-agnostic.
     """
 
     generator: str

@@ -184,7 +184,8 @@ def _fabric_cell(config: Dict, spec: ScenarioSpec) -> Dict:
     store = RunStore(config["store_root"],
                      version=config["store_version"], tmp_max_age=None)
     include = tuple(config["include"])
-    comparison = run_comparison(spec, include=include, store=store)
+    comparison = run_comparison(spec, include=include, store=store,
+                                engine=config.get("engine"))
     return {
         "spec_hash": spec_hash,
         "cached_runs": comparison.cached_runs,
@@ -223,6 +224,7 @@ class SweepSupervisor:
                  shard_budget=None,
                  cell_timeout: Optional[float] = None,
                  chaos: Optional[ChaosPlan] = None,
+                 engine: Optional[str] = None,
                  sleep=time.sleep):
         self.store = as_store(store)
         if self.store is None:
@@ -236,6 +238,10 @@ class SweepSupervisor:
         self.cell_timeout = cell_timeout
         self.jobs = jobs
         self.chaos = chaos
+        #: Hybrid execution engine for every mesh cell ("soa"/"object"/
+        #: None).  Execution-only: never part of spec hashes, so cached
+        #: payloads from either engine replay interchangeably.
+        self.engine = engine
         self.sleep = sleep
         if manifest_path is None:
             manifest_path = (self.store.root / "manifests"
@@ -285,6 +291,7 @@ class SweepSupervisor:
             "store_version": self.store.version,
             "include": list(self.include),
             "chaos": self.chaos.to_dict() if self.chaos else None,
+            "engine": self.engine,
             "supervisor_pid": os.getpid(),
         }
 

@@ -80,8 +80,10 @@ def build_kernel(workload: Workload,
         kernels to amortize warm-up over a sweep).
     kernel_options:
         Extra :class:`HybridKernel` keyword arguments
-        (``slice_accounting``, ``batch_analysis``, ...), forwarded
-        verbatim.
+        (``slice_accounting``, ``batch_analysis``, ``engine``, ...),
+        forwarded verbatim — ``engine="soa"`` selects the
+        structure-of-arrays execution engine with automatic object-
+        engine fallback.
     """
     if not isinstance(workload, Workload):
         spec = _as_scenario_spec(workload)
