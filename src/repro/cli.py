@@ -65,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
              "object engine, with a recorded reason, for unsupported "
              "features); execution-only — never changes spec hashes "
              "or results")
+    engine.add_argument(
+        "--backend", default=None,
+        choices=("auto", "jit", "numpy", "interp"),
+        help="SoA replay backend preference (with --engine soa): "
+             "'auto' cascades jit -> numpy -> interp, taking the "
+             "fastest tier whose exact subset covers the compiled "
+             "program; naming a tier starts the cascade there; all "
+             "tiers are bit-identical and fallbacks record a reason")
 
     fig4 = sub.add_parser("fig4", parents=[jobs, cache, engine],
                           help="FFT queueing vs processor count")
@@ -237,7 +245,8 @@ def _run_fig4(args) -> str:
                     proc_counts=tuple(args.procs), points=args.points,
                     jobs=getattr(args, "jobs", 1),
                     store=getattr(args, "cache_dir", None),
-                    engine=getattr(args, "engine", None))
+                    engine=getattr(args, "engine", None),
+                    backend=getattr(args, "backend", None))
     return render_fig4(rows)
 
 
@@ -252,7 +261,8 @@ def _run_fig5(args) -> str:
                     idle_fractions=(0.06, args.idle),
                     jobs=getattr(args, "jobs", 1),
                     store=getattr(args, "cache_dir", None),
-                    engine=getattr(args, "engine", None))
+                    engine=getattr(args, "engine", None),
+                    backend=getattr(args, "backend", None))
     return render_fig5(rows)
 
 
@@ -260,12 +270,14 @@ def _run_fig6(args) -> str:
     jobs = getattr(args, "jobs", 1)
     store = getattr(args, "cache_dir", None)
     engine = getattr(args, "engine", None)
+    backend = getattr(args, "backend", None)
     if args.quick:
         rows = run_fig6(idle_sweep=(0.0, 0.45, 0.90), bus_delays=(8,),
                         seeds=(1,), jobs=jobs, store=store,
-                        engine=engine)
+                        engine=engine, backend=backend)
     else:
-        rows = run_fig6(jobs=jobs, store=store, engine=engine)
+        rows = run_fig6(jobs=jobs, store=store, engine=engine,
+                        backend=backend)
     return render_fig6(rows)
 
 
@@ -280,6 +292,7 @@ def _run_all(args) -> str:
         jobs = getattr(args, "jobs", 1)
         cache_dir = getattr(args, "cache_dir", None)
         engine = getattr(args, "engine", None)
+        backend = getattr(args, "backend", None)
 
     parts = []
     for cache_kb in (512, 8):
@@ -394,7 +407,9 @@ def _run_report(args) -> str:
                                      jobs=getattr(args, "jobs", 1),
                                      store=cache_dir,
                                      engine=getattr(args, "engine",
-                                                    None))
+                                                    None),
+                                     backend=getattr(args, "backend",
+                                                     None))
     by_path = dict(zip(specs, cells))
     rows = []
     cached_runs = 0
@@ -444,7 +459,8 @@ def _run_run(args) -> str:
                else (args.estimator,))
     comparison = run_comparison(spec, include=include,
                                 store=getattr(args, "cache_dir", None),
-                                engine=getattr(args, "engine", None))
+                                engine=getattr(args, "engine", None),
+                                backend=getattr(args, "backend", None))
     lines = [f"spec: {args.spec}",
              f"spec hash: {comparison.spec_hash}"]
     for name in include:
@@ -532,7 +548,8 @@ def _run_sweep(args) -> str:
         manifest_path=args.manifest, include=include, retry=retry,
         shard_budget=args.shard_timeout,
         cell_timeout=args.cell_timeout, chaos=chaos,
-        engine=getattr(args, "engine", None))
+        engine=getattr(args, "engine", None),
+        backend=getattr(args, "backend", None))
     return result.summary()
 
 

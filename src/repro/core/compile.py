@@ -23,9 +23,23 @@ Everything outside the compiled subset raises
 it and routes the run to the object engine with the feature recorded as
 the fallback reason (never silent divergence).  The subset is exactly
 the configurations whose object-engine semantics the array program can
-reproduce bit for bit: FIFO-family scheduling, pure ``consume`` bodies
-(no synchronization, no spawns), no tracing, no fault plans, no
-budgets, no memoization, and NumPy present.
+reproduce bit for bit: FIFO-family scheduling, ``consume`` bodies plus
+barrier-only synchronization and non-nested FIFO mutexes under the
+eager wake policy (no semaphores, condition variables, or spawns), no
+tracing, no fault plans, no budgets, no memoization, and NumPy present.
+
+Synchronization lowers to per-thread *op streams*: each thread body
+becomes a sequence of ``(opcode, arg)`` tuples (:data:`OP_REGION`,
+:data:`OP_BARRIER`, :data:`OP_ACQUIRE`, :data:`OP_RELEASE`) over the
+same flat region arrays.  A static validation pass proves the program
+deadlock-free before it is accepted: every barrier's party count must
+equal the number of threads referencing it and each of those threads
+must arrive the same number of times; mutex acquisitions must be
+non-nested and balanced, never interleaved with a barrier wait, and
+every primitive must start clean (no owner, no waiters, no pre-arrived
+parties).  Anything violating those rules routes to the object engine,
+which raises the canonical :class:`SynchronizationError` /
+:class:`DeadlockError` diagnostics.
 """
 
 from __future__ import annotations
@@ -33,7 +47,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from .errors import UnsupportedFeatureError
-from .events import Consume
+from .events import Acquire, BarrierWait, Consume, Release
 from .scheduler import FifoScheduler, PinnedScheduler
 
 try:  # NumPy is an optional accelerator, never a hard dependency.
@@ -50,6 +64,13 @@ def numpy_available() -> bool:
 #: Scheduler spec names whose pick policy the SoA engine replicates
 #: (the FIFO family: single ready-order scan honoring affinity).
 _SOA_SCHEDULERS = (None, "fifo", "pinned")
+
+#: Op-stream opcodes.  ``OP_REGION``'s arg is the thread-local region
+#: index; the sync opcodes carry a program-wide barrier/mutex index.
+OP_REGION = 0
+OP_BARRIER = 1
+OP_ACQUIRE = 2
+OP_RELEASE = 3
 
 
 def soa_spec_fallback_reason(spec) -> Optional[str]:
@@ -96,7 +117,8 @@ class SoAProgram:
         "region_bursts", "resource_names", "resource_service",
         "resource_ports", "resource_models", "resource_uses_priorities",
         "resource_fast", "min_timeslice", "processor_powers",
-        "registered_regions", "has_bursts",
+        "registered_regions", "has_bursts", "thread_ops", "barriers",
+        "barrier_parties", "mutexes", "has_sync", "jit_cache",
     )
 
     def __init__(self) -> None:
@@ -135,6 +157,24 @@ class SoAProgram:
         #: Whether any region carries burst beat factors (gates the
         #: flat all-fast analysis mode in the runtime).
         self.has_bursts: bool = False
+        # -- synchronization (the widened compiled subset) ---------------
+        #: Per-thread ``(opcode, arg)`` streams.  ``OP_REGION`` args are
+        #: thread-local region indices into the region arrays above; the
+        #: sync opcodes index :attr:`barriers` / :attr:`mutexes`.
+        self.thread_ops: List[List[Tuple[int, int]]] = []
+        #: Live :class:`~repro.core.sync.Barrier` objects, in first-use
+        #: order (generation counts are written back after a replay).
+        self.barriers: List[object] = []
+        self.barrier_parties: List[int] = []
+        #: Live :class:`~repro.core.sync.Mutex` objects, in first-use
+        #: order (contended-acquire counts are written back).
+        self.mutexes: List[object] = []
+        #: Whether any op stream contains a sync opcode (selects the
+        #: sync-aware scheduling path in the runtime).
+        self.has_sync: bool = False
+        #: CSR array bundle built lazily by :func:`repro.core.jit._lower`
+        #: — immutable static program data shared across replays.
+        self.jit_cache = None
 
 
 def compile_kernel(kernel) -> SoAProgram:
@@ -196,6 +236,11 @@ def compile_kernel(kernel) -> SoAProgram:
             raise UnsupportedFeatureError(
                 "live-generator thread bodies (pass a generator factory)"
             )
+    barrier_ids: Dict[int, int] = {}
+    mutex_ids: Dict[int, int] = {}
+    #: Per-barrier list of arrival counts, one entry per referencing
+    #: thread — the static rendezvous-alignment proof obligation.
+    barrier_arrivals: List[List[int]] = []
     for thread in kernel.threads:
         events = _probe_body(thread)
         program.thread_names.append(thread.name)
@@ -208,7 +253,63 @@ def compile_kernel(kernel) -> SoAProgram:
         extra = []
         accesses = []
         bursts = []
+        ops: List[Tuple[int, int]] = []
+        holding: Optional[int] = None
+        my_arrivals: Dict[int, int] = {}
         for event in events:
+            if type(event) is not Consume:
+                # Any sync op: the array replay implements the eager
+                # wake policy only (wakes at the exact unblocking time,
+                # matching the default object-engine semantics).
+                if kernel.sync_policy != "eager":
+                    raise UnsupportedFeatureError(
+                        f"synchronization under "
+                        f"sync_policy={kernel.sync_policy!r} (eager only)"
+                    )
+                if type(event) is BarrierWait:
+                    if holding is not None:
+                        raise UnsupportedFeatureError(
+                            f"barrier waits while holding a mutex "
+                            f"(thread {thread.name!r})"
+                        )
+                    barrier = event.barrier
+                    index = barrier_ids.get(id(barrier))
+                    if index is None:
+                        index = len(program.barriers)
+                        barrier_ids[id(barrier)] = index
+                        program.barriers.append(barrier)
+                        program.barrier_parties.append(barrier.parties)
+                        barrier_arrivals.append([])
+                    my_arrivals[index] = my_arrivals.get(index, 0) + 1
+                    ops.append((OP_BARRIER, index))
+                elif type(event) is Acquire:
+                    if holding is not None:
+                        raise UnsupportedFeatureError(
+                            f"nested mutex acquisition "
+                            f"(thread {thread.name!r})"
+                        )
+                    mutex = event.mutex
+                    index = mutex_ids.get(id(mutex))
+                    if index is None:
+                        index = len(program.mutexes)
+                        mutex_ids[id(mutex)] = index
+                        program.mutexes.append(mutex)
+                    holding = index
+                    ops.append((OP_ACQUIRE, index))
+                else:  # Release — _probe_body admits nothing else
+                    index = mutex_ids.get(id(event.mutex))
+                    if index is None or holding != index:
+                        # The object engine raises the canonical
+                        # SynchronizationError with full context.
+                        raise UnsupportedFeatureError(
+                            f"mutex release without a matching acquire "
+                            f"(thread {thread.name!r})"
+                        )
+                    holding = None
+                    ops.append((OP_RELEASE, index))
+                program.has_sync = True
+                continue
+            ops.append((OP_REGION, len(complexity)))
             complexity.append(event.complexity)
             extra.append(event.extra_time)
             pairs = []
@@ -232,7 +333,14 @@ def compile_kernel(kernel) -> SoAProgram:
                 program.has_bursts = True
             else:
                 bursts.append(None)
-        program.region_counts.append(len(events))
+        if holding is not None:
+            raise UnsupportedFeatureError(
+                f"thread {thread.name!r} ends holding a mutex"
+            )
+        for index, count in my_arrivals.items():
+            barrier_arrivals[index].append(count)
+        program.thread_ops.append(ops)
+        program.region_counts.append(len(complexity))
         program.region_complexity.append(complexity)
         program.region_extra.append(extra)
         program.region_accesses.append(accesses)
@@ -252,20 +360,58 @@ def compile_kernel(kernel) -> SoAProgram:
             program.region_durations.append(None)
         else:
             program.region_durations.append([])
+
+    # Static deadlock-freedom proof for the widened subset: aligned
+    # barrier generations (each party arrives the same number of times,
+    # party count equals the referencing threads) plus non-nested
+    # balanced mutexes mean every blocked thread is eventually woken —
+    # mutex holders run only finite regions before their release, and
+    # by induction every barrier generation fills.
+    for index, barrier in enumerate(program.barriers):
+        if barrier.arrived:
+            raise UnsupportedFeatureError(
+                f"barrier {barrier.name!r} with pre-arrived waiters"
+            )
+        counts = barrier_arrivals[index]
+        if barrier.parties != len(counts):
+            raise UnsupportedFeatureError(
+                f"barrier {barrier.name!r} parties ({barrier.parties}) "
+                f"!= referencing threads ({len(counts)})"
+            )
+        if len(set(counts)) > 1:
+            raise UnsupportedFeatureError(
+                f"barrier {barrier.name!r} with uneven per-thread "
+                f"arrival counts"
+            )
+    for mutex in program.mutexes:
+        if mutex.owner is not None or mutex.waiters:
+            raise UnsupportedFeatureError(
+                f"mutex {mutex.name!r} that starts held or contended"
+            )
     return program
 
 
-def _probe_body(thread) -> List[Consume]:
-    """Enumerate one thread body's events; all must be plain consumes."""
+#: Event types the op-stream lowering understands (exact types only —
+#: subclasses may carry semantics the static validation cannot see).
+_COMPILED_EVENTS = (Consume, BarrierWait, Acquire, Release)
+
+
+def _probe_body(thread) -> List[object]:
+    """Enumerate one thread body's events within the compiled subset.
+
+    Admits plain consumes plus the widened sync subset (barrier waits
+    and mutex acquire/release); everything else — semaphores, condition
+    variables, spawns — routes to the object engine.
+    """
     body = thread._body()
     if not hasattr(body, "__next__"):
         raise UnsupportedFeatureError(
             f"thread {thread.name!r} body factories that do not return "
             f"a generator"
         )
-    events: List[Consume] = []
+    events: List[object] = []
     for event in body:
-        if type(event) is not Consume:
+        if type(event) not in _COMPILED_EVENTS:
             raise UnsupportedFeatureError(
                 f"{type(event).__name__} events "
                 f"(thread {thread.name!r})"

@@ -1,0 +1,950 @@
+"""Compiled (Numba) replay backend for :class:`SoAProgram`.
+
+The interpreted SoA loop (:func:`repro.core.soa.run_program`) removed
+the object traffic from the Fig. 2 commit loop; what remains is pure
+CPython dispatch.  This module removes that too: :func:`_replay` is the
+flat/fused commit loop written against nothing but NumPy arrays,
+int64/float64 scalars, and plain control flow — the numba ``nopython``
+subset — so it can be lowered to machine code by ``numba.njit``.
+
+The discipline mirrors the NumPy gating in :mod:`repro.core.compile`:
+
+* Numba is never imported at module import time (its import costs
+  seconds); :func:`numba_available` probes and memoizes on first call.
+* The njit compilation is lazy (first replay) and cached in-process,
+  so a compile-once + replay-many sweep pays the compile cost once.
+* Without numba, :func:`_replay` still runs as plain Python over the
+  same arrays.  NumPy float64 scalar arithmetic is IEEE-754 double —
+  operation-for-operation the arithmetic the compiled code performs —
+  which is how the equivalence suite certifies the backend's float
+  behavior on machines without numba.
+
+Bit-identity notes (on top of the :mod:`repro.core.soa` invariants):
+
+* **Heap layout.**  The fused-mode collection walk iterates the heap
+  *array* in place, so identity requires the same array layout, not
+  just the same pop order.  :func:`_replay` transcribes CPython's
+  ``heapq`` sift algorithms exactly (lexicographic ``(end, counter)``
+  comparison; counters are unique so the slot is never compared).
+* **Error paths.**  ``nopython`` code cannot raise rich exceptions;
+  :func:`_replay` returns a status code plus the offending floats and
+  :func:`run_program_jit` re-raises the canonical
+  :class:`~repro.core.errors.SimulationError` message.
+* **Eligibility.**  :func:`jit_replay_reason` admits exactly the
+  programs whose interpreted replay takes the flat or fused analysis
+  mode (exact ConstantModel/NullModel resources, no bursts, empty
+  penalty ledgers) with every numeric input finite — non-finite values
+  take object-engine diagnostic paths the compiled code does not
+  carry.  Synchronization (barriers, FIFO mutexes), min-timeslice
+  merging, release offsets, affinity, and heterogeneous pools are all
+  inside the compiled subset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import compile as _compile
+from .errors import SimulationError
+from .stats import SimulationResult, build_result
+from .thread import ThreadState
+
+try:  # NumPy is an optional accelerator, never a hard dependency.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+
+#: Lazily probed numba module: "unchecked" until the first call,
+#: then the module or None.
+_NUMBA = "unchecked"
+
+#: Lazily njit-compiled :func:`_replay`, shared by every replay in the
+#: process (the compile-once + replay-many contract).
+_COMPILED = None
+
+_STATUS_OK = 0
+_STATUS_NON_MONOTONIC = 1
+_STATUS_BLOCKED = 2
+_STATUS_UNPLACEABLE = 3
+
+
+def _numba_module():
+    """The numba module, or ``None``; probed once per process."""
+    global _NUMBA
+    if _NUMBA == "unchecked":
+        try:
+            import numba
+            _NUMBA = numba
+        except Exception:  # pragma: no cover - exercised without numba
+            _NUMBA = None
+    return _NUMBA
+
+
+def numba_available() -> bool:
+    """Whether the compiled backend can run in this interpreter."""
+    return _numba_module() is not None
+
+
+def numba_version() -> Optional[str]:
+    """The installed numba version string, or ``None``."""
+    numba = _numba_module()
+    return getattr(numba, "__version__", "unknown") if numba else None
+
+
+def _get_compiled():
+    """njit-compile :func:`_replay` once; signatures infer lazily."""
+    global _COMPILED
+    if _COMPILED is None:
+        numba = _numba_module()
+        _COMPILED = numba.njit(cache=False, fastmath=False)(_replay)
+    return _COMPILED
+
+
+def jit_replay_reason(kernel, program, require_numba: bool = True
+                      ) -> Optional[str]:
+    """Why the compiled backend cannot replay this program.
+
+    Returns ``None`` when :func:`run_program_jit` is exact for the
+    (kernel, program) pair.  ``require_numba=False`` skips the
+    availability probe — the equivalence suite uses it to certify the
+    pure-Python execution of the same kernel on numba-less machines.
+    """
+    if np is None:
+        return "running without NumPy"
+    if require_numba and not numba_available():
+        return "running without Numba"
+    if program.has_bursts:
+        return "burst annotations (flat analysis only)"
+    for kind in program.resource_fast:
+        if kind is None:
+            return ("non-closed-form contention models "
+                    "(ConstantModel/NullModel only)")
+        if kind[0] == "const" and not kind[1] >= 0.0:
+            return ("non-closed-form contention models "
+                    "(ConstantModel/NullModel only)")
+    for resource in kernel.shared_resources:
+        if resource.penalty_by_thread:
+            return "pre-seeded resource penalty ledgers"
+    for t in range(len(program.thread_names)):
+        if not program.region_counts[t]:
+            continue
+        durations = program.region_durations[t]
+        if durations is not None:
+            if not np.isfinite(durations).all():
+                return "non-finite region values"
+        elif not (np.isfinite(program.region_complexity[t]).all()
+                  and np.isfinite(program.region_extra[t]).all()):
+            return "non-finite region values"
+        for pairs in program.region_accesses[t]:
+            for _ridx, count in pairs:
+                if not np.isfinite(count):
+                    return "non-finite region values"
+    if not all(power > 0.0 and np.isfinite(power)
+               for power in program.processor_powers):
+        return "non-finite region values"
+    for thread in kernel.threads:
+        if not (np.isfinite(thread.release_time)
+                and np.isfinite(thread.carry_penalty)):
+            return "non-finite thread state"
+    return None
+
+
+def _lower(program):
+    """Flatten a program's static data into the CSR array bundle.
+
+    Cached on ``program.jit_cache`` — the bundle is immutable and
+    shared by every replay of the program (per-replay seeds are
+    rebuilt from the live kernel each time).
+    """
+    if program.jit_cache is not None:
+        return program.jit_cache
+    nthreads = len(program.thread_names)
+    taff = np.array([-1 if a is None else a
+                     for a in program.thread_affinity], dtype=np.int64)
+
+    op_ptr = np.zeros(nthreads + 1, dtype=np.int64)
+    for t in range(nthreads):
+        op_ptr[t + 1] = op_ptr[t] + len(program.thread_ops[t])
+    op_code = np.zeros(int(op_ptr[-1]), dtype=np.int64)
+    op_arg = np.zeros(int(op_ptr[-1]), dtype=np.int64)
+    cursor = 0
+    for ops in program.thread_ops:
+        for code, arg in ops:
+            op_code[cursor] = code
+            op_arg[cursor] = arg
+            cursor += 1
+
+    reg_ptr = np.zeros(nthreads + 1, dtype=np.int64)
+    for t in range(nthreads):
+        reg_ptr[t + 1] = reg_ptr[t] + program.region_counts[t]
+    nregions = int(reg_ptr[-1])
+    reg_dur = np.zeros(nregions, dtype=np.float64)
+    reg_comp = np.zeros(nregions, dtype=np.float64)
+    reg_extra = np.zeros(nregions, dtype=np.float64)
+    dur_static = np.zeros(nthreads, dtype=np.uint8)
+    acc_ptr = np.zeros(nregions + 1, dtype=np.int64)
+    acc_res = []
+    acc_cnt = []
+    for t in range(nthreads):
+        base = int(reg_ptr[t])
+        durations = program.region_durations[t]
+        if durations is not None:
+            dur_static[t] = 1
+            reg_dur[base:base + len(durations)] = durations
+        reg_comp[base:base + program.region_counts[t]] = \
+            program.region_complexity[t]
+        reg_extra[base:base + program.region_counts[t]] = \
+            program.region_extra[t]
+        for local, pairs in enumerate(program.region_accesses[t]):
+            grid = base + local
+            acc_ptr[grid + 1] = len(pairs)
+            for ridx, count in pairs:
+                acc_res.append(ridx)
+                acc_cnt.append(count)
+    np.cumsum(acc_ptr, out=acc_ptr)
+    acc_res = np.array(acc_res, dtype=np.int64)
+    acc_cnt = np.array(acc_cnt, dtype=np.float64)
+
+    bar_parties = np.array(program.barrier_parties, dtype=np.int64)
+    r_code = np.zeros(len(program.resource_names), dtype=np.int64)
+    r_delay = np.zeros(len(program.resource_names), dtype=np.float64)
+    for ridx, kind in enumerate(program.resource_fast):
+        if kind[0] == "const":
+            r_code[ridx] = 1
+            r_delay[ridx] = kind[1]
+    powers = np.array(program.processor_powers, dtype=np.float64)
+    program.jit_cache = (taff, op_ptr, op_code, op_arg, reg_ptr, reg_dur,
+                         reg_comp, reg_extra, dur_static, acc_ptr, acc_res,
+                         acc_cnt, bar_parties, len(program.mutexes),
+                         r_code, r_delay, powers)
+    return program.jit_cache
+
+
+def run_program_jit(kernel, program) -> SimulationResult:
+    """Run a compiled program through the array replay.
+
+    Uses the njit-compiled kernel when numba is importable and the
+    pure-Python execution of the same function otherwise (identical
+    IEEE-754 arithmetic; the latter is how numba-less test hosts
+    certify the backend).  Eligibility is :func:`jit_replay_reason`
+    returning ``None`` — the caller checks it.
+    """
+    us = kernel.us
+    threads = kernel.threads
+    processors = kernel.processors
+    resources = kernel.shared_resources
+    nthreads = len(threads)
+    nprocs = len(processors)
+    nres = len(resources)
+    (taff, op_ptr, op_code, op_arg, reg_ptr, reg_dur, reg_comp, reg_extra,
+     dur_static, acc_ptr, acc_res, acc_cnt, bar_parties, n_mutexes,
+     r_code, r_delay, powers) = _lower(program)
+
+    t_release = np.array([t.release_time for t in threads],
+                         dtype=np.float64)
+    t_carry = np.array([t.carry_penalty for t in threads],
+                       dtype=np.float64)
+    t_penalty = np.array([t.total_penalty for t in threads],
+                         dtype=np.float64)
+    t_base = np.array([t.total_base_time for t in threads],
+                      dtype=np.float64)
+    t_regions = np.array([t.regions_committed for t in threads],
+                         dtype=np.int64)
+    t_finish = np.zeros(nthreads, dtype=np.float64)
+    p_busy = np.array([p.busy_time for p in processors], dtype=np.float64)
+    p_regions = np.array([p.regions_executed for p in processors],
+                         dtype=np.int64)
+    res_acc = np.array([r.total_accesses for r in resources],
+                       dtype=np.float64)
+    res_pen = np.array([r.total_penalty for r in resources],
+                       dtype=np.float64)
+    res_slices = np.array([r.active_slices for r in resources],
+                          dtype=np.int64)
+    by_acc = np.zeros((nres, nthreads), dtype=np.float64)
+    by_order = np.zeros((nres, nthreads), dtype=np.int64)
+    by_cnt = np.zeros(nres, dtype=np.int64)
+    bar_gen = np.zeros(len(bar_parties), dtype=np.int64)
+    mux_cont = np.zeros(n_mutexes, dtype=np.int64)
+    out_f = np.array([kernel.now, us.window_start, us.collected_upto,
+                      0.0, 0.0], dtype=np.float64)
+    out_i = np.array([us.slices_analyzed, us.slices_merged,
+                      kernel.regions_committed], dtype=np.int64)
+
+    replay = _get_compiled() if numba_available() else _replay
+    status = replay(
+        nthreads, nprocs, nres, taff, op_ptr, op_code, op_arg,
+        reg_ptr, reg_dur, reg_comp, reg_extra, dur_static,
+        acc_ptr, acc_res, acc_cnt, bar_parties, n_mutexes,
+        r_code, r_delay, powers, us.min_timeslice,
+        t_release, t_carry, t_penalty, t_base, t_regions, t_finish,
+        p_busy, p_regions, res_acc, res_pen, res_slices,
+        by_acc, by_order, by_cnt, bar_gen, mux_cont, out_f, out_i)
+
+    if status == _STATUS_NON_MONOTONIC:
+        raise SimulationError(
+            f"non-monotonic commit: {float(out_f[3])} < {float(out_f[4])}"
+        )
+    if status == _STATUS_BLOCKED:  # pragma: no cover - statically excluded
+        raise SimulationError(
+            f"internal error: {int(out_f[3])} thread(s) still blocked on "
+            f"a compiled sync primitive at termination"
+        )
+    if status == _STATUS_UNPLACEABLE:  # pragma: no cover - defensive
+        raise SimulationError(
+            "internal error: eligible threads could not be placed "
+            "on an idle platform"
+        )
+
+    kernel.now = float(out_f[0])
+    kernel.regions_committed = int(out_i[2])
+    us.window_start = float(out_f[1])
+    us.collected_upto = float(out_f[2])
+    us.slices_analyzed = int(out_i[0])
+    us.slices_merged = int(out_i[1])
+    us.regions_registered += program.registered_regions
+    tname = program.thread_names
+    for ridx, name in enumerate(program.resource_names):
+        us._window_demand[name] = {}
+        us._window_units[name] = None
+        by_thread = resources[ridx].penalty_by_thread
+        for k in range(int(by_cnt[ridx])):
+            ti = int(by_order[ridx, k])
+            by_thread[tname[ti]] = float(by_acc[ridx, ti])
+    for t, thread in enumerate(threads):
+        thread.total_base_time = float(t_base[t])
+        thread.total_penalty = float(t_penalty[t])
+        thread.regions_committed = int(t_regions[t])
+        thread.finish_time = float(t_finish[t])
+        thread.release_time = float(t_release[t])
+        thread.carry_penalty = float(t_carry[t])
+        thread.state = ThreadState.DONE
+    for p, processor in enumerate(processors):
+        processor.busy_time = float(p_busy[p])
+        processor.regions_executed = int(p_regions[p])
+    for ridx, resource in enumerate(resources):
+        resource.total_accesses = float(res_acc[ridx])
+        resource.total_penalty = float(res_pen[ridx])
+        resource.active_slices = int(res_slices[ridx])
+    for bidx, barrier in enumerate(program.barriers):
+        barrier.generation += int(bar_gen[bidx])
+    for midx, mutex in enumerate(program.mutexes):
+        mutex.contended_acquires += int(mux_cont[midx])
+    kernel._finished = True
+    return build_result(kernel)
+
+
+def _replay(nthreads, nprocs, nres, taff, op_ptr, op_code, op_arg,
+            reg_ptr, reg_dur, reg_comp, reg_extra, dur_static,
+            acc_ptr, acc_res, acc_cnt, bar_parties, n_mutexes,
+            r_code, r_delay, powers, min_timeslice,
+            t_release, t_carry, t_penalty, t_base, t_regions, t_finish,
+            p_busy, p_regions, res_acc, res_pen, res_slices,
+            by_acc, by_order, by_cnt, bar_gen, mux_cont, out_f, out_i):
+    """The flat/fused commit loop in the numba nopython subset.
+
+    A transcription of :func:`repro.core.soa.run_program` restricted to
+    flat analysis (exact const/null resources, no bursts) with the op
+    stream scheduling path — see that function for the line-by-line
+    semantics; the float operation sequences here match it exactly.
+    Returns a status code; the offending floats land in ``out_f[3:]``.
+    """
+    now = out_f[0]
+    window_start = out_f[1]
+    collected_upto = out_f[2]
+    slices_analyzed = out_i[0]
+    slices_merged = out_i[1]
+    regions_committed = out_i[2]
+    fused = min_timeslice == 0.0
+
+    # -- mirror heap (CPython heapq layout) ------------------------------
+    cap = nprocs + 2
+    h_end = np.zeros(cap, dtype=np.float64)
+    h_cnt = np.zeros(cap, dtype=np.int64)
+    h_slot = np.zeros(cap, dtype=np.int64)
+    hsize = 0
+    counter = 0
+
+    # -- scheduling state -------------------------------------------------
+    ready = np.zeros(nthreads, dtype=np.int64)
+    for t in range(nthreads):
+        ready[t] = t
+    rsize = nthreads
+    t_next = op_ptr[:nthreads].copy()
+    inflight = np.full(nthreads, -1, dtype=np.int64)
+    free = np.ones(nprocs, dtype=np.uint8)
+    nfree = nprocs
+    r_thread = np.zeros(nprocs, dtype=np.int64)
+    r_base_start = np.zeros(nprocs, dtype=np.float64)
+    r_base_end = np.zeros(nprocs, dtype=np.float64)
+    r_end = np.zeros(nprocs, dtype=np.float64)
+    r_pending = np.zeros(nprocs, dtype=np.float64)
+    r_grid = np.zeros(nprocs, dtype=np.int64)
+    r_usdone = np.ones(nprocs, dtype=np.uint8)
+    n_active = 0
+
+    # -- sync state -------------------------------------------------------
+    nbars = bar_parties.shape[0]
+    bar_arrived = np.zeros((nbars, nthreads), dtype=np.int64)
+    bar_count = np.zeros(nbars, dtype=np.int64)
+    wait_cap = nthreads + 1
+    mux_wait = np.zeros((n_mutexes, wait_cap), dtype=np.int64)
+    mux_head = np.zeros(n_mutexes, dtype=np.int64)
+    mux_len = np.zeros(n_mutexes, dtype=np.int64)
+    mux_owner = np.full(n_mutexes, -1, dtype=np.int64)
+    blocked = 0
+
+    # -- flat analysis state ----------------------------------------------
+    f_dem = np.zeros((nres, nthreads), dtype=np.float64)
+    f_seen = np.zeros((nres, nthreads), dtype=np.uint8)
+    f_order = np.zeros((nres, nthreads), dtype=np.int64)
+    f_ord_cnt = np.zeros(nres, dtype=np.int64)
+    f_tot_val = np.zeros(nthreads, dtype=np.float64)
+    f_tot_seen = np.zeros(nthreads, dtype=np.uint8)
+    by_seen = np.zeros((nres, nthreads), dtype=np.uint8)
+    f_acc = np.zeros(nres, dtype=np.float64)
+    f_npos = np.zeros(nres, dtype=np.int64)
+    tot_ord = np.zeros(nthreads, dtype=np.int64)
+    f_any = 0
+
+    while True:
+        # -- scheduling: op-stream fixpoint fill -------------------------
+        placed = True
+        deadline = now + 1e-9
+        while placed and rsize > 0 and nfree > 0:
+            placed = False
+            for p in range(nprocs):
+                while free[p] != 0:
+                    picked = -1
+                    for i in range(rsize):
+                        t = ready[i]
+                        a = taff[t]
+                        if t_release[t] <= deadline and (a < 0 or a == p):
+                            for j in range(i, rsize - 1):
+                                ready[j] = ready[j + 1]
+                            rsize -= 1
+                            picked = t
+                            break
+                    if picked < 0:
+                        break
+                    placed = True
+                    nops = op_ptr[picked + 1]
+                    while True:
+                        idx = t_next[picked]
+                        if idx >= nops:
+                            t_finish[picked] = now
+                            break
+                        opcode = op_code[idx]
+                        arg = op_arg[idx]
+                        t_next[picked] = idx + 1
+                        if opcode == 0:  # OP_REGION
+                            grid = reg_ptr[picked] + arg
+                            carried = t_carry[picked]
+                            t_carry[picked] = 0.0
+                            if dur_static[picked] != 0:
+                                duration = reg_dur[grid]
+                            else:
+                                duration = (reg_comp[grid] / powers[p]
+                                            + reg_extra[grid])
+                            bend = now + duration
+                            end = bend + carried
+                            r_thread[p] = picked
+                            r_base_start[p] = now
+                            r_base_end[p] = bend
+                            r_end[p] = end
+                            r_pending[p] = 0.0
+                            r_grid[p] = grid
+                            if acc_ptr[grid + 1] > acc_ptr[grid]:
+                                r_usdone[p] = 0
+                                n_active += 1
+                            else:
+                                r_usdone[p] = 1
+                            free[p] = 0
+                            nfree -= 1
+                            inflight[picked] = p
+                            counter += 1
+                            # heappush (end, counter, p)
+                            pos = hsize
+                            hsize += 1
+                            while pos > 0:
+                                parent = (pos - 1) >> 1
+                                if end < h_end[parent] or (
+                                        end == h_end[parent]
+                                        and counter < h_cnt[parent]):
+                                    h_end[pos] = h_end[parent]
+                                    h_cnt[pos] = h_cnt[parent]
+                                    h_slot[pos] = h_slot[parent]
+                                    pos = parent
+                                    continue
+                                break
+                            h_end[pos] = end
+                            h_cnt[pos] = counter
+                            h_slot[pos] = p
+                            break
+                        if opcode == 1:  # OP_BARRIER
+                            cnt = bar_count[arg]
+                            bar_arrived[arg, cnt] = picked
+                            bar_count[arg] = cnt + 1
+                            if cnt + 1 < bar_parties[arg]:
+                                blocked += 1
+                                break
+                            for k in range(cnt + 1):
+                                w = bar_arrived[arg, k]
+                                if w != picked:
+                                    if now > t_release[w]:
+                                        t_release[w] = now
+                                    ready[rsize] = w
+                                    rsize += 1
+                            blocked -= cnt
+                            bar_count[arg] = 0
+                            bar_gen[arg] += 1
+                            continue
+                        if opcode == 2:  # OP_ACQUIRE
+                            if mux_owner[arg] < 0:
+                                mux_owner[arg] = picked
+                                continue
+                            mux_cont[arg] += 1
+                            tail = (mux_head[arg] + mux_len[arg]) % wait_cap
+                            mux_wait[arg, tail] = picked
+                            mux_len[arg] += 1
+                            blocked += 1
+                            break
+                        # OP_RELEASE
+                        if mux_len[arg] > 0:
+                            w = mux_wait[arg, mux_head[arg]]
+                            mux_head[arg] = (mux_head[arg] + 1) % wait_cap
+                            mux_len[arg] -= 1
+                            mux_owner[arg] = w
+                            if now > t_release[w]:
+                                t_release[w] = now
+                            ready[rsize] = w
+                            rsize += 1
+                            blocked -= 1
+                        else:
+                            mux_owner[arg] = -1
+                        continue
+
+        if hsize > 0:
+            # -- pop the earliest end, folding pending penalty lazily ----
+            while True:
+                # heappop
+                pop_end = h_end[0]
+                pop_cnt = h_cnt[0]
+                cp = h_slot[0]
+                hsize -= 1
+                if hsize > 0:
+                    last_end = h_end[hsize]
+                    last_cnt = h_cnt[hsize]
+                    last_slot = h_slot[hsize]
+                    # _siftup(heap, 0): move the smaller child up until
+                    # a leaf, then sift the moved tail item down.
+                    pos = 0
+                    child = 1
+                    while child < hsize:
+                        right = child + 1
+                        if right < hsize and not (
+                                h_end[child] < h_end[right] or (
+                                    h_end[child] == h_end[right]
+                                    and h_cnt[child] < h_cnt[right])):
+                            child = right
+                        h_end[pos] = h_end[child]
+                        h_cnt[pos] = h_cnt[child]
+                        h_slot[pos] = h_slot[child]
+                        pos = child
+                        child = 2 * pos + 1
+                    while pos > 0:
+                        parent = (pos - 1) >> 1
+                        if last_end < h_end[parent] or (
+                                last_end == h_end[parent]
+                                and last_cnt < h_cnt[parent]):
+                            h_end[pos] = h_end[parent]
+                            h_cnt[pos] = h_cnt[parent]
+                            h_slot[pos] = h_slot[parent]
+                            pos = parent
+                            continue
+                        break
+                    h_end[pos] = last_end
+                    h_cnt[pos] = last_cnt
+                    h_slot[pos] = last_slot
+                pend = r_pending[cp]
+                if pend > 1e-9:
+                    r_end[cp] = r_end[cp] + pend
+                    r_pending[cp] = 0.0
+                    counter += 1
+                    end = r_end[cp]
+                    pos = hsize
+                    hsize += 1
+                    while pos > 0:
+                        parent = (pos - 1) >> 1
+                        if end < h_end[parent] or (
+                                end == h_end[parent]
+                                and counter < h_cnt[parent]):
+                            h_end[pos] = h_end[parent]
+                            h_cnt[pos] = h_cnt[parent]
+                            h_slot[pos] = h_slot[parent]
+                            pos = parent
+                            continue
+                        break
+                    h_end[pos] = end
+                    h_cnt[pos] = counter
+                    h_slot[pos] = cp
+                    continue
+                r_pending[cp] = 0.0
+                break
+
+            # -- commit: advance time, close the slice -------------------
+            t_i = r_end[cp]
+            if t_i < now - 1e-9:
+                out_f[3] = t_i
+                out_f[4] = now
+                return _STATUS_NON_MONOTONIC
+            if t_i > now:
+                now = t_i
+
+            # -- collection walk over the heap array in place ------------
+            if n_active > 0:
+                start = collected_upto
+                for k in range(hsize):
+                    p = h_slot[k]
+                    if r_usdone[p] != 0:
+                        continue
+                    base_start = r_base_start[p]
+                    base_end = r_base_end[p]
+                    duration = base_end - base_start
+                    if duration <= 1e-12:
+                        if start - 1e-12 <= base_start <= now + 1e-12:
+                            r_usdone[p] = 1
+                            n_active -= 1
+                            fraction = 1.0
+                        else:
+                            if base_start < start - 1e-12:
+                                r_usdone[p] = 1
+                                n_active -= 1
+                            continue
+                    else:
+                        lo = start if start > base_start else base_start
+                        hi = now if now < base_end else base_end
+                        if base_end <= now:
+                            r_usdone[p] = 1
+                            n_active -= 1
+                        if hi <= lo:
+                            continue
+                        fraction = (hi - lo) / duration
+                    ti = r_thread[p]
+                    f_any = 1
+                    grid = r_grid[p]
+                    if fused:
+                        for a in range(acc_ptr[grid], acc_ptr[grid + 1]):
+                            ridx = acc_res[a]
+                            c = acc_cnt[a] * fraction
+                            f_dem[ridx, ti] = c
+                            f_order[ridx, f_ord_cnt[ridx]] = ti
+                            f_ord_cnt[ridx] += 1
+                            f_acc[ridx] += c
+                            if c > 0.0:
+                                f_npos[ridx] += 1
+                    else:
+                        for a in range(acc_ptr[grid], acc_ptr[grid + 1]):
+                            ridx = acc_res[a]
+                            count = acc_cnt[a]
+                            if f_seen[ridx, ti] != 0:
+                                f_dem[ridx, ti] = (f_dem[ridx, ti]
+                                                   + count * fraction)
+                            else:
+                                f_seen[ridx, ti] = 1
+                                f_order[ridx, f_ord_cnt[ridx]] = ti
+                                f_ord_cnt[ridx] += 1
+                                f_dem[ridx, ti] = count * fraction
+                if r_usdone[cp] == 0:
+                    base_start = r_base_start[cp]
+                    base_end = r_base_end[cp]
+                    duration = base_end - base_start
+                    fraction = 0.0
+                    if duration <= 1e-12:
+                        if start - 1e-12 <= base_start <= now + 1e-12:
+                            r_usdone[cp] = 1
+                            n_active -= 1
+                            fraction = 1.0
+                        elif base_start < start - 1e-12:
+                            r_usdone[cp] = 1
+                            n_active -= 1
+                    else:
+                        lo = start if start > base_start else base_start
+                        hi = now if now < base_end else base_end
+                        if base_end <= now:
+                            r_usdone[cp] = 1
+                            n_active -= 1
+                        if hi > lo:
+                            fraction = (hi - lo) / duration
+                    if fraction != 0.0:
+                        ti = r_thread[cp]
+                        f_any = 1
+                        grid = r_grid[cp]
+                        if fused:
+                            for a in range(acc_ptr[grid],
+                                           acc_ptr[grid + 1]):
+                                ridx = acc_res[a]
+                                c = acc_cnt[a] * fraction
+                                f_dem[ridx, ti] = c
+                                f_order[ridx, f_ord_cnt[ridx]] = ti
+                                f_ord_cnt[ridx] += 1
+                                f_acc[ridx] += c
+                                if c > 0.0:
+                                    f_npos[ridx] += 1
+                        else:
+                            for a in range(acc_ptr[grid],
+                                           acc_ptr[grid + 1]):
+                                ridx = acc_res[a]
+                                count = acc_cnt[a]
+                                if f_seen[ridx, ti] == 0:
+                                    f_seen[ridx, ti] = 1
+                                    f_order[ridx, f_ord_cnt[ridx]] = ti
+                                    f_ord_cnt[ridx] += 1
+                                f_dem[ridx, ti] = (f_dem[ridx, ti]
+                                                   + count * fraction)
+            if now > collected_upto:
+                collected_upto = now
+
+            # -- analysis (inline us.analyze early exits, flat mode) -----
+            tot_cnt = 0
+            width = collected_upto - window_start
+            if min_timeslice != 0.0 and width + 1e-12 < min_timeslice:
+                if width > 1e-12:
+                    slices_merged += 1
+            elif fused:
+                if f_any != 0:
+                    for ridx in range(nres):
+                        ocnt = f_ord_cnt[ridx]
+                        if ocnt == 0:
+                            continue
+                        accesses = f_acc[ridx]
+                        f_acc[ridx] = 0.0
+                        res_acc[ridx] += accesses
+                        if accesses > 0:
+                            res_slices[ridx] += 1
+                        npos = f_npos[ridx]
+                        f_npos[ridx] = 0
+                        if npos >= 2 and r_code[ridx] == 1:
+                            delay = r_delay[ridx]
+                            rtotal = res_pen[ridx]
+                            for k in range(ocnt):
+                                ti = f_order[ridx, k]
+                                c = f_dem[ridx, ti]
+                                if c <= 0:
+                                    continue
+                                pen = c * delay
+                                if pen > 0.0:
+                                    if f_tot_seen[ti] != 0:
+                                        f_tot_val[ti] = f_tot_val[ti] + pen
+                                    else:
+                                        f_tot_seen[ti] = 1
+                                        tot_ord[tot_cnt] = ti
+                                        tot_cnt += 1
+                                        f_tot_val[ti] = pen
+                                rtotal += pen
+                                by_acc[ridx, ti] = by_acc[ridx, ti] + pen
+                                if by_seen[ridx, ti] == 0:
+                                    by_seen[ridx, ti] = 1
+                                    by_order[ridx, by_cnt[ridx]] = ti
+                                    by_cnt[ridx] += 1
+                            res_pen[ridx] = rtotal
+                        f_ord_cnt[ridx] = 0
+                    window_start = collected_upto
+                    slices_analyzed += 1
+                    f_any = 0
+                elif width <= 1e-12:
+                    pass
+                else:
+                    window_start = collected_upto
+                    slices_analyzed += 1
+            else:
+                if f_any != 0:
+                    for ridx in range(nres):
+                        ocnt = f_ord_cnt[ridx]
+                        if ocnt == 0:
+                            continue
+                        accesses = 0.0
+                        npos = 0
+                        for k in range(ocnt):
+                            c = f_dem[ridx, f_order[ridx, k]]
+                            accesses += c
+                            if c > 0:
+                                npos += 1
+                        res_acc[ridx] += accesses
+                        if accesses > 0:
+                            res_slices[ridx] += 1
+                        if npos >= 2 and r_code[ridx] == 1:
+                            delay = r_delay[ridx]
+                            rtotal = res_pen[ridx]
+                            for k in range(ocnt):
+                                ti = f_order[ridx, k]
+                                c = f_dem[ridx, ti]
+                                if c <= 0:
+                                    continue
+                                pen = c * delay
+                                if pen > 0.0:
+                                    if f_tot_seen[ti] != 0:
+                                        f_tot_val[ti] = f_tot_val[ti] + pen
+                                    else:
+                                        f_tot_seen[ti] = 1
+                                        tot_ord[tot_cnt] = ti
+                                        tot_cnt += 1
+                                        f_tot_val[ti] = pen
+                                rtotal += pen
+                                by_acc[ridx, ti] = by_acc[ridx, ti] + pen
+                                if by_seen[ridx, ti] == 0:
+                                    by_seen[ridx, ti] = 1
+                                    by_order[ridx, by_cnt[ridx]] = ti
+                                    by_cnt[ridx] += 1
+                            res_pen[ridx] = rtotal
+                        for k in range(ocnt):
+                            ti = f_order[ridx, k]
+                            f_dem[ridx, ti] = 0.0
+                            f_seen[ridx, ti] = 0
+                        f_ord_cnt[ridx] = 0
+                    window_start = collected_upto
+                    slices_analyzed += 1
+                    f_any = 0
+                elif width <= 1e-12:
+                    pass
+                else:
+                    window_start = collected_upto
+                    slices_analyzed += 1
+
+            # -- penalty distribution ------------------------------------
+            if tot_cnt > 0:
+                reinserted = False
+                ct = r_thread[cp]
+                for k in range(tot_cnt):
+                    t = tot_ord[k]
+                    pen = f_tot_val[t]
+                    f_tot_val[t] = 0.0
+                    f_tot_seen[t] = 0
+                    t_penalty[t] += pen
+                    if t == ct:
+                        r_pending[cp] += pen
+                        amount = r_pending[cp]
+                        if amount != 0.0:
+                            r_end[cp] += amount
+                            r_pending[cp] = 0.0
+                        counter += 1
+                        end = r_end[cp]
+                        pos = hsize
+                        hsize += 1
+                        while pos > 0:
+                            parent = (pos - 1) >> 1
+                            if end < h_end[parent] or (
+                                    end == h_end[parent]
+                                    and counter < h_cnt[parent]):
+                                h_end[pos] = h_end[parent]
+                                h_cnt[pos] = h_cnt[parent]
+                                h_slot[pos] = h_slot[parent]
+                                pos = parent
+                                continue
+                            break
+                        h_end[pos] = end
+                        h_cnt[pos] = counter
+                        h_slot[pos] = cp
+                        reinserted = True
+                    else:
+                        p2 = inflight[t]
+                        if p2 >= 0:
+                            r_pending[p2] += pen
+                        else:
+                            t_carry[t] += pen
+                if reinserted:
+                    continue
+
+            # -- retirement ----------------------------------------------
+            t = r_thread[cp]
+            t_base[t] += r_base_end[cp] - r_base_start[cp]
+            t_regions[t] += 1
+            p_busy[cp] += r_end[cp] - r_base_start[cp]
+            p_regions[cp] += 1
+            free[cp] = 1
+            nfree += 1
+            regions_committed += 1
+            inflight[t] = -1
+            t_release[t] = r_end[cp]
+            ready[rsize] = t
+            rsize += 1
+            continue
+
+        # No in-flight regions: idle-jump to the next release, or done.
+        if rsize > 0:
+            next_release = t_release[ready[0]]
+            for i in range(rsize):
+                release = t_release[ready[i]]
+                if release < next_release:
+                    next_release = release
+            if next_release > now + 1e-9:
+                now = next_release
+                continue
+            return _STATUS_UNPLACEABLE
+        if blocked > 0:
+            out_f[3] = blocked
+            return _STATUS_BLOCKED
+        break
+
+    # -- final flush ------------------------------------------------------
+    if now > collected_upto:
+        collected_upto = now
+    width = collected_upto - window_start
+    if not (width <= 1e-12 and f_any == 0):
+        # analyze_flat(collected_upto), penalties straight to threads.
+        tot_cnt = 0
+        for ridx in range(nres):
+            ocnt = f_ord_cnt[ridx]
+            if ocnt == 0:
+                continue
+            accesses = 0.0
+            npos = 0
+            for k in range(ocnt):
+                c = f_dem[ridx, f_order[ridx, k]]
+                accesses += c
+                if c > 0:
+                    npos += 1
+            res_acc[ridx] += accesses
+            if accesses > 0:
+                res_slices[ridx] += 1
+            if npos >= 2 and r_code[ridx] == 1:
+                delay = r_delay[ridx]
+                rtotal = res_pen[ridx]
+                for k in range(ocnt):
+                    ti = f_order[ridx, k]
+                    c = f_dem[ridx, ti]
+                    if c <= 0:
+                        continue
+                    pen = c * delay
+                    if pen > 0.0:
+                        if f_tot_seen[ti] != 0:
+                            f_tot_val[ti] = f_tot_val[ti] + pen
+                        else:
+                            f_tot_seen[ti] = 1
+                            tot_ord[tot_cnt] = ti
+                            tot_cnt += 1
+                            f_tot_val[ti] = pen
+                    rtotal += pen
+                    by_acc[ridx, ti] = by_acc[ridx, ti] + pen
+                    if by_seen[ridx, ti] == 0:
+                        by_seen[ridx, ti] = 1
+                        by_order[ridx, by_cnt[ridx]] = ti
+                        by_cnt[ridx] += 1
+                res_pen[ridx] = rtotal
+            for k in range(ocnt):
+                ti = f_order[ridx, k]
+                f_dem[ridx, ti] = 0.0
+                f_seen[ridx, ti] = 0
+            f_ord_cnt[ridx] = 0
+        window_start = collected_upto
+        slices_analyzed += 1
+        for k in range(tot_cnt):
+            t = tot_ord[k]
+            t_penalty[t] += f_tot_val[t]
+
+    out_f[0] = now
+    out_f[1] = window_start
+    out_f[2] = collected_upto
+    out_i[0] = slices_analyzed
+    out_i[1] = slices_merged
+    out_i[2] = regions_committed
+    return _STATUS_OK

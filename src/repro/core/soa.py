@@ -19,10 +19,11 @@ aspiration; the correspondence rests on three structural facts:
   processor — no allocation, no retirement bookkeeping.
 * **Mirror heap.**  The commit queue is a ``heapq`` of ``(end_time,
   count, slot)`` scalar tuples built by the exact push/pop sequence of
-  :class:`~repro.core.pqueue.RegionQueue`.  Sync-free runs never shelve
-  a region, so the object queue holds zero stale entries and never
-  compacts — both heap arrays evolve through identical sift operations
-  and share one layout.  The slice-collection walk iterates that array
+  :class:`~repro.core.pqueue.RegionQueue`.  Compiled runs never shelve
+  a region — synchronization in the widened subset blocks threads only
+  *between* regions, never mid-flight — so the object queue holds zero
+  stale entries and never compacts; both heap arrays evolve through
+  identical sift operations and share one layout.  The slice-collection walk iterates that array
   in place, which reproduces the object engine's first-touch order, the
   only order that matters for float-sum identity downstream (each
   thread has at most one in-flight region, so any one window receives
@@ -46,9 +47,10 @@ user subclasses observe exactly the calls the object engine would make.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Dict
+from typing import Dict, Optional
 
 from ..contention.base import SliceDemand
+from . import compile as _compile
 from .errors import SimulationError
 from .stats import SimulationResult, build_result
 from .thread import ThreadState
@@ -380,22 +382,41 @@ def run_program(kernel, program) -> SimulationResult:
     #: vacuous, so drop it from the inner loop.
     no_affinity = max(taff, default=-1) < 0
 
+    # -- synchronization state (the widened compiled subset) -------------
+    # Live Barrier / Mutex objects were validated clean at compile time;
+    # the replay tracks their state in parallel int lists and writes the
+    # observable counters (generation, contended_acquires) back as
+    # deltas after the run.  Sync-free programs never touch any of this
+    # — the fill fixpoint below branches once per outer iteration.
+    has_sync = program.has_sync
+    if has_sync:
+        tops = program.thread_ops
+        ocount = [len(ops) for ops in tops]
+        bar_parties = program.barrier_parties
+        bar_arrived = [[] for _ in program.barriers]
+        bar_generations = [0] * len(program.barriers)
+        mux_owner = [-1] * len(program.mutexes)
+        mux_waiters = [[] for _ in program.mutexes]
+        mux_contended = [0] * len(program.mutexes)
+        blocked = 0
+
     while True:
         # -- scheduling (Fig. 2 lines 2-7): fixpoint fill ----------------
         placed = True
         deadline = now + 1e-9
-        while placed and ready and nfree:
-            placed = False
-            for p in range(nprocs):
-                while free[p]:
-                    picked = -1
-                    if no_affinity:
-                        for i, t in enumerate(ready):
-                            if t_release[t] <= deadline:
-                                del ready[i]
-                                picked = t
-                                break
-                    else:
+        if has_sync:
+            # Op-stream fill: each pick advances the thread through its
+            # ``(opcode, arg)`` stream in zero time — sync ops resolve
+            # inline (the object engine's _advance_thread loop) until
+            # the thread places a region, blocks, or exhausts.  A
+            # blocked or exhausted pick leaves the processor free, so
+            # the inner scan retries it against the remaining ready
+            # set, exactly like the object fill.
+            while placed and ready and nfree:
+                placed = False
+                for p in range(nprocs):
+                    while free[p]:
+                        picked = -1
                         for i, t in enumerate(ready):
                             a = taff[t]
                             if t_release[t] <= deadline and \
@@ -403,43 +424,150 @@ def run_program(kernel, program) -> SimulationResult:
                                 del ready[i]
                                 picked = t
                                 break
-                    if picked < 0:
-                        break
-                    placed = True
-                    idx = t_next[picked]
-                    if idx >= tcount[picked]:
-                        # Region stream exhausted at pick time, exactly
-                        # where the object engine's generator would
-                        # raise StopIteration.
-                        t_finish[picked] = now
-                        continue
-                    t_next[picked] = idx + 1
-                    carried = t_carry[picked]
-                    t_carry[picked] = 0.0
-                    durs = tdurs[picked]
-                    duration = (durs[idx] if durs is not None
-                                else tcomp[picked][idx] / powers[p]
-                                + textra[picked][idx])
-                    bend = now + duration
-                    end = bend + carried
-                    r_thread[p] = picked
-                    r_base_start[p] = now
-                    r_base_end[p] = bend
-                    r_end[p] = end
-                    r_pending[p] = 0.0
-                    acc = tacc[picked][idx]
-                    r_acc[p] = acc
-                    r_burst[p] = tburst[picked][idx]
-                    if acc:
-                        r_usdone[p] = False
-                        n_active += 1
-                    else:
-                        r_usdone[p] = True
-                    free[p] = False
-                    nfree -= 1
-                    inflight[picked] = p
-                    counter += 1
-                    heappush(heap, (end, counter, p))
+                        if picked < 0:
+                            break
+                        placed = True
+                        ops = tops[picked]
+                        nops = ocount[picked]
+                        while True:
+                            idx = t_next[picked]
+                            if idx >= nops:
+                                # Stream exhausted, exactly where the
+                                # object engine's generator would raise
+                                # StopIteration.
+                                t_finish[picked] = now
+                                break
+                            opcode, arg = ops[idx]
+                            t_next[picked] = idx + 1
+                            if opcode == 0:  # OP_REGION
+                                carried = t_carry[picked]
+                                t_carry[picked] = 0.0
+                                durs = tdurs[picked]
+                                duration = (
+                                    durs[arg] if durs is not None
+                                    else tcomp[picked][arg] / powers[p]
+                                    + textra[picked][arg])
+                                bend = now + duration
+                                end = bend + carried
+                                r_thread[p] = picked
+                                r_base_start[p] = now
+                                r_base_end[p] = bend
+                                r_end[p] = end
+                                r_pending[p] = 0.0
+                                acc = tacc[picked][arg]
+                                r_acc[p] = acc
+                                r_burst[p] = tburst[picked][arg]
+                                if acc:
+                                    r_usdone[p] = False
+                                    n_active += 1
+                                else:
+                                    r_usdone[p] = True
+                                free[p] = False
+                                nfree -= 1
+                                inflight[picked] = p
+                                counter += 1
+                                heappush(heap, (end, counter, p))
+                                break
+                            if opcode == 1:  # OP_BARRIER
+                                arrived = bar_arrived[arg]
+                                arrived.append(picked)
+                                if len(arrived) < bar_parties[arg]:
+                                    blocked += 1
+                                    break
+                                # Last arriver: wake the waiters in
+                                # arrival order (the object engine's
+                                # max(release, now) + ready append),
+                                # then continue this stream in zero
+                                # time on the same processor.
+                                for w in arrived:
+                                    if w != picked:
+                                        if now > t_release[w]:
+                                            t_release[w] = now
+                                        ready.append(w)
+                                blocked -= len(arrived) - 1
+                                bar_arrived[arg] = []
+                                bar_generations[arg] += 1
+                                continue
+                            if opcode == 2:  # OP_ACQUIRE
+                                if mux_owner[arg] < 0:
+                                    mux_owner[arg] = picked
+                                    continue
+                                # Contended: count first, then queue —
+                                # Mutex.enqueue order.
+                                mux_contended[arg] += 1
+                                mux_waiters[arg].append(picked)
+                                blocked += 1
+                                break
+                            # OP_RELEASE: hand off FIFO, waking the new
+                            # owner; the releaser keeps running.
+                            waiters = mux_waiters[arg]
+                            if waiters:
+                                w = waiters.pop(0)
+                                mux_owner[arg] = w
+                                if now > t_release[w]:
+                                    t_release[w] = now
+                                ready.append(w)
+                                blocked -= 1
+                            else:
+                                mux_owner[arg] = -1
+                            continue
+        else:
+            while placed and ready and nfree:
+                placed = False
+                for p in range(nprocs):
+                    while free[p]:
+                        picked = -1
+                        if no_affinity:
+                            for i, t in enumerate(ready):
+                                if t_release[t] <= deadline:
+                                    del ready[i]
+                                    picked = t
+                                    break
+                        else:
+                            for i, t in enumerate(ready):
+                                a = taff[t]
+                                if t_release[t] <= deadline and \
+                                        (a < 0 or a == p):
+                                    del ready[i]
+                                    picked = t
+                                    break
+                        if picked < 0:
+                            break
+                        placed = True
+                        idx = t_next[picked]
+                        if idx >= tcount[picked]:
+                            # Region stream exhausted at pick time,
+                            # exactly where the object engine's
+                            # generator would raise StopIteration.
+                            t_finish[picked] = now
+                            continue
+                        t_next[picked] = idx + 1
+                        carried = t_carry[picked]
+                        t_carry[picked] = 0.0
+                        durs = tdurs[picked]
+                        duration = (durs[idx] if durs is not None
+                                    else tcomp[picked][idx] / powers[p]
+                                    + textra[picked][idx])
+                        bend = now + duration
+                        end = bend + carried
+                        r_thread[p] = picked
+                        r_base_start[p] = now
+                        r_base_end[p] = bend
+                        r_end[p] = end
+                        r_pending[p] = 0.0
+                        acc = tacc[picked][idx]
+                        r_acc[p] = acc
+                        r_burst[p] = tburst[picked][idx]
+                        if acc:
+                            r_usdone[p] = False
+                            n_active += 1
+                        else:
+                            r_usdone[p] = True
+                        free[p] = False
+                        nfree -= 1
+                        inflight[picked] = p
+                        counter += 1
+                        heappush(heap, (end, counter, p))
 
         if heap:
             # -- pop the earliest end, folding pending penalty lazily ----
@@ -821,6 +949,15 @@ def run_program(kernel, program) -> SimulationResult:
                 "internal error: eligible threads could not be placed "
                 "on an idle platform"
             )
+        if has_sync and blocked:
+            # Statically unreachable: compile-time validation proves
+            # aligned barriers and balanced non-nested mutexes cannot
+            # deadlock.  Guard anyway rather than silently dropping
+            # threads.
+            raise SimulationError(
+                f"internal error: {blocked} thread(s) still blocked on "
+                f"a compiled sync primitive at termination"
+            )
         break
 
     # -- final flush: whatever the min-timeslice knob still holds --------
@@ -873,5 +1010,179 @@ def run_program(kernel, program) -> SimulationResult:
         resource.total_penalty = res_penalty[ridx]
         resource.active_slices = res_slices[ridx]
         # penalty_by_thread was accumulated in place on the resource.
+    if has_sync:
+        # Observable sync counters accumulate as deltas on the live
+        # primitives (arrived/waiters drained by construction — the
+        # run cannot end with a blocked thread).
+        for bidx, barrier in enumerate(program.barriers):
+            barrier.generation += bar_generations[bidx]
+        for midx, mutex in enumerate(program.mutexes):
+            mutex.contended_acquires += mux_contended[midx]
+    kernel._finished = True
+    return build_result(kernel)
+
+
+def numpy_replay_reason(kernel, program) -> Optional[str]:
+    """Why the NumPy segmented tier cannot replay this program.
+
+    Returns ``None`` when :func:`run_program_numpy` is exact for the
+    (kernel, program) pair.  The tier handles the *pure-compute static
+    subset*: no shared-resource accesses, no synchronization, every
+    thread pinned to its own distinct processor.  Under those
+    conditions the Fig. 2 loop degenerates — each thread's commit
+    times are a prefix sum of its region durations, and the commit
+    interleaving never feeds back into placement — so the replay
+    vectorizes wholesale instead of interpreting the loop.  (Unpinned
+    threads are excluded even on homogeneous pools: once any thread
+    exhausts its stream, later retirements migrate to the lowest-index
+    free processor, so per-processor attribution depends on the full
+    commit interleaving.)
+    """
+    if _compile._np is None:
+        return "running without NumPy"
+    if program.has_sync:
+        return "synchronization (pure-compute tier is consume-only)"
+    if program.registered_regions > 0:
+        return "shared-resource accesses (pure-compute tier only)"
+    affinities = program.thread_affinity
+    if any(a is None for a in affinities) \
+            or len(set(affinities)) != len(affinities):
+        return "unpinned or colliding affinity (static binding only)"
+    if any(release != 0.0 for release in program.thread_release):
+        return "staggered start times (static binding only)"
+    for thread in kernel.threads:
+        if thread.carry_penalty:
+            return "pre-seeded carry penalties"
+    if kernel.now != 0.0 or kernel.us.window_start != 0.0 \
+            or kernel.us.collected_upto != 0.0:
+        return "pre-advanced simulation clock"
+    np = _compile._np
+    for t in range(len(program.thread_names)):
+        if not program.region_counts[t]:
+            continue
+        durations = program.region_durations[t]
+        if durations is not None:
+            if not np.isfinite(durations).all():
+                return "non-finite region durations"
+        else:
+            if not (np.isfinite(program.region_complexity[t]).all()
+                    and np.isfinite(program.region_extra[t]).all()):
+                return "non-finite region durations"
+    if not all(power > 0.0 and np.isfinite(power)
+               for power in program.processor_powers):
+        return "non-finite region durations"
+    return None
+
+
+def run_program_numpy(kernel, program) -> SimulationResult:
+    """Vectorized segmented replay of a pure-compute program.
+
+    Eligibility is :func:`numpy_replay_reason` returning ``None`` —
+    the caller (the backend cascade in ``HybridKernel.run``) checks it;
+    running an ineligible program here is undefined.
+
+    Bit-identity argument: with static binding each thread's region
+    ends are the sequential prefix sum ``end_i = end_{i-1} + d_i`` —
+    exactly ``np.cumsum`` (pairwise-free, left-to-right) — and the
+    per-region base/busy accumulations sum ``(end_i - start_i)`` in the
+    same sequential order, preserving the object engine's
+    ``(now + d) - now`` float semantics.  Slice bookkeeping depends
+    only on the merged sorted commit times, replayed against the exact
+    epsilon/merge rules of ``us.analyze`` (no demand ever forms, so
+    windows only advance counters).
+    """
+    np = _compile._np
+    us = kernel.us
+    threads = kernel.threads
+    processors = kernel.processors
+    powers = program.processor_powers
+    min_timeslice = us.min_timeslice
+    now = kernel.now
+
+    # Distinct pins (checked by numpy_replay_reason): each thread runs
+    # every region on its own processor, so attribution is static.
+    binding = program.thread_affinity
+
+    total_regions = 0
+    all_ends = []
+    p_base = [0.0] * len(processors)
+    for t, thread in enumerate(threads):
+        count = program.region_counts[t]
+        if not count:
+            # Exhausted at the initial fill, before time advances.
+            thread.finish_time = now
+            thread.state = ThreadState.DONE
+            continue
+        p = binding[t]
+        durations = program.region_durations[t]
+        if durations is None:
+            d = (np.asarray(program.region_complexity[t],
+                            dtype=np.float64) / powers[p]
+                 + np.asarray(program.region_extra[t], dtype=np.float64))
+        else:
+            d = np.asarray(durations, dtype=np.float64)
+        ends = np.cumsum(d)
+        starts = np.empty_like(ends)
+        starts[0] = now
+        starts[1:] = ends[:-1]
+        base_total = float(np.cumsum(ends - starts)[-1])
+        last_end = float(ends[-1])
+        thread.total_base_time += base_total
+        thread.regions_committed += count
+        thread.finish_time = last_end
+        thread.release_time = last_end
+        thread.state = ThreadState.DONE
+        p_base[p] += base_total
+        processors[p].regions_executed += count
+        total_regions += count
+        all_ends.append(ends)
+    for p, processor in enumerate(processors):
+        processor.busy_time += p_base[p]
+
+    window_start = us.window_start
+    collected_upto = us.collected_upto
+    slices_analyzed = us.slices_analyzed
+    slices_merged = us.slices_merged
+    if all_ends:
+        commits = np.sort(np.concatenate(all_ends))
+        now = float(commits[-1])
+        unique = np.unique(commits)
+        if not min_timeslice and unique[0] - collected_upto > 1e-12 \
+                and (np.diff(unique) > 1e-12).all():
+            # Every distinct commit time closes its own (demand-free)
+            # window; duplicates see a zero-width window and skip.
+            slices_analyzed += len(unique)
+            window_start = collected_upto = float(unique[-1])
+        else:
+            # Exact scalar replay of the us.analyze early exits —
+            # near-tie widths accumulate across commits and undersized
+            # windows count one merge per commit, so the counters
+            # cannot be recovered from pairwise diffs alone.
+            for commit in commits.tolist():
+                if commit > collected_upto:
+                    collected_upto = commit
+                width = collected_upto - window_start
+                if min_timeslice and width + 1e-12 < min_timeslice:
+                    if width > 1e-12:
+                        slices_merged += 1
+                elif width <= 1e-12:
+                    pass
+                else:
+                    window_start = collected_upto
+                    slices_analyzed += 1
+            # Final flush: count the tail window, extend nothing.
+            if collected_upto - window_start > 1e-12:
+                window_start = collected_upto
+                slices_analyzed += 1
+
+    kernel.now = now
+    kernel.regions_committed += total_regions
+    us.window_start = window_start
+    us.collected_upto = collected_upto
+    us.slices_analyzed = slices_analyzed
+    us.slices_merged = slices_merged
+    for name in program.resource_names:
+        us._window_demand[name] = {}
+        us._window_units[name] = None
     kernel._finished = True
     return build_result(kernel)

@@ -139,6 +139,7 @@ def run_comparison(workload,
                    budget=None,
                    memo_cache=None,
                    engine: Optional[str] = None,
+                   backend: Optional[str] = None,
                    store=None) -> Comparison:
     """Evaluate a workload or scenario spec with every estimator.
 
@@ -182,6 +183,13 @@ def run_comparison(workload,
         any workload materialization, so the fallback costs zero extra
         builds — and a comparison whose estimators all hit the run
         store still performs zero workload builds, probe included.
+    backend:
+        SoA replay backend preference (``"auto"``, ``"jit"``,
+        ``"numpy"``, or ``"interp"``; see
+        :class:`~repro.core.kernel.HybridKernel`).  Like ``engine``, a
+        pure execution knob: never part of scenario identity, and all
+        tiers are bit-identical.  Only meaningful with
+        ``engine="soa"``.
     store:
         Optional :class:`~repro.scenario.store.RunStore` (or its root
         path).  Requires a spec: estimator results are looked up by
@@ -287,6 +295,8 @@ def run_comparison(workload,
             start = time.perf_counter()
             engine_kwargs = ({} if mesh_engine is None
                              else {"engine": mesh_engine})
+            if backend is not None:
+                engine_kwargs["backend"] = backend
             if spec is not None:
                 result = spec.run(memo_cache=memo_cache, **engine_kwargs)
             else:

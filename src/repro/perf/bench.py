@@ -30,16 +30,29 @@ def environment_info() -> Dict[str, Any]:
     numbers are only comparable between records with the same effective
     parallelism.  ``cpu_affinity`` is ``None`` on platforms without
     processor affinity (e.g. macOS).
+
+    Also stamps the accelerator stack: ``numpy`` and ``numba`` versions,
+    ``None`` when absent — compiled-tier throughputs (the SoA replay and
+    JIT scenarios) are meaningless to compare across records that ran
+    different tiers.
     """
     try:
         affinity: Optional[int] = len(os.sched_getaffinity(0))
     except (AttributeError, OSError):
         affinity = None
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    from ..core.jit import numba_version
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count() or 1,
         "cpu_affinity": affinity,
+        "numpy": numpy_version,
+        "numba": numba_version(),
     }
 
 

@@ -31,6 +31,15 @@ performance change (run the *full* profile first, not ``--quick``)::
         --current benchmarks/out/BENCH_hotpath.json \
         --baseline benchmarks/baseline/BENCH_hotpath.json \
         --write-baseline
+
+A baseline refresh is itself gated: when the existing baseline is
+readable, every gated metric known to *either* record is compared and
+printed as a per-metric delta table, and the write is **refused** (exit
+1, baseline untouched) if any metric regressed past
+``--max-regression`` — a refresh must never silently launder a
+regression into the committed contract.  ``--force`` overrides the
+refusal for intentional trade-offs; the delta table still prints so the
+accepted regression is on the record.
 """
 
 from __future__ import annotations
@@ -110,6 +119,28 @@ def gate(current: Dict[str, Any], baseline: Dict[str, Any],
     return checks
 
 
+def delta_table(checks: Sequence[MetricCheck]) -> str:
+    """Aligned per-metric table: baseline, current, and delta columns.
+
+    The delta is the signed change relative to the baseline value
+    (positive = improvement), ``-`` where either side is missing.
+    """
+    rows = [("metric", "baseline", "current", "delta")]
+    for check in checks:
+        rows.append((
+            check.metric,
+            "-" if check.baseline is None else f"{check.baseline:g}",
+            "-" if check.current is None else f"{check.current:g}",
+            "-" if check.regression is None
+            else f"{-check.regression:+.1%}",
+        ))
+    widths = [max(len(row[col]) for row in rows) for col in range(4)]
+    return "\n".join(
+        "  ".join(cell.ljust(width)
+                  for cell, width in zip(row, widths)).rstrip()
+        for row in rows)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; exit 1 when any gated metric breaches."""
     parser = argparse.ArgumentParser(
@@ -130,16 +161,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--write-baseline", action="store_true",
                         help="copy --current over --baseline instead of "
                              "gating (baseline refresh after an "
-                             "intentional perf change)")
+                             "intentional perf change); refused when a "
+                             "gated metric regressed past "
+                             "--max-regression")
+    parser.add_argument("--force", action="store_true",
+                        help="with --write-baseline: overwrite the "
+                             "baseline even when gated metrics "
+                             "regressed (intentional trade-off)")
     args = parser.parse_args(argv)
     if args.max_regression < 0:
         parser.error("--max-regression must be >= 0")
+    if args.force and not args.write_baseline:
+        parser.error("--force only applies with --write-baseline")
 
     if args.write_baseline:
         record = args.current.read_text(encoding="utf-8")
+        current = json.loads(record)
+        current = current.get("results", current)
+        if args.baseline.exists():
+            baseline = _load_results(args.baseline)
+            # Union of both records' gated contracts plus --metric
+            # additions: a metric dropped from the new record must show
+            # up as a SKIP row, not vanish from the refresh report.
+            extras = list(current.get("gate_metrics", []))
+            extras.extend(args.metrics or [])
+            checks = gate(current, baseline, args.max_regression,
+                          metrics=extras)
+            if checks:
+                print(delta_table(checks))
+            regressed = [check.metric for check in checks if check.failed]
+            if regressed and not args.force:
+                print(f"perf gate: refusing to write baseline "
+                      f"{args.baseline}: {len(regressed)} gated "
+                      f"metric(s) regressed more than "
+                      f"{args.max_regression:.0%} "
+                      f"({', '.join(regressed)}); rerun with --force "
+                      f"to accept the regression")
+                return 1
+            if regressed:
+                print(f"perf gate: --force accepted regression in "
+                      f"{', '.join(regressed)}")
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(record, encoding="utf-8")
-        gated = list(_load_results(args.baseline).get("gate_metrics", []))
+        gated = list(current.get("gate_metrics", []))
         print(f"perf gate: wrote baseline {args.baseline} "
               f"({len(gated)} gated metric(s))")
         return 0

@@ -263,11 +263,12 @@ class ScenarioSpec:
     kernel_options:
         Extra :class:`~repro.core.kernel.HybridKernel` keyword
         arguments (e.g. ``slice_accounting``, ``batch_analysis``,
-        ``engine``).  Note that kernel options are part of the spec and
-        therefore of :meth:`spec_hash`; for knobs that are pure
-        execution choices with bit-identical results — ``engine`` above
-        all — prefer passing overrides at run time
-        (``spec.run(engine="soa")``, or ``engine=`` on
+        ``engine``, ``backend``).  Note that kernel options are part of
+        the spec and therefore of :meth:`spec_hash`; for knobs that are
+        pure execution choices with bit-identical results — ``engine``
+        and the SoA replay ``backend`` tier above all — prefer passing
+        overrides at run time (``spec.run(engine="soa",
+        backend="jit")``, or ``engine=`` / ``backend=`` on
         :func:`~repro.experiments.runner.run_comparison`) so the
         scenario's content address stays engine-agnostic.
     """

@@ -185,7 +185,8 @@ def _fabric_cell(config: Dict, spec: ScenarioSpec) -> Dict:
                      version=config["store_version"], tmp_max_age=None)
     include = tuple(config["include"])
     comparison = run_comparison(spec, include=include, store=store,
-                                engine=config.get("engine"))
+                                engine=config.get("engine"),
+                                backend=config.get("backend"))
     return {
         "spec_hash": spec_hash,
         "cached_runs": comparison.cached_runs,
@@ -225,6 +226,7 @@ class SweepSupervisor:
                  cell_timeout: Optional[float] = None,
                  chaos: Optional[ChaosPlan] = None,
                  engine: Optional[str] = None,
+                 backend: Optional[str] = None,
                  sleep=time.sleep):
         self.store = as_store(store)
         if self.store is None:
@@ -242,6 +244,9 @@ class SweepSupervisor:
         #: None).  Execution-only: never part of spec hashes, so cached
         #: payloads from either engine replay interchangeably.
         self.engine = engine
+        #: SoA replay backend preference for every cell ("auto"/"jit"/
+        #: "numpy"/"interp"/None).  Execution-only, like ``engine``.
+        self.backend = backend
         self.sleep = sleep
         if manifest_path is None:
             manifest_path = (self.store.root / "manifests"
@@ -292,6 +297,7 @@ class SweepSupervisor:
             "include": list(self.include),
             "chaos": self.chaos.to_dict() if self.chaos else None,
             "engine": self.engine,
+            "backend": self.backend,
             "supervisor_pid": os.getpid(),
         }
 

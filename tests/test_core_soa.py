@@ -16,6 +16,14 @@ Three layers of defense around ``HybridKernel(engine="soa")``:
   full golden matrix (80 snapshot configurations) re-runs under
   ``engine="soa"`` and must both match the seed snapshots and carry an
   explicit ``engine_fallback_reason`` whenever the object engine ran.
+* **Backend tiers** — above the interpreted replay sit the pure-NumPy
+  segmented tier and the Numba JIT tier.  Tier selection must follow
+  the documented cascade with a recorded ``backend_fallback_reason``
+  for every skipped tier, and each tier's replay (the JIT one runs its
+  pure-Python twin when Numba is absent — bit-identical float ops)
+  must match the object engine exactly.  The sync golden file
+  (``data/golden_soa.json``) pins barrier/FIFO-mutex configurations
+  that compile with *zero* fallback under the widened subset.
 """
 
 import json
@@ -27,16 +35,23 @@ from hypothesis import strategies as st
 
 from golden_scenarios import (SCENARIOS, iter_configs, config_key,
                               make_fault_plan, snapshot)
+from golden_soa_scenarios import (SOA_GOLDEN_PATH, iter_soa_configs,
+                                  soa_config_key, soa_kernel,
+                                  soa_snapshot)
 from repro.contention import (ChenLinModel, ConstantModel, MD1Model,
                               MM1Model, NullModel, available_models)
 from repro.core import (HybridKernel, LogicalThread, Processor,
-                        SharedResource, compile_kernel, numpy_available)
+                        SharedResource, compile_kernel, jit_replay_reason,
+                        numba_available, numpy_available,
+                        numpy_replay_reason, run_program,
+                        run_program_jit, run_program_numpy)
 from repro.core.errors import (ConfigurationError,
                                UnsupportedFeatureError)
-from repro.core.events import acquire, consume, release, spawn
+from repro.core.events import (acquire, barrier_wait, consume, release,
+                               sem_acquire, sem_release, spawn)
 from repro.core.scheduler import PinnedScheduler, PriorityScheduler
 from repro.core.soa import SoAKernelEngine
-from repro.core.sync import Mutex
+from repro.core.sync import Barrier, Mutex, Semaphore
 from repro.perf.memo import SliceMemoCache
 from repro.robustness.budget import RunBudget
 from repro.scenario.spec import ModelSpec, ScenarioSpec
@@ -155,6 +170,61 @@ def _pinned(**kw):
                     affinity=lambda idx: f"p{idx % 2}")
 
 
+def _barrier(**kw):
+    """Barrier rendezvous every round: the widened sync subset."""
+    procs = [Processor("p0", 1.0), Processor("p1", 1.0)]
+    res = [SharedResource("bus", ConstantModel(0.5), service_time=2.0)]
+    kernel = HybridKernel(procs, res, **kw)
+    gate = Barrier(3, name="gate")
+
+    def worker(idx):
+        def body():
+            for i in range(4):
+                yield consume(20 + 5 * ((idx + i) % 3),
+                              {"bus": 2 + (idx + i) % 3}
+                              if i % 2 == 0 else None)
+                yield barrier_wait(gate)
+        return body
+
+    for idx in range(3):
+        kernel.add_thread(LogicalThread(f"w{idx}", worker(idx)))
+    return kernel
+
+
+def _mutexed(**kw):
+    """FIFO-mutex critical sections: the widened sync subset."""
+    procs = [Processor("p0", 1.0), Processor("p1", 1.0)]
+    res = [SharedResource("bus", ConstantModel(0.5), service_time=2.0)]
+    kernel = HybridKernel(procs, res, **kw)
+    lock = Mutex("m")
+
+    def worker(idx):
+        def body():
+            for i in range(4):
+                yield consume(25 + 7 * ((idx + i) % 4))
+                yield acquire(lock)
+                yield consume(10 + idx, {"bus": 3 + i % 2})
+                yield release(lock)
+        return body
+
+    for idx in range(3):
+        kernel.add_thread(LogicalThread(f"w{idx}", worker(idx)))
+    return kernel
+
+
+def _compute_pinned(**kw):
+    """Pure-compute, all threads pinned: the NumPy tier's subset."""
+    procs = [Processor(f"p{i}", 1.0) for i in range(3)]
+    return _threads(HybridKernel(procs, [], **kw), 3, [],
+                    affinity=lambda idx: f"p{idx}")
+
+
+def _compute_unpinned(**kw):
+    """Pure-compute but scheduler-placed: outside the NumPy tier."""
+    procs = [Processor("p0", 1.0), Processor("p1", 1.0)]
+    return _threads(HybridKernel(procs, [], **kw), 3, [])
+
+
 EQUIVALENCE_KERNELS = {
     "fused": _fused,
     "flat_merged": _flat_merged,
@@ -162,6 +232,9 @@ EQUIVALENCE_KERNELS = {
     "bursty": _bursty,
     "hetero": _hetero,
     "pinned": _pinned,
+    "barrier": _barrier,
+    "mutex": _mutexed,
+    "compute_pinned": _compute_pinned,
 }
 
 
@@ -193,20 +266,154 @@ def test_engine_name_is_validated():
         HybridKernel([Processor("p0", 1.0)], engine="vectorized")
 
 
+def test_backend_name_is_validated():
+    with pytest.raises(ConfigurationError):
+        HybridKernel([Processor("p0", 1.0)], backend="fortran")
+
+
+# ---------------------------------------------------------------------
+# backend tiers: JIT / NumPy replays + the selection cascade
+# ---------------------------------------------------------------------
+
+#: Which equivalence kernels the JIT tier accepts (ignoring Numba
+#: availability).  Pinned expectations, not skips-on-demand: a kernel
+#: silently leaving the compiled subset would otherwise hollow the
+#: suite out.
+JIT_ELIGIBLE = {
+    "fused": True,          # exact const/null models
+    "flat_merged": True,    # window merging is lowered
+    "pinned": True,
+    "barrier": True,        # widened sync subset
+    "mutex": True,
+    "compute_pinned": True,
+    "generic": False,       # dict-dispatch queueing models
+    "bursty": False,        # burst annotations
+    "hetero": False,        # ChenLin model (not the bursts per se)
+}
+
+
+@needs_numpy
+@pytest.mark.parametrize("name", sorted(EQUIVALENCE_KERNELS))
+def test_jit_replay_bit_identical(name):
+    """The JIT replay (or its pure-Python twin) matches the object run.
+
+    Without Numba the undecorated ``_replay`` body executes under
+    CPython on the same ``float64`` arrays — bit-identical IEEE-754
+    arithmetic — which is exactly how Numba-less hosts certify the
+    backend.
+    """
+    factory = EQUIVALENCE_KERNELS[name]
+    program = compile_kernel(factory())
+    kernel = factory()
+    reason = jit_replay_reason(kernel, program, require_numba=False)
+    assert (reason is None) == JIT_ELIGIBLE[name], reason
+    if reason is not None:
+        return
+    replayed = run_program_jit(kernel, program)
+    assert result_snapshot(replayed) == result_snapshot(factory().run())
+    again = run_program_jit(factory(), program)
+    assert result_snapshot(again) == result_snapshot(replayed)
+
+
+@needs_numpy
+def test_numpy_tier_bit_identical():
+    """The segmented tier matches both the interpreter and the object
+    engine on its pure-compute pinned subset."""
+    program = compile_kernel(_compute_pinned())
+    assert numpy_replay_reason(_compute_pinned(), program) is None
+    reference = result_snapshot(_compute_pinned().run())
+    assert result_snapshot(
+        run_program_numpy(_compute_pinned(), program)) == reference
+    assert result_snapshot(
+        run_program(_compute_pinned(), program)) == reference
+
+
+@needs_numpy
+def test_numpy_tier_rejects_unpinned_threads():
+    program = compile_kernel(_compute_unpinned())
+    reason = numpy_replay_reason(_compute_unpinned(), program)
+    assert reason is not None
+
+
+#: feature -> (factory, jit-subset member?, numpy-subset member?) —
+#: one row per compiled-subset boundary the cascade can cross.
+BACKEND_MATRIX = {
+    "compute_pinned": (_compute_pinned, True, True),
+    "compute_unpinned": (_compute_unpinned, True, False),
+    "contention_flat": (_fused, True, False),
+    "window_merging": (_flat_merged, True, False),
+    "sync_barrier": (_barrier, True, False),
+    "sync_mutex": (_mutexed, True, False),
+    "generic_models": (_generic, False, False),
+    "bursts": (_bursty, False, False),
+}
+
+
+@needs_numpy
+@pytest.mark.parametrize("backend", sorted(HybridKernel.BACKENDS))
+@pytest.mark.parametrize("feature", sorted(BACKEND_MATRIX))
+def test_backend_cascade_matrix(feature, backend):
+    """Every (feature x backend) cell: tier choice, reason, identity.
+
+    The expected tier is derived from the pinned subset membership
+    flags: ``auto``/``jit`` prefer the JIT tier (only reachable when
+    Numba is importable), then the NumPy tier, then the interpreter;
+    ``numpy`` starts at the NumPy tier; ``interp`` never cascades.
+    Whatever tier runs, the result must equal the object engine's, and
+    every *skipped* preferred tier must leave a prefixed reason.
+    """
+    factory, jit_ok, numpy_ok = BACKEND_MATRIX[feature]
+    result = factory(engine="soa", backend=backend).run()
+    assert result.engine_used == "soa"
+
+    if backend in ("auto", "jit") and jit_ok and numba_available():
+        expected = "jit"
+    elif backend in ("auto", "jit", "numpy") and numpy_ok:
+        expected = "numpy"
+    else:
+        expected = "interp"
+    assert result.backend_used == expected
+
+    reason = result.backend_fallback_reason or ""
+    if backend in ("auto", "jit") and expected != "jit":
+        assert "jit: " in reason
+    if backend in ("auto", "jit", "numpy") and expected == "interp":
+        assert "numpy: " in reason
+    preferred = "jit" if backend == "auto" else backend
+    if expected == preferred:  # no tier was skipped
+        assert result.backend_fallback_reason is None
+    else:  # a skipped tier is never silent
+        assert reason
+
+    assert result_snapshot(result) == result_snapshot(factory().run())
+
+
+@needs_numpy
+def test_object_engine_leaves_backend_unset():
+    result = _fused().run()
+    assert result.backend_used is None
+    assert result.backend_fallback_reason is None
+    routed = _with_semaphore(engine="soa", backend="jit").run()
+    assert routed.engine_used == "object"
+    assert routed.backend_used is None
+
+
 # ---------------------------------------------------------------------
 # fallback routing: unsupported features -> object engine + reason
 # ---------------------------------------------------------------------
 
-def _with_mutex(**kw):
+def _with_semaphore(**kw):
+    """Semaphores stay outside the widened sync subset (barrier/mutex
+    only), so this is the canonical still-unsupported sync scenario."""
     kernel = HybridKernel(
         [Processor("p0", 1.0)],
         [SharedResource("bus", ChenLinModel(), service_time=2.0)], **kw)
-    lock = Mutex("m")
+    sem = Semaphore(1, name="s")
 
     def body():
-        yield acquire(lock)
+        yield sem_acquire(sem)
         yield consume(10, {"bus": 2})
-        yield release(lock)
+        yield sem_release(sem)
 
     kernel.add_thread(LogicalThread("t", body))
     return kernel
@@ -238,7 +445,9 @@ FALLBACK_CASES = {
         memo_cache=SliceMemoCache(maxsize=8), **kw),
     "scheduler": lambda **kw: _fused(scheduler=PriorityScheduler(),
                                      **kw),
-    "synchronization": _with_mutex,
+    "synchronization": _with_semaphore,
+    "deferred sync policy": lambda **kw: _barrier(sync_policy="deferred",
+                                                  **kw),
     "spawn": _with_spawn,
 }
 
@@ -318,6 +527,46 @@ def test_golden_matrix_under_soa(cfg, golden):
 
 
 # ---------------------------------------------------------------------
+# the sync golden file: widened-subset configs with zero fallback
+# ---------------------------------------------------------------------
+
+SOA_CONFIGS = list(iter_soa_configs())
+
+
+@pytest.fixture(scope="module")
+def golden_soa():
+    return json.loads(SOA_GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@needs_numpy
+@pytest.mark.parametrize(
+    "cfg", SOA_CONFIGS,
+    ids=[soa_config_key(*cfg) for cfg in SOA_CONFIGS])
+def test_golden_soa_zero_fallback(cfg, golden_soa):
+    """Barrier/FIFO-mutex goldens compile and replay with no fallback.
+
+    These shapes were object-only before the subset widened (any sync
+    event routed to the object engine).  Now they must run on the SoA
+    path with ``engine_fallback_reason`` empty, match the object-engine
+    seed snapshot bit-for-bit, and replay identically through the JIT
+    backend (pure-Python twin when Numba is absent).
+    """
+    name, mts = cfg
+    expected = golden_soa[soa_config_key(name, mts)]
+    kernel = soa_kernel(name, mts, engine="soa")
+    result = kernel.run()
+    assert result.engine_used == "soa"
+    assert result.engine_fallback_reason is None
+    assert soa_snapshot(result) == expected
+    assert result_snapshot(result) == expected  # serializers agree
+
+    program = compile_kernel(soa_kernel(name, mts))
+    fresh = soa_kernel(name, mts)
+    assert jit_replay_reason(fresh, program, require_numba=False) is None
+    assert soa_snapshot(run_program_jit(fresh, program)) == expected
+
+
+# ---------------------------------------------------------------------
 # property-based spec equivalence (hypothesis)
 # ---------------------------------------------------------------------
 
@@ -364,6 +613,87 @@ def test_random_specs_bit_identical(spec):
     assert soa.makespan.hex() == obj.makespan.hex()
     for name, thread in soa.threads.items():
         assert thread.penalty.hex() == obj.threads[name].penalty.hex()
+
+
+_SYNC_MODELS = st.sampled_from(["constant", "null", "chenlin"]).map(
+    lambda name: ModelSpec(name=name))
+
+#: Specs whose workloads carry real synchronization: barrier-locked
+#: bursty streams and mutex-guarded critical sections — the widened
+#: compiled subset drawn at random.
+sync_spec_strategy = st.one_of(
+    st.builds(
+        ScenarioSpec,
+        generator=st.just("bursty"),
+        params=st.fixed_dictionaries({
+            "threads": st.integers(min_value=2, max_value=4),
+            "bursts": st.integers(min_value=1, max_value=5),
+            "heavy_work": st.sampled_from([800.0, 3_000.0]),
+            "heavy_accesses": st.integers(min_value=0, max_value=120),
+            "light_work": st.sampled_from([400.0, 1_500.0]),
+            "light_accesses": st.integers(min_value=0, max_value=15),
+            "bus_service": st.sampled_from([1.0, 4.0]),
+            "seed": st.integers(min_value=0, max_value=9_999),
+            "barrier_locked": st.just(True),
+        }),
+        model=_SYNC_MODELS,
+        min_timeslice=st.sampled_from([0.0, 6.0]),
+        annotation=st.sampled_from(["phase", "barrier"]),
+    ),
+    st.builds(
+        ScenarioSpec,
+        generator=st.just("critical_section"),
+        params=st.fixed_dictionaries({
+            "threads": st.integers(min_value=2, max_value=4),
+            "rounds": st.integers(min_value=1, max_value=5),
+            "open_work": st.sampled_from([1_000.0, 3_000.0]),
+            "open_accesses": st.integers(min_value=0, max_value=60),
+            "cs_work": st.sampled_from([200.0, 800.0]),
+            "cs_accesses": st.integers(min_value=0, max_value=30),
+            "bus_service": st.sampled_from([1.0, 4.0]),
+            "seed": st.integers(min_value=0, max_value=9_999),
+        }),
+        model=_SYNC_MODELS,
+        min_timeslice=st.sampled_from([0.0, 6.0]),
+        annotation=st.just("phase"),
+    ),
+)
+
+
+@needs_numpy
+@settings(max_examples=25, deadline=None)
+@given(spec=sync_spec_strategy)
+def test_random_sync_specs_bit_identical_across_backends(spec):
+    """Random barrier/mutex specs agree across every backend tier.
+
+    Object engine, interpreted SoA replay, the auto cascade, and the
+    JIT replay (pure-Python twin when Numba is absent) must all return
+    hex-identical snapshots; the NumPy segmented tier is consume-only,
+    so for these specs it must *decline* with a reason rather than run.
+    JIT eligibility itself is pinned: exact constant/null models
+    compile, the Chen-Lin dict-dispatch model must not.
+    """
+    reference = result_snapshot(spec.build_kernel().run())
+
+    soa = spec.build_kernel(engine="soa").run()
+    assert soa.engine_used == "soa"
+    assert soa.engine_fallback_reason is None
+    assert result_snapshot(soa) == reference
+
+    interp = spec.build_kernel(engine="soa", backend="interp").run()
+    assert interp.backend_used == "interp"
+    assert result_snapshot(interp) == reference
+
+    kernel = spec.build_kernel()
+    program = compile_kernel(kernel)
+    assert numpy_replay_reason(kernel, program) is not None
+
+    jit_reason = jit_replay_reason(kernel, program, require_numba=False)
+    assert (jit_reason is None) == \
+        (spec.model.name in ("constant", "null")), jit_reason
+    if jit_reason is None:
+        assert result_snapshot(
+            run_program_jit(kernel, program)) == reference
 
 
 # ---------------------------------------------------------------------
