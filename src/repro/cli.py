@@ -74,6 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
              "program; naming a tier starts the cascade there; all "
              "tiers are bit-identical and fallbacks record a reason")
 
+    batching = argparse.ArgumentParser(add_help=False)
+    batching.add_argument(
+        "--batch-cells", type=int, default=0, metavar="N",
+        help="batched grid replay: warm cold mesh cells through the "
+             "SoA batched replayer before dispatch, compiling each "
+             "spec once into a content-addressed program store and "
+             "replaying up to N cells per batch (-1 = whole grid in "
+             "one batch, 0 = off); execution-only — never changes "
+             "spec hashes or results")
+
     fig4 = sub.add_parser("fig4", parents=[jobs, cache, engine],
                           help="FFT queueing vs processor count")
     fig4.add_argument("--cache-kb", type=int, default=512,
@@ -106,7 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="self-check the reproduction's claims (fast)")
 
     calibrate = sub.add_parser(
-        "calibrate", parents=[jobs],
+        "calibrate", parents=[jobs, cache, batching],
         help="fit-check a contention model vs ground truth")
     calibrate.add_argument("--model", default="chenlin",
                            choices=available_models())
@@ -194,7 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=available_models())
 
     sweep = sub.add_parser(
-        "sweep", parents=[jobs, cache, engine],
+        "sweep", parents=[jobs, cache, engine, batching],
         help="fault-tolerant sharded sweep of a named spec grid "
              "(resumable via manifest + run store)")
     sweep.add_argument("--grid", default="fig5",
@@ -309,7 +319,9 @@ def _run_calibrate(args) -> str:
     model = make_model(args.model)
     points = calibrate_model(model, threads=args.threads,
                              service_time=args.service,
-                             jobs=getattr(args, "jobs", 1))
+                             jobs=getattr(args, "jobs", 1),
+                             store=getattr(args, "cache_dir", None),
+                             batch_cells=getattr(args, "batch_cells", 0))
     return render_calibration(model, points)
 
 
@@ -549,7 +561,8 @@ def _run_sweep(args) -> str:
         shard_budget=args.shard_timeout,
         cell_timeout=args.cell_timeout, chaos=chaos,
         engine=getattr(args, "engine", None),
-        backend=getattr(args, "backend", None))
+        backend=getattr(args, "backend", None),
+        batch_cells=getattr(args, "batch_cells", 0))
     return result.summary()
 
 

@@ -65,6 +65,15 @@ def numpy_available() -> bool:
 #: (the FIFO family: single ready-order scan honoring affinity).
 _SOA_SCHEDULERS = (None, "fifo", "pinned")
 
+#: Version of the compiled subset / :class:`SoAProgram` layout.  Bumped
+#: whenever the lowering or the program's array semantics change, it is
+#: folded into :func:`repro.core.programstore.program_hash` so cached
+#: serialized programs from an older lowering can never be replayed by
+#: a newer runtime.  (v1: PR 7 consume-only subset; v2: PR 8 widened
+#: sync subset + op streams; v3: hoisted NumPy segment boundaries +
+#: serializable program layout.)
+COMPILE_SUBSET_VERSION = 3
+
 #: Op-stream opcodes.  ``OP_REGION``'s arg is the thread-local region
 #: index; the sync opcodes carry a program-wide barrier/mutex index.
 OP_REGION = 0
@@ -117,8 +126,9 @@ class SoAProgram:
         "region_bursts", "resource_names", "resource_service",
         "resource_ports", "resource_models", "resource_uses_priorities",
         "resource_fast", "min_timeslice", "processor_powers",
-        "registered_regions", "has_bursts", "thread_ops", "barriers",
-        "barrier_parties", "mutexes", "has_sync", "jit_cache",
+        "processor_names", "registered_regions", "has_bursts",
+        "thread_ops", "barriers", "barrier_parties", "mutexes",
+        "has_sync", "jit_cache", "numpy_segments",
     )
 
     def __init__(self) -> None:
@@ -151,6 +161,10 @@ class SoAProgram:
         self.resource_fast: List[Optional[Tuple[str, Optional[float]]]] = []
         self.min_timeslice: float = 0.0
         self.processor_powers: List[float] = []
+        #: Processor names, index-aligned with :attr:`processor_powers`
+        #: — lets :mod:`repro.core.programstore` rebuild a replayable
+        #: kernel from the serialized program without the workload.
+        self.processor_names: List[str] = []
         #: Regions with accesses (the incremental-accounting
         #: ``regions_registered`` counter, known statically).
         self.registered_regions: int = 0
@@ -175,6 +189,10 @@ class SoAProgram:
         #: CSR array bundle built lazily by :func:`repro.core.jit._lower`
         #: — immutable static program data shared across replays.
         self.jit_cache = None
+        #: Precomputed segment boundaries for the pure-NumPy tier
+        #: (:func:`compute_numpy_segments`), or ``None`` when the
+        #: program's static shape is outside that tier's subset.
+        self.numpy_segments = None
 
 
 def compile_kernel(kernel) -> SoAProgram:
@@ -207,6 +225,8 @@ def compile_kernel(kernel) -> SoAProgram:
     program.min_timeslice = kernel.us.min_timeslice
     powers = [processor.power for processor in kernel.processors]
     program.processor_powers = powers
+    program.processor_names = [processor.name
+                               for processor in kernel.processors]
     homogeneous = len(set(powers)) == 1
     processor_index = {processor.name: index
                        for index, processor in enumerate(kernel.processors)}
@@ -388,7 +408,71 @@ def compile_kernel(kernel) -> SoAProgram:
             raise UnsupportedFeatureError(
                 f"mutex {mutex.name!r} that starts held or contended"
             )
+    program.numpy_segments = compute_numpy_segments(program)
     return program
+
+
+def compute_numpy_segments(program: SoAProgram):
+    """Hoist the NumPy tier's segment boundaries out of the replay.
+
+    :func:`repro.core.soa.run_program_numpy` only ever runs on the
+    pure-compute static subset (no accesses, no sync, distinct pins,
+    zero release times, zero start clock — enforced by
+    ``numpy_replay_reason``), which makes every array it derives a pure
+    function of the program: per-thread prefix-sum region ends starting
+    from ``now == 0.0``, the merged sorted commit times, and their
+    unique values.  Computing them once at compile time (and again on a
+    :class:`~repro.core.programstore.ProgramStore` load) removes the
+    recomputation from every warm replay and gives the batched grid
+    replayer the precomputed form it stacks.
+
+    Returns ``None`` when the program's static shape is outside the
+    tier's subset (the runtime check remains authoritative — it also
+    inspects live kernel state the compile pass cannot see).  The float
+    operations are exactly the replay's own (``np.cumsum`` over the
+    same float64 arrays), so consuming the precomputed values is
+    bit-identical to inline recomputation.
+    """
+    if _np is None:  # pragma: no cover - compile already requires NumPy
+        return None
+    if program.has_sync or program.registered_regions > 0:
+        return None
+    affinities = program.thread_affinity
+    if any(a is None for a in affinities) \
+            or len(set(affinities)) != len(affinities):
+        return None
+    if any(release != 0.0 for release in program.thread_release):
+        return None
+    if not all(power > 0.0 and _np.isfinite(power)
+               for power in program.processor_powers):
+        return None
+    per_thread: List[Optional[Tuple[float, float]]] = []
+    all_ends = []
+    for t in range(len(program.thread_names)):
+        if not program.region_counts[t]:
+            per_thread.append(None)
+            continue
+        durations = program.region_durations[t]
+        if durations is None:  # pragma: no cover - distinct pins are static
+            return None
+        d = _np.asarray(durations, dtype=_np.float64)
+        if not _np.isfinite(d).all():
+            return None
+        ends = _np.cumsum(d)
+        starts = _np.empty_like(ends)
+        starts[0] = 0.0
+        starts[1:] = ends[:-1]
+        per_thread.append((float(_np.cumsum(ends - starts)[-1]),
+                           float(ends[-1])))
+        all_ends.append(ends)
+    if all_ends:
+        commits = _np.sort(_np.concatenate(all_ends))
+        unique = _np.unique(commits)
+    else:
+        commits = _np.zeros(0, dtype=_np.float64)
+        unique = commits
+    return {"per_thread": per_thread, "commits": commits,
+            "unique": unique}
 
 
 #: Event types the op-stream lowering understands (exact types only —

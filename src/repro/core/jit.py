@@ -62,6 +62,10 @@ _NUMBA = "unchecked"
 #: process (the compile-once + replay-many contract).
 _COMPILED = None
 
+#: Lazily njit(parallel=True)-compiled grid replayer over
+#: :func:`_replay` (one ``prange`` iteration per cell).
+_GRID_COMPILED = None
+
 _STATUS_OK = 0
 _STATUS_NON_MONOTONIC = 1
 _STATUS_BLOCKED = 2
@@ -91,6 +95,24 @@ def numba_version() -> Optional[str]:
     return getattr(numba, "__version__", "unknown") if numba else None
 
 
+def numba_threading_layer() -> Optional[str]:
+    """The active Numba threading layer name, or ``None``.
+
+    ``None`` without Numba; ``"uninitialized"`` when Numba is importable
+    but no parallel region has executed yet (``numba.threading_layer()``
+    raises until one has).  Recorded into bench environment stamps so
+    batched-grid throughputs name the layer (``tbb``/``omp``/
+    ``workqueue``) they ran on.
+    """
+    numba = _numba_module()
+    if numba is None:
+        return None
+    try:
+        return str(numba.threading_layer())
+    except Exception:
+        return "uninitialized"
+
+
 def _get_compiled():
     """njit-compile :func:`_replay` once; signatures infer lazily."""
     global _COMPILED
@@ -98,6 +120,17 @@ def _get_compiled():
         numba = _numba_module()
         _COMPILED = numba.njit(cache=False, fastmath=False)(_replay)
     return _COMPILED
+
+
+def _get_compiled_grid():
+    """njit(parallel=True)-compile the grid replayer once per process."""
+    global _GRID_COMPILED
+    if _GRID_COMPILED is None:
+        numba = _numba_module()
+        _GRID_COMPILED = numba.njit(cache=False, fastmath=False,
+                                    parallel=True)(
+            _make_grid_replay(_get_compiled(), numba.prange))
+    return _GRID_COMPILED
 
 
 def jit_replay_reason(kernel, program, require_numba: bool = True
@@ -220,66 +253,71 @@ def _lower(program):
     return program.jit_cache
 
 
-def run_program_jit(kernel, program) -> SimulationResult:
-    """Run a compiled program through the array replay.
+#: Per-replay mutable state array names, allocated by
+#: :func:`_alloc_state` and seeded by :func:`_seed_state`.  The batched
+#: grid replayer allocates the same arrays as mega-array views.
+_STATE_KEYS = ("t_release", "t_carry", "t_penalty", "t_base",
+               "t_regions", "t_finish", "p_busy", "p_regions",
+               "res_acc", "res_pen", "res_slices", "by_acc", "by_order",
+               "by_cnt", "bar_gen", "mux_cont", "out_f", "out_i")
 
-    Uses the njit-compiled kernel when numba is importable and the
-    pure-Python execution of the same function otherwise (identical
-    IEEE-754 arithmetic; the latter is how numba-less test hosts
-    certify the backend).  Eligibility is :func:`jit_replay_reason`
-    returning ``None`` — the caller checks it.
+
+def _alloc_state(nthreads, nprocs, nres, nbars, nmux):
+    """Fresh zeroed per-replay state arrays for one cell."""
+    return {
+        "t_release": np.zeros(nthreads, dtype=np.float64),
+        "t_carry": np.zeros(nthreads, dtype=np.float64),
+        "t_penalty": np.zeros(nthreads, dtype=np.float64),
+        "t_base": np.zeros(nthreads, dtype=np.float64),
+        "t_regions": np.zeros(nthreads, dtype=np.int64),
+        "t_finish": np.zeros(nthreads, dtype=np.float64),
+        "p_busy": np.zeros(nprocs, dtype=np.float64),
+        "p_regions": np.zeros(nprocs, dtype=np.int64),
+        "res_acc": np.zeros(nres, dtype=np.float64),
+        "res_pen": np.zeros(nres, dtype=np.float64),
+        "res_slices": np.zeros(nres, dtype=np.int64),
+        "by_acc": np.zeros((nres, nthreads), dtype=np.float64),
+        "by_order": np.zeros((nres, nthreads), dtype=np.int64),
+        "by_cnt": np.zeros(nres, dtype=np.int64),
+        "bar_gen": np.zeros(nbars, dtype=np.int64),
+        "mux_cont": np.zeros(nmux, dtype=np.int64),
+        "out_f": np.zeros(5, dtype=np.float64),
+        "out_i": np.zeros(3, dtype=np.int64),
+    }
+
+
+def _seed_state(kernel, st) -> None:
+    """Seed per-replay state from the live kernel into ``st``'s arrays.
+
+    Assignment into preallocated float64/int64 arrays performs the same
+    value conversions as the ``np.array([...])`` construction the
+    per-cell replay historically used, so seeding into mega-array views
+    is bit-identical.  Arrays not listed here (``t_finish``, ``by_*``,
+    ``bar_gen``, ``mux_cont``) start zeroed by allocation.
     """
     us = kernel.us
     threads = kernel.threads
-    processors = kernel.processors
-    resources = kernel.shared_resources
-    nthreads = len(threads)
-    nprocs = len(processors)
-    nres = len(resources)
-    (taff, op_ptr, op_code, op_arg, reg_ptr, reg_dur, reg_comp, reg_extra,
-     dur_static, acc_ptr, acc_res, acc_cnt, bar_parties, n_mutexes,
-     r_code, r_delay, powers) = _lower(program)
+    st["t_release"][:] = [t.release_time for t in threads]
+    st["t_carry"][:] = [t.carry_penalty for t in threads]
+    st["t_penalty"][:] = [t.total_penalty for t in threads]
+    st["t_base"][:] = [t.total_base_time for t in threads]
+    st["t_regions"][:] = [t.regions_committed for t in threads]
+    st["p_busy"][:] = [p.busy_time for p in kernel.processors]
+    st["p_regions"][:] = [p.regions_executed for p in kernel.processors]
+    st["res_acc"][:] = [r.total_accesses
+                        for r in kernel.shared_resources]
+    st["res_pen"][:] = [r.total_penalty
+                        for r in kernel.shared_resources]
+    st["res_slices"][:] = [r.active_slices
+                           for r in kernel.shared_resources]
+    st["out_f"][:] = (kernel.now, us.window_start, us.collected_upto,
+                      0.0, 0.0)
+    st["out_i"][:] = (us.slices_analyzed, us.slices_merged,
+                      kernel.regions_committed)
 
-    t_release = np.array([t.release_time for t in threads],
-                         dtype=np.float64)
-    t_carry = np.array([t.carry_penalty for t in threads],
-                       dtype=np.float64)
-    t_penalty = np.array([t.total_penalty for t in threads],
-                         dtype=np.float64)
-    t_base = np.array([t.total_base_time for t in threads],
-                      dtype=np.float64)
-    t_regions = np.array([t.regions_committed for t in threads],
-                         dtype=np.int64)
-    t_finish = np.zeros(nthreads, dtype=np.float64)
-    p_busy = np.array([p.busy_time for p in processors], dtype=np.float64)
-    p_regions = np.array([p.regions_executed for p in processors],
-                         dtype=np.int64)
-    res_acc = np.array([r.total_accesses for r in resources],
-                       dtype=np.float64)
-    res_pen = np.array([r.total_penalty for r in resources],
-                       dtype=np.float64)
-    res_slices = np.array([r.active_slices for r in resources],
-                          dtype=np.int64)
-    by_acc = np.zeros((nres, nthreads), dtype=np.float64)
-    by_order = np.zeros((nres, nthreads), dtype=np.int64)
-    by_cnt = np.zeros(nres, dtype=np.int64)
-    bar_gen = np.zeros(len(bar_parties), dtype=np.int64)
-    mux_cont = np.zeros(n_mutexes, dtype=np.int64)
-    out_f = np.array([kernel.now, us.window_start, us.collected_upto,
-                      0.0, 0.0], dtype=np.float64)
-    out_i = np.array([us.slices_analyzed, us.slices_merged,
-                      kernel.regions_committed], dtype=np.int64)
 
-    replay = _get_compiled() if numba_available() else _replay
-    status = replay(
-        nthreads, nprocs, nres, taff, op_ptr, op_code, op_arg,
-        reg_ptr, reg_dur, reg_comp, reg_extra, dur_static,
-        acc_ptr, acc_res, acc_cnt, bar_parties, n_mutexes,
-        r_code, r_delay, powers, us.min_timeslice,
-        t_release, t_carry, t_penalty, t_base, t_regions, t_finish,
-        p_busy, p_regions, res_acc, res_pen, res_slices,
-        by_acc, by_order, by_cnt, bar_gen, mux_cont, out_f, out_i)
-
+def _check_status(status, out_f) -> None:
+    """Re-raise the canonical :class:`SimulationError` for a status."""
     if status == _STATUS_NON_MONOTONIC:
         raise SimulationError(
             f"non-monotonic commit: {float(out_f[3])} < {float(out_f[4])}"
@@ -295,6 +333,13 @@ def run_program_jit(kernel, program) -> SimulationResult:
             "on an idle platform"
         )
 
+
+def _writeback_state(kernel, program, st) -> SimulationResult:
+    """Copy replay state back onto the live kernel and build the result."""
+    us = kernel.us
+    resources = kernel.shared_resources
+    out_f = st["out_f"]
+    out_i = st["out_i"]
     kernel.now = float(out_f[0])
     kernel.regions_committed = int(out_i[2])
     us.window_start = float(out_f[1])
@@ -303,6 +348,9 @@ def run_program_jit(kernel, program) -> SimulationResult:
     us.slices_merged = int(out_i[1])
     us.regions_registered += program.registered_regions
     tname = program.thread_names
+    by_acc = st["by_acc"]
+    by_order = st["by_order"]
+    by_cnt = st["by_cnt"]
     for ridx, name in enumerate(program.resource_names):
         us._window_demand[name] = {}
         us._window_units[name] = None
@@ -310,7 +358,13 @@ def run_program_jit(kernel, program) -> SimulationResult:
         for k in range(int(by_cnt[ridx])):
             ti = int(by_order[ridx, k])
             by_thread[tname[ti]] = float(by_acc[ridx, ti])
-    for t, thread in enumerate(threads):
+    t_base = st["t_base"]
+    t_penalty = st["t_penalty"]
+    t_regions = st["t_regions"]
+    t_finish = st["t_finish"]
+    t_release = st["t_release"]
+    t_carry = st["t_carry"]
+    for t, thread in enumerate(kernel.threads):
         thread.total_base_time = float(t_base[t])
         thread.total_penalty = float(t_penalty[t])
         thread.regions_committed = int(t_regions[t])
@@ -318,19 +372,308 @@ def run_program_jit(kernel, program) -> SimulationResult:
         thread.release_time = float(t_release[t])
         thread.carry_penalty = float(t_carry[t])
         thread.state = ThreadState.DONE
-    for p, processor in enumerate(processors):
+    p_busy = st["p_busy"]
+    p_regions = st["p_regions"]
+    for p, processor in enumerate(kernel.processors):
         processor.busy_time = float(p_busy[p])
         processor.regions_executed = int(p_regions[p])
+    res_acc = st["res_acc"]
+    res_pen = st["res_pen"]
+    res_slices = st["res_slices"]
     for ridx, resource in enumerate(resources):
         resource.total_accesses = float(res_acc[ridx])
         resource.total_penalty = float(res_pen[ridx])
         resource.active_slices = int(res_slices[ridx])
+    bar_gen = st["bar_gen"]
     for bidx, barrier in enumerate(program.barriers):
         barrier.generation += int(bar_gen[bidx])
+    mux_cont = st["mux_cont"]
     for midx, mutex in enumerate(program.mutexes):
         mutex.contended_acquires += int(mux_cont[midx])
     kernel._finished = True
     return build_result(kernel)
+
+
+def run_program_jit(kernel, program) -> SimulationResult:
+    """Run a compiled program through the array replay.
+
+    Uses the njit-compiled kernel when numba is importable and the
+    pure-Python execution of the same function otherwise (identical
+    IEEE-754 arithmetic; the latter is how numba-less test hosts
+    certify the backend).  Eligibility is :func:`jit_replay_reason`
+    returning ``None`` — the caller checks it.
+    """
+    us = kernel.us
+    nthreads = len(kernel.threads)
+    nprocs = len(kernel.processors)
+    nres = len(kernel.shared_resources)
+    (taff, op_ptr, op_code, op_arg, reg_ptr, reg_dur, reg_comp, reg_extra,
+     dur_static, acc_ptr, acc_res, acc_cnt, bar_parties, n_mutexes,
+     r_code, r_delay, powers) = _lower(program)
+
+    st = _alloc_state(nthreads, nprocs, nres, len(bar_parties),
+                      n_mutexes)
+    _seed_state(kernel, st)
+
+    replay = _get_compiled() if numba_available() else _replay
+    status = replay(
+        nthreads, nprocs, nres, taff, op_ptr, op_code, op_arg,
+        reg_ptr, reg_dur, reg_comp, reg_extra, dur_static,
+        acc_ptr, acc_res, acc_cnt, bar_parties, n_mutexes,
+        r_code, r_delay, powers, us.min_timeslice,
+        st["t_release"], st["t_carry"], st["t_penalty"], st["t_base"],
+        st["t_regions"], st["t_finish"], st["p_busy"], st["p_regions"],
+        st["res_acc"], st["res_pen"], st["res_slices"],
+        st["by_acc"], st["by_order"], st["by_cnt"], st["bar_gen"],
+        st["mux_cont"], st["out_f"], st["out_i"])
+
+    _check_status(status, st["out_f"])
+    return _writeback_state(kernel, program, st)
+
+
+def _make_grid_replay(replay, prange):
+    """Build the grid replayer over ``replay`` with a range function.
+
+    One source of truth for both executions: the compiled grid is this
+    function closed over the njit-compiled :func:`_replay` and
+    ``numba.prange``; the pure-Python twin closes over the undecorated
+    :func:`_replay` and builtin ``range``.  Each iteration replays one
+    cell entirely through per-cell *views* of the mega arrays — the
+    exact arrays (values and dtypes) a per-cell replay would pass — so
+    results are bit-identical to per-cell replay regardless of batch
+    composition, and iterations touch disjoint slices so ``prange``
+    runs them on all cores without locking (the inner loops hold no
+    interpreter state — nogil by construction under numba).
+    """
+    def _grid_replay(ncells, nthreads_a, nprocs_a, nres_a, nmux_a, mts_a,
+                     thr_ofs, ptr_ofs, ops_ofs, reg_ofs, rptr_ofs,
+                     acc_ofs, bar_ofs, mux_ofs, res_ofs, proc_ofs,
+                     taff, op_ptr, op_code, op_arg, reg_ptr, reg_dur,
+                     reg_comp, reg_extra, dur_static, acc_ptr, acc_res,
+                     acc_cnt, bar_parties, r_code, r_delay, powers,
+                     t_release, t_carry, t_penalty, t_base, t_regions,
+                     t_finish, p_busy, p_regions, res_acc, res_pen,
+                     res_slices, by_acc, by_order, by_cnt, bar_gen,
+                     mux_cont, out_f, out_i, statuses):
+        for c in prange(ncells):
+            t0 = thr_ofs[c]
+            t1 = thr_ofs[c + 1]
+            q0 = ptr_ofs[c]
+            q1 = ptr_ofs[c + 1]
+            o0 = ops_ofs[c]
+            o1 = ops_ofs[c + 1]
+            g0 = reg_ofs[c]
+            g1 = reg_ofs[c + 1]
+            ap0 = rptr_ofs[c]
+            ap1 = rptr_ofs[c + 1]
+            a0 = acc_ofs[c]
+            a1 = acc_ofs[c + 1]
+            b0 = bar_ofs[c]
+            b1 = bar_ofs[c + 1]
+            m0 = mux_ofs[c]
+            m1 = mux_ofs[c + 1]
+            r0 = res_ofs[c]
+            r1 = res_ofs[c + 1]
+            p0 = proc_ofs[c]
+            p1 = proc_ofs[c + 1]
+            statuses[c] = replay(
+                nthreads_a[c], nprocs_a[c], nres_a[c],
+                taff[t0:t1], op_ptr[q0:q1], op_code[o0:o1],
+                op_arg[o0:o1], reg_ptr[q0:q1], reg_dur[g0:g1],
+                reg_comp[g0:g1], reg_extra[g0:g1], dur_static[t0:t1],
+                acc_ptr[ap0:ap1], acc_res[a0:a1], acc_cnt[a0:a1],
+                bar_parties[b0:b1], nmux_a[c], r_code[r0:r1],
+                r_delay[r0:r1], powers[p0:p1], mts_a[c],
+                t_release[t0:t1], t_carry[t0:t1], t_penalty[t0:t1],
+                t_base[t0:t1], t_regions[t0:t1], t_finish[t0:t1],
+                p_busy[p0:p1], p_regions[p0:p1], res_acc[r0:r1],
+                res_pen[r0:r1], res_slices[r0:r1],
+                by_acc[r0:r1, :t1 - t0], by_order[r0:r1, :t1 - t0],
+                by_cnt[r0:r1], bar_gen[b0:b1], mux_cont[m0:m1],
+                out_f[c], out_i[c])
+    return _grid_replay
+
+
+#: The pure-Python grid twin (CPython loop over the undecorated
+#: :func:`_replay`) — how Numba-less hosts execute and certify the
+#: batched replayer.  Built lazily: :func:`_replay` is defined below.
+_GRID_PYTHON = None
+
+
+def _get_grid_python():
+    global _GRID_PYTHON
+    if _GRID_PYTHON is None:
+        _GRID_PYTHON = _make_grid_replay(_replay, range)
+    return _GRID_PYTHON
+
+
+def _offsets(sizes):
+    """CSR offsets (len+1 int64) for a list of per-cell sizes."""
+    ofs = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(sizes, dtype=np.int64), out=ofs[1:])
+    return ofs
+
+
+def run_programs_jit(cells):
+    """Replay N compatible ``(kernel, program)`` cells in one call.
+
+    The batched replayer of the grid tier: every cell's static CSR
+    bundle and per-replay state are stacked into ragged CSR-of-CSR mega
+    arrays and the whole grid executes in a single call — under
+    ``numba.prange`` across cores when Numba is importable, through the
+    pure-Python twin otherwise.  Each cell's inner replay receives
+    views carrying exactly the values a per-cell
+    :func:`run_program_jit` would pass, so per-cell results are
+    bit-identical to per-cell replay for every batch size and
+    composition.
+
+    Eligibility per cell is :func:`jit_replay_reason` returning ``None``
+    (``require_numba=False`` on Numba-less hosts) — the caller checks
+    it.  Raises the canonical :class:`SimulationError` if any cell's
+    replay fails; no kernel is written back in that case.
+    """
+    cells = list(cells)
+    ncells = len(cells)
+    if ncells == 0:
+        return []
+    lowered = [_lower(program) for _, program in cells]
+    sizes_thr = [len(k.threads) for k, _ in cells]
+    sizes_proc = [len(k.processors) for k, _ in cells]
+    sizes_res = [len(k.shared_resources) for k, _ in cells]
+    sizes_ptr = [n + 1 for n in sizes_thr]
+    sizes_ops = [low[2].shape[0] for low in lowered]
+    sizes_reg = [low[5].shape[0] for low in lowered]
+    sizes_rptr = [low[9].shape[0] for low in lowered]
+    sizes_acc = [low[10].shape[0] for low in lowered]
+    sizes_bar = [low[12].shape[0] for low in lowered]
+    sizes_mux = [low[13] for low in lowered]
+    thr_ofs = _offsets(sizes_thr)
+    proc_ofs = _offsets(sizes_proc)
+    res_ofs = _offsets(sizes_res)
+    ptr_ofs = _offsets(sizes_ptr)
+    ops_ofs = _offsets(sizes_ops)
+    reg_ofs = _offsets(sizes_reg)
+    rptr_ofs = _offsets(sizes_rptr)
+    acc_ofs = _offsets(sizes_acc)
+    bar_ofs = _offsets(sizes_bar)
+    mux_ofs = _offsets(sizes_mux)
+    max_thr = max(sizes_thr)
+
+    nthreads_a = np.asarray(sizes_thr, dtype=np.int64)
+    nprocs_a = np.asarray(sizes_proc, dtype=np.int64)
+    nres_a = np.asarray(sizes_res, dtype=np.int64)
+    nmux_a = np.asarray(sizes_mux, dtype=np.int64)
+    mts_a = np.array([kernel.us.min_timeslice for kernel, _ in cells],
+                     dtype=np.float64)
+
+    def mega(ofs, dtype):
+        return np.zeros(int(ofs[-1]), dtype=dtype)
+
+    taff = mega(thr_ofs, np.int64)
+    dur_static = mega(thr_ofs, np.uint8)
+    op_ptr = mega(ptr_ofs, np.int64)
+    reg_ptr = mega(ptr_ofs, np.int64)
+    op_code = mega(ops_ofs, np.int64)
+    op_arg = mega(ops_ofs, np.int64)
+    reg_dur = mega(reg_ofs, np.float64)
+    reg_comp = mega(reg_ofs, np.float64)
+    reg_extra = mega(reg_ofs, np.float64)
+    acc_ptr = mega(rptr_ofs, np.int64)
+    acc_res = mega(acc_ofs, np.int64)
+    acc_cnt = mega(acc_ofs, np.float64)
+    bar_parties = mega(bar_ofs, np.int64)
+    r_code = mega(res_ofs, np.int64)
+    r_delay = mega(res_ofs, np.float64)
+    powers = mega(proc_ofs, np.float64)
+
+    t_release = mega(thr_ofs, np.float64)
+    t_carry = mega(thr_ofs, np.float64)
+    t_penalty = mega(thr_ofs, np.float64)
+    t_base = mega(thr_ofs, np.float64)
+    t_regions = mega(thr_ofs, np.int64)
+    t_finish = mega(thr_ofs, np.float64)
+    p_busy = mega(proc_ofs, np.float64)
+    p_regions = mega(proc_ofs, np.int64)
+    res_acc = mega(res_ofs, np.float64)
+    res_pen = mega(res_ofs, np.float64)
+    res_slices = mega(res_ofs, np.int64)
+    by_acc = np.zeros((int(res_ofs[-1]), max_thr), dtype=np.float64)
+    by_order = np.zeros((int(res_ofs[-1]), max_thr), dtype=np.int64)
+    by_cnt = mega(res_ofs, np.int64)
+    bar_gen = mega(bar_ofs, np.int64)
+    mux_cont = mega(mux_ofs, np.int64)
+    out_f = np.zeros((ncells, 5), dtype=np.float64)
+    out_i = np.zeros((ncells, 3), dtype=np.int64)
+    statuses = np.zeros(ncells, dtype=np.int64)
+
+    states = []
+    for c, ((kernel, _program), low) in enumerate(zip(cells, lowered)):
+        t0, t1 = int(thr_ofs[c]), int(thr_ofs[c + 1])
+        q0, q1 = int(ptr_ofs[c]), int(ptr_ofs[c + 1])
+        o0, o1 = int(ops_ofs[c]), int(ops_ofs[c + 1])
+        g0, g1 = int(reg_ofs[c]), int(reg_ofs[c + 1])
+        ap0, ap1 = int(rptr_ofs[c]), int(rptr_ofs[c + 1])
+        a0, a1 = int(acc_ofs[c]), int(acc_ofs[c + 1])
+        b0, b1 = int(bar_ofs[c]), int(bar_ofs[c + 1])
+        m0, m1 = int(mux_ofs[c]), int(mux_ofs[c + 1])
+        r0, r1 = int(res_ofs[c]), int(res_ofs[c + 1])
+        p0, p1 = int(proc_ofs[c]), int(proc_ofs[c + 1])
+        taff[t0:t1] = low[0]
+        op_ptr[q0:q1] = low[1]
+        op_code[o0:o1] = low[2]
+        op_arg[o0:o1] = low[3]
+        reg_ptr[q0:q1] = low[4]
+        reg_dur[g0:g1] = low[5]
+        reg_comp[g0:g1] = low[6]
+        reg_extra[g0:g1] = low[7]
+        dur_static[t0:t1] = low[8]
+        acc_ptr[ap0:ap1] = low[9]
+        acc_res[a0:a1] = low[10]
+        acc_cnt[a0:a1] = low[11]
+        bar_parties[b0:b1] = low[12]
+        r_code[r0:r1] = low[14]
+        r_delay[r0:r1] = low[15]
+        powers[p0:p1] = low[16]
+        st = {
+            "t_release": t_release[t0:t1],
+            "t_carry": t_carry[t0:t1],
+            "t_penalty": t_penalty[t0:t1],
+            "t_base": t_base[t0:t1],
+            "t_regions": t_regions[t0:t1],
+            "t_finish": t_finish[t0:t1],
+            "p_busy": p_busy[p0:p1],
+            "p_regions": p_regions[p0:p1],
+            "res_acc": res_acc[r0:r1],
+            "res_pen": res_pen[r0:r1],
+            "res_slices": res_slices[r0:r1],
+            "by_acc": by_acc[r0:r1, :t1 - t0],
+            "by_order": by_order[r0:r1, :t1 - t0],
+            "by_cnt": by_cnt[r0:r1],
+            "bar_gen": bar_gen[b0:b1],
+            "mux_cont": mux_cont[m0:m1],
+            "out_f": out_f[c],
+            "out_i": out_i[c],
+        }
+        _seed_state(kernel, st)
+        states.append(st)
+
+    grid = (_get_compiled_grid() if numba_available()
+            else _get_grid_python())
+    grid(ncells, nthreads_a, nprocs_a, nres_a, nmux_a, mts_a,
+         thr_ofs, ptr_ofs, ops_ofs, reg_ofs, rptr_ofs, acc_ofs,
+         bar_ofs, mux_ofs, res_ofs, proc_ofs,
+         taff, op_ptr, op_code, op_arg, reg_ptr, reg_dur, reg_comp,
+         reg_extra, dur_static, acc_ptr, acc_res, acc_cnt, bar_parties,
+         r_code, r_delay, powers,
+         t_release, t_carry, t_penalty, t_base, t_regions, t_finish,
+         p_busy, p_regions, res_acc, res_pen, res_slices,
+         by_acc, by_order, by_cnt, bar_gen, mux_cont, out_f, out_i,
+         statuses)
+
+    for c in range(ncells):
+        _check_status(int(statuses[c]), out_f[c])
+    return [_writeback_state(kernel, program, st)
+            for (kernel, program), st in zip(cells, states)]
 
 
 def _replay(nthreads, nprocs, nres, taff, op_ptr, op_code, op_arg,

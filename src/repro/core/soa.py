@@ -1103,8 +1103,18 @@ def run_program_numpy(kernel, program) -> SimulationResult:
     # every region on its own processor, so attribution is static.
     binding = program.thread_affinity
 
+    # Segment boundaries are a pure function of the program on this
+    # tier's subset (now == 0.0 enforced by numpy_replay_reason), so
+    # compile_kernel precomputes them; the inline path remains for
+    # programs built by older lowerings or stripped caches.
+    segments = program.numpy_segments if now == 0.0 else None
+
     total_regions = 0
     all_ends = []
+    commits = unique = None
+    if segments is not None:
+        commits = segments["commits"]
+        unique = segments["unique"]
     p_base = [0.0] * len(processors)
     for t, thread in enumerate(threads):
         count = program.region_counts[t]
@@ -1114,19 +1124,24 @@ def run_program_numpy(kernel, program) -> SimulationResult:
             thread.state = ThreadState.DONE
             continue
         p = binding[t]
-        durations = program.region_durations[t]
-        if durations is None:
-            d = (np.asarray(program.region_complexity[t],
-                            dtype=np.float64) / powers[p]
-                 + np.asarray(program.region_extra[t], dtype=np.float64))
+        if segments is not None:
+            base_total, last_end = segments["per_thread"][t]
         else:
-            d = np.asarray(durations, dtype=np.float64)
-        ends = np.cumsum(d)
-        starts = np.empty_like(ends)
-        starts[0] = now
-        starts[1:] = ends[:-1]
-        base_total = float(np.cumsum(ends - starts)[-1])
-        last_end = float(ends[-1])
+            durations = program.region_durations[t]
+            if durations is None:
+                d = (np.asarray(program.region_complexity[t],
+                                dtype=np.float64) / powers[p]
+                     + np.asarray(program.region_extra[t],
+                                  dtype=np.float64))
+            else:
+                d = np.asarray(durations, dtype=np.float64)
+            ends = np.cumsum(d)
+            starts = np.empty_like(ends)
+            starts[0] = now
+            starts[1:] = ends[:-1]
+            base_total = float(np.cumsum(ends - starts)[-1])
+            last_end = float(ends[-1])
+            all_ends.append(ends)
         thread.total_base_time += base_total
         thread.regions_committed += count
         thread.finish_time = last_end
@@ -1135,7 +1150,6 @@ def run_program_numpy(kernel, program) -> SimulationResult:
         p_base[p] += base_total
         processors[p].regions_executed += count
         total_regions += count
-        all_ends.append(ends)
     for p, processor in enumerate(processors):
         processor.busy_time += p_base[p]
 
@@ -1143,10 +1157,11 @@ def run_program_numpy(kernel, program) -> SimulationResult:
     collected_upto = us.collected_upto
     slices_analyzed = us.slices_analyzed
     slices_merged = us.slices_merged
-    if all_ends:
+    if commits is None and all_ends:
         commits = np.sort(np.concatenate(all_ends))
-        now = float(commits[-1])
         unique = np.unique(commits)
+    if commits is not None and len(commits):
+        now = float(commits[-1])
         if not min_timeslice and unique[0] - collected_upto > 1e-12 \
                 and (np.diff(unique) > 1e-12).all():
             # Every distinct commit time closes its own (demand-free)

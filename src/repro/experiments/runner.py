@@ -344,8 +344,155 @@ def run_comparison(workload,
     return Comparison(runs=runs, spec_hash=spec_hash)
 
 
+def batched_mesh_prepass(specs: Sequence, store,
+                         program_store=None,
+                         backend: Optional[str] = None,
+                         batch_cells: int = 0) -> Dict[str, object]:
+    """Warm a run store's ``mesh`` artifacts for a grid in batched replays.
+
+    The grid-granularity execution tier: cold cells (no ``mesh``
+    artifact in ``store``) whose specs sit inside the SoA compiled
+    subset are grouped in deterministic ``spec_hash``-sorted order,
+    compiled **or** loaded from the content-addressed
+    :class:`~repro.core.programstore.ProgramStore` (one compilation per
+    spec across processes, resumes, and warm service runs), replayed
+    through :func:`~repro.core.programstore.replay_batch` — one
+    ``prange`` mega-batch per group when Numba is importable — and each
+    committed into the run store under its own ``spec_hash`` with
+    exactly the payload :func:`run_comparison` would have written (only
+    ``wall_seconds``, an environment measurement, differs).  A
+    subsequent :func:`run_comparison` over the same specs then hits the
+    store for every warmed cell.
+
+    Purely an execution optimization: neither ``batch_cells`` nor any
+    store path enters ``spec_hash``, and replayed results are
+    bit-identical to per-cell runs.  Specs outside the compiled subset
+    (or that fail kernel-level compilation) are skipped and fall
+    through to the ordinary per-cell path untouched; a replay failure
+    abandons the prepass the same way, leaving the canonical per-cell
+    diagnostics to surface it.
+
+    Parameters
+    ----------
+    specs:
+        Scenario specs (non-spec and non-``workload``-kind entries are
+        ignored); duplicates collapse by ``spec_hash``.
+    store:
+        The :class:`~repro.scenario.store.RunStore` (or root path) to
+        warm.  ``None`` disables the prepass.
+    program_store:
+        Optional :class:`~repro.core.programstore.ProgramStore` (or
+        root path); defaults to ``<store root>/programs`` in the run
+        store's code-version namespace.
+    backend:
+        SoA replay backend preference forwarded to the replay kernels.
+    batch_cells:
+        Maximum cells per replay batch; ``0`` means one batch for the
+        whole grid.
+
+    Returns a counter mapping: ``cells_total`` (unique eligible specs),
+    ``cells_cold``, ``cells_batched`` (warmed), ``cells_skipped``
+    (outside the compiled subset), ``compiles``, ``program_loads``,
+    ``backend_used`` (per-tier tally of the replays), and
+    ``wall_seconds``.
+    """
+    from ..core.compile import compile_kernel, soa_spec_fallback_reason
+    from ..core.errors import UnsupportedFeatureError
+    from ..core.programstore import (ProgramStore, build_replay_kernel,
+                                     program_hash, replay_batch)
+    from ..scenario.spec import ScenarioSpec
+    from ..scenario.store import as_store
+    from ..workloads.to_mesh import build_kernel as build_mesh_kernel
+
+    counters: Dict[str, object] = {
+        "cells_total": 0, "cells_cold": 0, "cells_batched": 0,
+        "cells_skipped": 0, "compiles": 0, "program_loads": 0,
+        "backend_used": {}, "wall_seconds": 0.0}
+    store = as_store(store)
+    if store is None:
+        return counters
+    start = time.perf_counter()
+    if not isinstance(program_store, ProgramStore):
+        program_store = (
+            ProgramStore.for_run_store(store) if program_store is None
+            else ProgramStore(program_store, version=store.version))
+    unique: Dict[str, ScenarioSpec] = {}
+    for spec in specs:
+        if isinstance(spec, ScenarioSpec) and spec.kind == "workload":
+            unique.setdefault(spec.spec_hash(), spec)
+    ordered = sorted(unique.items())
+    counters["cells_total"] = len(ordered)
+    overrides = {} if backend is None else {"backend": backend}
+    cells = []  # (spec_hash, kernel, program, busy_reference)
+    for spec_hash, spec in ordered:
+        if (spec_hash, "mesh") in store:
+            continue
+        counters["cells_cold"] += 1
+        if soa_spec_fallback_reason(spec) is not None:
+            counters["cells_skipped"] += 1
+            continue
+        phash = program_hash(spec_hash, version=program_store.version)
+        hit = program_store.get(phash)
+        if hit is not None:
+            program, aux = hit
+            kernel = build_replay_kernel(spec, program, backend=backend)
+            busy_reference = float(aux.get("busy_reference", 0.0))
+            counters["program_loads"] += 1
+        else:
+            workload = spec.build_workload()
+            kernel = build_mesh_kernel(workload,
+                                       **spec.kernel_kwargs(**overrides))
+            try:
+                program = compile_kernel(kernel)
+            except UnsupportedFeatureError:
+                counters["cells_skipped"] += 1
+                continue
+            busy_reference = sum(p.busy_cycles
+                                 for p in characterize(workload).values())
+            program_store.put(phash, program,
+                              {"spec_hash": spec_hash,
+                               "busy_reference": busy_reference})
+            program_store.record_compile()
+            counters["compiles"] += 1
+        cells.append((spec_hash, kernel, program, busy_reference))
+    chunk = len(cells) if batch_cells <= 0 else int(batch_cells)
+    for lo in range(0, len(cells), max(chunk, 1)):
+        group = cells[lo:lo + chunk]
+        group_start = time.perf_counter()
+        try:
+            results = replay_batch(
+                [(kernel, program)
+                 for _, kernel, program, _ in group])
+        except Exception:
+            # Leave these cells cold: the per-cell path reproduces the
+            # canonical diagnostic with full error capture.
+            continue
+        per_cell = (time.perf_counter() - group_start) / len(group)
+        tally: Dict[str, int] = counters["backend_used"]
+        for (spec_hash, kernel, _program, busy_reference), result \
+                in zip(group, results):
+            queueing = result.queueing_cycles
+            percent = (100.0 * queueing / busy_reference
+                       if busy_reference > 0 else 0.0)
+            store.put(spec_hash, "mesh", {
+                "spec_hash": spec_hash,
+                "estimator": "mesh",
+                "queueing_cycles": queueing,
+                "percent_queueing": percent,
+                "wall_seconds": per_cell,
+                "detail": _detail_payload("mesh", result),
+            })
+            counters["cells_batched"] += 1
+            tier = kernel.backend_used or "interp"
+            tally[tier] = tally.get(tier, 0) + 1
+    counters["wall_seconds"] = time.perf_counter() - start
+    return counters
+
+
 def run_comparisons_parallel(workloads: Sequence,
                              jobs: int = 0,
+                             batch_cells: int = 0,
+                             program_store=None,
                              **kwargs) -> List[CellResult]:
     """Batch :func:`run_comparison` over independent scenarios.
 
@@ -357,6 +504,14 @@ def run_comparisons_parallel(workloads: Sequence,
     ``store=`` to flow spec cells through a run store — workers write
     artifacts to the shared directory, but hit/miss counters stay in
     the worker processes; use the results' ``cached_runs`` instead).
+
+    With ``batch_cells`` non-zero, a spec grid flowing through a store
+    first runs :func:`batched_mesh_prepass` — cold ``mesh`` cells
+    inside the SoA compiled subset are compiled-or-loaded from the
+    ``program_store`` and batch-replayed into the run store, so the
+    per-cell workers below find them warm.  ``batch_cells < 0`` means
+    "one batch for the whole grid"; positive values cap each batch.
+    Purely an execution knob: results are bit-identical either way.
 
     Returns one :class:`~repro.perf.parallel.CellResult` per scenario in
     input order: ``result.value`` is the :class:`Comparison`, and a
@@ -370,6 +525,14 @@ def run_comparisons_parallel(workloads: Sequence,
     accuracy sweeps.
     """
     items = list(workloads)
+    if (batch_cells and kwargs.get("store") is not None
+            and "mesh" in kwargs.get("include", ESTIMATORS)
+            and items and not any(isinstance(item, Workload)
+                                  for item in items)):
+        batched_mesh_prepass(
+            items, kwargs["store"], program_store=program_store,
+            backend=kwargs.get("backend"),
+            batch_cells=max(batch_cells, 0))
     fn = functools.partial(_comparison_cell, kwargs)
     with ParallelExecutor(jobs) as executor:
         if items and not any(isinstance(item, Workload)

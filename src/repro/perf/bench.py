@@ -34,7 +34,10 @@ def environment_info() -> Dict[str, Any]:
     Also stamps the accelerator stack: ``numpy`` and ``numba`` versions,
     ``None`` when absent — compiled-tier throughputs (the SoA replay and
     JIT scenarios) are meaningless to compare across records that ran
-    different tiers.
+    different tiers.  The active Numba threading layer (``tbb`` /
+    ``omp`` / ``workqueue``, ``None`` without Numba) is stamped too:
+    batched-grid ``prange`` numbers depend on which layer dispatched
+    them.
     """
     try:
         affinity: Optional[int] = len(os.sched_getaffinity(0))
@@ -45,7 +48,7 @@ def environment_info() -> Dict[str, Any]:
         numpy_version: Optional[str] = numpy.__version__
     except ImportError:
         numpy_version = None
-    from ..core.jit import numba_version
+    from ..core.jit import numba_threading_layer, numba_version
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -53,6 +56,7 @@ def environment_info() -> Dict[str, Any]:
         "cpu_affinity": affinity,
         "numpy": numpy_version,
         "numba": numba_version(),
+        "numba_threading_layer": numba_threading_layer(),
     }
 
 

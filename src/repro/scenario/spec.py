@@ -270,7 +270,12 @@ class ScenarioSpec:
         overrides at run time (``spec.run(engine="soa",
         backend="jit")``, or ``engine=`` / ``backend=`` on
         :func:`~repro.experiments.runner.run_comparison`) so the
-        scenario's content address stays engine-agnostic.
+        scenario's content address stays engine-agnostic.  The batched
+        replay knobs — ``batch_cells`` and program-store paths — are
+        likewise pure execution parameters of the runner/sweep layer
+        and never enter the spec or :meth:`spec_hash`; a batched grid
+        and a per-cell loop produce bit-identical artifacts under the
+        same content addresses.
     """
 
     generator: str

@@ -93,6 +93,14 @@ class CellOutcome:
     #: Of this cell's estimator runs, how many were replayed from the
     #: store (for ``"cache"`` cells: all of them).
     cached_runs: int = 0
+    #: Execution engine the cell's mesh estimator actually used
+    #: (``"soa"`` / ``"object"``), ``"cached"`` when the mesh run was
+    #: replayed from the store, or ``None`` when mesh was not included.
+    mesh_engine: Optional[str] = None
+    #: SoA replay backend tier the mesh estimator actually used
+    #: (``"jit"`` / ``"numpy"`` / ``"interp"``), ``"cached"`` for store
+    #: replays, ``None`` for object-engine or non-mesh cells.
+    mesh_backend: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -114,6 +122,10 @@ class SweepResult:
     cells: List[CellOutcome]
     counters: Dict[str, int]
     store_stats: Dict[str, int]
+    #: Counters from the batched mesh prepass (see
+    #: :func:`~repro.experiments.runner.batched_mesh_prepass`), or
+    #: ``None`` when the prepass did not run.
+    prepass: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -154,6 +166,14 @@ class SweepResult:
              f"corrupt={self.store_stats['corrupt']} "
              f"tmp_swept={self.store_stats['tmp_swept']}"),
         ]
+        lines.extend(self._tally_lines())
+        if self.prepass:
+            p = self.prepass
+            lines.append(
+                f"  batched prepass: warmed {p['cells_batched']} "
+                f"cell(s), compiles={p['compiles']} "
+                f"program_loads={p['program_loads']} "
+                f"skipped={p['cells_skipped']}")
         if c.get("cells_stolen"):
             lines.append(f"  work stealing recovered "
                          f"{c['cells_stolen']} straggler cell(s)")
@@ -166,6 +186,34 @@ class SweepResult:
                 for error in record.errors:
                     lines.append(f"    {error}")
         return "\n".join(lines)
+
+    def _tally_lines(self) -> List[str]:
+        """Per-engine/backend tallies of the mesh runs, CI-greppable.
+
+        A silent fallback regression (cells quietly dropping from the
+        jit tier to interp, or from SoA to the object engine) shows up
+        as a changed tally, exactly like the "recomputed estimator
+        runs: 0" contract line makes recomputation regressions
+        greppable.
+        """
+        engines: Dict[str, int] = {}
+        backends: Dict[str, int] = {}
+        for cell in self.cells:
+            if cell.mesh_engine is not None:
+                engines[cell.mesh_engine] = \
+                    engines.get(cell.mesh_engine, 0) + 1
+            if cell.mesh_backend is not None:
+                backends[cell.mesh_backend] = \
+                    backends.get(cell.mesh_backend, 0) + 1
+        lines = []
+        if engines:
+            lines.append("  engine_used: " + " ".join(
+                f"{name}={engines[name]}" for name in sorted(engines)))
+        if backends:
+            lines.append("  backend_used: " + " ".join(
+                f"{name}={backends[name]}"
+                for name in sorted(backends)))
+        return lines
 
 
 def _fabric_cell(config: Dict, spec: ScenarioSpec) -> Dict:
@@ -187,9 +235,19 @@ def _fabric_cell(config: Dict, spec: ScenarioSpec) -> Dict:
     comparison = run_comparison(spec, include=include, store=store,
                                 engine=config.get("engine"),
                                 backend=config.get("backend"))
+    mesh_engine = mesh_backend = None
+    mesh = comparison.runs.get("mesh")
+    if mesh is not None:
+        if mesh.cached:
+            mesh_engine = mesh_backend = "cached"
+        else:
+            mesh_engine = getattr(mesh.detail, "engine_used", "object")
+            mesh_backend = getattr(mesh.detail, "backend_used", None)
     return {
         "spec_hash": spec_hash,
         "cached_runs": comparison.cached_runs,
+        "mesh_engine": mesh_engine,
+        "mesh_backend": mesh_backend,
         "runs": {
             name: {"queueing_cycles": run.queueing_cycles,
                    "percent_queueing": run.percent_queueing,
@@ -227,6 +285,8 @@ class SweepSupervisor:
                  chaos: Optional[ChaosPlan] = None,
                  engine: Optional[str] = None,
                  backend: Optional[str] = None,
+                 batch_cells: int = 0,
+                 program_store=None,
                  sleep=time.sleep):
         self.store = as_store(store)
         if self.store is None:
@@ -247,6 +307,14 @@ class SweepSupervisor:
         #: SoA replay backend preference for every cell ("auto"/"jit"/
         #: "numpy"/"interp"/None).  Execution-only, like ``engine``.
         self.backend = backend
+        #: Batched mesh prepass knob: non-zero warms cold mesh cells
+        #: through the grid-granularity replay before probing (see
+        #: :func:`~repro.experiments.runner.batched_mesh_prepass`).
+        #: Execution-only — never part of spec hashes or the plan hash.
+        self.batch_cells = batch_cells
+        self.program_store = program_store
+        #: Counters of the last batched prepass (``None`` until run).
+        self.prepass_counters: Optional[Dict[str, object]] = None
         self.sleep = sleep
         if manifest_path is None:
             manifest_path = (self.store.root / "manifests"
@@ -288,7 +356,11 @@ class SweepSupervisor:
                         "percent_queueing": payload["percent_queueing"],
                         "wall_seconds": payload.get("wall_seconds", 0.0),
                     } for name, payload in payloads.items()},
-                    cached_runs=len(self.include))
+                    cached_runs=len(self.include),
+                    mesh_engine=("cached" if "mesh" in payloads
+                                 else None),
+                    mesh_backend=("cached" if "mesh" in payloads
+                                  else None))
 
     def _cell_config(self) -> Dict:
         return {
@@ -320,7 +392,9 @@ class SweepSupervisor:
                 self._outcomes[index] = CellOutcome(
                     index=index, spec_hash=ack["spec_hash"],
                     source="computed", runs=ack["runs"],
-                    cached_runs=ack["cached_runs"])
+                    cached_runs=ack["cached_runs"],
+                    mesh_engine=ack.get("mesh_engine"),
+                    mesh_backend=ack.get("mesh_backend"))
             else:
                 failures.append((index, result.error))
         return failures
@@ -476,6 +550,14 @@ class SweepSupervisor:
                 "chaos kills need jobs != 1: the serial in-process "
                 "path cannot SIGKILL a worker (there is none), so the "
                 "kill plan would silently not exercise anything")
+        if self.batch_cells and "mesh" in self.include:
+            from ..experiments.runner import batched_mesh_prepass
+
+            self.prepass_counters = batched_mesh_prepass(
+                self.plan.specs, self.store,
+                program_store=self.program_store,
+                backend=self.backend,
+                batch_cells=max(self.batch_cells, 0))
         self._probe()
         try:
             for shard in self.plan.shards:
@@ -490,7 +572,8 @@ class SweepSupervisor:
         counters = self._counters(cells, stolen)
         return SweepResult(plan=self.plan, manifest=self.manifest,
                            cells=cells, counters=counters,
-                           store_stats=self.store.stats())
+                           store_stats=self.store.stats(),
+                           prepass=self.prepass_counters)
 
     def _counters(self, cells: Sequence[CellOutcome],
                   stolen: int) -> Dict[str, int]:
