@@ -247,6 +247,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "each of the first N cells, once per cell "
                             "(requires --jobs != 1)")
 
+    serve = sub.add_parser(
+        "serve", parents=[jobs, cache, engine],
+        help="contention-modeling-as-a-service: HTTP/JSON server "
+             "answering POST /v1/analyze from the run store (warm) or "
+             "one coalesced kernel run (cold)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8351,
+                       help="TCP port (0 = pick an ephemeral port)")
+    serve.add_argument("--batch-cells", type=int, default=-1,
+                       metavar="N",
+                       help="SoA prepass batch size for drained cold "
+                            "cells (-1 = whole batch at once, 0 = "
+                            "off); execution-only — never changes "
+                            "results")
+    serve.add_argument("--deadline-seconds", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="default per-request wall-clock deadline "
+                            "(clients may lower it per request; "
+                            "exceeding it returns 504)")
+    serve.add_argument("--quota-capacity", type=int, default=60,
+                       metavar="TOKENS",
+                       help="per-tenant token-bucket burst capacity "
+                            "(exhausting it returns 429)")
+    serve.add_argument("--quota-refill", type=float, default=10.0,
+                       metavar="PER_SECOND",
+                       help="per-tenant token refill rate")
+
     return parser
 
 
@@ -616,6 +644,25 @@ def _run_pareto(args) -> str:
                f"({args.model} whole-run model)"))
 
 
+def _run_serve(args) -> str:
+    from .service import ServiceConfig
+    from .service import run as run_service
+
+    run_service(ServiceConfig(
+        host=args.host,
+        port=args.port,
+        store=getattr(args, "cache_dir", None),
+        jobs=getattr(args, "jobs", 1),
+        engine=getattr(args, "engine", None),
+        backend=getattr(args, "backend", None),
+        batch_cells=args.batch_cells,
+        deadline_seconds=args.deadline_seconds,
+        quota_capacity=args.quota_capacity,
+        quota_refill_per_second=args.quota_refill,
+    ))
+    return "service stopped"
+
+
 _COMMANDS = {
     "fig4": _run_fig4,
     "table1": _run_table1,
@@ -628,6 +675,7 @@ _COMMANDS = {
     "report": _run_report,
     "pareto": _run_pareto,
     "sweep": _run_sweep,
+    "serve": _run_serve,
     "run": _run_run,
     "spec": _run_spec,
 }

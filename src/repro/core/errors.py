@@ -22,6 +22,29 @@ class ConfigurationError(SimulationError):
     """
 
 
+class SpecValidationError(ConfigurationError):
+    """A scenario-spec document failed validation at a known location.
+
+    Raised by :meth:`repro.scenario.spec.ScenarioSpec.from_dict` (and
+    :meth:`~repro.scenario.spec.ScenarioSpec.validate`) with
+    :attr:`path`, a JSON-pointer-style location of the offending field
+    (``"/model/knobs"``, ``"/fault_plan/windows/0/resource"``, ...), so
+    the service can answer a malformed document with a 400 naming the
+    exact field instead of a bare error string.  Subclasses
+    :class:`ConfigurationError`, so existing ``except`` clauses keep
+    catching it.
+    """
+
+    def __init__(self, message: str, path: str = "/"):
+        super().__init__(message)
+        self.path = path or "/"
+
+    def at(self, prefix: str) -> "SpecValidationError":
+        """Re-root this error under a parent document prefix."""
+        child = "" if self.path == "/" else self.path
+        return SpecValidationError(self.args[0], prefix + child)
+
+
 class DeadlockError(SimulationError):
     """No thread can make progress but blocked threads remain.
 

@@ -40,6 +40,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -355,6 +356,10 @@ class ProgramStore:
 
         self.root = Path(root)
         self.version = version or code_version()
+        #: Guards counter mutation and :meth:`stats` snapshots against
+        #: concurrent service handlers / pool threads (file writes are
+        #: already atomic via temp-file + rename).
+        self._lock = threading.Lock()
         #: Successful :meth:`get` lookups.
         self.hits = 0
         #: Failed :meth:`get` lookups (absent or unreadable artifact).
@@ -404,15 +409,18 @@ class ProgramStore:
                 program = _rebuild_program(_unpack_arrays(data))
                 aux = json.loads(str(data["aux_json"][()]))
         except FileNotFoundError:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         except Exception:
             # Present but unreadable: count separately so sweeps can
             # report healed corruption, then recompile as usual.
-            self.corrupt += 1
-            self.misses += 1
+            with self._lock:
+                self.corrupt += 1
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return program, aux
 
     def put(self, phash: str, program: SoAProgram,
@@ -435,12 +443,14 @@ class ProgramStore:
             except OSError:
                 pass
             raise
-        self.stores += 1
+        with self._lock:
+            self.stores += 1
         return path
 
     def record_compile(self) -> None:
         """Count one cold compilation performed on this store's behalf."""
-        self.compiles += 1
+        with self._lock:
+            self.compiles += 1
 
     def __contains__(self, phash: str) -> bool:
         """Whether a program bundle exists on disk for ``phash``."""
@@ -472,16 +482,40 @@ class ProgramStore:
                     removed += 1
             except OSError:  # racing another sweeper or a writer
                 pass
-        self.tmp_swept += removed
+        with self._lock:
+            self.tmp_swept += removed
         return removed
 
     def stats(self) -> Dict[str, int]:
-        """Counter snapshot: lookups, writes, and on-disk hygiene."""
-        return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "corrupt": self.corrupt,
-                "compiles": self.compiles, "tmp_swept": self.tmp_swept,
-                "orphan_tmp": self.orphan_tmp(),
-                "artifacts": self.count()}
+        """Counter snapshot: lookups, writes, and on-disk hygiene.
+
+        The counter block is read under the lock, so a snapshot taken
+        mid-request never shows a torn view.
+        """
+        with self._lock:
+            counters = {"hits": self.hits, "misses": self.misses,
+                        "stores": self.stores, "corrupt": self.corrupt,
+                        "compiles": self.compiles,
+                        "tmp_swept": self.tmp_swept}
+        counters["orphan_tmp"] = self.orphan_tmp()
+        counters["artifacts"] = self.count()
+        return counters
+
+    def __getstate__(self) -> Dict:
+        """Pickle support: drop the (unpicklable) lock.
+
+        Mirrors :meth:`repro.scenario.store.RunStore.__getstate__` —
+        worker processes count on their own copies, and unpickling
+        never re-runs ``__init__`` (so no tmp sweep races a live
+        writer).
+        """
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ProgramStore(root={str(self.root)!r}, "

@@ -14,39 +14,36 @@ comparisons carry the spec's content hash and can flow through a
 the store are replayed without building the workload or running any
 engine, which is what makes repeated figure and report invocations
 warm cache hits.
+
+The execution sequence itself — store probe, spec-level SoA fallback
+probe, compile-or-load, tiered replay, store commit — lives in
+:class:`~repro.engine.session.ExecutionSession`; the functions here are
+the stable per-call front door over an ephemeral session.  Hold a
+session yourself (as the sweep supervisor and the service do) to keep
+its stores and warm pool across calls.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import functools
 import math
-import time
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..analytical import characterize, estimate_queueing
 from ..contention.base import ContentionModel
-from ..core.errors import ConfigurationError
-from ..cycle import EventEngine, SteppedEngine
-from ..perf.parallel import CellResult, ParallelExecutor
-from ..workloads.to_mesh import run_hybrid
-from ..workloads.trace import Workload
+from ..engine.session import (ESTIMATORS, Comparison,  # noqa: F401
+                              EstimatorRun, ExecutionSession,
+                              _detail_payload, percent_error)
+from ..perf.parallel import CellResult
 
-ESTIMATORS = ("iss", "mesh", "analytical")
-
-
-def percent_error(value: float, reference: float) -> float:
-    """Absolute percent error of ``value`` against ``reference``.
-
-    Returns 0 when both are (near) zero and ``inf`` when only the
-    reference is zero, so error aggregation never divides by zero.
-    Aggregate with :func:`finite_mean` so a single infinite point does
-    not poison a reported average.
-    """
-    if abs(reference) < 1e-9:
-        return 0.0 if abs(value) < 1e-9 else float("inf")
-    return 100.0 * abs(value - reference) / abs(reference)
+__all__ = [
+    "ESTIMATORS",
+    "Comparison",
+    "EstimatorRun",
+    "batched_mesh_prepass",
+    "finite_mean",
+    "percent_error",
+    "run_comparison",
+    "run_comparisons_parallel",
+]
 
 
 def finite_mean(values: Sequence[float]) -> "tuple[float, int]":
@@ -62,71 +59,6 @@ def finite_mean(values: Sequence[float]) -> "tuple[float, int]":
     if not finite:
         return 0.0, excluded
     return sum(finite) / len(finite), excluded
-
-
-@dataclass(frozen=True)
-class EstimatorRun:
-    """One estimator's outcome on one workload."""
-
-    estimator: str
-    queueing_cycles: float
-    percent_queueing: float
-    wall_seconds: float
-    #: Engine-specific result object (CycleResult / SimulationResult /
-    #: WholeRunEstimate) for deeper inspection; a plain payload mapping
-    #: when the run was replayed from a store.
-    detail: object = field(repr=False, default=None)
-    #: Whether this run was replayed from a
-    #: :class:`~repro.scenario.store.RunStore` instead of simulated.
-    #: Excluded from equality: a cached replay reports the same physics.
-    cached: bool = field(default=False, compare=False)
-
-
-@dataclass(frozen=True)
-class Comparison:
-    """All estimators on one workload, with errors vs ground truth."""
-
-    runs: Dict[str, EstimatorRun]
-    #: Content hash of the scenario spec this comparison evaluated
-    #: (``None`` for legacy workload-object comparisons).
-    spec_hash: Optional[str] = None
-
-    def queueing(self, estimator: str) -> float:
-        """Queueing cycles reported by one estimator."""
-        return self.runs[estimator].queueing_cycles
-
-    def error(self, estimator: str, reference: str = "iss") -> float:
-        """Percent error of ``estimator`` against ``reference``."""
-        return percent_error(self.queueing(estimator),
-                             self.queueing(reference))
-
-    def speedup(self, fast: str = "mesh", slow: str = "iss") -> float:
-        """Wall-clock ratio ``slow / fast``."""
-        fast_time = self.runs[fast].wall_seconds
-        if fast_time <= 0:
-            return float("inf")
-        return self.runs[slow].wall_seconds / fast_time
-
-    @property
-    def cached_runs(self) -> int:
-        """Number of estimator runs replayed from the run store."""
-        return sum(1 for run in self.runs.values() if run.cached)
-
-
-def _detail_payload(estimator: str, result) -> Optional[Dict]:
-    """Flatten an engine result for storage (best effort, may be None)."""
-    try:
-        if estimator == "mesh":
-            from ..core.export import result_to_dict
-
-            return result_to_dict(result)
-        if estimator == "iss":
-            from ..core.export import cycle_result_to_dict
-
-            return cycle_result_to_dict(result)
-    except Exception:  # storage detail is optional, never fatal
-        return None
-    return None
 
 
 def run_comparison(workload,
@@ -197,151 +129,14 @@ def run_comparison(workload,
         back after a miss.  When every requested estimator hits, the
         comparison completes without building the workload at all.
     """
-    spec = None
-    if not isinstance(workload, Workload):
-        from ..scenario.spec import ScenarioSpec
-
-        if not isinstance(workload, ScenarioSpec):
-            raise TypeError(
-                f"expected a Workload or ScenarioSpec, "
-                f"got {type(workload).__name__}"
-            )
-        spec = workload
-        for name, value, default in (
-                ("model", model, None), ("fault_plan", fault_plan, None),
-                ("budget", budget, None),
-                ("min_timeslice", min_timeslice, 0.0),
-                ("annotation", annotation, "phase")):
-            if value != default:
-                raise ConfigurationError(
-                    f"pass {name!r} inside the scenario spec, not "
-                    f"alongside it — the spec is the scenario's "
-                    f"identity"
-                )
-        model = spec.build_model()
-        min_timeslice = spec.min_timeslice
-        annotation = spec.annotation
-        fault_plan = spec.build_fault_plan()
-        budget = spec.build_budget()
-        if memo_cache is None:
-            memo_cache = spec.build_memo()
-    if store is not None:
-        from ..scenario.store import as_store
-
-        store = as_store(store) if spec is not None else None
-    spec_hash = spec.spec_hash() if spec is not None else None
-
-    # The workload and its characterization profiles are built lazily:
-    # a comparison whose every estimator hits the store finishes with
-    # zero workload builds and zero kernel runs.
-    state: Dict[str, object] = {}
-
-    def get_workload() -> Workload:
-        if "workload" not in state:
-            state["workload"] = (spec.build_workload()
-                                 if spec is not None else workload)
-        return state["workload"]
-
-    def get_profiles():
-        if "profiles" not in state:
-            # One busy-time basis for every estimator's percentage: the
-            # characterized zero-contention execution cycles (excluding
-            # idle), identical to the cycle engines' compute+service
-            # total.  The profiles are shared with the whole-run
-            # analytical estimator below.
-            state["profiles"] = characterize(get_workload())
-        return state["profiles"]
-
-    def as_percent(queueing: float) -> float:
-        busy_reference = sum(p.busy_cycles
-                             for p in get_profiles().values())
-        if busy_reference <= 0:
-            return 0.0
-        return 100.0 * queueing / busy_reference
-
-    runs: Dict[str, EstimatorRun] = {}
-    for estimator in include:
-        if store is not None:
-            payload = store.get(spec_hash, estimator)
-            if payload is not None:
-                runs[estimator] = EstimatorRun(
-                    estimator=estimator,
-                    queueing_cycles=payload["queueing_cycles"],
-                    percent_queueing=payload["percent_queueing"],
-                    wall_seconds=payload.get("wall_seconds", 0.0),
-                    detail=payload.get("detail"),
-                    cached=True)
-                continue
-        if estimator == "iss":
-            engine_cls = (SteppedEngine if iss_engine == "stepped"
-                          else EventEngine)
-            start = time.perf_counter()
-            result = engine_cls(get_workload(), budget=budget).run()
-            elapsed = time.perf_counter() - start
-            queueing = float(result.queueing_cycles)
-        elif estimator == "mesh":
-            mesh_engine = engine
-            spec_reason = None
-            if engine == "soa" and spec is not None:
-                from ..core.compile import soa_spec_fallback_reason
-
-                # Probe the spec itself (never materializes the
-                # workload): a spec-visible unsupported feature routes
-                # to the object engine here instead of paying a doomed
-                # compile attempt against the assembled kernel.
-                spec_reason = soa_spec_fallback_reason(spec)
-                if spec_reason is not None:
-                    mesh_engine = "object"
-            start = time.perf_counter()
-            engine_kwargs = ({} if mesh_engine is None
-                             else {"engine": mesh_engine})
-            if backend is not None:
-                engine_kwargs["backend"] = backend
-            if spec is not None:
-                result = spec.run(memo_cache=memo_cache, **engine_kwargs)
-            else:
-                result = run_hybrid(get_workload(), model=model,
-                                    min_timeslice=min_timeslice,
-                                    annotation=annotation,
-                                    fault_plan=fault_plan,
-                                    budget=budget,
-                                    memo_cache=memo_cache,
-                                    **engine_kwargs)
-            elapsed = time.perf_counter() - start
-            if spec_reason is not None:
-                # Keep the routing visible on the result, exactly as a
-                # kernel-level fallback would have recorded it.
-                result = dataclasses.replace(
-                    result, engine_fallback_reason=spec_reason)
-            queueing = result.queueing_cycles
-        elif estimator == "analytical":
-            start = time.perf_counter()
-            result = estimate_queueing(get_workload(), model=model,
-                                       models=(spec.build_models()
-                                               if spec is not None
-                                               else None),
-                                       profiles=get_profiles())
-            elapsed = time.perf_counter() - start
-            queueing = result.queueing_cycles
-        else:
-            raise ValueError(f"unknown estimator {estimator!r}; "
-                             f"choose from {ESTIMATORS}")
-        run = EstimatorRun(
-            estimator=estimator,
-            queueing_cycles=queueing,
-            percent_queueing=as_percent(queueing),
-            wall_seconds=elapsed, detail=result)
-        runs[estimator] = run
-        if store is not None:
-            store.put(spec_hash, estimator, {
-                "spec_hash": spec_hash,
-                "estimator": estimator,
-                "queueing_cycles": run.queueing_cycles,
-                "percent_queueing": run.percent_queueing,
-                "wall_seconds": run.wall_seconds,
-                "detail": _detail_payload(estimator, result),
-            })
-    return Comparison(runs=runs, spec_hash=spec_hash)
+    session = ExecutionSession(store=store)
+    return session.comparison(workload, model=model,
+                              min_timeslice=min_timeslice,
+                              annotation=annotation,
+                              iss_engine=iss_engine, include=include,
+                              fault_plan=fault_plan, budget=budget,
+                              memo_cache=memo_cache, engine=engine,
+                              backend=backend)
 
 
 def batched_mesh_prepass(specs: Sequence, store,
@@ -350,10 +145,11 @@ def batched_mesh_prepass(specs: Sequence, store,
                          batch_cells: int = 0) -> Dict[str, object]:
     """Warm a run store's ``mesh`` artifacts for a grid in batched replays.
 
-    The grid-granularity execution tier: cold cells (no ``mesh``
-    artifact in ``store``) whose specs sit inside the SoA compiled
-    subset are grouped in deterministic ``spec_hash``-sorted order,
-    compiled **or** loaded from the content-addressed
+    The grid-granularity execution tier (now implemented by
+    :meth:`~repro.engine.session.ExecutionSession.prepass`): cold cells
+    (no ``mesh`` artifact in ``store``) whose specs sit inside the SoA
+    compiled subset are grouped in deterministic ``spec_hash``-sorted
+    order, compiled **or** loaded from the content-addressed
     :class:`~repro.core.programstore.ProgramStore` (one compilation per
     spec across processes, resumes, and warm service runs), replayed
     through :func:`~repro.core.programstore.replay_batch` — one
@@ -396,97 +192,17 @@ def batched_mesh_prepass(specs: Sequence, store,
     ``backend_used`` (per-tier tally of the replays), and
     ``wall_seconds``.
     """
-    from ..core.compile import compile_kernel, soa_spec_fallback_reason
-    from ..core.errors import UnsupportedFeatureError
-    from ..core.programstore import (ProgramStore, build_replay_kernel,
-                                     program_hash, replay_batch)
-    from ..scenario.spec import ScenarioSpec
     from ..scenario.store import as_store
-    from ..workloads.to_mesh import build_kernel as build_mesh_kernel
 
-    counters: Dict[str, object] = {
-        "cells_total": 0, "cells_cold": 0, "cells_batched": 0,
-        "cells_skipped": 0, "compiles": 0, "program_loads": 0,
-        "backend_used": {}, "wall_seconds": 0.0}
     store = as_store(store)
     if store is None:
-        return counters
-    start = time.perf_counter()
-    if not isinstance(program_store, ProgramStore):
-        program_store = (
-            ProgramStore.for_run_store(store) if program_store is None
-            else ProgramStore(program_store, version=store.version))
-    unique: Dict[str, ScenarioSpec] = {}
-    for spec in specs:
-        if isinstance(spec, ScenarioSpec) and spec.kind == "workload":
-            unique.setdefault(spec.spec_hash(), spec)
-    ordered = sorted(unique.items())
-    counters["cells_total"] = len(ordered)
-    overrides = {} if backend is None else {"backend": backend}
-    cells = []  # (spec_hash, kernel, program, busy_reference)
-    for spec_hash, spec in ordered:
-        if (spec_hash, "mesh") in store:
-            continue
-        counters["cells_cold"] += 1
-        if soa_spec_fallback_reason(spec) is not None:
-            counters["cells_skipped"] += 1
-            continue
-        phash = program_hash(spec_hash, version=program_store.version)
-        hit = program_store.get(phash)
-        if hit is not None:
-            program, aux = hit
-            kernel = build_replay_kernel(spec, program, backend=backend)
-            busy_reference = float(aux.get("busy_reference", 0.0))
-            counters["program_loads"] += 1
-        else:
-            workload = spec.build_workload()
-            kernel = build_mesh_kernel(workload,
-                                       **spec.kernel_kwargs(**overrides))
-            try:
-                program = compile_kernel(kernel)
-            except UnsupportedFeatureError:
-                counters["cells_skipped"] += 1
-                continue
-            busy_reference = sum(p.busy_cycles
-                                 for p in characterize(workload).values())
-            program_store.put(phash, program,
-                              {"spec_hash": spec_hash,
-                               "busy_reference": busy_reference})
-            program_store.record_compile()
-            counters["compiles"] += 1
-        cells.append((spec_hash, kernel, program, busy_reference))
-    chunk = len(cells) if batch_cells <= 0 else int(batch_cells)
-    for lo in range(0, len(cells), max(chunk, 1)):
-        group = cells[lo:lo + chunk]
-        group_start = time.perf_counter()
-        try:
-            results = replay_batch(
-                [(kernel, program)
-                 for _, kernel, program, _ in group])
-        except Exception:
-            # Leave these cells cold: the per-cell path reproduces the
-            # canonical diagnostic with full error capture.
-            continue
-        per_cell = (time.perf_counter() - group_start) / len(group)
-        tally: Dict[str, int] = counters["backend_used"]
-        for (spec_hash, kernel, _program, busy_reference), result \
-                in zip(group, results):
-            queueing = result.queueing_cycles
-            percent = (100.0 * queueing / busy_reference
-                       if busy_reference > 0 else 0.0)
-            store.put(spec_hash, "mesh", {
-                "spec_hash": spec_hash,
-                "estimator": "mesh",
-                "queueing_cycles": queueing,
-                "percent_queueing": percent,
-                "wall_seconds": per_cell,
-                "detail": _detail_payload("mesh", result),
-            })
-            counters["cells_batched"] += 1
-            tier = kernel.backend_used or "interp"
-            tally[tier] = tally.get(tier, 0) + 1
-    counters["wall_seconds"] = time.perf_counter() - start
-    return counters
+        return {
+            "cells_total": 0, "cells_cold": 0, "cells_batched": 0,
+            "cells_skipped": 0, "compiles": 0, "program_loads": 0,
+            "backend_used": {}, "wall_seconds": 0.0}
+    session = ExecutionSession(store=store, program_store=program_store,
+                               backend=backend)
+    return session.prepass(specs, batch_cells=batch_cells)
 
 
 def run_comparisons_parallel(workloads: Sequence,
@@ -524,23 +240,12 @@ def run_comparisons_parallel(workloads: Sequence,
     run for runtime *measurements* (Table 1), the parallel batch for
     accuracy sweeps.
     """
-    items = list(workloads)
-    if (batch_cells and kwargs.get("store") is not None
-            and "mesh" in kwargs.get("include", ESTIMATORS)
-            and items and not any(isinstance(item, Workload)
-                                  for item in items)):
-        batched_mesh_prepass(
-            items, kwargs["store"], program_store=program_store,
-            backend=kwargs.get("backend"),
-            batch_cells=max(batch_cells, 0))
-    fn = functools.partial(_comparison_cell, kwargs)
-    with ParallelExecutor(jobs) as executor:
-        if items and not any(isinstance(item, Workload)
-                             for item in items):
-            return executor.map_specs(fn, items)
-        return executor.map(fn, items)
-
-
-def _comparison_cell(kwargs: Dict, workload) -> Comparison:
-    """One batch cell: evaluate a single scenario's comparison."""
-    return run_comparison(workload, **kwargs)
+    kwargs = dict(kwargs)
+    with ExecutionSession(store=kwargs.pop("store", None),
+                          program_store=program_store,
+                          engine=kwargs.pop("engine", None),
+                          backend=kwargs.pop("backend", None),
+                          jobs=jobs) as session:
+        return session.map_comparisons(workloads,
+                                       batch_cells=batch_cells,
+                                       **kwargs)

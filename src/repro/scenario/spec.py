@@ -31,7 +31,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, SpecValidationError
 from .generators import generator_kind, make_workload, resolve_generator
 
 #: Scheduler names accepted by :attr:`ScenarioSpec.scheduler`, mapping
@@ -41,40 +41,55 @@ SCHEDULERS = ("fifo", "roundrobin", "priority", "pinned", "least_loaded")
 _SCALARS = (bool, int, float, str, type(None))
 
 
-def _plain(value, context: str):
+def _plain(value, context: str, path: str = ""):
     """Normalize ``value`` to JSON-plain data (tuples become lists).
 
-    Raises :class:`ConfigurationError` for anything that would not
-    round-trip through JSON — a spec holding a live object would hash
+    Raises :class:`SpecValidationError` — carrying a JSON-pointer-style
+    ``path`` into the offending value — for anything that would not
+    round-trip through JSON: a spec holding a live object would hash
     by ``repr`` accident instead of by content.
     """
     if isinstance(value, _SCALARS):
         return value
     if isinstance(value, (list, tuple)):
-        return [_plain(item, context) for item in value]
+        return [_plain(item, context, f"{path}/{index}")
+                for index, item in enumerate(value)]
     if isinstance(value, Mapping):
         plain = {}
         for key, item in value.items():
             if not isinstance(key, str):
-                raise ConfigurationError(
+                raise SpecValidationError(
                     f"{context}: mapping keys must be strings, "
-                    f"got {key!r}"
+                    f"got {key!r}", path or "/"
                 )
-            plain[key] = _plain(item, context)
+            plain[key] = _plain(item, context, f"{path}/{key}")
         return plain
-    raise ConfigurationError(
+    raise SpecValidationError(
         f"{context}: value {value!r} of type {type(value).__name__} is "
-        f"not JSON-serializable"
+        f"not JSON-serializable", path or "/"
     )
 
 
-def _check_unknown(data: Mapping, allowed, what: str) -> None:
+def _check_unknown(data: Mapping, allowed, what: str,
+                   path: str = "") -> None:
     """Reject unknown mapping keys with a precise error message."""
     unknown = set(data) - set(allowed)
     if unknown:
-        raise ConfigurationError(
-            f"unknown {what} key(s): {', '.join(sorted(unknown))}"
+        first = sorted(unknown)[0]
+        raise SpecValidationError(
+            f"unknown {what} key(s): {', '.join(sorted(unknown))}",
+            f"{path}/{first}"
         )
+
+
+def _as_mapping(value, what: str, path: str) -> Mapping:
+    """Require a mapping, with a located error otherwise."""
+    if not isinstance(value, Mapping):
+        raise SpecValidationError(
+            f"{what} must be a mapping, got "
+            f"{type(value).__name__}", path
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -91,9 +106,11 @@ class ModelSpec:
 
     def __post_init__(self):
         """Normalize knobs to JSON-plain data (tuples become lists)."""
+        _as_mapping(self.knobs, f"model {self.name!r} knobs", "/knobs")
         object.__setattr__(
             self, "knobs",
-            _plain(dict(self.knobs), f"model {self.name!r} knobs"))
+            _plain(dict(self.knobs), f"model {self.name!r} knobs",
+                   "/knobs"))
 
     def build(self):
         """Instantiate the named model with its knobs."""
@@ -115,7 +132,12 @@ class ModelSpec:
         """Build a model spec from a plain mapping (e.g. parsed JSON)."""
         _check_unknown(data, {"name", "knobs"}, "model spec")
         if "name" not in data:
-            raise ConfigurationError("model spec needs a 'name'")
+            raise SpecValidationError("model spec needs a 'name'",
+                                      "/name")
+        if not isinstance(data["name"], str) or not data["name"]:
+            raise SpecValidationError(
+                f"model name must be a non-empty string, "
+                f"got {data['name']!r}", "/name")
         return cls(name=data["name"], knobs=data.get("knobs", {}))
 
     @classmethod
@@ -225,6 +247,13 @@ class MemoSpec:
     def from_dict(cls, data: Mapping) -> "MemoSpec":
         """Build a memo spec from a plain mapping (e.g. parsed JSON)."""
         _check_unknown(data, {"maxsize", "digits"}, "memo spec")
+        for key in ("maxsize", "digits"):
+            value = data.get(key)
+            if value is not None and (isinstance(value, bool)
+                                      or not isinstance(value, int)):
+                raise SpecValidationError(
+                    f"memo {key} must be an integer, got {value!r}",
+                    f"/{key}")
         return cls(maxsize=data.get("maxsize", 4096),
                    digits=data.get("digits"))
 
@@ -293,40 +322,72 @@ class ScenarioSpec:
     kernel_options: Mapping = field(default_factory=dict)
 
     def __post_init__(self):
-        """Normalize members to JSON-plain data and validate knobs."""
+        """Normalize members to JSON-plain data and validate knobs.
+
+        Every validation failure is a :class:`SpecValidationError`
+        whose ``path`` points at the offending field of the spec
+        document, so services can answer with the exact location.
+        """
         if not isinstance(self.generator, str) or not self.generator:
-            raise ConfigurationError(
+            raise SpecValidationError(
                 f"generator must be a non-empty string, "
-                f"got {self.generator!r}"
+                f"got {self.generator!r}", "/generator"
             )
         setter = object.__setattr__
         setter(self, "params",
-               _plain(dict(self.params), "scenario params"))
-        setter(self, "model", as_model_spec(self.model))
-        setter(self, "models",
-               {name: as_model_spec(value)
-                for name, value in dict(self.models).items()})
+               _plain(_as_mapping(self.params, "scenario params",
+                                  "/params"),
+                      "scenario params", "/params"))
+        try:
+            setter(self, "model", as_model_spec(self.model))
+        except SpecValidationError as err:
+            raise err.at("/model") from None
+        models = {}
+        for name, value in dict(
+                _as_mapping(self.models, "models", "/models")).items():
+            try:
+                models[name] = as_model_spec(value)
+            except SpecValidationError as err:
+                raise err.at(f"/models/{name}") from None
+        setter(self, "models", models)
         setter(self, "kernel_options",
-               _plain(dict(self.kernel_options), "kernel_options"))
+               _plain(_as_mapping(self.kernel_options, "kernel_options",
+                                  "/kernel_options"),
+                      "kernel_options", "/kernel_options"))
         if self.fault_plan is not None:
             setter(self, "fault_plan",
-                   _plain(dict(self.fault_plan), "fault_plan"))
+                   _plain(_as_mapping(self.fault_plan, "fault_plan",
+                                      "/fault_plan"),
+                          "fault_plan", "/fault_plan"))
         if self.budget is not None:
-            setter(self, "budget", _plain(dict(self.budget), "budget"))
+            setter(self, "budget",
+                   _plain(_as_mapping(self.budget, "budget", "/budget"),
+                          "budget", "/budget"))
         if isinstance(self.memo, Mapping):
-            setter(self, "memo", MemoSpec.from_dict(self.memo))
+            try:
+                setter(self, "memo", MemoSpec.from_dict(self.memo))
+            except SpecValidationError as err:
+                raise err.at("/memo") from None
+        if not isinstance(self.min_timeslice, (int, float)) \
+                or isinstance(self.min_timeslice, bool):
+            raise SpecValidationError(
+                f"min_timeslice must be a number, "
+                f"got {self.min_timeslice!r}", "/min_timeslice"
+            )
         if self.scheduler is not None and self.scheduler not in SCHEDULERS:
-            raise ConfigurationError(
+            raise SpecValidationError(
                 f"unknown scheduler {self.scheduler!r}; choose from "
-                f"{SCHEDULERS}"
+                f"{SCHEDULERS}", "/scheduler"
             )
         if self.annotation not in ("phase", "barrier"):
-            raise ConfigurationError(
-                f"unknown annotation policy {self.annotation!r}"
+            raise SpecValidationError(
+                f"unknown annotation policy {self.annotation!r}",
+                "/annotation"
             )
         if self.sync_policy not in ("eager", "deferred"):
-            raise ConfigurationError(
-                f"unknown sync policy {self.sync_policy!r}"
+            raise SpecValidationError(
+                f"unknown sync policy {self.sync_policy!r}",
+                "/sync_policy"
             )
 
     # -- serialization ------------------------------------------------
@@ -368,21 +429,91 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ScenarioSpec":
-        """Build a spec from a plain mapping (e.g. parsed JSON)."""
+        """Build a spec from a plain mapping (e.g. parsed JSON).
+
+        Validation failures raise :class:`SpecValidationError` with a
+        JSON-pointer-style ``path`` into ``data`` — precise enough for
+        a service to turn into a 400 response naming the exact field.
+        """
+        _as_mapping(data, "scenario spec", "/")
         _check_unknown(data, _SPEC_FIELDS, "scenario spec")
         if "generator" not in data:
-            raise ConfigurationError("scenario spec needs a 'generator'")
+            raise SpecValidationError("scenario spec needs a "
+                                      "'generator'", "/generator")
         kwargs = dict(data)
         if "model" in kwargs and kwargs["model"] is not None:
-            kwargs["model"] = ModelSpec.from_dict(kwargs["model"])
+            try:
+                kwargs["model"] = ModelSpec.from_dict(
+                    _as_mapping(kwargs["model"], "model spec", "/"))
+            except SpecValidationError as err:
+                raise err.at("/model") from None
         if "models" in kwargs:
-            kwargs["models"] = {
-                name: ModelSpec.from_dict(value)
-                for name, value in kwargs["models"].items()
-            }
+            models = {}
+            for name, value in _as_mapping(
+                    kwargs["models"], "models", "/models").items():
+                try:
+                    models[name] = ModelSpec.from_dict(
+                        _as_mapping(value, "model spec", "/"))
+                except SpecValidationError as err:
+                    raise err.at(f"/models/{name}") from None
+            kwargs["models"] = models
         if "memo" in kwargs and kwargs["memo"] is not None:
-            kwargs["memo"] = MemoSpec.from_dict(kwargs["memo"])
+            try:
+                kwargs["memo"] = MemoSpec.from_dict(
+                    _as_mapping(kwargs["memo"], "memo spec", "/"))
+            except SpecValidationError as err:
+                raise err.at("/memo") from None
         return cls(**kwargs)
+
+    def validate(self) -> "ScenarioSpec":
+        """Eagerly check buildability beyond structural validation.
+
+        ``__post_init__`` validates structure (types, knob names,
+        JSON-plainness); this resolves the *contents* without running
+        anything: the generator must be registered, the models must
+        build through the registry, and the fault plan / budget
+        mappings must deserialize.  Each failure raises
+        :class:`SpecValidationError` located at the offending field —
+        the check the service runs at admission so a bad document is a
+        400, never a worker-side crash.  Returns ``self`` for
+        chaining.
+        """
+        from .generators import available_generators
+
+        if self.generator not in available_generators():
+            raise SpecValidationError(
+                f"unknown generator {self.generator!r}; choose from "
+                f"{available_generators()}", "/generator")
+        factory, _kind = resolve_generator(self.generator)
+        try:
+            inspect.signature(factory).bind(**dict(self.params))
+        except TypeError as err:
+            raise SpecValidationError(
+                f"params do not fit generator "
+                f"{self.generator!r}: {err}", "/params") from None
+        try:
+            self.build_model()
+        except Exception as err:
+            raise SpecValidationError(str(err), "/model") from None
+        for name, spec in self.models.items():
+            try:
+                spec.build()
+            except Exception as err:
+                raise SpecValidationError(
+                    str(err), f"/models/{name}") from None
+        try:
+            self.build_fault_plan()
+        except SpecValidationError:
+            raise
+        except Exception as err:
+            raise SpecValidationError(str(err), "/fault_plan") from None
+        try:
+            self.build_budget()
+        except SpecValidationError:
+            raise
+        except Exception as err:
+            raise SpecValidationError(str(err), "/budget") from None
+        return self
 
     def canonical_json(self) -> str:
         """Deterministic JSON encoding (sorted keys, no whitespace)."""

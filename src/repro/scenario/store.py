@@ -17,10 +17,12 @@ across figure scripts, report invocations, CI jobs, and machines.  The
 Artifacts are plain JSON payloads written atomically (temp file +
 rename), so concurrent sweep workers sharing one store directory never
 observe a torn file; a corrupt or unreadable artifact counts as a miss
-and is recomputed.  Hit/miss/store counters live on the instance —
-note that worker *processes* count on their own copies, so cross-process
-proof of cache effectiveness should use the ``cached`` flag carried on
-results instead.
+and is recomputed.  Hit/miss/store counters live on the instance,
+guarded by a lock so concurrent *threads* (service handlers sharing one
+store) never interleave an increment or read a torn :meth:`stats`
+snapshot — worker *processes* still count on their own copies, so
+cross-process proof of cache effectiveness should use the ``cached``
+flag carried on results instead.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Dict, Optional
@@ -87,6 +90,10 @@ class RunStore:
                  tmp_max_age: Optional[float] = 60.0):
         self.root = Path(root)
         self.version = version or code_version()
+        #: Guards counter mutation and :meth:`stats` snapshots against
+        #: concurrent service handlers / pool threads.  File writes need
+        #: no lock — the temp-file + rename protocol is already atomic.
+        self._lock = threading.Lock()
         #: Successful :meth:`get` lookups.
         self.hits = 0
         #: Failed :meth:`get` lookups (absent or unreadable artifact).
@@ -118,15 +125,18 @@ class RunStore:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except FileNotFoundError:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         except (OSError, ValueError):
             # Present but unreadable: count separately so sweeps can
             # report healed corruption, then recompute as usual.
-            self.corrupt += 1
-            self.misses += 1
+            with self._lock:
+                self.corrupt += 1
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return payload
 
     def put(self, spec_hash: str, estimator: str,
@@ -146,7 +156,8 @@ class RunStore:
             except OSError:
                 pass
             raise
-        self.stores += 1
+        with self._lock:
+            self.stores += 1
         return path
 
     def __contains__(self, key) -> bool:
@@ -190,16 +201,41 @@ class RunStore:
                     removed += 1
             except OSError:  # racing another sweeper or a writer
                 pass
-        self.tmp_swept += removed
+        with self._lock:
+            self.tmp_swept += removed
         return removed
 
     def stats(self) -> Dict[str, int]:
-        """Counter snapshot: lookups, writes, and on-disk hygiene."""
-        return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "corrupt": self.corrupt,
-                "tmp_swept": self.tmp_swept,
-                "orphan_tmp": self.orphan_tmp(),
-                "artifacts": self.count()}
+        """Counter snapshot: lookups, writes, and on-disk hygiene.
+
+        The counter block is read under the lock, so a snapshot taken
+        mid-request never shows a torn view (e.g. a ``corrupt``
+        increment without its paired ``misses`` increment).
+        """
+        with self._lock:
+            counters = {"hits": self.hits, "misses": self.misses,
+                        "stores": self.stores, "corrupt": self.corrupt,
+                        "tmp_swept": self.tmp_swept}
+        counters["orphan_tmp"] = self.orphan_tmp()
+        counters["artifacts"] = self.count()
+        return counters
+
+    def __getstate__(self) -> Dict:
+        """Pickle support: drop the (unpicklable) lock.
+
+        Worker processes receive a counter snapshot and count on their
+        own copies from there — exactly the documented cross-process
+        semantics.  ``__setstate__`` restores without re-running
+        ``__init__``, so unpickling never triggers a tmp sweep that
+        could race the parent's live writers.
+        """
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RunStore(root={str(self.root)!r}, "

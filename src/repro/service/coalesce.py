@@ -1,0 +1,80 @@
+"""Single-flight coalescing of concurrent identical cold requests.
+
+N clients POSTing the same scenario at the same moment must cost one
+kernel run, not N: the first claimant of a ``(spec_hash, estimator)``
+key becomes the *leader* (it enqueues the work), every later claimant
+*joins* the leader's :class:`asyncio.Future` and waits.  The key is
+per estimator, not per request, so two requests sharing a spec but
+asking for different estimator subsets coalesce on exactly their
+overlap.
+
+Everything here runs on the event-loop thread (the server resolves
+futures after awaiting the drain executor), so no lock is needed —
+the counters are still exposed via :meth:`stats` for ``/v1/stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Hashable, Tuple
+
+
+class SingleFlight:
+    """In-flight futures keyed by hashable keys, with lead/join counts."""
+
+    def __init__(self) -> None:
+        self._futures: Dict[Hashable, asyncio.Future] = {}
+        #: Keys claimed cold (the claimant leads the computation).
+        self.leads = 0
+        #: Claims that joined an already-in-flight key (work saved).
+        self.joins = 0
+        #: Keys resolved with a value / failed with an error.
+        self.resolved = 0
+        self.failed = 0
+
+    def claim(self, key: Hashable) -> Tuple[asyncio.Future, bool]:
+        """Claim a key: returns ``(future, leader)``.
+
+        The leader (first claimant while no flight is open) must
+        eventually :meth:`resolve` or :meth:`fail` the key; joiners
+        just await the future.
+        """
+        future = self._futures.get(key)
+        if future is not None:
+            self.joins += 1
+            return future, False
+        future = asyncio.get_running_loop().create_future()
+        self._futures[key] = future
+        self.leads += 1
+        return future, True
+
+    def _pop(self, key: Hashable) -> asyncio.Future:
+        future = self._futures.pop(key, None)
+        if future is None:
+            raise KeyError(f"no in-flight future for {key!r}")
+        return future
+
+    def resolve(self, key: Hashable, value) -> None:
+        """Complete a key: every claimant's await returns ``value``."""
+        future = self._pop(key)
+        if not future.done():
+            future.set_result(value)
+        self.resolved += 1
+
+    def fail(self, key: Hashable, error: BaseException) -> None:
+        """Fail a key: every claimant's await raises ``error``."""
+        future = self._pop(key)
+        if not future.done():
+            future.set_exception(error)
+        self.failed += 1
+
+    @property
+    def in_flight(self) -> int:
+        """Keys currently being computed."""
+        return len(self._futures)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for ``/v1/stats``."""
+        return {"leads": self.leads, "joins": self.joins,
+                "resolved": self.resolved, "failed": self.failed,
+                "in_flight": self.in_flight}

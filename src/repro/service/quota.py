@@ -1,0 +1,103 @@
+"""Per-tenant token-bucket admission for the analyze service.
+
+The server is itself a shared resource under contention (Salem et
+al.'s shared-object lens, PAPERS.md): without admission control one
+chatty tenant can queue everyone else behind its cold cells.  Each
+tenant gets a classic token bucket — ``capacity`` tokens that refill
+continuously at ``refill_per_second`` — and a request is admitted iff
+its tenant's bucket holds a whole token.  A rejected request learns
+``retry_after``, the seconds until the next token matures, which the
+server surfaces as a 429 with a ``Retry-After`` header.
+
+Buckets are created lazily per tenant and guarded by one lock; the
+clock is injectable so tests never sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Tuple
+
+
+class TokenBucket:
+    """One tenant's bucket: ``capacity`` tokens, continuous refill."""
+
+    def __init__(self, capacity: float, refill_per_second: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if refill_per_second <= 0:
+            raise ValueError(
+                f"refill_per_second must be > 0, "
+                f"got {refill_per_second}")
+        self.capacity = float(capacity)
+        self.refill_per_second = float(refill_per_second)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._stamp = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.capacity,
+                           self._tokens
+                           + elapsed * self.refill_per_second)
+
+    def try_acquire(self) -> Tuple[bool, float]:
+        """Spend one token if available.
+
+        Returns ``(admitted, retry_after_seconds)`` — ``retry_after``
+        is 0 on admission, else the time until a whole token matures.
+        """
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.refill_per_second
+
+
+class QuotaRegistry:
+    """Lazily-created token buckets, one per tenant name."""
+
+    def __init__(self, capacity: float = 60,
+                 refill_per_second: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.capacity = capacity
+        self.refill_per_second = refill_per_second
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        #: Requests admitted / rejected across every tenant.
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, tenant: str) -> Tuple[bool, float]:
+        """Admit-or-reject one request for ``tenant``.
+
+        Returns ``(admitted, retry_after_seconds)`` and counts the
+        outcome.
+        """
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.capacity,
+                                     self.refill_per_second,
+                                     clock=self._clock)
+                self._buckets[tenant] = bucket
+            admitted, retry_after = bucket.try_acquire()
+            if admitted:
+                self.admitted += 1
+            else:
+                self.rejected += 1
+        return admitted, retry_after
+
+    def stats(self) -> Dict[str, object]:
+        """Snapshot: admissions, rejections, and live tenant count."""
+        with self._lock:
+            return {"admitted": self.admitted,
+                    "rejected": self.rejected,
+                    "tenants": len(self._buckets),
+                    "capacity": self.capacity,
+                    "refill_per_second": self.refill_per_second}

@@ -45,12 +45,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.errors import ConfigurationError
+from ..engine.session import ExecutionSession
 from ..experiments.runner import ESTIMATORS, run_comparison
 from ..perf.parallel import TIMEOUT_TAG, ParallelExecutor
 from ..robustness.budget import RunBudget
 from ..robustness.faults import RetryPolicy
 from ..scenario.spec import ScenarioSpec
-from ..scenario.store import RunStore, as_store
+from ..scenario.store import RunStore
 from .chaos import ChaosPlan, maybe_kill_worker
 from .manifest import ShardManifest
 from .plan import ShardPlan
@@ -288,7 +289,17 @@ class SweepSupervisor:
                  batch_cells: int = 0,
                  program_store=None,
                  sleep=time.sleep):
-        self.store = as_store(store)
+        #: The execution facade this sweep routes through: it owns the
+        #: run store, the companion program store, and the engine /
+        #: backend selection shared by the probe, the batched prepass,
+        #: and (transitively, via :func:`run_comparison` in the worker
+        #: cells) every dispatched cell.
+        self.session = ExecutionSession(store=store,
+                                        program_store=program_store,
+                                        engine=engine, backend=backend,
+                                        jobs=jobs,
+                                        batch_cells=batch_cells)
+        self.store = self.session.store
         if self.store is None:
             raise ConfigurationError(
                 "a sharded sweep needs a run store — it is the durable "
@@ -309,7 +320,7 @@ class SweepSupervisor:
         self.backend = backend
         #: Batched mesh prepass knob: non-zero warms cold mesh cells
         #: through the grid-granularity replay before probing (see
-        #: :func:`~repro.experiments.runner.batched_mesh_prepass`).
+        #: :meth:`~repro.engine.session.ExecutionSession.prepass`).
         #: Execution-only — never part of spec hashes or the plan hash.
         self.batch_cells = batch_cells
         self.program_store = program_store
@@ -345,10 +356,8 @@ class SweepSupervisor:
         prove a resumed sweep recomputed nothing already done.
         """
         for index, spec_hash in enumerate(self.plan.spec_hashes):
-            payloads = {estimator: self.store.get(spec_hash, estimator)
-                        for estimator in self.include}
-            if all(payload is not None
-                   for payload in payloads.values()):
+            payloads = self.session.probe(spec_hash, self.include)
+            if payloads is not None:
                 self._outcomes[index] = CellOutcome(
                     index=index, spec_hash=spec_hash, source="cache",
                     runs={name: {
@@ -541,22 +550,18 @@ class SweepSupervisor:
             ) -> SweepResult:
         """Drive the sweep to convergence and assemble the result."""
         owns_executor = executor is None
-        executor = executor or ParallelExecutor(self.jobs)
+        executor = executor or self.session.executor
         if (self.chaos is not None and self.chaos.kill_hashes
                 and executor.serial):
             if owns_executor:
-                executor.close()
+                self.session.close()
             raise ConfigurationError(
                 "chaos kills need jobs != 1: the serial in-process "
                 "path cannot SIGKILL a worker (there is none), so the "
                 "kill plan would silently not exercise anything")
         if self.batch_cells and "mesh" in self.include:
-            from ..experiments.runner import batched_mesh_prepass
-
-            self.prepass_counters = batched_mesh_prepass(
-                self.plan.specs, self.store,
-                program_store=self.program_store,
-                backend=self.backend,
+            self.prepass_counters = self.session.prepass(
+                self.plan.specs,
                 batch_cells=max(self.batch_cells, 0))
         self._probe()
         try:
@@ -565,7 +570,7 @@ class SweepSupervisor:
             stolen = self._steal(executor) if self._steal_queue else 0
         finally:
             if owns_executor:
-                executor.close()
+                self.session.close()
         self._finalize_states()
         cells = [self._outcomes[index]
                  for index in range(self.plan.cells)]
